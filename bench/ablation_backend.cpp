@@ -1,0 +1,73 @@
+// Ablation: exact back-end choice for serving true-statistic evaluations
+// — full scan vs uniform grid index vs k-d tree.
+//
+// The back-end determines the cost of (a) labelling the training workload
+// and (b) the f+GlowWorm comparison arm. SuRF itself never touches it
+// after training — which is the point of the paper.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace surf;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const size_t n = static_cast<size_t>(
+      flags.GetInt("points", full ? 2000000 : 200000));
+  const size_t queries = static_cast<size_t>(
+      flags.GetInt("queries", full ? 5000 : 1000));
+
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 44;
+  SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  Rng inflate_rng(9);
+  ds.data = ds.data.InflateTo(n, 0.002, &inflate_rng);
+  const Statistic stat = bench::StatisticFor(ds);
+  const Bounds domain = ds.data.ComputeBounds(ds.region_cols);
+
+  std::printf("Ablation — exact back-end cost on N = %zu points, %zu "
+              "random region queries\n\n",
+              n, queries);
+  TablePrinter table({"backend", "build (s)", "label workload (s)",
+                      "queries/s"});
+
+  for (BackendKind kind :
+       {BackendKind::kScan, BackendKind::kGridIndex, BackendKind::kKdTree,
+        BackendKind::kRTree}) {
+    const char* name = kind == BackendKind::kScan        ? "scan"
+                       : kind == BackendKind::kGridIndex ? "grid-index"
+                       : kind == BackendKind::kKdTree    ? "kd-tree"
+                                                         : "r-tree";
+    Stopwatch build_timer;
+    auto evaluator = MakeEvaluator(kind, &ds.data, stat);
+    const double build_secs = build_timer.ElapsedSeconds();
+
+    WorkloadParams wparams;
+    wparams.num_queries = queries;
+    wparams.seed = 5;
+    Stopwatch label_timer;
+    const RegionWorkload workload =
+        GenerateWorkload(*evaluator, domain, wparams);
+    const double label_secs = label_timer.ElapsedSeconds();
+    (void)workload;
+
+    table.AddRow({name, FormatDouble(build_secs, 3),
+                  FormatDouble(label_secs, 3),
+                  FormatDouble(static_cast<double>(queries) / label_secs,
+                               0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpected: index back-ends build in O(N) once and then "
+              "serve queries 10-100x faster than the per-query scan — "
+              "they accelerate workload labelling, not SuRF's mining, "
+              "which is data-free by construction.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: KDE-guided neighbour selection (Eq. 8) vs plain GSO (Eq. 7).
+//
+// The paper motivates the KDE prior in §III-B: surrogate models are
+// defined even where no data exists, so unguided particles can chase
+// phantom optima in empty space. This bench compares, with and without
+// the prior, (a) the fraction of final particles whose region actually
+// holds data and (b) the IoU against planted ground truth — on a dataset
+// with a large empty corridor to make the failure mode visible.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace surf;
+
+namespace {
+
+/// A d=2 density dataset whose points avoid the right half of the domain
+/// entirely (except the planted region), leaving empty space where an
+/// unguided surrogate can hallucinate.
+SyntheticDataset MakeGappyDataset(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = seed;
+  SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  // Rebuild the dataset, folding background points into the left half.
+  Dataset squeezed({"a1", "a2"});
+  squeezed.Reserve(ds.data.num_rows());
+  for (size_t r = 0; r < ds.data.num_rows(); ++r) {
+    std::vector<double> row = ds.data.Row(r);
+    const bool in_gt = ds.gt_regions[0].Contains(row);
+    if (!in_gt && row[0] > 0.55) row[0] *= 0.5;
+    squeezed.AddRow(row);
+  }
+  ds.data = std::move(squeezed);
+  return ds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const size_t trials = static_cast<size_t>(flags.GetInt("trials", 3));
+
+  std::printf("Ablation — Eq. 7 (plain) vs Eq. 8 (KDE-guided) neighbour "
+              "selection on gappy data\n\n");
+  TablePrinter table({"trial", "guidance", "IoU", "particles in data",
+                      "mine (s)"});
+
+  for (size_t trial = 0; trial < trials; ++trial) {
+    const SyntheticDataset ds = MakeGappyDataset(200 + trial);
+    ScanEvaluator evaluator(&ds.data, bench::StatisticFor(ds));
+
+    for (bool use_kde : {false, true}) {
+      SurfOptions options;
+      options.workload.num_queries = 4000;
+      options.workload.seed = 300 + trial;
+      options.finder = bench::MakeFinderConfig(2, 150, 120);
+      options.finder.use_kde_guidance = use_kde;
+      options.fit_kde = use_kde;
+      options.validate_results = false;
+      auto surf = Surf::Build(&ds.data, bench::StatisticFor(ds), options);
+      if (!surf.ok()) continue;
+      const FindResult result = surf->FindRegions(
+          bench::ThresholdFor(ds), ThresholdDirection::kAbove);
+
+      // Fraction of final particles whose box holds at least one point.
+      size_t populated = 0;
+      for (const auto& p : result.gso.particles) {
+        if (evaluator.Evaluate(p) > 0.0) ++populated;
+      }
+      std::vector<Region> regions;
+      for (const auto& r : result.regions) regions.push_back(r.region);
+      table.AddRow(
+          {std::to_string(trial + 1), use_kde ? "Eq.8 KDE" : "Eq.7 plain",
+           FormatDouble(bench::AverageIoU(regions, ds.gt_regions), 3),
+           FormatDouble(static_cast<double>(populated) /
+                            static_cast<double>(
+                                result.gso.particles.size()),
+                        3),
+           FormatDouble(result.report.seconds, 2)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpected: the KDE-guided runs keep a larger fraction of "
+              "the swarm inside populated space at comparable IoU, at a "
+              "modest mining-time premium (one region-mass integral per "
+              "neighbour candidate).\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension: the top-k formulation vs the threshold formulation.
+//
+// The paper argues (§VI) that the threshold interface is often more
+// natural: if the top-k regions all concentrate where one mode slightly
+// dominates, a top-k query surfaces only that mode, while a threshold
+// query returns every qualifying region. This bench constructs exactly
+// that adversarial scenario — three planted regions, one marginally
+// denser — and compares what each formulation reports.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/topk.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace surf;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+
+  // Three GT regions with one dominant mode: plant k = 3, then boost the
+  // first region with extra points.
+  SyntheticSpec spec;
+  spec.dims = 1;
+  spec.num_gt_regions = 3;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 77;
+  SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  {
+    Rng rng(5);
+    const Region& dominant = ds.gt_regions[0];
+    for (int i = 0; i < 800; ++i) {
+      ds.data.AddRow({rng.Uniform(dominant.lo(0), dominant.hi(0))});
+    }
+  }
+  ScanEvaluator eval(&ds.data, Statistic::Count({0}));
+  std::printf("planted region counts:");
+  for (const auto& gt : ds.gt_regions) {
+    std::printf(" %.0f", eval.Evaluate(gt));
+  }
+  std::printf(" (first region dominates)\n\n");
+
+  WorkloadParams wparams;
+  wparams.num_queries = 6000;
+  const RegionWorkload workload =
+      GenerateWorkload(eval, ds.data.ComputeBounds({0}), wparams);
+  auto surrogate = Surrogate::Train(workload, SurrogateTrainOptions{});
+  if (!surrogate.ok()) return 1;
+
+  auto gt_hits = [&](const std::vector<Region>& found) {
+    std::string hits;
+    for (size_t g = 0; g < ds.gt_regions.size(); ++g) {
+      bool hit = false;
+      for (const auto& region : found) {
+        if (region.IoU(ds.gt_regions[g]) > 0.2) hit = true;
+      }
+      hits += hit ? ("  GT" + std::to_string(g + 1) + ":yes") : ("  GT" +
+                     std::to_string(g + 1) + ":no");
+    }
+    return hits;
+  };
+
+  // Top-k with k = 3, but a tight NMS would be needed to spread across
+  // modes; with the paper's argument we use moderate separation.
+  TopKConfig tk_config;
+  tk_config.k = 3;
+  tk_config.gso.num_glowworms = 150;
+  tk_config.gso.max_iterations = 120;
+  TopKFinder topk(surrogate->AsStatisticFn(), workload.space, tk_config);
+  const TopKResult topk_result = topk.Find();
+  std::vector<Region> topk_regions;
+  for (const auto& r : topk_result.regions) {
+    topk_regions.push_back(r.region);
+  }
+
+  // Threshold query at y_R = 1000 (all three regions qualify).
+  FinderConfig th_config;
+  th_config.gso.num_glowworms = 150;
+  th_config.gso.max_iterations = 120;
+  SurfFinder threshold_finder(surrogate->AsStatisticFn(), workload.space,
+                              th_config);
+  const FindResult th_result =
+      threshold_finder.Find(1000.0, ThresholdDirection::kAbove);
+  std::vector<Region> th_regions;
+  for (const auto& r : th_result.regions) th_regions.push_back(r.region);
+
+  TablePrinter table({"formulation", "regions", "GT coverage"});
+  table.AddRow({"top-k (k=3)", std::to_string(topk_regions.size()),
+                gt_hits(topk_regions)});
+  table.AddRow({"threshold y_R=1000", std::to_string(th_regions.size()),
+                gt_hits(th_regions)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nExpected (paper §VI): the threshold query covers every "
+              "qualifying region; top-k results gravitate toward the "
+              "dominant mode and depend on k being guessed right.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 7: the solution-space landscapes of the log objective (Eq. 4,
+// top row) vs the ratio objective (Eq. 2, bottom row) as the size
+// regularizer c grows from 1 to 4, over the d=1, k=3 density dataset.
+//
+// The key qualitative property: Eq. 4 leaves constraint-violating regions
+// *undefined* (the paper's white areas), while Eq. 2 assigns them
+// (negative) values the swarm could mistake for optima. The bench renders
+// ASCII landscapes and reports the defined-area fraction per c.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace surf;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+
+  SyntheticSpec spec;
+  spec.dims = 1;
+  spec.num_gt_regions = 3;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 5;
+  // Sparse background: a generic box must be ~1/3 of the domain wide to
+  // reach y_R = 1000 from background mass alone, so the undefined (white)
+  // area of Eq. 4 is clearly visible, as in the paper's figure.
+  spec.num_background = 3000;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  ScanEvaluator evaluator(&ds.data, bench::StatisticFor(ds));
+  const StatisticFn f = [&evaluator](const Region& r) {
+    return evaluator.Evaluate(r);
+  };
+
+  const int W = 56, H = 14;
+  const double min_len = 0.01, max_len = 0.5;
+  TablePrinter summary({"objective", "c", "defined fraction",
+                        "defined & viable fraction"});
+
+  for (bool use_log : {true, false}) {
+    for (double c : {1.0, 2.0, 3.0, 4.0}) {
+      ObjectiveConfig config;
+      config.threshold = 1000.0;
+      config.direction = ThresholdDirection::kAbove;
+      config.c = c;
+      config.use_log = use_log;
+      const RegionObjective objective(f, config);
+
+      size_t defined = 0, viable = 0, total = 0;
+      std::vector<std::string> canvas(H, std::string(W, ' '));
+      double vmin = 1e300, vmax = -1e300;
+      std::vector<std::vector<double>> values(
+          H, std::vector<double>(W, 0.0));
+      std::vector<std::vector<bool>> valid(H,
+                                           std::vector<bool>(W, false));
+      for (int gy = 0; gy < H; ++gy) {
+        for (int gx = 0; gx < W; ++gx) {
+          const double x = (gx + 0.5) / W;
+          const double l =
+              max_len - (gy + 0.5) / H * (max_len - min_len);
+          const FitnessValue fv = objective.Evaluate(Region({x}, {l}));
+          ++total;
+          valid[gy][gx] = fv.valid;
+          if (fv.valid) {
+            ++defined;
+            values[gy][gx] = fv.value;
+            vmin = std::min(vmin, fv.value);
+            vmax = std::max(vmax, fv.value);
+            if (evaluator.Evaluate(Region({x}, {l})) > 1000.0) ++viable;
+          }
+        }
+      }
+      const char* shades = " .:-=+*#%@";
+      for (int gy = 0; gy < H; ++gy) {
+        for (int gx = 0; gx < W; ++gx) {
+          if (!valid[gy][gx]) continue;
+          const double t =
+              vmax > vmin ? (values[gy][gx] - vmin) / (vmax - vmin) : 0.5;
+          canvas[static_cast<size_t>(gy)][static_cast<size_t>(gx)] =
+              shades[static_cast<int>(t * 9.0)];
+        }
+      }
+
+      if (c == 4.0) {  // print one landscape per objective form
+        std::printf("%s objective (Eq. %s), c = %.0f — blank cells are "
+                    "undefined:\n",
+                    use_log ? "log" : "ratio", use_log ? "4" : "2", c);
+        for (const auto& line : canvas) {
+          std::printf("  |%s|\n", line.c_str());
+        }
+        std::printf("   (x: center 0..1, y: half-length %.2f..%.2f "
+                    "top-down)\n\n",
+                    max_len, min_len);
+      }
+      summary.AddRow({use_log ? "Eq.4 (log)" : "Eq.2 (ratio)",
+                      FormatDouble(c, 0),
+                      FormatDouble(static_cast<double>(defined) /
+                                       static_cast<double>(total),
+                                   3),
+                      FormatDouble(static_cast<double>(viable) /
+                                       static_cast<double>(total),
+                                   3)});
+    }
+  }
+  std::printf("%s", summary.ToString().c_str());
+  std::printf("\nExpected shape (paper): Eq. 4's defined fraction < 1 "
+              "(white areas reject invalid regions) and every defined "
+              "cell is truly viable; Eq. 2 is defined everywhere, so its "
+              "defined fraction is 1 while only a sliver is viable.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 12: surrogate model complexity (GBRT max_depth) vs training /
+// cross-validation RMSE (left) and vs IoU (right), on the density d=3
+// k=1 dataset.
+//
+// Paper: RMSE drops as depth grows; IoU tends upward with complexity but
+// plateaus — "a good enough approximation with relatively less complex
+// models".
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ml/grid_search.h"
+#include "ml/metrics.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace surf;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+
+  SyntheticSpec spec;
+  spec.dims = full ? 3 : 2;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 95;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  ScanEvaluator evaluator(&ds.data, bench::StatisticFor(ds));
+  const Bounds domain = ds.data.ComputeBounds(ds.region_cols);
+
+  WorkloadParams wparams;
+  wparams.num_queries = full ? 20000 : 6000;
+  const RegionWorkload workload =
+      GenerateWorkload(evaluator, domain, wparams);
+
+  std::printf("Figure 12 — GBRT depth vs error and IoU "
+              "(%s configuration)\n\n",
+              full ? "paper" : "quick");
+  TablePrinter table(
+      {"max_depth", "train RMSE", "CV RMSE", "IoU", "leaves/tree"});
+  CsvWriter csv({"max_depth", "train_rmse", "cv_rmse", "iou"});
+
+  const std::vector<size_t> depths =
+      full ? std::vector<size_t>{1, 2, 3, 5, 7, 9, 11, 13, 15}
+           : std::vector<size_t>{1, 2, 4, 6, 9, 12};
+  for (size_t depth : depths) {
+    GbrtParams params;
+    params.max_depth = depth;
+    params.n_estimators = 80;
+
+    const double cv_rmse = CrossValidatedRmse(
+        workload.features, workload.targets, params, 3, 7, nullptr);
+
+    SurrogateTrainOptions options;
+    options.gbrt = params;
+    auto surrogate = Surrogate::Train(workload, options);
+    if (!surrogate.ok()) continue;
+
+    FinderConfig config = bench::MakeFinderConfig(ds.spec.dims, 0, 120);
+    SurfFinder finder(surrogate->AsStatisticFn(), workload.space, config);
+    const FindResult result = finder.Find(bench::ThresholdFor(ds),
+                                          ThresholdDirection::kAbove);
+    std::vector<Region> regions;
+    for (const auto& r : result.regions) regions.push_back(r.region);
+    const double iou = bench::AverageIoU(regions, ds.gt_regions);
+
+    table.AddRow({std::to_string(depth),
+                  FormatDouble(surrogate->metrics().train_rmse, 1),
+                  FormatDouble(cv_rmse, 1), FormatDouble(iou, 3),
+                  "≤" + std::to_string(size_t{1} << depth)});
+    csv.AddRow({static_cast<double>(depth),
+                surrogate->metrics().train_rmse, cv_rmse, iou});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    if (auto st = csv.Write(csv_path); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nExpected shape (paper Fig. 12): train RMSE falls "
+              "monotonically with depth; CV RMSE falls then flattens "
+              "(mild overfit at the tail); IoU improves with complexity "
+              "but saturates early.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) for the hot paths every experiment
+// leans on: surrogate prediction, GBRT tree traversal, KDE region-mass
+// integrals, exact range queries across the three back-ends, GSO
+// iterations, and IoU math.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "ml/kde.h"
+#include "stats/grid_index.h"
+#include "stats/kd_tree.h"
+
+namespace surf {
+namespace {
+
+/// Shared fixtures, built once.
+struct MicroFixture {
+  SyntheticDataset ds;
+  std::unique_ptr<ScanEvaluator> scan;
+  std::unique_ptr<GridIndexEvaluator> grid;
+  std::unique_ptr<KdTreeEvaluator> kdtree;
+  Surrogate surrogate;
+  std::unique_ptr<Kde> kde;
+  RegionSolutionSpace space;
+  std::vector<Region> probes;
+
+  static MicroFixture& Get() {
+    static MicroFixture* fixture = [] {
+      auto* f = new MicroFixture();
+      SyntheticSpec spec;
+      spec.dims = 2;
+      spec.num_gt_regions = 1;
+      spec.statistic = SyntheticStatistic::kDensity;
+      spec.num_background = 50000;
+      spec.seed = 3;
+      f->ds = SyntheticGenerator::Generate(spec);
+      const Statistic stat = Statistic::Count(f->ds.region_cols);
+      f->scan = std::make_unique<ScanEvaluator>(&f->ds.data, stat);
+      f->grid =
+          std::make_unique<GridIndexEvaluator>(&f->ds.data, stat, 16);
+      f->kdtree = std::make_unique<KdTreeEvaluator>(&f->ds.data, stat);
+
+      WorkloadParams wparams;
+      wparams.num_queries = 4000;
+      const RegionWorkload workload = GenerateWorkload(
+          *f->grid, f->ds.data.ComputeBounds(f->ds.region_cols), wparams);
+      f->space = workload.space;
+      auto surrogate = Surrogate::Train(workload, SurrogateTrainOptions{});
+      f->surrogate = std::move(surrogate).value();
+
+      Rng rng(4);
+      std::vector<std::vector<double>> points;
+      for (size_t r = 0; r < 2000; ++r) {
+        points.push_back(
+            {f->ds.data.Get(r, 0), f->ds.data.Get(r, 1)});
+      }
+      f->kde = std::make_unique<Kde>(Kde::Fit(points));
+      for (int i = 0; i < 256; ++i) f->probes.push_back(
+          f->space.Sample(&rng));
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_SurrogatePredict(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.surrogate.Predict(f.probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_SurrogatePredict);
+
+void BM_ScanEvaluate(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.scan->Evaluate(f.probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_ScanEvaluate);
+
+void BM_GridIndexEvaluate(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.grid->Evaluate(f.probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_GridIndexEvaluate);
+
+void BM_KdTreeEvaluate(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kdtree->Evaluate(f.probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_KdTreeEvaluate);
+
+void BM_KdeRegionMass(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kde->RegionMass(f.probes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_KdeRegionMass);
+
+void BM_RegionIoU(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.probes[i & 255].IoU(f.probes[(i + 1) & 255]));
+    ++i;
+  }
+}
+BENCHMARK(BM_RegionIoU);
+
+void BM_GsoIteration(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  ObjectiveConfig oconfig;
+  oconfig.threshold = 1000.0;
+  const RegionObjective objective(f.surrogate.AsStatisticFn(), oconfig);
+  GsoParams params;
+  params.num_glowworms = static_cast<size_t>(state.range(0));
+  params.max_iterations = 1;
+  params.convergence_tol_frac = 0.0;
+  const GlowwormSwarmOptimizer gso(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gso.Optimize(objective.AsFitnessFn(), f.space));
+  }
+}
+BENCHMARK(BM_GsoIteration)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_GbrtTraining(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  WorkloadParams wparams;
+  wparams.num_queries = static_cast<size_t>(state.range(0));
+  const RegionWorkload workload = GenerateWorkload(
+      *f.grid, f.ds.data.ComputeBounds(f.ds.region_cols), wparams);
+  GbrtParams params;
+  params.n_estimators = 50;
+  for (auto _ : state) {
+    GradientBoostedTrees model(params);
+    benchmark::DoNotOptimize(
+        model.Fit(workload.features, workload.targets));
+  }
+}
+BENCHMARK(BM_GbrtTraining)->Arg(1000)->Arg(4000)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace surf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#include "core/finder.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/stopwatch.h"
+
+namespace surf {
+
+SurfFinder::SurfFinder(StatisticFn estimate, RegionSolutionSpace space,
+                       FinderConfig config)
+    : estimate_(std::move(estimate)),
+      space_(std::move(space)),
+      config_(config) {
+  assert(estimate_ != nullptr);
+}
+
+FindResult SurfFinder::Find(double threshold,
+                            ThresholdDirection direction) const {
+  Stopwatch timer;
+
+  ObjectiveConfig obj_config;
+  obj_config.threshold = threshold;
+  obj_config.direction = direction;
+  obj_config.c = config_.c;
+  obj_config.use_log = config_.use_log_objective;
+  const RegionObjective objective(estimate_, obj_config);
+
+  const GlowwormSwarmOptimizer gso(config_.gso);
+  const Kde* kde = config_.use_kde_guidance ? kde_ : nullptr;
+
+  FindResult result;
+  result.gso = gso.Optimize(objective.AsFitnessFn(), space_, kde);
+
+  // Collect valid particles and reduce to distinct regions.
+  std::vector<ScoredRegion> candidates;
+  for (size_t i = 0; i < result.gso.particles.size(); ++i) {
+    if (!result.gso.valid[i]) continue;
+    ScoredRegion cand;
+    cand.region = result.gso.particles[i];
+    cand.fitness = result.gso.fitness[i];
+    cand.statistic = estimate_(cand.region);
+    candidates.push_back(std::move(cand));
+  }
+  const auto distinct = SelectDistinctRegions(
+      std::move(candidates), config_.nms_max_iou, config_.max_regions);
+
+  size_t complying = 0;
+  for (const auto& cand : distinct) {
+    FoundRegion found;
+    found.region = cand.region;
+    found.fitness = cand.fitness;
+    found.estimate = cand.statistic;
+    if (validator_ != nullptr) {
+      found.true_value = validator_->Evaluate(found.region);
+      found.complies_true =
+          SatisfiesThreshold(found.true_value, threshold, direction);
+      complying += found.complies_true ? 1 : 0;
+    } else {
+      found.true_value = std::numeric_limits<double>::quiet_NaN();
+    }
+    result.regions.push_back(std::move(found));
+  }
+
+  result.report.seconds = timer.ElapsedSeconds();
+  result.report.iterations = result.gso.iterations_run;
+  result.report.objective_evaluations = result.gso.objective_evaluations;
+  result.report.particle_valid_fraction = result.gso.ValidFraction();
+  result.report.converged = result.gso.converged;
+  result.report.true_compliance =
+      (validator_ != nullptr && !result.regions.empty())
+          ? static_cast<double>(complying) /
+                static_cast<double>(result.regions.size())
+          : 0.0;
+  return result;
+}
+
+}  // namespace surf

@@ -1,0 +1,110 @@
+#ifndef SURF_CORE_FINDER_H_
+#define SURF_CORE_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/kde.h"
+#include "opt/gso.h"
+#include "opt/naive_search.h"
+#include "opt/objective.h"
+#include "stats/evaluator.h"
+
+namespace surf {
+
+/// \brief Region-finder configuration: the GSO engine plus the objective
+/// and result-extraction knobs.
+struct FinderConfig {
+  GsoParams gso;
+  /// Let Surf::Build retune the GSO neighbourhood radius and swarm size
+  /// for the data dimensionality per the paper's §V-G rules (L = 50·d,
+  /// r0 = (1 − ½^{1/L})^{1/d}). Explicitly set num_glowworms survive as
+  /// a lower bound. Disable to drive the raw GsoParams untouched.
+  bool auto_scale_gso = true;
+  /// Size regularizer c (paper Eq. 2/4; §V uses 4).
+  double c = 4.0;
+  /// Log objective (Eq. 4) vs ratio objective (Eq. 2).
+  bool use_log_objective = true;
+  /// Result extraction: particles are reduced to distinct regions via
+  /// greedy non-max suppression at this IoU ceiling.
+  double nms_max_iou = 0.25;
+  size_t max_regions = 16;
+  /// Steer neighbour selection by the KDE data prior (Eq. 8) when a KDE
+  /// is attached.
+  bool use_kde_guidance = true;
+};
+
+/// \brief One reported region.
+struct FoundRegion {
+  Region region;
+  /// Objective value Ĵ at the particle.
+  double fitness = 0.0;
+  /// Surrogate estimate ŷ = f̂(x, l).
+  double estimate = 0.0;
+  /// True statistic y = f(x, l); NaN when no validator was attached.
+  double true_value = 0.0;
+  /// Whether the *true* statistic satisfies the threshold (the paper's
+  /// Fig. 5 compliance check). False when unvalidated.
+  bool complies_true = false;
+};
+
+/// \brief Run metadata for the performance tables.
+struct FindReport {
+  double seconds = 0.0;
+  size_t iterations = 0;
+  uint64_t objective_evaluations = 0;
+  /// Fraction of final particles with a defined objective (Fig. 1's 84 %).
+  double particle_valid_fraction = 0.0;
+  bool converged = false;
+  /// Fraction of reported regions whose true statistic complies (only
+  /// meaningful with a validator attached).
+  double true_compliance = 0.0;
+};
+
+/// \brief Full mining outcome.
+struct FindResult {
+  std::vector<FoundRegion> regions;
+  FindReport report;
+  /// Raw final swarm (for the particle-plot experiments).
+  GsoResult gso;
+};
+
+/// \brief SuRF's mining engine (paper §III): multimodal GSO over a
+/// statistic estimate, with KDE guidance and distinct-region extraction.
+///
+/// The statistic source is pluggable: pass a surrogate's estimate for the
+/// SuRF configuration or a true-evaluator closure for the paper's
+/// f+GlowWorm comparison arm — the engine is identical.
+class SurfFinder {
+ public:
+  /// `estimate` supplies f̂ (or f). `space` bounds the particle domain.
+  SurfFinder(StatisticFn estimate, RegionSolutionSpace space,
+             FinderConfig config);
+
+  /// Attaches a KDE prior over the data distribution (non-owning); used
+  /// only when config.use_kde_guidance is set.
+  void SetKde(const Kde* kde) { kde_ = kde; }
+
+  /// Attaches the true-statistic evaluator used to validate reported
+  /// regions (non-owning). Optional.
+  void SetValidator(const RegionEvaluator* validator) {
+    validator_ = validator;
+  }
+
+  /// Mines regions whose statistic is above/below `threshold`.
+  FindResult Find(double threshold, ThresholdDirection direction) const;
+
+  const FinderConfig& config() const { return config_; }
+  const RegionSolutionSpace& space() const { return space_; }
+
+ private:
+  StatisticFn estimate_;
+  RegionSolutionSpace space_;
+  FinderConfig config_;
+  const Kde* kde_ = nullptr;
+  const RegionEvaluator* validator_ = nullptr;
+};
+
+}  // namespace surf
+
+#endif  // SURF_CORE_FINDER_H_

@@ -1,0 +1,96 @@
+#ifndef SURF_CORE_SURF_H_
+#define SURF_CORE_SURF_H_
+
+#include <memory>
+
+#include "core/finder.h"
+#include "core/surrogate.h"
+#include "core/workload.h"
+#include "data/dataset.h"
+#include "stats/ecdf.h"
+#include "stats/evaluator.h"
+
+namespace surf {
+
+/// \brief Which exact back-end serves true-statistic evaluations (workload
+/// labelling and result validation).
+enum class BackendKind {
+  /// Full scan per query — O(N·d) (the paper's cost model).
+  kScan,
+  /// Uniform grid with pre-aggregated cells.
+  kGridIndex,
+  /// Median-split k-d tree with subtree aggregates.
+  kKdTree,
+  /// STR-bulk-loaded aggregate R-tree (§VI's spatial-index substrate).
+  kRTree,
+};
+
+/// \brief End-to-end configuration of the SuRF pipeline.
+struct SurfOptions {
+  WorkloadParams workload;
+  SurrogateTrainOptions surrogate;
+  FinderConfig finder;
+  BackendKind backend = BackendKind::kGridIndex;
+  /// Fit the KDE data prior for Eq. 8 guidance.
+  bool fit_kde = true;
+  size_t kde_max_samples = 2000;
+  /// Validate reported regions against the true f (Fig. 5's compliance
+  /// metric). Costs one back-end evaluation per reported region.
+  bool validate_results = true;
+};
+
+/// \brief The complete SuRF pipeline over one dataset + statistic:
+/// workload generation → surrogate training → (optional) KDE prior →
+/// GSO-driven region mining.
+///
+/// The facade owns the back-end evaluator, the trained surrogate, the KDE,
+/// and the finder. Typical use:
+///
+/// \code
+///   auto surf = Surf::Build(&dataset, Statistic::Count({0, 1}), options);
+///   auto result = surf->FindRegions(1000.0, ThresholdDirection::kAbove);
+///   for (const auto& r : result.regions) { ... }
+/// \endcode
+class Surf {
+ public:
+  /// Builds the pipeline: labels `options.workload.num_queries` random
+  /// regions with the true statistic, trains the surrogate, and fits the
+  /// KDE prior. `data` must outlive the returned object.
+  static StatusOr<Surf> Build(const Dataset* data, Statistic statistic,
+                              const SurfOptions& options,
+                              ThreadPool* pool = nullptr);
+
+  /// Mines regions whose statistic exceeds (or undercuts) `threshold`.
+  FindResult FindRegions(double threshold,
+                         ThresholdDirection direction) const;
+
+  /// Empirical CDF of the statistic over `n` random regions (Eq. 5's F_Y;
+  /// used to pick quantile thresholds like the crimes experiment's Q3).
+  Ecdf SampleStatisticEcdf(size_t n, uint64_t seed) const;
+
+  const Surrogate& surrogate() const { return surrogate_; }
+  const RegionEvaluator& evaluator() const { return *evaluator_; }
+  const RegionSolutionSpace& space() const { return space_; }
+  const SurfFinder& finder() const { return *finder_; }
+  const SurfOptions& options() const { return options_; }
+
+ private:
+  Surf() = default;
+
+  const Dataset* data_ = nullptr;
+  SurfOptions options_;
+  std::unique_ptr<RegionEvaluator> evaluator_;
+  Surrogate surrogate_;
+  std::unique_ptr<Kde> kde_;
+  RegionSolutionSpace space_;
+  std::unique_ptr<SurfFinder> finder_;
+};
+
+/// Constructs the requested exact back-end over a dataset.
+std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
+                                               const Dataset* data,
+                                               const Statistic& statistic);
+
+}  // namespace surf
+
+#endif  // SURF_CORE_SURF_H_

@@ -1,0 +1,99 @@
+#ifndef SURF_CORE_SURROGATE_H_
+#define SURF_CORE_SURROGATE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/workload.h"
+#include "ml/gbrt.h"
+#include "ml/grid_search.h"
+#include "ml/regressor.h"
+#include "opt/objective.h"
+#include "util/thread_pool.h"
+
+namespace surf {
+
+/// \brief How to train a surrogate (paper §IV, §V-E).
+struct SurrogateTrainOptions {
+  /// Base GBRT parameters (used directly when hypertune == false, and as
+  /// the non-swept defaults of the grid search otherwise).
+  GbrtParams gbrt;
+  /// Run GridSearchCV over `grid` before the final fit (§V-E's 144-combo
+  /// sweep; expensive — the paper's Fig. 6 quantifies by how much).
+  bool hypertune = false;
+  GridSearchSpace grid;
+  size_t cv_folds = 3;
+  /// Fraction of the workload held out to report the out-of-sample RMSE
+  /// (the error Fig. 11 correlates with IoU).
+  double test_fraction = 0.2;
+  uint64_t seed = 21;
+};
+
+/// \brief Quality/cost record of a trained surrogate.
+struct SurrogateMetrics {
+  double train_rmse = 0.0;
+  double test_rmse = 0.0;
+  double train_seconds = 0.0;
+  size_t num_train_examples = 0;
+  /// Winning hyper-parameters (== the requested ones when not hypertuned).
+  GbrtParams chosen_params;
+  bool hypertuned = false;
+};
+
+/// \brief A trained surrogate model f̂ ≈ f (paper Def. 3 / §IV).
+///
+/// Wraps any `Regressor` over the [x, l] feature encoding. The default
+/// training path fits the GBRT (the paper's XGBoost stand-in); the generic
+/// path accepts ridge/k-NN models for the surrogate-class ablation.
+class Surrogate {
+ public:
+  Surrogate() = default;
+
+  /// Trains the default GBRT surrogate on a workload. When
+  /// `options.hypertune` is set, runs GridSearchCV first (parallelized
+  /// over `pool` if provided).
+  static StatusOr<Surrogate> Train(const RegionWorkload& workload,
+                                   const SurrogateTrainOptions& options,
+                                   ThreadPool* pool = nullptr);
+
+  /// Trains a caller-supplied regressor instead (ablation path). The
+  /// model must be unfitted; ownership transfers.
+  static StatusOr<Surrogate> TrainWithModel(
+      std::unique_ptr<Regressor> model, const RegionWorkload& workload,
+      double test_fraction, uint64_t seed);
+
+  /// ŷ = f̂(x, l).
+  double Predict(const Region& region) const;
+
+  /// Folds freshly observed region evaluations into the deployed model by
+  /// warm-start boosting (`extra_trees` additional rounds fitted to the
+  /// current residuals on the new batch). This is the "models will be
+  /// trained once and successively used" deployment story (§V-D) extended
+  /// with cheap periodic refreshes — no full retrain. GBRT models only.
+  Status Update(const RegionWorkload& fresh_workload, size_t extra_trees);
+
+  /// Adapter feeding the optimization objective.
+  StatisticFn AsStatisticFn() const;
+
+  const SurrogateMetrics& metrics() const { return metrics_; }
+  const RegionSolutionSpace& space() const { return space_; }
+  const Statistic& statistic() const { return statistic_; }
+  size_t dims() const { return space_.dims(); }
+  bool trained() const { return model_ != nullptr && model_->trained(); }
+  const Regressor& model() const { return *model_; }
+
+  /// Persistence (GBRT models only; other regressors return
+  /// FailedPrecondition).
+  Status Save(const std::string& path) const;
+  static StatusOr<Surrogate> Load(const std::string& path);
+
+ private:
+  std::shared_ptr<Regressor> model_;
+  RegionSolutionSpace space_;
+  Statistic statistic_;
+  SurrogateMetrics metrics_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_CORE_SURROGATE_H_

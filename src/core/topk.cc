@@ -1,0 +1,59 @@
+#include "core/topk.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace surf {
+
+TopKFinder::TopKFinder(StatisticFn estimate, RegionSolutionSpace space,
+                       TopKConfig config)
+    : estimate_(std::move(estimate)),
+      space_(std::move(space)),
+      config_(config) {
+  assert(estimate_ != nullptr);
+  assert(config_.k > 0);
+}
+
+TopKResult TopKFinder::Find() const {
+  // Threshold-free fitness: maximize the statistic itself, size-penalized
+  // exactly like Eq. 4 (log form keeps the scale-free regularization).
+  const double c = config_.c;
+  const StatisticFn estimate = estimate_;
+  const FitnessFn fitness = [estimate, c](const Region& region) {
+    FitnessValue out;
+    if (region.Degenerate()) return out;
+    const double y = estimate(region);
+    if (std::isnan(y) || !std::isfinite(y) || y <= 0.0) return out;
+    double size_penalty = 0.0;
+    for (size_t i = 0; i < region.dims(); ++i) {
+      const double l = region.half_length(i);
+      if (l <= 0.0) return out;
+      size_penalty += std::log(l);
+    }
+    out.value = std::log(y) - c * size_penalty;
+    out.valid = true;
+    return out;
+  };
+
+  const GlowwormSwarmOptimizer gso(config_.gso);
+  const GsoResult swarm = gso.Optimize(fitness, space_, kde_);
+
+  std::vector<ScoredRegion> candidates;
+  for (size_t i = 0; i < swarm.particles.size(); ++i) {
+    if (!swarm.valid[i]) continue;
+    ScoredRegion cand;
+    cand.region = swarm.particles[i];
+    cand.fitness = swarm.fitness[i];
+    cand.statistic = estimate_(cand.region);
+    candidates.push_back(std::move(cand));
+  }
+
+  TopKResult result;
+  result.regions = SelectDistinctRegions(std::move(candidates),
+                                         config_.nms_max_iou, config_.k);
+  result.iterations = swarm.iterations_run;
+  result.objective_evaluations = swarm.objective_evaluations;
+  return result;
+}
+
+}  // namespace surf

@@ -1,0 +1,149 @@
+#include "core/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+namespace surf {
+
+Region RegionWorkload::RegionAt(size_t i) const {
+  assert(i < size());
+  return Region::FromFlat(features.Row(i));
+}
+
+std::vector<double> RegionFeatures(const Region& region) {
+  return region.ToFlat();
+}
+
+RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
+                                const Bounds& domain,
+                                const WorkloadParams& params) {
+  assert(params.min_length_frac > 0.0 &&
+         params.min_length_frac < params.max_length_frac);
+  const size_t d = domain.dims();
+  Rng rng(params.seed);
+
+  RegionWorkload workload;
+  workload.statistic = evaluator.statistic();
+  workload.space = RegionSolutionSpace::ForBounds(
+      domain, params.min_length_frac, params.max_length_frac);
+  workload.features = FeatureMatrix(2 * d);
+  workload.features.Reserve(params.num_queries);
+  workload.targets.reserve(params.num_queries);
+
+  std::vector<double> center(d), half(d);
+  for (size_t q = 0; q < params.num_queries; ++q) {
+    for (size_t i = 0; i < d; ++i) {
+      center[i] = rng.Uniform(domain.lo(i), domain.hi(i));
+      // Per-dimension extent scaling (the paper's % of data domain).
+      half[i] = rng.Uniform(params.min_length_frac * domain.Extent(i),
+                            params.max_length_frac * domain.Extent(i));
+    }
+    Region region(center, half);
+    const double y = evaluator.Evaluate(region);
+    if (params.drop_undefined && std::isnan(y)) continue;
+    workload.features.AddRow(RegionFeatures(region));
+    workload.targets.push_back(y);
+  }
+  return workload;
+}
+
+Status SaveWorkload(const RegionWorkload& workload,
+                    const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot write " + path);
+  os.precision(17);
+  const size_t d = workload.space.dims();
+  os << "# surf-workload-v1 dims=" << d
+     << " min_len=" << workload.space.min_half_length
+     << " max_len=" << workload.space.max_half_length;
+  for (size_t i = 0; i < d; ++i) {
+    os << " b" << i << "=" << workload.space.bounds.lo(i) << ":"
+       << workload.space.bounds.hi(i);
+  }
+  os << "\n";
+  for (size_t r = 0; r < workload.size(); ++r) {
+    for (size_t j = 0; j < workload.features.num_features(); ++j) {
+      os << workload.features.Get(r, j) << ",";
+    }
+    os << workload.targets[r] << "\n";
+  }
+  if (!os) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<RegionWorkload> LoadWorkload(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open " + path);
+  std::string magic, dims_kv;
+  is >> magic >> magic;  // skip '#', read tag
+  if (magic != "surf-workload-v1") {
+    return Status::IOError("bad workload header in " + path);
+  }
+  RegionWorkload workload;
+  size_t d = 0;
+  {
+    std::string kv;
+    is >> kv;  // dims=N
+    d = static_cast<size_t>(std::strtoull(kv.c_str() + 5, nullptr, 10));
+    if (d == 0) return Status::IOError("bad dims in " + path);
+    is >> kv;  // min_len=
+    workload.space.min_half_length = std::strtod(kv.c_str() + 8, nullptr);
+    is >> kv;  // max_len=
+    workload.space.max_half_length = std::strtod(kv.c_str() + 8, nullptr);
+    std::vector<double> lo(d), hi(d);
+    for (size_t i = 0; i < d; ++i) {
+      is >> kv;  // bI=lo:hi
+      const size_t eq = kv.find('=');
+      const size_t colon = kv.find(':');
+      if (eq == std::string::npos || colon == std::string::npos) {
+        return Status::IOError("bad bounds in " + path);
+      }
+      lo[i] = std::strtod(kv.substr(eq + 1, colon - eq - 1).c_str(),
+                          nullptr);
+      hi[i] = std::strtod(kv.substr(colon + 1).c_str(), nullptr);
+    }
+    workload.space.bounds = Bounds(lo, hi);
+  }
+  workload.features = FeatureMatrix(2 * d);
+  std::string line;
+  std::getline(is, line);  // consume the header's newline
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<double> row;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    for (;;) {
+      const double v = std::strtod(p, &end);
+      if (end == p) break;
+      row.push_back(v);
+      p = (*end == ',') ? end + 1 : end;
+      if (*end == '\0') break;
+    }
+    if (row.size() != 2 * d + 1) {
+      return Status::IOError("bad row at line " + std::to_string(line_no) +
+                             " of " + path);
+    }
+    workload.targets.push_back(row.back());
+    row.pop_back();
+    workload.features.AddRow(row);
+  }
+  return workload;
+}
+
+Status MergeWorkloads(RegionWorkload* base, const RegionWorkload& extra) {
+  assert(base != nullptr);
+  if (base->features.num_features() != extra.features.num_features()) {
+    return Status::InvalidArgument("workload feature width mismatch");
+  }
+  for (size_t r = 0; r < extra.size(); ++r) {
+    base->features.AddRow(extra.features.Row(r));
+    base->targets.push_back(extra.targets[r]);
+  }
+  return Status::OK();
+}
+
+}  // namespace surf

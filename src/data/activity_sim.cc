@@ -1,0 +1,68 @@
+#include "data/activity_sim.h"
+
+#include <cassert>
+
+namespace surf {
+
+std::string ActivityName(Activity a) {
+  switch (a) {
+    case Activity::kWalking:
+      return "walk";
+    case Activity::kWalkingUpstairs:
+      return "walk_up";
+    case Activity::kWalkingDownstairs:
+      return "walk_down";
+    case Activity::kSitting:
+      return "sit";
+    case Activity::kStanding:
+      return "stand";
+    case Activity::kLaying:
+      return "lay";
+  }
+  return "?";
+}
+
+ActivityDataset SimulateActivity(const ActivitySimSpec& spec) {
+  Rng rng(spec.seed);
+  ActivityDataset out;
+
+  // Class-conditional accelerometer signatures, loosely following the UCI
+  // data's structure: dynamic activities (walking variants) are diffuse and
+  // overlap heavily; static postures are compact; gravity dominates one
+  // axis depending on posture. Units are normalized g in [0,1]-ish range.
+  struct ClassModel {
+    std::array<double, 3> mean;
+    std::array<double, 3> sd;
+  };
+  const std::vector<ClassModel> models = {
+      /* walk       */ {{0.45, 0.40, 0.50}, {0.16, 0.17, 0.16}},
+      /* walk_up    */ {{0.52, 0.46, 0.44}, {0.17, 0.16, 0.18}},
+      /* walk_down  */ {{0.38, 0.36, 0.55}, {0.18, 0.17, 0.17}},
+      /* sit        */ {{0.68, 0.22, 0.30}, {0.05, 0.05, 0.06}},
+      /* stand      */ {{0.80, 0.72, 0.18}, {0.035, 0.035, 0.04}},
+      /* lay        */ {{0.20, 0.78, 0.72}, {0.05, 0.05, 0.05}},
+  };
+  for (const auto& m : models) out.class_means.push_back(m.mean);
+
+  std::vector<double> weights(spec.class_weights.begin(),
+                              spec.class_weights.end());
+
+  Dataset data({"accel_x", "accel_y", "accel_z", "activity"});
+  data.Reserve(spec.num_points);
+  std::vector<double> row(4);
+  for (size_t n = 0; n < spec.num_points; ++n) {
+    const size_t cls = rng.Categorical(weights);
+    assert(cls < models.size());
+    const ClassModel& m = models[cls];
+    for (int i = 0; i < 3; ++i) {
+      row[static_cast<size_t>(i)] = rng.Gaussian(m.mean[static_cast<size_t>(i)],
+                                                 m.sd[static_cast<size_t>(i)]);
+    }
+    row[3] = static_cast<double>(cls);
+    data.AddRow(row);
+  }
+  out.data = std::move(data);
+  return out;
+}
+
+}  // namespace surf

@@ -1,0 +1,45 @@
+#include "data/crimes_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace surf {
+
+CrimesDataset SimulateCrimes(const CrimesSimSpec& spec) {
+  Rng rng(spec.seed);
+  CrimesDataset out;
+
+  // Hot-spot placement keeps centers away from the border so the Gaussian
+  // mass stays mostly inside the unit square (points outside are clamped).
+  std::vector<double> weights;
+  for (size_t h = 0; h < spec.num_hotspots; ++h) {
+    Hotspot hs;
+    hs.cx = rng.Uniform(0.12, 0.88);
+    hs.cy = rng.Uniform(0.12, 0.88);
+    hs.sx = rng.Uniform(spec.min_sigma, spec.max_sigma);
+    hs.sy = rng.Uniform(spec.min_sigma, spec.max_sigma);
+    hs.weight = rng.Uniform(0.5, 1.5);
+    weights.push_back(hs.weight);
+    out.hotspots.push_back(hs);
+  }
+
+  Dataset data({"x", "y"});
+  data.Reserve(spec.num_points);
+  std::vector<double> row(2);
+  for (size_t n = 0; n < spec.num_points; ++n) {
+    if (rng.Bernoulli(spec.hotspot_fraction)) {
+      const size_t h = rng.Categorical(weights);
+      const Hotspot& hs = out.hotspots[h];
+      row[0] = std::clamp(rng.Gaussian(hs.cx, hs.sx), 0.0, 1.0);
+      row[1] = std::clamp(rng.Gaussian(hs.cy, hs.sy), 0.0, 1.0);
+    } else {
+      row[0] = rng.Uniform();
+      row[1] = rng.Uniform();
+    }
+    data.AddRow(row);
+  }
+  out.data = std::move(data);
+  return out;
+}
+
+}  // namespace surf

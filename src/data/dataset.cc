@@ -1,0 +1,93 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/csv.h"
+
+namespace surf {
+
+Dataset::Dataset(std::vector<std::string> column_names)
+    : column_names_(std::move(column_names)),
+      columns_(column_names_.size()) {}
+
+int Dataset::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Dataset::AddRow(const std::vector<double>& row) {
+  assert(row.size() == num_cols());
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].push_back(row[i]);
+  ++num_rows_;
+}
+
+void Dataset::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+std::vector<double> Dataset::Row(size_t row) const {
+  assert(row < num_rows_);
+  std::vector<double> out(num_cols());
+  for (size_t c = 0; c < num_cols(); ++c) out[c] = columns_[c][row];
+  return out;
+}
+
+Bounds Dataset::ComputeBounds(const std::vector<size_t>& cols) const {
+  assert(num_rows_ > 0);
+  std::vector<double> lo(cols.size()), hi(cols.size());
+  for (size_t j = 0; j < cols.size(); ++j) {
+    const auto& col = columns_[cols[j]];
+    auto [mn, mx] = std::minmax_element(col.begin(), col.end());
+    lo[j] = *mn;
+    hi[j] = *mx;
+  }
+  return Bounds(std::move(lo), std::move(hi));
+}
+
+Dataset Dataset::Sample(size_t n, Rng* rng) const {
+  Dataset out(column_names_);
+  if (n >= num_rows_) return *this;
+  std::vector<size_t> idx(num_rows_);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.AddRow(Row(idx[i]));
+  return out;
+}
+
+Dataset Dataset::InflateTo(size_t target_rows, double jitter,
+                           Rng* rng) const {
+  assert(num_rows_ > 0);
+  Dataset out = *this;
+  out.Reserve(target_rows);
+  while (out.num_rows() < target_rows) {
+    const size_t src = rng->UniformInt(num_rows_);
+    std::vector<double> row = Row(src);
+    for (auto& v : row) v += rng->Gaussian(0.0, jitter);
+    out.AddRow(row);
+  }
+  return out;
+}
+
+Status Dataset::SaveCsv(const std::string& path) const {
+  CsvTable table;
+  table.header = column_names_;
+  table.rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) table.rows.push_back(Row(r));
+  return WriteCsv(path, table);
+}
+
+StatusOr<Dataset> Dataset::LoadCsv(const std::string& path) {
+  auto table = ReadCsv(path);
+  if (!table.ok()) return table.status();
+  Dataset ds(table->header);
+  ds.Reserve(table->num_rows());
+  for (const auto& row : table->rows) ds.AddRow(row);
+  return ds;
+}
+
+}  // namespace surf

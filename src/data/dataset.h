@@ -1,0 +1,79 @@
+#ifndef SURF_DATA_DATASET_H_
+#define SURF_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/bounds.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief In-memory column-major table of doubles — the library's
+/// "back-end data system" substrate (paper Def. 1: a dataset B of N data
+/// vectors).
+///
+/// Columns are named; a statistic task selects which columns span the
+/// hyper-rectangle (the region dimensions) and, for aggregate statistics,
+/// which column supplies the value being averaged/summed. Column-major
+/// layout keeps the per-dimension scans of the range evaluators and index
+/// builders cache-friendly.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with the given column names.
+  explicit Dataset(std::vector<std::string> column_names);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_cols() const { return columns_.size(); }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  /// Index of a named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Raw column storage (length num_rows()).
+  const std::vector<double>& column(size_t i) const { return columns_[i]; }
+
+  /// Cell accessors.
+  double Get(size_t row, size_t col) const { return columns_[col][row]; }
+  void Set(size_t row, size_t col, double v) { columns_[col][row] = v; }
+
+  /// Appends one row; must match num_cols().
+  void AddRow(const std::vector<double>& row);
+
+  /// Reserves capacity in every column.
+  void Reserve(size_t rows);
+
+  /// Gathers one row into a vector (for generic point operations).
+  std::vector<double> Row(size_t row) const;
+
+  /// Bounding box over the selected columns.
+  Bounds ComputeBounds(const std::vector<size_t>& cols) const;
+
+  /// Uniform random sample without replacement of `n` rows (all rows when
+  /// n >= num_rows()). Used to fit KDE priors on large datasets.
+  Dataset Sample(size_t n, Rng* rng) const;
+
+  /// Replicates rows until the dataset holds at least `target_rows`
+  /// (used by scalability benches to inflate N without changing the data
+  /// distribution's shape). Jitters replicated points by `jitter`.
+  Dataset InflateTo(size_t target_rows, double jitter, Rng* rng) const;
+
+  /// CSV round-trip (first line: header).
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<Dataset> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<double>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_DATA_DATASET_H_

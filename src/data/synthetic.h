@@ -1,0 +1,91 @@
+#ifndef SURF_DATA_SYNTHETIC_H_
+#define SURF_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/region.h"
+#include "util/rng.h"
+
+namespace surf {
+
+/// \brief The two statistic families exercised by the paper's synthetic
+/// evaluation (§V-A): 'density' (region population count) and 'aggregate'
+/// (mean of an attribute column over the region).
+enum class SyntheticStatistic { kDensity, kAggregate };
+
+/// \brief Parameters of one synthetic dataset with planted ground truth.
+///
+/// The paper creates 20 datasets by crossing number of ground-truth (GT)
+/// regions k ∈ {1,3}, statistic type ∈ {density, aggregate}, and data
+/// dimensionality d ∈ {1..5}. GT regions are hyper-rectangles inside the
+/// unit cube that are either denser than the background or carry a higher
+/// attribute mean.
+struct SyntheticSpec {
+  size_t dims = 2;
+  size_t num_gt_regions = 1;
+  SyntheticStatistic statistic = SyntheticStatistic::kDensity;
+  /// Background population size (paper: 7,500–12,500 points).
+  size_t num_background = 10000;
+  /// Density datasets: target total point count per GT region (background
+  /// + injected). 0 = auto: 2000 · max(1, dims − 1), i.e. ≈ 2 × the
+  /// paper's y_R = 1000 in low dimensions, growing with d. The growth
+  /// compensates tree-surrogate smoothing: random training boxes almost
+  /// never cover a full GT region in higher dimensions, so the learned
+  /// peak is a fraction of the true count and must still clear y_R for a
+  /// valid basin to exist (the paper compensates along the same axis by
+  /// scaling training workloads 300 → 300K with d). When the background
+  /// alone already exceeds the target (d = 1), nothing extra is injected.
+  size_t gt_target_count = 0;
+
+  /// The resolved target (auto rule applied when gt_target_count == 0).
+  size_t EffectiveGtTargetCount() const;
+  /// Minimum injected points per GT region (keeps regions distinctly
+  /// denser than their surroundings even when the background is heavy).
+  size_t min_injected_points = 200;
+  /// GT half side-length per dimension as a fraction of the unit domain.
+  double gt_half_side = 0.15;
+  /// Attribute distribution: background ~ N(mean_out, sd), inside GT
+  /// ~ N(mean_in, sd). Paper threshold y_R = 2 for aggregates, so
+  /// mean_in = 3 keeps GT regions clearly above it.
+  double value_mean_out = 0.0;
+  double value_mean_in = 3.0;
+  double value_sd = 1.0;
+  uint64_t seed = 42;
+
+  /// Short id such as "den_d3_k1" used in logs and experiment reports.
+  std::string Name() const;
+};
+
+/// \brief A generated dataset plus its planted ground truth.
+struct SyntheticDataset {
+  SyntheticSpec spec;
+  /// Columns: a1..ad (region dimensions) and, for aggregate datasets, a
+  /// trailing "value" column that the statistic averages.
+  Dataset data;
+  /// The planted GT regions (over the region dimensions only).
+  std::vector<Region> gt_regions;
+  /// True statistic value of each GT region (count or mean value).
+  std::vector<double> gt_statistics;
+  /// Column indices spanning the region space.
+  std::vector<size_t> region_cols;
+  /// Column index of the aggregate value column (-1 for density).
+  int value_col = -1;
+};
+
+/// \brief Generates the paper's synthetic ground-truth datasets.
+class SyntheticGenerator {
+ public:
+  /// Generates one dataset from a spec. GT regions are placed so they do
+  /// not overlap (separation enforced by rejection sampling).
+  static SyntheticDataset Generate(const SyntheticSpec& spec);
+
+  /// The full 2 (k) × 2 (statistic) × 5 (dims) grid = the paper's 20
+  /// datasets, with seeds derived from `base_seed`.
+  static std::vector<SyntheticSpec> PaperGrid(uint64_t base_seed = 42);
+};
+
+}  // namespace surf
+
+#endif  // SURF_DATA_SYNTHETIC_H_

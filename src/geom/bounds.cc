@@ -1,0 +1,47 @@
+#include "geom/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace surf {
+
+Bounds::Bounds(std::vector<double> lo, std::vector<double> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  assert(lo_.size() == hi_.size());
+  for (size_t i = 0; i < lo_.size(); ++i) assert(lo_[i] <= hi_[i]);
+}
+
+Bounds Bounds::Unit(size_t dims) {
+  return Bounds(std::vector<double>(dims, 0.0), std::vector<double>(dims, 1.0));
+}
+
+double Bounds::MaxExtent() const {
+  double m = 0.0;
+  for (size_t i = 0; i < dims(); ++i) m = std::max(m, Extent(i));
+  return m;
+}
+
+void Bounds::Extend(const std::vector<double>& a) {
+  if (lo_.empty()) {
+    lo_ = a;
+    hi_ = a;
+    return;
+  }
+  assert(a.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lo_[i] = std::min(lo_[i], a[i]);
+    hi_[i] = std::max(hi_[i], a[i]);
+  }
+}
+
+bool Bounds::Contains(const std::vector<double>& a) const {
+  assert(a.size() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (a[i] < lo_[i] || a[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+Region Bounds::AsRegion() const { return Region::FromCorners(lo_, hi_); }
+
+}  // namespace surf

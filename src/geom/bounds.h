@@ -1,0 +1,49 @@
+#ifndef SURF_GEOM_BOUNDS_H_
+#define SURF_GEOM_BOUNDS_H_
+
+#include <vector>
+
+#include "geom/region.h"
+
+namespace surf {
+
+/// \brief Axis-aligned bounding box of a data domain, used to clamp
+/// optimizer particles and scale workload side-lengths (paper §V-A trains
+/// with lengths covering 1–15 % of the data domain).
+class Bounds {
+ public:
+  Bounds() = default;
+  Bounds(std::vector<double> lo, std::vector<double> hi);
+
+  /// Unit hypercube [0,1]^d (the synthetic datasets' domain).
+  static Bounds Unit(size_t dims);
+
+  size_t dims() const { return lo_.size(); }
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+  double lo(size_t i) const { return lo_[i]; }
+  double hi(size_t i) const { return hi_[i]; }
+
+  /// Extent hi-lo on dimension i.
+  double Extent(size_t i) const { return hi_[i] - lo_[i]; }
+
+  /// Largest extent across dimensions.
+  double MaxExtent() const;
+
+  /// Expands to include point `a`.
+  void Extend(const std::vector<double>& a);
+
+  /// True if a point lies inside (inclusive).
+  bool Contains(const std::vector<double>& a) const;
+
+  /// The full domain expressed as a Region.
+  Region AsRegion() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_GEOM_BOUNDS_H_

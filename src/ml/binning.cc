@@ -1,0 +1,60 @@
+#include "ml/binning.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace surf {
+
+FeatureBinner::FeatureBinner(const FeatureMatrix& x, size_t max_bins) {
+  max_bins = std::clamp<size_t>(max_bins, 2, 4096);
+  const size_t n = x.num_rows();
+  edges_.resize(x.num_features());
+  for (size_t j = 0; j < x.num_features(); ++j) {
+    std::vector<double> sorted = x.feature(j);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    auto& edges = edges_[j];
+    if (sorted.size() <= max_bins) {
+      // Few distinct values: one bin per value, edges at midpoints.
+      for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+        edges.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+      }
+    } else {
+      // Quantile edges over the distinct values (a cheap but effective
+      // stand-in for a weighted quantile sketch).
+      for (size_t b = 1; b < max_bins; ++b) {
+        const double pos = static_cast<double>(b) *
+                           static_cast<double>(sorted.size() - 1) /
+                           static_cast<double>(max_bins);
+        const size_t i = static_cast<size_t>(pos);
+        const double edge = 0.5 * (sorted[i] + sorted[std::min(
+                                                   i + 1, sorted.size() - 1)]);
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+  }
+  (void)n;
+}
+
+uint16_t FeatureBinner::BinIndex(size_t j, double v) const {
+  const auto& edges = edges_[j];
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+  return static_cast<uint16_t>(it - edges.begin());
+}
+
+std::vector<std::vector<uint16_t>> FeatureBinner::BinMatrix(
+    const FeatureMatrix& x) const {
+  assert(x.num_features() == num_features());
+  std::vector<std::vector<uint16_t>> out(x.num_features());
+  for (size_t j = 0; j < x.num_features(); ++j) {
+    out[j].resize(x.num_rows());
+    const auto& col = x.feature(j);
+    for (size_t r = 0; r < col.size(); ++r) {
+      out[j][r] = BinIndex(j, col[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace surf

@@ -1,0 +1,47 @@
+#ifndef SURF_ML_BINNING_H_
+#define SURF_ML_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace surf {
+
+/// \brief Quantile feature binning for histogram-based tree training
+/// (the strategy XGBoost's `hist` mode and LightGBM use).
+///
+/// Bin edges are per-feature quantiles computed from (a subsample of) the
+/// training data; training then operates on uint16 bin ids, making each
+/// node's split search O(rows + bins) per feature instead of requiring a
+/// per-node sort.
+class FeatureBinner {
+ public:
+  /// Computes at most `max_bins` bins per feature (min 2, max 4096).
+  FeatureBinner(const FeatureMatrix& x, size_t max_bins = 256);
+
+  size_t num_features() const { return edges_.size(); }
+
+  /// Number of bins actually materialized for feature j (distinct-value
+  /// features can have fewer than max_bins).
+  size_t num_bins(size_t j) const { return edges_[j].size() + 1; }
+
+  /// Bin id of raw value v on feature j, in [0, num_bins(j)).
+  uint16_t BinIndex(size_t j, double v) const;
+
+  /// Upper edge of bin b on feature j — the split threshold a tree stores
+  /// so prediction can work on raw doubles. `b < num_bins(j)-1`.
+  double BinUpperEdge(size_t j, size_t b) const { return edges_[j][b]; }
+
+  /// Bins an entire matrix (column-major, same layout as the input).
+  std::vector<std::vector<uint16_t>> BinMatrix(const FeatureMatrix& x) const;
+
+ private:
+  // edges_[j] is the sorted list of inner edges; value <= edges_[j][b]
+  // falls into bin b, values above every edge fall into the last bin.
+  std::vector<std::vector<double>> edges_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_ML_BINNING_H_

@@ -1,0 +1,45 @@
+#include "ml/cv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace surf {
+
+std::vector<Fold> KFoldSplits(size_t n, size_t k, Rng* rng) {
+  assert(k >= 2 && k <= n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+
+  std::vector<Fold> folds(k);
+  // Fold f owns rows [f*n/k, (f+1)*n/k) of the shuffled permutation.
+  for (size_t f = 0; f < k; ++f) {
+    const size_t begin = f * n / k;
+    const size_t end = (f + 1) * n / k;
+    for (size_t i = 0; i < n; ++i) {
+      if (i >= begin && i < end) {
+        folds[f].test.push_back(idx[i]);
+      } else {
+        folds[f].train.push_back(idx[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+Fold TrainTestSplit(size_t n, double test_fraction, Rng* rng) {
+  assert(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  const size_t n_test = std::max<size_t>(1, static_cast<size_t>(
+                                                test_fraction *
+                                                static_cast<double>(n)));
+  Fold fold;
+  fold.test.assign(idx.begin(), idx.begin() + static_cast<long>(n_test));
+  fold.train.assign(idx.begin() + static_cast<long>(n_test), idx.end());
+  return fold;
+}
+
+}  // namespace surf

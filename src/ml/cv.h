@@ -1,0 +1,26 @@
+#ifndef SURF_ML_CV_H_
+#define SURF_ML_CV_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace surf {
+
+/// \brief One train/validation index split.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// K-fold cross-validation splits over `n` rows (shuffled).
+/// Requires 2 <= k <= n.
+std::vector<Fold> KFoldSplits(size_t n, size_t k, Rng* rng);
+
+/// Single shuffled train/test split with `test_fraction` of rows held out.
+Fold TrainTestSplit(size_t n, double test_fraction, Rng* rng);
+
+}  // namespace surf
+
+#endif  // SURF_ML_CV_H_

@@ -1,0 +1,249 @@
+#include "ml/gbrt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "ml/metrics.h"
+#include "util/summary.h"
+
+namespace surf {
+
+std::string GbrtParams::ToString() const {
+  std::ostringstream os;
+  os << "lr=" << learning_rate << " trees=" << n_estimators
+     << " depth=" << max_depth << " lambda=" << reg_lambda;
+  return os.str();
+}
+
+Status GradientBoostedTrees::Fit(const FeatureMatrix& x,
+                                 const std::vector<double>& y) {
+  if (x.num_rows() == 0) {
+    return Status::InvalidArgument("empty training matrix");
+  }
+  if (x.num_rows() != y.size()) {
+    return Status::InvalidArgument("feature/target row mismatch");
+  }
+  for (double v : y) {
+    if (std::isnan(v)) {
+      return Status::InvalidArgument("NaN target in training data");
+    }
+  }
+
+  trees_.clear();
+  train_curve_.clear();
+  num_features_ = x.num_features();
+  Rng rng(params_.seed);
+
+  // Optional validation holdout for early stopping.
+  std::vector<size_t> train_rows(x.num_rows());
+  std::iota(train_rows.begin(), train_rows.end(), 0);
+  std::vector<size_t> valid_rows;
+  if (params_.early_stopping_rounds > 0 &&
+      params_.validation_fraction > 0.0 && x.num_rows() >= 10) {
+    rng.Shuffle(&train_rows);
+    const size_t n_valid = std::max<size_t>(
+        1, static_cast<size_t>(params_.validation_fraction *
+                               static_cast<double>(x.num_rows())));
+    valid_rows.assign(train_rows.end() - static_cast<long>(n_valid),
+                      train_rows.end());
+    train_rows.resize(train_rows.size() - n_valid);
+  }
+
+  base_score_ = 0.0;
+  for (size_t r : train_rows) base_score_ += y[r];
+  base_score_ /= static_cast<double>(train_rows.size());
+
+  const FeatureBinner binner(x, params_.max_bins);
+  const auto binned = binner.BinMatrix(x);
+
+  std::vector<double> pred(x.num_rows(), base_score_);
+  std::vector<double> grad(x.num_rows()), hess(x.num_rows(), 1.0);
+
+  TreeParams tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_samples_leaf = params_.min_samples_leaf;
+  tree_params.min_child_weight = params_.min_child_weight;
+  tree_params.reg_lambda = params_.reg_lambda;
+  tree_params.min_split_gain = params_.min_split_gain;
+  tree_params.colsample = params_.colsample;
+
+  double best_valid_rmse = std::numeric_limits<double>::infinity();
+  size_t rounds_since_best = 0;
+  size_t best_round = 0;
+
+  std::vector<size_t> tree_rows;
+  for (size_t round = 0; round < params_.n_estimators; ++round) {
+    // Squared loss: g = pred − y, h = 1.
+    for (size_t r : train_rows) grad[r] = pred[r] - y[r];
+
+    // Row subsampling.
+    if (params_.subsample < 1.0) {
+      tree_rows.clear();
+      for (size_t r : train_rows) {
+        if (rng.Bernoulli(params_.subsample)) tree_rows.push_back(r);
+      }
+      if (tree_rows.empty()) tree_rows = train_rows;
+    } else {
+      tree_rows = train_rows;
+    }
+
+    RegressionTree tree;
+    tree.Fit(binned, binner, grad, hess, tree_rows, tree_params, &rng);
+
+    // Update predictions for all rows (train + validation).
+    std::vector<double> row_buf(num_features_);
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      for (size_t j = 0; j < num_features_; ++j) row_buf[j] = x.Get(r, j);
+      pred[r] += params_.learning_rate * tree.Predict(row_buf.data());
+    }
+    trees_.push_back(std::move(tree));
+
+    // Learning curve on the training rows.
+    double se = 0.0;
+    for (size_t r : train_rows) se += (pred[r] - y[r]) * (pred[r] - y[r]);
+    train_curve_.push_back(
+        std::sqrt(se / static_cast<double>(train_rows.size())));
+
+    // Early stopping.
+    if (!valid_rows.empty()) {
+      double vse = 0.0;
+      for (size_t r : valid_rows) vse += (pred[r] - y[r]) * (pred[r] - y[r]);
+      const double vrmse =
+          std::sqrt(vse / static_cast<double>(valid_rows.size()));
+      if (vrmse + 1e-12 < best_valid_rmse) {
+        best_valid_rmse = vrmse;
+        best_round = round;
+        rounds_since_best = 0;
+      } else if (++rounds_since_best >= params_.early_stopping_rounds) {
+        trees_.resize(best_round + 1);
+        break;
+      }
+    }
+  }
+
+  trained_ = true;
+  return Status::OK();
+}
+
+Status GradientBoostedTrees::ContinueFit(const FeatureMatrix& x,
+                                         const std::vector<double>& y,
+                                         size_t extra_trees) {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  if (x.num_features() != num_features_) {
+    return Status::InvalidArgument("feature width mismatch");
+  }
+  if (x.num_rows() == 0 || x.num_rows() != y.size()) {
+    return Status::InvalidArgument("empty or mismatched update batch");
+  }
+  for (double v : y) {
+    if (std::isnan(v)) {
+      return Status::InvalidArgument("NaN target in update batch");
+    }
+  }
+
+  Rng rng(params_.seed + trees_.size());
+  const FeatureBinner binner(x, params_.max_bins);
+  const auto binned = binner.BinMatrix(x);
+
+  std::vector<double> pred = PredictBatch(x);
+  std::vector<double> grad(x.num_rows()), hess(x.num_rows(), 1.0);
+  std::vector<size_t> rows(x.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+
+  TreeParams tree_params;
+  tree_params.max_depth = params_.max_depth;
+  tree_params.min_samples_leaf = params_.min_samples_leaf;
+  tree_params.min_child_weight = params_.min_child_weight;
+  tree_params.reg_lambda = params_.reg_lambda;
+  tree_params.min_split_gain = params_.min_split_gain;
+  tree_params.colsample = params_.colsample;
+
+  std::vector<double> row_buf(num_features_);
+  for (size_t round = 0; round < extra_trees; ++round) {
+    for (size_t r = 0; r < x.num_rows(); ++r) grad[r] = pred[r] - y[r];
+    RegressionTree tree;
+    tree.Fit(binned, binner, grad, hess, rows, tree_params, &rng);
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      for (size_t j = 0; j < num_features_; ++j) row_buf[j] = x.Get(r, j);
+      pred[r] += params_.learning_rate * tree.Predict(row_buf.data());
+    }
+    trees_.push_back(std::move(tree));
+
+    double se = 0.0;
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      se += (pred[r] - y[r]) * (pred[r] - y[r]);
+    }
+    train_curve_.push_back(
+        std::sqrt(se / static_cast<double>(x.num_rows())));
+  }
+  return Status::OK();
+}
+
+double GradientBoostedTrees::Predict(const std::vector<double>& x) const {
+  assert(trained_);
+  assert(x.size() == num_features_);
+  double out = base_score_;
+  for (const auto& tree : trees_) {
+    out += params_.learning_rate * tree.Predict(x.data());
+  }
+  return out;
+}
+
+std::vector<double> GradientBoostedTrees::PredictBatch(
+    const FeatureMatrix& x) const {
+  assert(trained_);
+  std::vector<double> out(x.num_rows(), base_score_);
+  std::vector<double> row(num_features_);
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    for (size_t j = 0; j < num_features_; ++j) row[j] = x.Get(r, j);
+    double acc = base_score_;
+    for (const auto& tree : trees_) {
+      acc += params_.learning_rate * tree.Predict(row.data());
+    }
+    out[r] = acc;
+  }
+  return out;
+}
+
+Status GradientBoostedTrees::Save(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot write " + path);
+  os.precision(17);
+  os << "surf-gbrt-v1\n";
+  os << num_features_ << " " << base_score_ << " " << params_.learning_rate
+     << " " << trees_.size() << "\n";
+  for (const auto& tree : trees_) tree.Serialize(os);
+  if (!os) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+StatusOr<GradientBoostedTrees> GradientBoostedTrees::Load(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open " + path);
+  std::string magic;
+  is >> magic;
+  if (magic != "surf-gbrt-v1") {
+    return Status::IOError("bad model header in " + path);
+  }
+  GradientBoostedTrees model;
+  size_t n_trees = 0;
+  is >> model.num_features_ >> model.base_score_ >>
+      model.params_.learning_rate >> n_trees;
+  if (!is) return Status::IOError("truncated model file " + path);
+  model.trees_.reserve(n_trees);
+  for (size_t t = 0; t < n_trees; ++t) {
+    model.trees_.push_back(RegressionTree::Deserialize(is));
+  }
+  if (!is) return Status::IOError("truncated model file " + path);
+  model.params_.n_estimators = n_trees;
+  model.trained_ = true;
+  return model;
+}
+
+}  // namespace surf

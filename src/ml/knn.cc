@@ -1,0 +1,81 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/summary.h"
+
+namespace surf {
+
+Status KnnRegressor::Fit(const FeatureMatrix& x,
+                         const std::vector<double>& y) {
+  const size_t n = x.num_rows();
+  const size_t p = x.num_features();
+  if (n == 0) return Status::InvalidArgument("empty training matrix");
+  if (n != y.size()) {
+    return Status::InvalidArgument("feature/target row mismatch");
+  }
+  if (k_ == 0) return Status::InvalidArgument("k must be positive");
+
+  mean_.assign(p, 0.0);
+  scale_.assign(p, 1.0);
+  for (size_t j = 0; j < p; ++j) {
+    mean_[j] = Mean(x.feature(j));
+    double s = 0.0;
+    for (double v : x.feature(j)) s += (v - mean_[j]) * (v - mean_[j]);
+    scale_[j] = std::sqrt(s / static_cast<double>(n));
+    if (scale_[j] <= 1e-12) scale_[j] = 1.0;
+  }
+
+  train_x_ = FeatureMatrix(p);
+  train_x_.Reserve(n);
+  std::vector<double> row(p);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < p; ++j) {
+      row[j] = (x.Get(r, j) - mean_[j]) / scale_[j];
+    }
+    train_x_.AddRow(row);
+  }
+  train_y_ = y;
+  trained_ = true;
+  return Status::OK();
+}
+
+double KnnRegressor::Predict(const std::vector<double>& x) const {
+  assert(trained_);
+  assert(x.size() == mean_.size());
+  const size_t n = train_x_.num_rows();
+  const size_t p = mean_.size();
+  const size_t k = std::min(k_, n);
+
+  std::vector<double> q(p);
+  for (size_t j = 0; j < p; ++j) q[j] = (x[j] - mean_[j]) / scale_[j];
+
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (size_t j = 0; j < p; ++j) {
+      const double d = train_x_.Get(r, j) - q[j];
+      s += d * d;
+    }
+    dist[r] = {s, r};
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
+                   dist.end());
+
+  if (!distance_weighted_) {
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) sum += train_y_[dist[i].second];
+    return sum / static_cast<double>(k);
+  }
+  double wsum = 0.0, sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (std::sqrt(dist[i].first) + 1e-9);
+    wsum += w;
+    sum += w * train_y_[dist[i].second];
+  }
+  return sum / wsum;
+}
+
+}  // namespace surf

@@ -1,0 +1,42 @@
+#ifndef SURF_ML_KNN_H_
+#define SURF_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace surf {
+
+/// \brief k-nearest-neighbour regressor (uniform or distance weighting) —
+/// the second alternative surrogate class for the ablation benches.
+///
+/// Features are standardized at fit time so the L2 metric is scale-free.
+/// Lookup is a brute-force partial sort, fine for the workloads SuRF
+/// trains on (10³–10⁵ past evaluations).
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(size_t k = 8, bool distance_weighted = true)
+      : k_(k), distance_weighted_(distance_weighted) {}
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+
+  double Predict(const std::vector<double>& x) const override;
+
+  bool trained() const override { return trained_; }
+  std::string Name() const override { return "knn"; }
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  bool distance_weighted_;
+  FeatureMatrix train_x_;           // standardized
+  std::vector<double> train_y_;
+  std::vector<double> mean_, scale_;
+  bool trained_ = false;
+};
+
+}  // namespace surf
+
+#endif  // SURF_ML_KNN_H_

@@ -1,0 +1,108 @@
+#include "ml/linear.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/summary.h"
+
+namespace surf {
+
+bool CholeskySolve(std::vector<double> a, std::vector<double> b, size_t n,
+                   std::vector<double>* x) {
+  assert(a.size() == n * n && b.size() == n);
+  // In-place Cholesky A = L L^T (lower triangle).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (s <= 0.0) return false;
+        a[i * n + j] = std::sqrt(s);
+      } else {
+        a[i * n + j] = s / a[j * n + j];
+      }
+    }
+  }
+  // Forward substitution L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Backward substitution L^T x = z.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = b[i];
+    for (size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  *x = std::move(b);
+  return true;
+}
+
+Status RidgeRegression::Fit(const FeatureMatrix& x,
+                            const std::vector<double>& y) {
+  const size_t n = x.num_rows();
+  const size_t p = x.num_features();
+  if (n == 0) return Status::InvalidArgument("empty training matrix");
+  if (n != y.size()) {
+    return Status::InvalidArgument("feature/target row mismatch");
+  }
+
+  // Standardize features; center target.
+  std::vector<double> mean(p, 0.0), scale(p, 1.0);
+  for (size_t j = 0; j < p; ++j) {
+    mean[j] = Mean(x.feature(j));
+    double s = 0.0;
+    for (double v : x.feature(j)) s += (v - mean[j]) * (v - mean[j]);
+    scale[j] = std::sqrt(s / static_cast<double>(n));
+    if (scale[j] <= 1e-12) scale[j] = 1.0;
+  }
+  const double y_mean = Mean(y);
+
+  // Normal equations on standardized data: (Z^T Z + αI) w = Z^T r.
+  std::vector<double> a(p * p, 0.0), b(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    const auto& cj = x.feature(j);
+    for (size_t k = j; k < p; ++k) {
+      const auto& ck = x.feature(k);
+      double s = 0.0;
+      for (size_t r = 0; r < n; ++r) {
+        s += (cj[r] - mean[j]) / scale[j] * (ck[r] - mean[k]) / scale[k];
+      }
+      a[j * p + k] = s;
+      a[k * p + j] = s;
+    }
+    double s = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      s += (cj[r] - mean[j]) / scale[j] * (y[r] - y_mean);
+    }
+    b[j] = s;
+  }
+  for (size_t j = 0; j < p; ++j) a[j * p + j] += alpha_;
+
+  std::vector<double> w;
+  if (!CholeskySolve(std::move(a), std::move(b), p, &w)) {
+    return Status::Internal("normal equations not SPD");
+  }
+
+  // De-standardize: coef_j = w_j / scale_j.
+  coef_.resize(p);
+  intercept_ = y_mean;
+  for (size_t j = 0; j < p; ++j) {
+    coef_[j] = w[j] / scale[j];
+    intercept_ -= coef_[j] * mean[j];
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double RidgeRegression::Predict(const std::vector<double>& x) const {
+  assert(trained_);
+  assert(x.size() == coef_.size());
+  double out = intercept_;
+  for (size_t j = 0; j < coef_.size(); ++j) out += coef_[j] * x[j];
+  return out;
+}
+
+}  // namespace surf

@@ -1,0 +1,44 @@
+#ifndef SURF_ML_LINEAR_H_
+#define SURF_ML_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/regressor.h"
+
+namespace surf {
+
+/// \brief Ridge (L2-regularized) linear regression — the simplest
+/// alternative surrogate class (paper footnote 2). Closed-form normal
+/// equations with Cholesky factorization; features are standardized
+/// internally so the regularization penalty is scale-free.
+class RidgeRegression : public Regressor {
+ public:
+  explicit RidgeRegression(double alpha = 1.0) : alpha_(alpha) {}
+
+  Status Fit(const FeatureMatrix& x, const std::vector<double>& y) override;
+
+  double Predict(const std::vector<double>& x) const override;
+
+  bool trained() const override { return trained_; }
+  std::string Name() const override { return "ridge"; }
+
+  double alpha() const { return alpha_; }
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double alpha_;
+  std::vector<double> coef_;       // in original (unstandardized) space
+  double intercept_ = 0.0;
+  bool trained_ = false;
+};
+
+/// Solves A x = b for a symmetric positive-definite matrix A (row-major
+/// n×n) via Cholesky; returns false if A is not SPD. Exposed for tests.
+bool CholeskySolve(std::vector<double> a, std::vector<double> b, size_t n,
+                   std::vector<double>* x);
+
+}  // namespace surf
+
+#endif  // SURF_ML_LINEAR_H_

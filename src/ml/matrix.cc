@@ -1,0 +1,16 @@
+#include "ml/matrix.h"
+
+namespace surf {
+
+FeatureMatrix FeatureMatrix::Gather(const std::vector<size_t>& rows) const {
+  FeatureMatrix out(num_features());
+  out.Reserve(rows.size());
+  std::vector<double> row(num_features());
+  for (size_t r : rows) {
+    for (size_t j = 0; j < num_features(); ++j) row[j] = Get(r, j);
+    out.AddRow(row);
+  }
+  return out;
+}
+
+}  // namespace surf

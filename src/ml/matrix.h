@@ -1,0 +1,56 @@
+#ifndef SURF_ML_MATRIX_H_
+#define SURF_ML_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace surf {
+
+/// \brief Column-major feature matrix for the ML substrate.
+///
+/// Tree training repeatedly scans one feature across many rows, so features
+/// are stored contiguously. Rows are appended; the width is fixed at
+/// construction.
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  explicit FeatureMatrix(size_t num_features) : cols_(num_features) {}
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return cols_.size(); }
+
+  /// Appends one row (must match num_features()).
+  void AddRow(const std::vector<double>& x) {
+    assert(x.size() == cols_.size());
+    for (size_t j = 0; j < x.size(); ++j) cols_[j].push_back(x[j]);
+    ++num_rows_;
+  }
+
+  void Reserve(size_t rows) {
+    for (auto& c : cols_) c.reserve(rows);
+  }
+
+  /// Contiguous storage of feature j.
+  const std::vector<double>& feature(size_t j) const { return cols_[j]; }
+
+  double Get(size_t row, size_t j) const { return cols_[j][row]; }
+
+  /// Gathers a row (for per-point prediction APIs).
+  std::vector<double> Row(size_t row) const {
+    std::vector<double> out(num_features());
+    for (size_t j = 0; j < out.size(); ++j) out[j] = cols_[j][row];
+    return out;
+  }
+
+  /// Selects a subset of rows into a new matrix.
+  FeatureMatrix Gather(const std::vector<size_t>& rows) const;
+
+ private:
+  std::vector<std::vector<double>> cols_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_ML_MATRIX_H_

@@ -1,0 +1,47 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/summary.h"
+
+namespace surf {
+
+double Rmse(const std::vector<double>& pred,
+            const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+double Mae(const std::vector<double>& pred,
+           const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    s += std::fabs(pred[i] - truth[i]);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double R2Score(const std::vector<double>& pred,
+               const std::vector<double>& truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  const double mean = Mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace surf

@@ -1,0 +1,21 @@
+#ifndef SURF_ML_METRICS_H_
+#define SURF_ML_METRICS_H_
+
+#include <vector>
+
+namespace surf {
+
+/// Root mean squared error between predictions and targets.
+double Rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+
+/// Mean absolute error.
+double Mae(const std::vector<double>& pred, const std::vector<double>& truth);
+
+/// Coefficient of determination R²; can be negative for models worse than
+/// the target mean. Returns 0 when the targets are constant.
+double R2Score(const std::vector<double>& pred,
+               const std::vector<double>& truth);
+
+}  // namespace surf
+
+#endif  // SURF_ML_METRICS_H_

@@ -1,0 +1,46 @@
+#ifndef SURF_ML_REGRESSOR_H_
+#define SURF_ML_REGRESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief Common interface of the surrogate-capable regressors.
+///
+/// The paper (§IV, footnote 2) deliberately keeps the surrogate's model
+/// class open — "alternative ML models could be employed". Everything the
+/// SuRF core needs is Fit + Predict; GBRT, ridge regression, and k-NN all
+/// implement this interface so the ablation benches can swap them freely.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on the full matrix. Returns InvalidArgument for empty or
+  /// mismatched inputs.
+  virtual Status Fit(const FeatureMatrix& x,
+                     const std::vector<double>& y) = 0;
+
+  /// Predicts one point (length = num_features at fit time).
+  virtual double Predict(const std::vector<double>& x) const = 0;
+
+  /// Batch prediction; default loops Predict().
+  virtual std::vector<double> PredictBatch(const FeatureMatrix& x) const {
+    std::vector<double> out(x.num_rows());
+    for (size_t r = 0; r < x.num_rows(); ++r) out[r] = Predict(x.Row(r));
+    return out;
+  }
+
+  /// True once Fit succeeded.
+  virtual bool trained() const = 0;
+
+  /// Model family name for reports ("gbrt", "ridge", "knn").
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_ML_REGRESSOR_H_

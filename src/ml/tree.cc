@@ -1,0 +1,234 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+namespace surf {
+
+namespace {
+
+/// XGBoost structure score: -1/2 * G² / (H + λ) per node; gain is the
+/// score reduction of a split. Leaf weight is -G / (H + λ).
+inline double NodeScore(double g, double h, double lambda) {
+  return (g * g) / (h + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const std::vector<std::vector<uint16_t>>& binned,
+                         const FeatureBinner& binner,
+                         const std::vector<double>& grad,
+                         const std::vector<double>& hess,
+                         const std::vector<size_t>& rows,
+                         const TreeParams& params, Rng* rng) {
+  nodes_.clear();
+  assert(!rows.empty());
+  assert(grad.size() == hess.size());
+
+  // Column subsampling (colsample_bytree).
+  std::vector<size_t> features(binner.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  if (params.colsample < 1.0 && rng != nullptr) {
+    rng->Shuffle(&features);
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(params.colsample *
+                               static_cast<double>(features.size())));
+    features.resize(keep);
+    std::sort(features.begin(), features.end());
+  }
+
+  std::vector<size_t> mutable_rows = rows;
+  BuildNode(binned, binner, grad, hess, &mutable_rows, 0,
+            mutable_rows.size(), 0, params, features);
+}
+
+int32_t RegressionTree::BuildNode(
+    const std::vector<std::vector<uint16_t>>& binned,
+    const FeatureBinner& binner, const std::vector<double>& grad,
+    const std::vector<double>& hess, std::vector<size_t>* rows, size_t begin,
+    size_t end, size_t depth, const TreeParams& params,
+    const std::vector<size_t>& features) {
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  double g_sum = 0.0, h_sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    g_sum += grad[(*rows)[i]];
+    h_sum += hess[(*rows)[i]];
+  }
+
+  auto make_leaf = [&]() {
+    nodes_[static_cast<size_t>(idx)].value =
+        -g_sum / (h_sum + params.reg_lambda);
+    return idx;
+  };
+
+  if (depth >= params.max_depth ||
+      end - begin < 2 * params.min_samples_leaf ||
+      h_sum < 2.0 * params.min_child_weight) {
+    return make_leaf();
+  }
+
+  const SplitDecision split = FindBestSplit(binned, binner, grad, hess,
+                                            *rows, begin, end, params,
+                                            features);
+  if (!split.found) return make_leaf();
+
+  // Partition rows in place around the split bin.
+  const auto& fcol = binned[split.feature];
+  const auto pivot = std::partition(
+      rows->begin() + static_cast<long>(begin),
+      rows->begin() + static_cast<long>(end),
+      [&](size_t r) { return fcol[r] <= split.bin; });
+  const size_t mid = static_cast<size_t>(pivot - rows->begin());
+  if (mid == begin || mid == end) return make_leaf();  // degenerate split
+
+  const int32_t left =
+      BuildNode(binned, binner, grad, hess, rows, begin, mid, depth + 1,
+                params, features);
+  const int32_t right =
+      BuildNode(binned, binner, grad, hess, rows, mid, end, depth + 1,
+                params, features);
+
+  Node& node = nodes_[static_cast<size_t>(idx)];
+  node.left = left;
+  node.right = right;
+  node.feature = static_cast<uint32_t>(split.feature);
+  node.threshold = split.threshold;
+  return idx;
+}
+
+RegressionTree::SplitDecision RegressionTree::FindBestSplit(
+    const std::vector<std::vector<uint16_t>>& binned,
+    const FeatureBinner& binner, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<size_t>& rows,
+    size_t begin, size_t end, const TreeParams& params,
+    const std::vector<size_t>& features) const {
+  SplitDecision best;
+
+  double g_total = 0.0, h_total = 0.0;
+  size_t n_total = 0;
+  for (size_t i = begin; i < end; ++i) {
+    g_total += grad[rows[i]];
+    h_total += hess[rows[i]];
+    ++n_total;
+  }
+  const double parent_score = NodeScore(g_total, h_total, params.reg_lambda);
+
+  // Histogram accumulation per candidate feature.
+  std::vector<double> bin_g, bin_h;
+  std::vector<size_t> bin_n;
+  for (size_t f : features) {
+    const size_t n_bins = binner.num_bins(f);
+    if (n_bins < 2) continue;
+    bin_g.assign(n_bins, 0.0);
+    bin_h.assign(n_bins, 0.0);
+    bin_n.assign(n_bins, 0);
+    const auto& fcol = binned[f];
+    for (size_t i = begin; i < end; ++i) {
+      const size_t r = rows[i];
+      const uint16_t b = fcol[r];
+      bin_g[b] += grad[r];
+      bin_h[b] += hess[r];
+      bin_n[b] += 1;
+    }
+
+    double g_left = 0.0, h_left = 0.0;
+    size_t n_left = 0;
+    for (size_t b = 0; b + 1 < n_bins; ++b) {
+      g_left += bin_g[b];
+      h_left += bin_h[b];
+      n_left += bin_n[b];
+      const double g_right = g_total - g_left;
+      const double h_right = h_total - h_left;
+      const size_t n_right = n_total - n_left;
+      if (n_left < params.min_samples_leaf ||
+          n_right < params.min_samples_leaf) {
+        continue;
+      }
+      if (h_left < params.min_child_weight ||
+          h_right < params.min_child_weight) {
+        continue;
+      }
+      const double gain =
+          0.5 * (NodeScore(g_left, h_left, params.reg_lambda) +
+                 NodeScore(g_right, h_right, params.reg_lambda) -
+                 parent_score);
+      if (gain > best.gain + 1e-12 && gain > params.min_split_gain) {
+        best.found = true;
+        best.feature = f;
+        best.bin = static_cast<uint16_t>(b);
+        best.threshold = binner.BinUpperEdge(f, b);
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+double RegressionTree::Predict(const std::vector<double>& x) const {
+  return Predict(x.data());
+}
+
+double RegressionTree::Predict(const double* x) const {
+  assert(!nodes_.empty());
+  int32_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.left < 0) return node.value;
+    idx = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+size_t RegressionTree::num_leaves() const {
+  size_t leaves = 0;
+  for (const auto& n : nodes_) {
+    if (n.left < 0) ++leaves;
+  }
+  return leaves;
+}
+
+size_t RegressionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree structure.
+  std::vector<std::pair<int32_t, size_t>> stack{{0, 1}};
+  size_t depth = 0;
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    depth = std::max(depth, d);
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.left >= 0) {
+      stack.push_back({node.left, d + 1});
+      stack.push_back({node.right, d + 1});
+    }
+  }
+  return depth;
+}
+
+void RegressionTree::Serialize(std::ostream& os) const {
+  os << nodes_.size() << "\n";
+  os.precision(17);
+  for (const auto& n : nodes_) {
+    os << n.left << " " << n.right << " " << n.feature << " " << n.threshold
+       << " " << n.value << "\n";
+  }
+}
+
+RegressionTree RegressionTree::Deserialize(std::istream& is) {
+  RegressionTree tree;
+  size_t n = 0;
+  is >> n;
+  tree.nodes_.resize(n);
+  for (auto& node : tree.nodes_) {
+    is >> node.left >> node.right >> node.feature >> node.threshold >>
+        node.value;
+  }
+  return tree;
+}
+
+}  // namespace surf

@@ -1,0 +1,96 @@
+#ifndef SURF_ML_TREE_H_
+#define SURF_ML_TREE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/binning.h"
+#include "ml/matrix.h"
+#include "util/rng.h"
+
+namespace surf {
+
+/// \brief Hyper-parameters of a single boosted regression tree.
+///
+/// These mirror the XGBoost knobs the paper sweeps in §V-E/§V-H:
+/// `max_depth`, L2 leaf regularization `reg_lambda`, plus the usual
+/// structural guards.
+struct TreeParams {
+  size_t max_depth = 6;
+  size_t min_samples_leaf = 1;
+  /// Minimum sum of hessians per child (XGBoost's min_child_weight).
+  double min_child_weight = 1.0;
+  /// L2 regularization on leaf weights (XGBoost's reg_lambda / λ).
+  double reg_lambda = 1.0;
+  /// Minimum split gain (XGBoost's gamma / γ).
+  double min_split_gain = 0.0;
+  /// Fraction of features considered per tree (colsample_bytree).
+  double colsample = 1.0;
+};
+
+/// \brief One regression tree trained on gradient/hessian pairs
+/// (second-order boosting; for squared loss g = pred − y, h = 1).
+///
+/// Training is histogram-based over pre-binned features; prediction walks
+/// raw double thresholds, so a fitted tree is independent of the binner.
+class RegressionTree {
+ public:
+  /// Fits the tree on `rows` (indices into the binned matrix).
+  /// `binned[j][r]` is the bin of row r on feature j.
+  void Fit(const std::vector<std::vector<uint16_t>>& binned,
+           const FeatureBinner& binner, const std::vector<double>& grad,
+           const std::vector<double>& hess, const std::vector<size_t>& rows,
+           const TreeParams& params, Rng* rng);
+
+  /// Leaf value for one raw feature vector.
+  double Predict(const std::vector<double>& x) const;
+  double Predict(const double* x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const;
+  size_t Depth() const;
+
+  /// Text (de)serialization for model persistence.
+  void Serialize(std::ostream& os) const;
+  static RegressionTree Deserialize(std::istream& is);
+
+ private:
+  struct Node {
+    int32_t left = -1;    // -1 for leaf
+    int32_t right = -1;
+    uint32_t feature = 0;
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    double value = 0.0;      // leaf output
+  };
+
+  struct SplitDecision {
+    bool found = false;
+    size_t feature = 0;
+    uint16_t bin = 0;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  int32_t BuildNode(const std::vector<std::vector<uint16_t>>& binned,
+                    const FeatureBinner& binner,
+                    const std::vector<double>& grad,
+                    const std::vector<double>& hess,
+                    std::vector<size_t>* rows, size_t begin, size_t end,
+                    size_t depth, const TreeParams& params,
+                    const std::vector<size_t>& features);
+
+  SplitDecision FindBestSplit(const std::vector<std::vector<uint16_t>>& binned,
+                              const FeatureBinner& binner,
+                              const std::vector<double>& grad,
+                              const std::vector<double>& hess,
+                              const std::vector<size_t>& rows, size_t begin,
+                              size_t end, const TreeParams& params,
+                              const std::vector<size_t>& features) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_ML_TREE_H_

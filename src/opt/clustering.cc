@@ -1,0 +1,78 @@
+#include "opt/clustering.h"
+
+#include <cassert>
+#include <queue>
+
+namespace surf {
+
+std::vector<SwarmCluster> ClusterSwarm(const std::vector<Region>& particles,
+                                       const std::vector<double>& fitness,
+                                       const std::vector<bool>& valid,
+                                       double eps, size_t min_points) {
+  assert(particles.size() == fitness.size());
+  assert(particles.size() == valid.size());
+  const size_t n = particles.size();
+
+  // Neighbour lists over valid particles only (O(n²) — swarm sizes are
+  // hundreds, not millions).
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!valid[i]) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!valid[j]) continue;
+      if (particles[i].FlatDistance(particles[j]) <= eps) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+
+  constexpr int kUnvisited = -1;
+  constexpr int kNoise = -2;
+  std::vector<int> label(n, kUnvisited);
+  std::vector<SwarmCluster> clusters;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!valid[i] || label[i] != kUnvisited) continue;
+    if (neighbors[i].size() + 1 < min_points) {
+      label[i] = kNoise;
+      continue;
+    }
+    // Grow a new cluster from core point i.
+    const int cluster_id = static_cast<int>(clusters.size());
+    clusters.emplace_back();
+    std::queue<size_t> frontier;
+    frontier.push(i);
+    label[i] = cluster_id;
+    while (!frontier.empty()) {
+      const size_t p = frontier.front();
+      frontier.pop();
+      clusters[static_cast<size_t>(cluster_id)].members.push_back(p);
+      if (neighbors[p].size() + 1 < min_points) continue;  // border point
+      for (size_t q : neighbors[p]) {
+        if (label[q] == kNoise) {
+          label[q] = cluster_id;  // noise absorbed as border
+          clusters[static_cast<size_t>(cluster_id)].members.push_back(q);
+        } else if (label[q] == kUnvisited) {
+          label[q] = cluster_id;
+          frontier.push(q);
+        }
+      }
+    }
+  }
+
+  for (auto& cluster : clusters) {
+    assert(!cluster.members.empty());
+    cluster.best_index = cluster.members[0];
+    cluster.best_fitness = fitness[cluster.members[0]];
+    for (size_t m : cluster.members) {
+      if (fitness[m] > cluster.best_fitness) {
+        cluster.best_fitness = fitness[m];
+        cluster.best_index = m;
+      }
+    }
+  }
+  return clusters;
+}
+
+}  // namespace surf

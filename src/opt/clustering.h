@@ -1,0 +1,37 @@
+#ifndef SURF_OPT_CLUSTERING_H_
+#define SURF_OPT_CLUSTERING_H_
+
+#include <vector>
+
+#include "geom/region.h"
+
+namespace surf {
+
+/// \brief One swarm cluster: the particle indices it contains and its
+/// best (highest-fitness) member.
+struct SwarmCluster {
+  std::vector<size_t> members;
+  size_t best_index = 0;
+  double best_fitness = 0.0;
+};
+
+/// \brief Density-based clustering (DBSCAN) of converged particles in the
+/// flat R^{2d} region space.
+///
+/// The GSO literature extracts the captured local optima by clustering
+/// the final swarm; this is the alternative to the greedy IoU-based
+/// non-max suppression used by default in SurfFinder. DBSCAN groups
+/// particles within `eps` (flat L2) of a core point with at least
+/// `min_points` neighbours; noise particles (isolated, typically stuck in
+/// invalid space) are dropped. Exposed for the extraction ablation bench.
+///
+/// Only particles flagged valid participate; indices refer to the input
+/// vectors.
+std::vector<SwarmCluster> ClusterSwarm(const std::vector<Region>& particles,
+                                       const std::vector<double>& fitness,
+                                       const std::vector<bool>& valid,
+                                       double eps, size_t min_points);
+
+}  // namespace surf
+
+#endif  // SURF_OPT_CLUSTERING_H_

@@ -1,0 +1,119 @@
+#include "opt/naive_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/stopwatch.h"
+
+namespace surf {
+
+NaiveSearchResult NaiveSearch::Run(const RegionObjective& objective,
+                                   const RegionSolutionSpace& space) const {
+  const size_t d = space.dims();
+  const size_t n = std::max<size_t>(1, params_.centers_per_dim);
+  const size_t m = std::max<size_t>(1, params_.sizes_per_dim);
+  const size_t per_dim = n * m;
+
+  NaiveSearchResult result;
+  result.total_candidates = 1;
+  for (size_t i = 0; i < d; ++i) {
+    // Guard against overflow for large d.
+    if (result.total_candidates > (UINT64_MAX / per_dim)) {
+      result.total_candidates = UINT64_MAX;
+      break;
+    }
+    result.total_candidates *= per_dim;
+  }
+
+  // Pre-compute the per-dimension candidate centers and half-lengths.
+  std::vector<std::vector<double>> centers(d), lengths(d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t a = 0; a < n; ++a) {
+      const double t = n == 1 ? 0.5
+                              : static_cast<double>(a) /
+                                    static_cast<double>(n - 1);
+      centers[i].push_back(space.bounds.lo(i) + t * space.bounds.Extent(i));
+    }
+    for (size_t b = 0; b < m; ++b) {
+      const double t = m == 1 ? 0.5
+                              : static_cast<double>(b) /
+                                    static_cast<double>(m - 1);
+      lengths[i].push_back(space.min_half_length +
+                           t * (space.max_half_length -
+                                space.min_half_length));
+    }
+  }
+
+  Stopwatch timer;
+  std::vector<size_t> odo(d, 0);  // per-dim combined (center, size) index
+  std::vector<double> center(d), half(d);
+  for (;;) {
+    // Decode the odometer into a region.
+    for (size_t i = 0; i < d; ++i) {
+      center[i] = centers[i][odo[i] / m];
+      half[i] = lengths[i][odo[i] % m];
+    }
+    Region region(center, half);
+    const FitnessValue fv = objective.Evaluate(region);
+    ++result.examined;
+    if (fv.valid) {
+      ScoredRegion scored;
+      scored.region = region;
+      scored.fitness = fv.value;
+      scored.statistic = objective.Statistic(region);
+      result.viable.push_back(std::move(scored));
+    }
+
+    if (params_.time_budget_seconds > 0.0 &&
+        timer.ElapsedSeconds() > params_.time_budget_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    if (params_.max_evaluations > 0 &&
+        result.examined >= params_.max_evaluations) {
+      result.timed_out = result.examined < result.total_candidates;
+      break;
+    }
+
+    // Advance the odometer.
+    size_t i = d;
+    bool done = true;
+    while (i > 0) {
+      --i;
+      if (odo[i] + 1 < per_dim) {
+        ++odo[i];
+        for (size_t k = i + 1; k < d; ++k) odo[k] = 0;
+        done = false;
+        break;
+      }
+    }
+    if (done) break;
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+std::vector<ScoredRegion> SelectDistinctRegions(
+    std::vector<ScoredRegion> candidates, double max_iou,
+    size_t max_regions) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredRegion& a, const ScoredRegion& b) {
+              return a.fitness > b.fitness;
+            });
+  std::vector<ScoredRegion> kept;
+  for (auto& cand : candidates) {
+    if (kept.size() >= max_regions) break;
+    bool overlaps = false;
+    for (const auto& k : kept) {
+      if (cand.region.IoU(k.region) > max_iou) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) kept.push_back(std::move(cand));
+  }
+  return kept;
+}
+
+}  // namespace surf

@@ -1,0 +1,78 @@
+#ifndef SURF_OPT_NAIVE_SEARCH_H_
+#define SURF_OPT_NAIVE_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/objective.h"
+#include "opt/solution_space.h"
+
+namespace surf {
+
+/// \brief A scored candidate region produced by any of the miners.
+struct ScoredRegion {
+  Region region;
+  /// Objective value J (higher is better).
+  double fitness = 0.0;
+  /// The statistic y behind the score (NaN when not computed).
+  double statistic = 0.0;
+};
+
+/// \brief Parameters of the exhaustive baseline (paper §II-A).
+struct NaiveSearchParams {
+  /// Grid resolution: n center positions per dimension.
+  size_t centers_per_dim = 6;
+  /// m candidate sizes per dimension (the paper's n = m = 6).
+  size_t sizes_per_dim = 6;
+  /// Wall-clock budget in seconds; <= 0 disables (paper used 3000 s).
+  double time_budget_seconds = 0.0;
+  /// Stop after this many evaluations; 0 disables.
+  uint64_t max_evaluations = 0;
+};
+
+/// \brief Outcome of a Naive run, including how much of the grid was
+/// actually examined (Table I reports the ratio at timeout).
+struct NaiveSearchResult {
+  std::vector<ScoredRegion> viable;
+  uint64_t total_candidates = 0;
+  uint64_t examined = 0;
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+
+  double FractionExamined() const {
+    return total_candidates == 0
+               ? 0.0
+               : static_cast<double>(examined) /
+                     static_cast<double>(total_candidates);
+  }
+};
+
+/// \brief Exhaustive grid baseline: discretizes centers and sizes per
+/// dimension and evaluates the objective on all (n·m)^d boxes —
+/// O((n·m)^d · N) with a scan evaluator (paper §II-A).
+class NaiveSearch {
+ public:
+  explicit NaiveSearch(NaiveSearchParams params) : params_(params) {}
+
+  /// Evaluates the whole grid (or until the budget runs out) and returns
+  /// every region whose objective is valid (constraint satisfied).
+  NaiveSearchResult Run(const RegionObjective& objective,
+                        const RegionSolutionSpace& space) const;
+
+  const NaiveSearchParams& params() const { return params_; }
+
+ private:
+  NaiveSearchParams params_;
+};
+
+/// Greedy non-maximum suppression over scored regions: keeps the highest
+/// scoring region, drops candidates overlapping a kept one with
+/// IoU > max_iou, repeats. Used by every miner to turn raw candidates
+/// (particles / grid cells) into a distinct-region report.
+std::vector<ScoredRegion> SelectDistinctRegions(
+    std::vector<ScoredRegion> candidates, double max_iou,
+    size_t max_regions);
+
+}  // namespace surf
+
+#endif  // SURF_OPT_NAIVE_SEARCH_H_

@@ -1,0 +1,63 @@
+#include "opt/objective.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace surf {
+
+bool SatisfiesThreshold(double y, double threshold,
+                        ThresholdDirection direction) {
+  if (std::isnan(y)) return false;
+  return direction == ThresholdDirection::kAbove ? y > threshold
+                                                 : y < threshold;
+}
+
+RegionObjective::RegionObjective(StatisticFn statistic,
+                                 ObjectiveConfig config)
+    : statistic_(std::move(statistic)), config_(config) {
+  assert(statistic_ != nullptr);
+}
+
+FitnessValue RegionObjective::Evaluate(const Region& region) const {
+  FitnessValue out;
+  if (region.Degenerate()) return out;
+
+  const double y = statistic_(region);
+  if (std::isnan(y) || !std::isfinite(y)) return out;
+
+  const double diff = config_.direction == ThresholdDirection::kBelow
+                          ? config_.threshold - y
+                          : y - config_.threshold;
+
+  if (config_.use_log) {
+    // Eq. 4: undefined (invalid) outside the constraint.
+    if (diff <= 0.0) return out;
+    double size_penalty = 0.0;
+    for (size_t i = 0; i < region.dims(); ++i) {
+      const double l = region.half_length(i);
+      if (l <= 0.0) return out;
+      size_penalty += std::log(l);
+    }
+    out.value = std::log(diff) - config_.c * size_penalty;
+    out.valid = true;
+    return out;
+  }
+
+  // Eq. 2: defined everywhere (Fig. 7 bottom row shows the negative
+  // plateau), but still undefined for degenerate sizes.
+  double volume_pow = 1.0;
+  for (size_t i = 0; i < region.dims(); ++i) {
+    const double l = region.half_length(i);
+    if (l <= 0.0) return out;
+    volume_pow *= std::pow(l, config_.c);
+  }
+  out.value = diff / volume_pow;
+  out.valid = true;
+  return out;
+}
+
+FitnessFn RegionObjective::AsFitnessFn() const {
+  return [this](const Region& region) { return Evaluate(region); };
+}
+
+}  // namespace surf

@@ -1,0 +1,83 @@
+#ifndef SURF_OPT_OBJECTIVE_H_
+#define SURF_OPT_OBJECTIVE_H_
+
+#include <functional>
+
+#include "geom/region.h"
+
+namespace surf {
+
+/// \brief Which side of the threshold is "interesting" (paper Problem 1:
+/// statistics less than or greater than y_R).
+enum class ThresholdDirection {
+  /// Seek regions with f(x,l) > y_R.
+  kAbove,
+  /// Seek regions with f(x,l) < y_R.
+  kBelow,
+};
+
+/// \brief Objective configuration shared by both functional forms.
+struct ObjectiveConfig {
+  /// The user's cut-off value y_R.
+  double threshold = 0.0;
+  ThresholdDirection direction = ThresholdDirection::kAbove;
+  /// Region-size regularizer c (paper Eq. 2/4; §V uses c = 4).
+  double c = 4.0;
+  /// true → log objective J (Eq. 4); false → raw ratio objective (Eq. 2).
+  /// The log form leaves constraint-violating regions *undefined*, which
+  /// is what isolates invalid glowworms (paper §V-F / Fig. 7).
+  bool use_log = true;
+};
+
+/// \brief A fitness evaluation: the objective value plus a validity flag.
+///
+/// `valid == false` encodes the paper's "logarithm undefined" semantics —
+/// the region violates the threshold constraint (or f itself is undefined
+/// because the region is empty). Optimizers must not treat the value as
+/// meaningful in that case.
+struct FitnessValue {
+  double value = 0.0;
+  bool valid = false;
+};
+
+/// Statistic provider: region -> y (possibly NaN where f is undefined).
+using StatisticFn = std::function<double(const Region&)>;
+
+/// Generic fitness: region -> FitnessValue (used directly by optimizers).
+using FitnessFn = std::function<FitnessValue(const Region&)>;
+
+/// \brief The SuRF objective over a statistic function (true f or a
+/// surrogate f̂).
+///
+/// Log form (Eq. 4):  J = log(diff) − c · Σ_i log(l_i)
+/// Ratio form (Eq. 2): J = diff / (Π_i l_i)^c
+/// with diff = y_R − f for kBelow and f − y_R for kAbove (the paper's
+/// "maximize −J" branch folded into a sign-free positive difference).
+class RegionObjective {
+ public:
+  RegionObjective(StatisticFn statistic, ObjectiveConfig config);
+
+  /// Evaluates the objective; invalid where the constraint is violated,
+  /// where f is NaN, or where any side length is non-positive.
+  FitnessValue Evaluate(const Region& region) const;
+
+  /// Exposes the raw statistic (for validation/report paths).
+  double Statistic(const Region& region) const { return statistic_(region); }
+
+  const ObjectiveConfig& config() const { return config_; }
+
+  /// Adapter for optimizer APIs.
+  FitnessFn AsFitnessFn() const;
+
+ private:
+  StatisticFn statistic_;
+  ObjectiveConfig config_;
+};
+
+/// True if the statistic value satisfies the threshold constraint.
+bool SatisfiesThreshold(double y, double threshold,
+                        ThresholdDirection direction);
+
+}  // namespace surf
+
+#endif  // SURF_OPT_OBJECTIVE_H_

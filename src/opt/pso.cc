@@ -1,0 +1,78 @@
+#include "opt/pso.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace surf {
+
+PsoResult ParticleSwarmOptimizer::Optimize(
+    const FitnessFn& fitness, const RegionSolutionSpace& space) const {
+  assert(fitness != nullptr);
+  const size_t L = std::max<size_t>(2, params_.num_particles);
+  const size_t flat_d = space.flat_dims();
+  const double vmax = params_.max_velocity_frac * space.FlatDiagonal();
+
+  Rng rng(params_.seed);
+  std::vector<std::vector<double>> pos(L), vel(L), pbest(L);
+  std::vector<double> pbest_fit(L, -std::numeric_limits<double>::infinity());
+  std::vector<bool> pbest_valid(L, false);
+
+  PsoResult result;
+  double gbest_fit = -std::numeric_limits<double>::infinity();
+  std::vector<double> gbest;
+
+  for (size_t i = 0; i < L; ++i) {
+    pos[i] = space.Sample(&rng).ToFlat();
+    vel[i].assign(flat_d, 0.0);
+    pbest[i] = pos[i];
+  }
+
+  for (size_t t = 0; t < params_.max_iterations; ++t) {
+    for (size_t i = 0; i < L; ++i) {
+      Region region = Region::FromFlat(pos[i]);
+      space.Clamp(&region);
+      pos[i] = region.ToFlat();
+      const FitnessValue fv = fitness(region);
+      ++result.objective_evaluations;
+      if (fv.valid && fv.value > pbest_fit[i]) {
+        pbest_fit[i] = fv.value;
+        pbest[i] = pos[i];
+        pbest_valid[i] = true;
+        if (fv.value > gbest_fit) {
+          gbest_fit = fv.value;
+          gbest = pos[i];
+          result.found_valid = true;
+        }
+      }
+    }
+    if (gbest.empty()) {
+      // No valid particle yet: re-seed a fraction of the swarm.
+      for (size_t i = 0; i < L / 4; ++i) {
+        pos[rng.UniformInt(L)] = space.Sample(&rng).ToFlat();
+      }
+      result.iterations_run = t + 1;
+      continue;
+    }
+    for (size_t i = 0; i < L; ++i) {
+      for (size_t k = 0; k < flat_d; ++k) {
+        const double r1 = rng.Uniform(), r2 = rng.Uniform();
+        vel[i][k] = params_.inertia * vel[i][k] +
+                    params_.cognitive * r1 * (pbest[i][k] - pos[i][k]) +
+                    params_.social * r2 * (gbest[k] - pos[i][k]);
+        vel[i][k] = std::clamp(vel[i][k], -vmax, vmax);
+        pos[i][k] += vel[i][k];
+      }
+    }
+    result.iterations_run = t + 1;
+  }
+
+  if (result.found_valid) {
+    result.best = Region::FromFlat(gbest);
+    result.best_fitness = gbest_fit;
+  }
+  return result;
+}
+
+}  // namespace surf

@@ -1,0 +1,57 @@
+#ifndef SURF_OPT_PSO_H_
+#define SURF_OPT_PSO_H_
+
+#include <cstdint>
+
+#include "opt/objective.h"
+#include "opt/solution_space.h"
+
+namespace surf {
+
+/// \brief Canonical global-best Particle Swarm Optimization parameters.
+struct PsoParams {
+  size_t num_particles = 60;
+  size_t max_iterations = 100;
+  /// Inertia weight w.
+  double inertia = 0.72;
+  /// Cognitive acceleration c1.
+  double cognitive = 1.49;
+  /// Social acceleration c2.
+  double social = 1.49;
+  /// Velocity clamp as a fraction of the flat diagonal.
+  double max_velocity_frac = 0.1;
+  uint64_t seed = 17;
+};
+
+/// \brief Result of a PSO run: the single global best.
+struct PsoResult {
+  Region best;
+  double best_fitness = 0.0;
+  bool found_valid = false;
+  size_t iterations_run = 0;
+  uint64_t objective_evaluations = 0;
+};
+
+/// \brief Global-best PSO over the region solution space.
+///
+/// The paper motivates GSO as the multimodal member of the PSO family
+/// (§III-A): PSO collapses to one optimum. This implementation exists as
+/// the single-modal reference for the ablation benches — it demonstrates
+/// why a multimodal optimizer is required when k > 1 ground-truth regions
+/// exist.
+class ParticleSwarmOptimizer {
+ public:
+  explicit ParticleSwarmOptimizer(PsoParams params) : params_(params) {}
+
+  PsoResult Optimize(const FitnessFn& fitness,
+                     const RegionSolutionSpace& space) const;
+
+  const PsoParams& params() const { return params_; }
+
+ private:
+  PsoParams params_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_OPT_PSO_H_

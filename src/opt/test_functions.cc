@@ -1,0 +1,78 @@
+#include "opt/test_functions.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace surf {
+
+namespace {
+
+double FlatDistanceSq(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+FitnessValue GaussianBumps::Evaluate(const Region& region) const {
+  const std::vector<double> flat = region.ToFlat();
+  double value = 0.0;
+  for (const auto& peak : peaks) {
+    assert(peak.size() == flat.size());
+    value += std::exp(-0.5 * FlatDistanceSq(flat, peak) / (sigma * sigma));
+  }
+  FitnessValue out;
+  out.value = value;
+  out.valid = value > validity_floor;
+  return out;
+}
+
+FitnessFn GaussianBumps::AsFitnessFn() const {
+  return [*this](const Region& region) { return Evaluate(region); };
+}
+
+int GaussianBumps::NearestPeak(const Region& region) const {
+  if (peaks.empty()) return -1;
+  const std::vector<double> flat = region.ToFlat();
+  int best = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t p = 0; p < peaks.size(); ++p) {
+    const double d = FlatDistanceSq(flat, peaks[p]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(p);
+    }
+  }
+  return best;
+}
+
+double GaussianBumps::DistanceToNearestPeak(const Region& region) const {
+  const int p = NearestPeak(region);
+  if (p < 0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(
+      FlatDistanceSq(region.ToFlat(), peaks[static_cast<size_t>(p)]));
+}
+
+FitnessFn InvertedRastrigin(std::vector<double> center, double scale) {
+  return [center = std::move(center), scale](const Region& region) {
+    const std::vector<double> flat = region.ToFlat();
+    assert(flat.size() == center.size());
+    double value = 0.0;
+    for (size_t i = 0; i < flat.size(); ++i) {
+      const double z = (flat[i] - center[i]) / scale;
+      value += z * z - 10.0 * std::cos(2.0 * M_PI * z) + 10.0;
+    }
+    FitnessValue out;
+    out.value = -value;  // maximize
+    out.valid = true;
+    return out;
+  };
+}
+
+}  // namespace surf

@@ -1,0 +1,43 @@
+#ifndef SURF_OPT_TEST_FUNCTIONS_H_
+#define SURF_OPT_TEST_FUNCTIONS_H_
+
+#include <vector>
+
+#include "opt/objective.h"
+
+namespace surf {
+
+/// \brief Synthetic multimodal fitness landscapes over the flat particle
+/// space, used to validate the optimizers independently of any dataset.
+///
+/// Each "peak" is an isotropic Gaussian bump centred at a flat-space
+/// point; the fitness is the sum of bumps. A validity floor mimics the
+/// log-objective's undefined area: fitness below the floor is reported
+/// invalid, so optimizer tests can verify the isolation behaviour too.
+struct GaussianBumps {
+  /// Peak centres in flat coordinates (each of length 2d).
+  std::vector<std::vector<double>> peaks;
+  double sigma = 0.1;
+  /// Values below this are flagged invalid (use a negative floor to make
+  /// the whole landscape valid).
+  double validity_floor = -1.0;
+
+  FitnessValue Evaluate(const Region& region) const;
+
+  /// Adapter for the optimizer APIs.
+  FitnessFn AsFitnessFn() const;
+
+  /// Index of the nearest peak to a region (flat L2), or -1 when empty.
+  int NearestPeak(const Region& region) const;
+
+  /// Distance from the region to its nearest peak.
+  double DistanceToNearestPeak(const Region& region) const;
+};
+
+/// Inverted Rastrigin over flat space (single global optimum at the given
+/// centre, many local optima): classic stress test for swarm optimizers.
+FitnessFn InvertedRastrigin(std::vector<double> center, double scale);
+
+}  // namespace surf
+
+#endif  // SURF_OPT_TEST_FUNCTIONS_H_

@@ -1,0 +1,285 @@
+#include "prim/prim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace surf {
+
+namespace {
+
+/// Quantile of the values of feature `dim` over `rows` (interpolated).
+double FeatureQuantile(const FeatureMatrix& x, const std::vector<size_t>& rows,
+                       size_t dim, double q) {
+  std::vector<double> vals;
+  vals.reserve(rows.size());
+  for (size_t r : rows) vals.push_back(x.Get(r, dim));
+  std::sort(vals.begin(), vals.end());
+  const double pos = q * static_cast<double>(vals.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, vals.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return vals[lo] * (1.0 - frac) + vals[hi] * frac;
+}
+
+double MeanOver(const std::vector<double>& y, const std::vector<size_t>& rows) {
+  if (rows.empty()) return -std::numeric_limits<double>::infinity();
+  double s = 0.0;
+  for (size_t r : rows) s += y[r];
+  return s / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+bool Prim::FindBox(const FeatureMatrix& x, const std::vector<double>& y,
+                   const std::vector<size_t>& active, size_t n_total,
+                   PrimBox* out, uint64_t* peels, uint64_t* pastes) const {
+  const size_t d = x.num_features();
+  if (active.empty()) return false;
+
+  // Current box corners, initialized to the active points' bounding box.
+  std::vector<double> lo(d, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(d, -std::numeric_limits<double>::infinity());
+  for (size_t r : active) {
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], x.Get(r, j));
+      hi[j] = std::max(hi[j], x.Get(r, j));
+    }
+  }
+
+  std::vector<size_t> in_box = active;
+  const size_t min_count = std::max<size_t>(
+      2, static_cast<size_t>(params_.min_support *
+                             static_cast<double>(n_total)));
+
+  // Trajectory of (box, mean, count); the final answer is the
+  // highest-mean admissible entry.
+  struct Snapshot {
+    std::vector<double> lo, hi;
+    double mean;
+    size_t count;
+  };
+  std::vector<Snapshot> trajectory;
+  trajectory.push_back({lo, hi, MeanOver(y, in_box), in_box.size()});
+
+  // --- Top-down peeling ---
+  while (in_box.size() > min_count) {
+    double best_mean = -std::numeric_limits<double>::infinity();
+    size_t best_dim = 0;
+    bool best_is_lower = true;
+    double best_edge = 0.0;
+    bool found = false;
+
+    for (size_t j = 0; j < d; ++j) {
+      // Lower peel: raise lo_j to the α-quantile.
+      const double lower_edge =
+          FeatureQuantile(x, in_box, j, params_.peel_alpha);
+      // Upper peel: drop hi_j to the (1−α)-quantile.
+      const double upper_edge =
+          FeatureQuantile(x, in_box, j, 1.0 - params_.peel_alpha);
+
+      double sum_keep_lo = 0.0, sum_keep_hi = 0.0;
+      size_t n_keep_lo = 0, n_keep_hi = 0;
+      for (size_t r : in_box) {
+        const double v = x.Get(r, j);
+        if (v >= lower_edge) {
+          sum_keep_lo += y[r];
+          ++n_keep_lo;
+        }
+        if (v <= upper_edge) {
+          sum_keep_hi += y[r];
+          ++n_keep_hi;
+        }
+      }
+      // A peel must remove at least one point and keep enough support.
+      if (n_keep_lo < in_box.size() && n_keep_lo >= min_count) {
+        const double mean = sum_keep_lo / static_cast<double>(n_keep_lo);
+        if (mean > best_mean) {
+          best_mean = mean;
+          best_dim = j;
+          best_is_lower = true;
+          best_edge = lower_edge;
+          found = true;
+        }
+      }
+      if (n_keep_hi < in_box.size() && n_keep_hi >= min_count) {
+        const double mean = sum_keep_hi / static_cast<double>(n_keep_hi);
+        if (mean > best_mean) {
+          best_mean = mean;
+          best_dim = j;
+          best_is_lower = false;
+          best_edge = upper_edge;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+
+    // Apply the winning peel.
+    ++(*peels);
+    if (best_is_lower) {
+      lo[best_dim] = best_edge;
+      std::erase_if(in_box, [&](size_t r) {
+        return x.Get(r, best_dim) < best_edge;
+      });
+    } else {
+      hi[best_dim] = best_edge;
+      std::erase_if(in_box, [&](size_t r) {
+        return x.Get(r, best_dim) > best_edge;
+      });
+    }
+    trajectory.push_back({lo, hi, MeanOver(y, in_box), in_box.size()});
+  }
+
+  // Trajectory selection. The strict argmax over means favours tiny
+  // over-peeled boxes whose mean is high by sampling noise; Friedman &
+  // Fisher instead advocate choosing the largest box that is "good
+  // enough". We find the best admissible mean, then take the *earliest*
+  // (largest-support) snapshot within the configured tolerance of it.
+  double best_mean = -std::numeric_limits<double>::infinity();
+  bool any_admissible = false;
+  for (const auto& snap : trajectory) {
+    if (snap.count >= min_count && snap.mean > best_mean) {
+      best_mean = snap.mean;
+      any_admissible = true;
+    }
+  }
+  if (!any_admissible) return false;
+  const double initial_mean = trajectory.front().mean;
+  const double accept_mean =
+      best_mean -
+      params_.trajectory_tolerance * std::max(0.0, best_mean - initial_mean);
+  int best_idx = -1;
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    if (trajectory[i].count >= min_count &&
+        trajectory[i].mean >= accept_mean) {
+      best_idx = static_cast<int>(i);
+      break;
+    }
+  }
+  assert(best_idx >= 0);
+  lo = trajectory[static_cast<size_t>(best_idx)].lo;
+  hi = trajectory[static_cast<size_t>(best_idx)].hi;
+
+  auto contained = [&](size_t r) {
+    for (size_t j = 0; j < d; ++j) {
+      const double v = x.Get(r, j);
+      if (v < lo[j] || v > hi[j]) return false;
+    }
+    return true;
+  };
+  in_box.clear();
+  for (size_t r : active) {
+    if (contained(r)) in_box.push_back(r);
+  }
+  double box_mean = MeanOver(y, in_box);
+
+  // --- Bottom-up pasting ---
+  if (params_.enable_pasting) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const size_t n_paste = std::max<size_t>(
+          1, static_cast<size_t>(params_.paste_alpha *
+                                 static_cast<double>(in_box.size())));
+      for (size_t j = 0; j < d; ++j) {
+        for (bool lower : {true, false}) {
+          // Candidate points just outside the face, sorted by proximity.
+          std::vector<std::pair<double, size_t>> outside;
+          for (size_t r : active) {
+            bool in_others = true;
+            for (size_t k = 0; k < d; ++k) {
+              if (k == j) continue;
+              const double v = x.Get(r, k);
+              if (v < lo[k] || v > hi[k]) {
+                in_others = false;
+                break;
+              }
+            }
+            if (!in_others) continue;
+            const double v = x.Get(r, j);
+            if (lower && v < lo[j]) outside.push_back({lo[j] - v, r});
+            if (!lower && v > hi[j]) outside.push_back({v - hi[j], r});
+          }
+          if (outside.empty()) continue;
+          const size_t take = std::min(n_paste, outside.size());
+          std::partial_sort(outside.begin(),
+                            outside.begin() + static_cast<long>(take),
+                            outside.end());
+          double add_sum = 0.0;
+          double new_edge = lower ? lo[j] : hi[j];
+          for (size_t i = 0; i < take; ++i) {
+            add_sum += y[outside[i].second];
+            const double v = x.Get(outside[i].second, j);
+            new_edge = lower ? std::min(new_edge, v) : std::max(new_edge, v);
+          }
+          const double new_mean =
+              (box_mean * static_cast<double>(in_box.size()) + add_sum) /
+              static_cast<double>(in_box.size() + take);
+          if (new_mean > box_mean + 1e-12) {
+            ++(*pastes);
+            if (lower) {
+              lo[j] = new_edge;
+            } else {
+              hi[j] = new_edge;
+            }
+            for (size_t i = 0; i < take; ++i) {
+              in_box.push_back(outside[i].second);
+            }
+            box_mean = new_mean;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+
+  out->region = Region::FromCorners(lo, hi);
+  out->mean = box_mean;
+  out->count = in_box.size();
+  out->support =
+      static_cast<double>(in_box.size()) / static_cast<double>(n_total);
+  return true;
+}
+
+PrimResult Prim::Run(const FeatureMatrix& x,
+                     const std::vector<double>& y) const {
+  assert(x.num_rows() == y.size());
+  PrimResult result;
+  if (x.num_rows() == 0) return result;
+
+  std::vector<size_t> active(x.num_rows());
+  std::iota(active.begin(), active.end(), 0);
+  const size_t n_total = x.num_rows();
+
+  for (size_t b = 0; b < params_.max_boxes; ++b) {
+    PrimBox box;
+    if (!FindBox(x, y, active, n_total, &box, &result.peel_steps,
+                 &result.paste_steps)) {
+      break;
+    }
+    if (box.mean < params_.target_threshold) break;
+    result.boxes.push_back(box);
+
+    // Covering: drop the box's points and hunt again.
+    const size_t d = x.num_features();
+    std::erase_if(active, [&](size_t r) {
+      for (size_t j = 0; j < d; ++j) {
+        const double v = x.Get(r, j);
+        if (v < box.region.lo(j) || v > box.region.hi(j)) return false;
+      }
+      return true;
+    });
+    if (active.size() <
+        std::max<size_t>(2, static_cast<size_t>(params_.min_support *
+                                                static_cast<double>(
+                                                    n_total)))) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace surf

@@ -1,0 +1,88 @@
+#ifndef SURF_PRIM_PRIM_H_
+#define SURF_PRIM_PRIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/region.h"
+#include "ml/matrix.h"
+
+namespace surf {
+
+/// \brief PRIM (Patient Rule Induction Method) parameters, after
+/// Friedman & Fisher, "Bump hunting in high-dimensional data" (1999) —
+/// the paper's fourth comparison method (§V-A iv).
+struct PrimParams {
+  /// Fraction of in-box points peeled per step (α).
+  double peel_alpha = 0.05;
+  /// Fraction of points pasted back per expansion attempt.
+  double paste_alpha = 0.01;
+  /// Minimum box support β0 as a fraction of the dataset (§V-B: 0.01).
+  double min_support = 0.01;
+  /// Covering: maximum number of boxes to extract.
+  size_t max_boxes = 5;
+  /// Covering stops once the best remaining box's mean falls below this
+  /// (§V-B sets 2 for aggregate statistics). -inf disables.
+  double target_threshold = -1e300;
+  /// Bottom-up pasting pass after peeling.
+  bool enable_pasting = true;
+  /// Trajectory selection: rather than the noisy-max mean (which favours
+  /// over-peeled slivers), pick the *largest* trajectory box whose mean
+  /// reaches best_mean − tolerance × (best_mean − initial_mean). 0
+  /// recovers the strict argmax.
+  double trajectory_tolerance = 0.10;
+};
+
+/// \brief One extracted box.
+struct PrimBox {
+  Region region;
+  /// Mean target value inside the box.
+  double mean = 0.0;
+  /// Number of (remaining) points inside the box when it was extracted.
+  size_t count = 0;
+  /// count / N_total.
+  double support = 0.0;
+};
+
+/// \brief Full PRIM outcome, with work counters for the performance bench.
+struct PrimResult {
+  std::vector<PrimBox> boxes;
+  uint64_t peel_steps = 0;
+  uint64_t paste_steps = 0;
+};
+
+/// \brief Top-down peeling / bottom-up pasting / covering bump hunter.
+///
+/// PRIM maximizes E[y | a ∈ B] subject to support(B) ≥ β0 (paper Eq. 11).
+/// Peeling repeatedly removes the α-quantile sliver (from either face of
+/// any dimension) that leaves the highest target mean; the trajectory box
+/// with the best mean at admissible support is then pasted outward while
+/// the mean improves. Covering removes the box's points and repeats.
+///
+/// Note the paper's finding (§V-B): PRIM has no notion of box *volume*,
+/// so it cannot chase density-style statistics — feeding a constant
+/// target reproduces that failure mode.
+class Prim {
+ public:
+  explicit Prim(PrimParams params) : params_(params) {}
+
+  /// Runs on points `x` (rows × region dims) with per-point targets `y`.
+  PrimResult Run(const FeatureMatrix& x, const std::vector<double>& y) const;
+
+  const PrimParams& params() const { return params_; }
+
+ private:
+  struct BoxState;
+
+  /// One peeling descent from the full domain over `active` rows.
+  /// Returns trajectory-best box (by mean, support >= β0).
+  bool FindBox(const FeatureMatrix& x, const std::vector<double>& y,
+               const std::vector<size_t>& active, size_t n_total,
+               PrimBox* out, uint64_t* peels, uint64_t* pastes) const;
+
+  PrimParams params_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_PRIM_PRIM_H_

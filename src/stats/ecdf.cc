@@ -1,0 +1,37 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace surf {
+
+Ecdf::Ecdf(std::vector<double> samples) {
+  samples_.reserve(samples.size());
+  for (double s : samples) {
+    if (!std::isnan(s)) samples_.push_back(s);
+  }
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Ecdf::Cdf(double y) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), y);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Ecdf::min() const { return samples_.empty() ? 0.0 : samples_.front(); }
+double Ecdf::max() const { return samples_.empty() ? 0.0 : samples_.back(); }
+
+}  // namespace surf

@@ -1,0 +1,39 @@
+#ifndef SURF_STATS_ECDF_H_
+#define SURF_STATS_ECDF_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace surf {
+
+/// \brief Empirical cumulative distribution function F_Y of a statistic
+/// sample (paper Eq. 5: P{f(x,l) > y_R} = 1 − F_Y(y_R)).
+///
+/// Built from a sample of region-statistic values; used by the activity
+/// experiment (§V-C) to quantify how unlikely a threshold is, and by the
+/// crimes experiment to pick y_R = Q3.
+class Ecdf {
+ public:
+  /// Builds from (unordered) samples. NaN samples are dropped.
+  explicit Ecdf(std::vector<double> samples);
+
+  /// F(y): fraction of samples <= y.
+  double Cdf(double y) const;
+
+  /// Exceedance P{Y > y} = 1 − F(y) — Eq. 5's viability probability.
+  double Exceedance(double y) const { return 1.0 - Cdf(y); }
+
+  /// Inverse CDF at q in [0, 1] (linear interpolation).
+  double Quantile(double q) const;
+
+  size_t num_samples() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_ECDF_H_

@@ -1,0 +1,55 @@
+#include "stats/evaluator.h"
+
+#include <cassert>
+
+namespace surf {
+
+ScanEvaluator::ScanEvaluator(const Dataset* data, Statistic stat)
+    : data_(data), stat_(std::move(stat)) {
+  assert(data_ != nullptr);
+  for ([[maybe_unused]] size_t c : stat_.region_cols) {
+    assert(c < data_->num_cols());
+  }
+  if (stat_.needs_value_column()) {
+    assert(stat_.value_col >= 0 &&
+           static_cast<size_t>(stat_.value_col) < data_->num_cols());
+  }
+}
+
+double ScanEvaluator::EvaluateImpl(const Region& region) const {
+  assert(region.dims() == stat_.dims());
+  const size_t n = data_->num_rows();
+  const size_t d = stat_.dims();
+
+  StatisticAccumulator acc(stat_);
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+
+  // Column-major membership test: the first region column produces a
+  // candidate mask implicitly; we simply loop rows and short-circuit per
+  // dimension. With column-major storage each inner access is a
+  // sequential-ish read of one column.
+  for (size_t r = 0; r < n; ++r) {
+    bool inside = true;
+    for (size_t j = 0; j < d; ++j) {
+      const double v = data_->column(stat_.region_cols[j])[r];
+      if (v < region.lo(j) || v > region.hi(j)) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    const double v = values ? (*values)[r] : 0.0;
+    if (needs_raw) {
+      acc.AddRaw(v);
+    } else {
+      acc.Add(v);
+    }
+  }
+  return acc.Finalize();
+}
+
+}  // namespace surf

@@ -1,0 +1,68 @@
+#ifndef SURF_STATS_EVALUATOR_H_
+#define SURF_STATS_EVALUATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "geom/region.h"
+#include "stats/statistic.h"
+
+namespace surf {
+
+/// \brief Interface of the "back-end data system" that computes the true
+/// statistic f(x, l) for a region (paper Def. 3). Implementations trade
+/// build cost for query cost; all of them are exact.
+///
+/// Evaluators count how many region evaluations they served — the paper's
+/// cost model is "number of f evaluations × cost per evaluation", and the
+/// benches report both.
+class RegionEvaluator {
+ public:
+  virtual ~RegionEvaluator() = default;
+
+  /// Computes y = f(x, l). Returns NaN where f is undefined (mean-like
+  /// statistics over empty regions).
+  double Evaluate(const Region& region) const {
+    evaluations_.fetch_add(1, std::memory_order_relaxed);
+    return EvaluateImpl(region);
+  }
+
+  /// The statistic this evaluator computes.
+  virtual const Statistic& statistic() const = 0;
+
+  /// Number of Evaluate() calls served so far.
+  uint64_t evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  void ResetEvaluationCount() { evaluations_.store(0); }
+
+ protected:
+  virtual double EvaluateImpl(const Region& region) const = 0;
+
+ private:
+  mutable std::atomic<uint64_t> evaluations_{0};
+};
+
+/// \brief Reference evaluator: one full pass over the dataset per query,
+/// O(N · d). This is the paper's cost model for Naive and f+GlowWorm.
+class ScanEvaluator : public RegionEvaluator {
+ public:
+  /// Does not take ownership of `data`; it must outlive the evaluator.
+  ScanEvaluator(const Dataset* data, Statistic stat);
+
+  const Statistic& statistic() const override { return stat_; }
+
+ protected:
+  double EvaluateImpl(const Region& region) const override;
+
+ private:
+  const Dataset* data_;
+  Statistic stat_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_EVALUATOR_H_

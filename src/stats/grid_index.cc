@@ -1,0 +1,155 @@
+#include "stats/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace surf {
+
+GridIndexEvaluator::GridIndexEvaluator(const Dataset* data, Statistic stat,
+                                       size_t cells_per_dim)
+    : data_(data), stat_(std::move(stat)) {
+  assert(data_ != nullptr);
+  assert(data_->num_rows() > 0);
+  cells_per_dim_ = std::clamp<size_t>(cells_per_dim, 1, 64);
+
+  // Guard against combinatorial cell explosion in high dimensions: cap the
+  // total cell count at ~2^20 by shrinking the per-dimension resolution.
+  const size_t d = stat_.dims();
+  while (cells_per_dim_ > 1 &&
+         std::pow(static_cast<double>(cells_per_dim_),
+                  static_cast<double>(d)) > double(1 << 20)) {
+    cells_per_dim_ /= 2;
+  }
+
+  bounds_ = data_->ComputeBounds(stat_.region_cols);
+
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) total *= cells_per_dim_;
+  cells_.resize(total);
+
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+
+  std::vector<size_t> coords(d);
+  for (size_t r = 0; r < data_->num_rows(); ++r) {
+    for (size_t j = 0; j < d; ++j) {
+      coords[j] = CoordOf(data_->column(stat_.region_cols[j])[r], j);
+    }
+    Cell& cell = cells_[CellIndex(coords)];
+    cell.rows.push_back(static_cast<uint32_t>(r));
+    cell.count += 1;
+    if (values) {
+      const double v = (*values)[r];
+      cell.sum += v;
+      cell.sum_sq += v * v;
+      if (stat_.kind == StatisticKind::kLabelRatio &&
+          v == stat_.label_value) {
+        cell.matches += 1;
+      }
+    }
+  }
+}
+
+size_t GridIndexEvaluator::CoordOf(double v, size_t dim) const {
+  const double extent = bounds_.Extent(dim);
+  if (extent <= 0.0) return 0;
+  double t = (v - bounds_.lo(dim)) / extent;
+  t = std::clamp(t, 0.0, 1.0);
+  size_t c = static_cast<size_t>(t * static_cast<double>(cells_per_dim_));
+  return std::min(c, cells_per_dim_ - 1);
+}
+
+size_t GridIndexEvaluator::CellIndex(const std::vector<size_t>& coords) const {
+  size_t idx = 0;
+  for (size_t j = 0; j < coords.size(); ++j) {
+    idx = idx * cells_per_dim_ + coords[j];
+  }
+  return idx;
+}
+
+double GridIndexEvaluator::EvaluateImpl(const Region& region) const {
+  const size_t d = stat_.dims();
+  assert(region.dims() == d);
+
+  // Cell coordinate range intersecting the query on each dimension, and
+  // whether a coordinate slab is fully covered.
+  std::vector<size_t> lo_c(d), hi_c(d);
+  for (size_t j = 0; j < d; ++j) {
+    if (region.hi(j) < bounds_.lo(j) || region.lo(j) > bounds_.hi(j)) {
+      // Disjoint from the data's bounding box: empty result.
+      StatisticAccumulator acc(stat_);
+      return acc.Finalize();
+    }
+    lo_c[j] = CoordOf(region.lo(j), j);
+    hi_c[j] = CoordOf(region.hi(j), j);
+  }
+
+  StatisticAccumulator acc(stat_);
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+
+  auto cell_fully_covered = [&](const std::vector<size_t>& coords) {
+    for (size_t j = 0; j < d; ++j) {
+      const double w = bounds_.Extent(j) / static_cast<double>(cells_per_dim_);
+      const double cell_lo =
+          bounds_.lo(j) + w * static_cast<double>(coords[j]);
+      const double cell_hi = cell_lo + w;
+      if (cell_lo < region.lo(j) || cell_hi > region.hi(j)) return false;
+    }
+    return true;
+  };
+
+  auto scan_cell = [&](const Cell& cell) {
+    for (uint32_t r : cell.rows) {
+      bool inside = true;
+      for (size_t j = 0; j < d; ++j) {
+        const double v = data_->column(stat_.region_cols[j])[r];
+        if (v < region.lo(j) || v > region.hi(j)) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      const double v = values ? (*values)[r] : 0.0;
+      if (needs_raw) {
+        acc.AddRaw(v);
+      } else {
+        acc.Add(v);
+      }
+    }
+  };
+
+  // Odometer over the intersecting cell ranges.
+  std::vector<size_t> coords = lo_c;
+  for (;;) {
+    const Cell& cell = cells_[CellIndex(coords)];
+    if (!cell.rows.empty()) {
+      if (!needs_raw && cell_fully_covered(coords)) {
+        acc.AddBlock(cell.count, cell.sum, cell.sum_sq, cell.matches);
+      } else {
+        scan_cell(cell);
+      }
+    }
+    // Advance odometer.
+    size_t j = d;
+    while (j > 0) {
+      --j;
+      if (coords[j] < hi_c[j]) {
+        ++coords[j];
+        for (size_t k = j + 1; k < d; ++k) coords[k] = lo_c[k];
+        break;
+      }
+      if (j == 0) return acc.Finalize();
+    }
+    if (d == 0) break;
+  }
+  return acc.Finalize();
+}
+
+}  // namespace surf

@@ -1,0 +1,58 @@
+#ifndef SURF_STATS_GRID_INDEX_H_
+#define SURF_STATS_GRID_INDEX_H_
+
+#include <vector>
+
+#include "geom/bounds.h"
+#include "stats/evaluator.h"
+
+namespace surf {
+
+/// \brief Uniform-grid range evaluator.
+///
+/// Partitions the domain into `cells_per_dim^d` equal cells. Cells fully
+/// covered by the query box contribute pre-aggregated block statistics
+/// (count, sum, sum of squares, label matches) in O(1); boundary cells
+/// fall back to scanning their point lists. Exact for all statistic kinds
+/// (median collects raw values from every intersecting cell).
+///
+/// This is one of the data-system substrates the true function f is served
+/// from; it turns the O(N) per-query cost of ScanEvaluator into roughly
+/// O(points near the boundary) for selective queries.
+class GridIndexEvaluator : public RegionEvaluator {
+ public:
+  /// Builds the index over `data`; `cells_per_dim` clamps to [1, 64].
+  /// `data` must outlive the evaluator.
+  GridIndexEvaluator(const Dataset* data, Statistic stat,
+                     size_t cells_per_dim = 16);
+
+  const Statistic& statistic() const override { return stat_; }
+
+  size_t cells_per_dim() const { return cells_per_dim_; }
+  size_t num_cells() const { return cells_.size(); }
+
+ protected:
+  double EvaluateImpl(const Region& region) const override;
+
+ private:
+  struct Cell {
+    std::vector<uint32_t> rows;
+    size_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    size_t matches = 0;
+  };
+
+  size_t CellIndex(const std::vector<size_t>& coords) const;
+  size_t CoordOf(double v, size_t dim) const;
+
+  const Dataset* data_;
+  Statistic stat_;
+  Bounds bounds_;
+  size_t cells_per_dim_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_GRID_INDEX_H_

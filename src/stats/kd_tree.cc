@@ -1,0 +1,166 @@
+#include "stats/kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace surf {
+
+KdTreeEvaluator::KdTreeEvaluator(const Dataset* data, Statistic stat,
+                                 size_t leaf_size)
+    : data_(data), stat_(std::move(stat)), leaf_size_(std::max<size_t>(1, leaf_size)) {
+  assert(data_ != nullptr);
+  assert(data_->num_rows() > 0);
+  rows_.resize(data_->num_rows());
+  std::iota(rows_.begin(), rows_.end(), 0);
+  nodes_.reserve(2 * data_->num_rows() / leaf_size_ + 4);
+  Build(0, static_cast<uint32_t>(rows_.size()), 0);
+}
+
+int32_t KdTreeEvaluator::Build(uint32_t begin, uint32_t end, size_t depth) {
+  const size_t d = stat_.dims();
+  const int32_t idx = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Compute bounding box and aggregates over [begin, end).
+  std::vector<double> lo(d, 0.0), hi(d, 0.0);
+  double sum = 0.0, sum_sq = 0.0;
+  uint32_t matches = 0;
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t r = rows_[i];
+    for (size_t j = 0; j < d; ++j) {
+      const double v = data_->column(stat_.region_cols[j])[r];
+      if (i == begin) {
+        lo[j] = hi[j] = v;
+      } else {
+        lo[j] = std::min(lo[j], v);
+        hi[j] = std::max(hi[j], v);
+      }
+    }
+    if (values) {
+      const double v = (*values)[r];
+      sum += v;
+      sum_sq += v * v;
+      if (stat_.kind == StatisticKind::kLabelRatio &&
+          v == stat_.label_value) {
+        ++matches;
+      }
+    }
+  }
+
+  {
+    Node& node = nodes_[static_cast<size_t>(idx)];
+    node.begin = begin;
+    node.end = end;
+    node.lo = lo;
+    node.hi = hi;
+    node.sum = sum;
+    node.sum_sq = sum_sq;
+    node.matches = matches;
+  }
+
+  if (end - begin <= leaf_size_) return idx;
+
+  // Split on the widest dimension at the median.
+  size_t split_dim = 0;
+  double widest = -1.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double w = hi[j] - lo[j];
+    if (w > widest) {
+      widest = w;
+      split_dim = j;
+    }
+  }
+  if (widest <= 0.0) return idx;  // all points identical: stay a leaf
+
+  const uint32_t mid = begin + (end - begin) / 2;
+  const auto& col = data_->column(stat_.region_cols[split_dim]);
+  std::nth_element(rows_.begin() + begin, rows_.begin() + mid,
+                   rows_.begin() + end,
+                   [&](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+  const double split_value = col[rows_[mid]];
+
+  const int32_t left = Build(begin, mid, depth + 1);
+  const int32_t right = Build(mid, end, depth + 1);
+  Node& node = nodes_[static_cast<size_t>(idx)];
+  node.left = left;
+  node.right = right;
+  node.split_dim = static_cast<uint16_t>(split_dim);
+  node.split_value = split_value;
+  return idx;
+}
+
+void KdTreeEvaluator::ScanRange(uint32_t begin, uint32_t end,
+                                const Region& region,
+                                StatisticAccumulator* acc) const {
+  const size_t d = stat_.dims();
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+  for (uint32_t i = begin; i < end; ++i) {
+    const uint32_t r = rows_[i];
+    bool inside = true;
+    for (size_t j = 0; j < d; ++j) {
+      const double v = data_->column(stat_.region_cols[j])[r];
+      if (v < region.lo(j) || v > region.hi(j)) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    const double v = values ? (*values)[r] : 0.0;
+    if (needs_raw) {
+      acc->AddRaw(v);
+    } else {
+      acc->Add(v);
+    }
+  }
+}
+
+void KdTreeEvaluator::Query(int32_t node_idx, const Region& region,
+                            StatisticAccumulator* acc) const {
+  const Node& node = nodes_[static_cast<size_t>(node_idx)];
+  const size_t d = stat_.dims();
+
+  // Disjoint / contained tests against the node's bounding box.
+  bool disjoint = false;
+  bool contained = true;
+  for (size_t j = 0; j < d; ++j) {
+    if (node.hi[j] < region.lo(j) || node.lo[j] > region.hi(j)) {
+      disjoint = true;
+      break;
+    }
+    if (node.lo[j] < region.lo(j) || node.hi[j] > region.hi(j)) {
+      contained = false;
+    }
+  }
+  if (disjoint) return;
+
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  if (contained && !needs_raw) {
+    acc->AddBlock(node.end - node.begin, node.sum, node.sum_sq,
+                  node.matches);
+    return;
+  }
+  if (node.left < 0) {  // leaf (or raw-value collection over a full node)
+    ScanRange(node.begin, node.end, region, acc);
+    return;
+  }
+  Query(node.left, region, acc);
+  Query(node.right, region, acc);
+}
+
+double KdTreeEvaluator::EvaluateImpl(const Region& region) const {
+  assert(region.dims() == stat_.dims());
+  StatisticAccumulator acc(stat_);
+  if (!nodes_.empty()) Query(0, region, &acc);
+  return acc.Finalize();
+}
+
+}  // namespace surf

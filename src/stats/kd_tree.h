@@ -1,0 +1,64 @@
+#ifndef SURF_STATS_KD_TREE_H_
+#define SURF_STATS_KD_TREE_H_
+
+#include <vector>
+
+#include "geom/bounds.h"
+#include "stats/evaluator.h"
+
+namespace surf {
+
+/// \brief k-d-tree range evaluator.
+///
+/// A median-split k-d tree over the region columns with per-subtree
+/// aggregates (count / sum / sum² / label matches). Queries prune whole
+/// subtrees: nodes fully inside the box contribute their aggregate in
+/// O(1), disjoint nodes are skipped, straddling nodes recurse down to leaf
+/// scans. Exact for every statistic kind; the median kind collects raw
+/// values from intersecting leaves.
+class KdTreeEvaluator : public RegionEvaluator {
+ public:
+  /// Builds the tree over `data` (must outlive the evaluator).
+  /// `leaf_size` controls when recursion stops.
+  KdTreeEvaluator(const Dataset* data, Statistic stat, size_t leaf_size = 32);
+
+  const Statistic& statistic() const override { return stat_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ protected:
+  double EvaluateImpl(const Region& region) const override;
+
+ private:
+  struct Node {
+    // Range [begin, end) into rows_.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint16_t split_dim = 0;
+    double split_value = 0.0;
+    // Node bounding box over region dims (lo/hi interleaved compactly).
+    std::vector<double> lo, hi;
+    // Subtree aggregates.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    uint32_t matches = 0;
+  };
+
+  int32_t Build(uint32_t begin, uint32_t end, size_t depth);
+  void Query(int32_t node_idx, const Region& region,
+             StatisticAccumulator* acc) const;
+  void ScanRange(uint32_t begin, uint32_t end, const Region& region,
+                 StatisticAccumulator* acc) const;
+
+  const Dataset* data_;
+  Statistic stat_;
+  size_t leaf_size_;
+  std::vector<uint32_t> rows_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_KD_TREE_H_

@@ -1,0 +1,218 @@
+#include "stats/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace surf {
+
+RTreeEvaluator::RTreeEvaluator(const Dataset* data, Statistic stat,
+                               size_t fanout, size_t leaf_size)
+    : data_(data),
+      stat_(std::move(stat)),
+      fanout_(std::max<size_t>(2, fanout)),
+      leaf_size_(std::max<size_t>(1, leaf_size)) {
+  assert(data_ != nullptr);
+  assert(data_->num_rows() > 0);
+  rows_.resize(data_->num_rows());
+  std::iota(rows_.begin(), rows_.end(), 0);
+  BulkLoad();
+}
+
+void RTreeEvaluator::ComputeLeafAggregates(Node* node) const {
+  const size_t d = stat_.dims();
+  node->lo.assign(d, 0.0);
+  node->hi.assign(d, 0.0);
+  const std::vector<double>* values =
+      stat_.needs_value_column()
+          ? &data_->column(static_cast<size_t>(stat_.value_col))
+          : nullptr;
+  for (uint32_t i = node->rows_begin; i < node->rows_end; ++i) {
+    const uint32_t r = rows_[i];
+    for (size_t j = 0; j < d; ++j) {
+      const double v = data_->column(stat_.region_cols[j])[r];
+      if (i == node->rows_begin) {
+        node->lo[j] = node->hi[j] = v;
+      } else {
+        node->lo[j] = std::min(node->lo[j], v);
+        node->hi[j] = std::max(node->hi[j], v);
+      }
+    }
+    node->count += 1;
+    if (values) {
+      const double v = (*values)[r];
+      node->sum += v;
+      node->sum_sq += v * v;
+      if (stat_.kind == StatisticKind::kLabelRatio &&
+          v == stat_.label_value) {
+        node->matches += 1;
+      }
+    }
+  }
+}
+
+uint32_t RTreeEvaluator::BuildLeaves(std::vector<uint32_t>* leaf_ids) {
+  // Sort-Tile-Recursive: sort rows by the first dimension, slice into
+  // vertical strips, sort each strip by the next dimension, and so on;
+  // the final runs of `leaf_size_` rows become leaves. For d > 2 we tile
+  // the first two dimensions, which is the standard STR compromise.
+  const size_t d = stat_.dims();
+  const size_t n = rows_.size();
+  const auto& dim0 = data_->column(stat_.region_cols[0]);
+  std::sort(rows_.begin(), rows_.end(),
+            [&](uint32_t a, uint32_t b) { return dim0[a] < dim0[b]; });
+
+  const size_t leaves_needed = (n + leaf_size_ - 1) / leaf_size_;
+  const size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(leaves_needed))));
+  const size_t strip_rows = (n + strips - 1) / strips;
+
+  if (d >= 2) {
+    const auto& dim1 = data_->column(stat_.region_cols[1]);
+    for (size_t s = 0; s < strips; ++s) {
+      const size_t begin = s * strip_rows;
+      if (begin >= n) break;
+      const size_t end = std::min(n, begin + strip_rows);
+      std::sort(rows_.begin() + static_cast<long>(begin),
+                rows_.begin() + static_cast<long>(end),
+                [&](uint32_t a, uint32_t b) { return dim1[a] < dim1[b]; });
+    }
+  }
+
+  for (size_t begin = 0; begin < n; begin += leaf_size_) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.rows_begin = static_cast<uint32_t>(begin);
+    leaf.rows_end = static_cast<uint32_t>(std::min(n, begin + leaf_size_));
+    ComputeLeafAggregates(&leaf);
+    leaf_ids->push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+  return static_cast<uint32_t>(leaf_ids->size());
+}
+
+RTreeEvaluator::Node RTreeEvaluator::MakeParent(
+    const std::vector<uint32_t>& children) const {
+  Node parent;
+  parent.leaf = false;
+  const size_t d = stat_.dims();
+  parent.lo.assign(d, 0.0);
+  parent.hi.assign(d, 0.0);
+  bool first = true;
+  for (uint32_t c : children) {
+    const Node& child = nodes_[c];
+    for (size_t j = 0; j < d; ++j) {
+      if (first) {
+        parent.lo[j] = child.lo[j];
+        parent.hi[j] = child.hi[j];
+      } else {
+        parent.lo[j] = std::min(parent.lo[j], child.lo[j]);
+        parent.hi[j] = std::max(parent.hi[j], child.hi[j]);
+      }
+    }
+    parent.count += child.count;
+    parent.sum += child.sum;
+    parent.sum_sq += child.sum_sq;
+    parent.matches += child.matches;
+    first = false;
+  }
+  return parent;
+}
+
+void RTreeEvaluator::BulkLoad() {
+  std::vector<uint32_t> level;
+  BuildLeaves(&level);
+  height_ = 1;
+
+  // Pack each run of `fanout_` nodes under a parent until one root
+  // remains. Children of one parent are stored contiguously in nodes_,
+  // so parents reference [children_begin, children_end).
+  while (level.size() > 1) {
+    std::vector<uint32_t> next_level;
+    for (size_t begin = 0; begin < level.size(); begin += fanout_) {
+      const size_t end = std::min(level.size(), begin + fanout_);
+      // Re-append the children contiguously (ids shift, so copy nodes).
+      const uint32_t children_begin = static_cast<uint32_t>(nodes_.size());
+      std::vector<uint32_t> group;
+      for (size_t i = begin; i < end; ++i) {
+        // Children that are already contiguous need not be copied, but
+        // copying keeps the builder simple; memory is proportional to
+        // 2 × node count, freed after shrink below if desired.
+        group.push_back(level[i]);
+      }
+      Node parent = MakeParent(group);
+      parent.children_begin = children_begin;
+      parent.children_end =
+          static_cast<uint32_t>(children_begin + group.size());
+      for (uint32_t g : group) nodes_.push_back(nodes_[g]);
+      next_level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level = std::move(next_level);
+    ++height_;
+  }
+  root_ = level.empty() ? 0 : level[0];
+}
+
+void RTreeEvaluator::Query(uint32_t node_idx, const Region& region,
+                           StatisticAccumulator* acc) const {
+  const Node& node = nodes_[node_idx];
+  const size_t d = stat_.dims();
+
+  bool disjoint = false;
+  bool contained = true;
+  for (size_t j = 0; j < d; ++j) {
+    if (node.hi[j] < region.lo(j) || node.lo[j] > region.hi(j)) {
+      disjoint = true;
+      break;
+    }
+    if (node.lo[j] < region.lo(j) || node.hi[j] > region.hi(j)) {
+      contained = false;
+    }
+  }
+  if (disjoint || node.count == 0) return;
+
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  if (contained && !needs_raw) {
+    acc->AddBlock(node.count, node.sum, node.sum_sq, node.matches);
+    return;
+  }
+  if (node.leaf) {
+    const std::vector<double>* values =
+        stat_.needs_value_column()
+            ? &data_->column(static_cast<size_t>(stat_.value_col))
+            : nullptr;
+    for (uint32_t i = node.rows_begin; i < node.rows_end; ++i) {
+      const uint32_t r = rows_[i];
+      bool inside = true;
+      for (size_t j = 0; j < d; ++j) {
+        const double v = data_->column(stat_.region_cols[j])[r];
+        if (v < region.lo(j) || v > region.hi(j)) {
+          inside = false;
+          break;
+        }
+      }
+      if (!inside) continue;
+      const double v = values ? (*values)[r] : 0.0;
+      if (needs_raw) {
+        acc->AddRaw(v);
+      } else {
+        acc->Add(v);
+      }
+    }
+    return;
+  }
+  for (uint32_t c = node.children_begin; c < node.children_end; ++c) {
+    Query(c, region, acc);
+  }
+}
+
+double RTreeEvaluator::EvaluateImpl(const Region& region) const {
+  assert(region.dims() == stat_.dims());
+  StatisticAccumulator acc(stat_);
+  if (!nodes_.empty()) Query(root_, region, &acc);
+  return acc.Finalize();
+}
+
+}  // namespace surf

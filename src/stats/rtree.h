@@ -1,0 +1,73 @@
+#ifndef SURF_STATS_RTREE_H_
+#define SURF_STATS_RTREE_H_
+
+#include <vector>
+
+#include "geom/bounds.h"
+#include "stats/evaluator.h"
+
+namespace surf {
+
+/// \brief Aggregate R-tree range evaluator (STR bulk-loaded).
+///
+/// The paper's related work (§VI) contrasts SuRF with spatial indexes —
+/// Guttman R-trees and the aggregate R-trees used for top-k OLAP
+/// (Mamoulis et al.). This evaluator is that substrate: leaves pack
+/// spatially adjacent points via Sort-Tile-Recursive bulk loading, inner
+/// nodes carry MBRs plus pre-aggregated statistics (count / sum / sum² /
+/// label matches), and range queries prune by MBR exactly like the k-d
+/// tree but with a fan-out > 2 (shallower trees, better cache behaviour
+/// on large N).
+class RTreeEvaluator : public RegionEvaluator {
+ public:
+  /// Builds over `data` (must outlive the evaluator). `fanout` children
+  /// per node, `leaf_size` points per leaf.
+  RTreeEvaluator(const Dataset* data, Statistic stat, size_t fanout = 16,
+                 size_t leaf_size = 64);
+
+  const Statistic& statistic() const override { return stat_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t height() const { return height_; }
+
+ protected:
+  double EvaluateImpl(const Region& region) const override;
+
+ private:
+  struct Node {
+    // Children index range into nodes_ (inner) or row range into rows_
+    // (leaf, children_begin == children_end).
+    uint32_t children_begin = 0;
+    uint32_t children_end = 0;
+    uint32_t rows_begin = 0;
+    uint32_t rows_end = 0;
+    bool leaf = true;
+    std::vector<double> lo, hi;  // MBR over region dims
+    // Subtree aggregates.
+    uint32_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    uint32_t matches = 0;
+  };
+
+  /// STR: recursively sort-tile the row range into `fanout^level` groups.
+  void BulkLoad();
+  uint32_t BuildLeaves(std::vector<uint32_t>* leaf_ids);
+  Node MakeParent(const std::vector<uint32_t>& children) const;
+  void ComputeLeafAggregates(Node* node) const;
+  void Query(uint32_t node_idx, const Region& region,
+             StatisticAccumulator* acc) const;
+
+  const Dataset* data_;
+  Statistic stat_;
+  size_t fanout_;
+  size_t leaf_size_;
+  size_t height_ = 0;
+  std::vector<uint32_t> rows_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_RTREE_H_

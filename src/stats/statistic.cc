@@ -1,0 +1,160 @@
+#include "stats/statistic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace surf {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string StatisticKindName(StatisticKind kind) {
+  switch (kind) {
+    case StatisticKind::kCount:
+      return "count";
+    case StatisticKind::kAverage:
+      return "avg";
+    case StatisticKind::kSum:
+      return "sum";
+    case StatisticKind::kMedian:
+      return "median";
+    case StatisticKind::kVariance:
+      return "variance";
+    case StatisticKind::kLabelRatio:
+      return "ratio";
+  }
+  return "?";
+}
+
+Statistic Statistic::Count(std::vector<size_t> region_cols) {
+  Statistic s;
+  s.kind = StatisticKind::kCount;
+  s.region_cols = std::move(region_cols);
+  return s;
+}
+
+Statistic Statistic::Average(std::vector<size_t> region_cols,
+                             size_t value_col) {
+  Statistic s;
+  s.kind = StatisticKind::kAverage;
+  s.region_cols = std::move(region_cols);
+  s.value_col = static_cast<int>(value_col);
+  return s;
+}
+
+Statistic Statistic::Sum(std::vector<size_t> region_cols, size_t value_col) {
+  Statistic s;
+  s.kind = StatisticKind::kSum;
+  s.region_cols = std::move(region_cols);
+  s.value_col = static_cast<int>(value_col);
+  return s;
+}
+
+Statistic Statistic::MedianOf(std::vector<size_t> region_cols,
+                              size_t value_col) {
+  Statistic s;
+  s.kind = StatisticKind::kMedian;
+  s.region_cols = std::move(region_cols);
+  s.value_col = static_cast<int>(value_col);
+  return s;
+}
+
+Statistic Statistic::VarianceOf(std::vector<size_t> region_cols,
+                                size_t value_col) {
+  Statistic s;
+  s.kind = StatisticKind::kVariance;
+  s.region_cols = std::move(region_cols);
+  s.value_col = static_cast<int>(value_col);
+  return s;
+}
+
+Statistic Statistic::LabelRatio(std::vector<size_t> region_cols,
+                                size_t value_col, double label_value) {
+  Statistic s;
+  s.kind = StatisticKind::kLabelRatio;
+  s.region_cols = std::move(region_cols);
+  s.value_col = static_cast<int>(value_col);
+  s.label_value = label_value;
+  return s;
+}
+
+double ReduceStatistic(const Dataset& data, const Statistic& stat,
+                       const std::vector<size_t>& rows) {
+  StatisticAccumulator acc(stat);
+  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat.kind);
+  const std::vector<double>* values = nullptr;
+  if (stat.needs_value_column()) {
+    assert(stat.value_col >= 0);
+    values = &data.column(static_cast<size_t>(stat.value_col));
+  }
+  for (size_t r : rows) {
+    const double v = values ? (*values)[r] : 0.0;
+    if (needs_raw) {
+      acc.AddRaw(v);
+    } else {
+      acc.Add(v);
+    }
+  }
+  return acc.Finalize();
+}
+
+void StatisticAccumulator::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (stat_.kind == StatisticKind::kLabelRatio &&
+      value == stat_.label_value) {
+    ++matches_;
+  }
+}
+
+void StatisticAccumulator::AddBlock(size_t count, double sum, double sum_sq,
+                                    size_t matches) {
+  assert(!NeedsRawValues(stat_.kind));
+  count_ += count;
+  sum_ += sum;
+  sum_sq_ += sum_sq;
+  matches_ += matches;
+}
+
+double StatisticAccumulator::Finalize() const {
+  const size_t n = count_ + raw_.size();
+  switch (stat_.kind) {
+    case StatisticKind::kCount:
+      return static_cast<double>(n);
+    case StatisticKind::kSum:
+      return sum_;
+    case StatisticKind::kAverage:
+      return n > 0 ? sum_ / static_cast<double>(n) : kNaN;
+    case StatisticKind::kVariance: {
+      if (n < 2) return n == 1 ? 0.0 : kNaN;
+      const double mean = sum_ / static_cast<double>(n);
+      const double ss = sum_sq_ - static_cast<double>(n) * mean * mean;
+      return std::max(0.0, ss / static_cast<double>(n - 1));
+    }
+    case StatisticKind::kLabelRatio:
+      return n > 0
+                 ? static_cast<double>(matches_) / static_cast<double>(n)
+                 : 0.0;
+    case StatisticKind::kMedian: {
+      if (raw_.empty()) return kNaN;
+      std::vector<double> v = raw_;
+      const size_t mid = v.size() / 2;
+      std::nth_element(v.begin(), v.begin() + static_cast<long>(mid),
+                       v.end());
+      double med = v[mid];
+      if (v.size() % 2 == 0) {
+        const double lower =
+            *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+        med = 0.5 * (med + lower);
+      }
+      return med;
+    }
+  }
+  return kNaN;
+}
+
+}  // namespace surf

@@ -1,0 +1,111 @@
+#ifndef SURF_STATS_STATISTIC_H_
+#define SURF_STATS_STATISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace surf {
+
+/// \brief The statistic families supported by the mapping f (paper Def. 2/3:
+/// "no restriction to the nature of f — decomposable (COUNT, SUM) or
+/// non-decomposable (MEDIAN)").
+enum class StatisticKind {
+  /// |D| — number of points inside the region ("density" in the paper).
+  kCount,
+  /// Mean of a value column over points in the region ("aggregate").
+  kAverage,
+  /// Sum of a value column.
+  kSum,
+  /// Median of a value column (non-decomposable).
+  kMedian,
+  /// Sample variance of a value column.
+  kVariance,
+  /// Fraction of in-region points whose value column equals `label_value`
+  /// (the §V-C activity-ratio statistic).
+  kLabelRatio,
+};
+
+/// Human-readable kind name ("count", "avg", ...).
+std::string StatisticKindName(StatisticKind kind);
+
+/// \brief Full description of a statistic task over a dataset.
+///
+/// `region_cols` selects the dataset columns spanned by the
+/// hyper-rectangle; `value_col` supplies the aggregated attribute for every
+/// kind except kCount. Per the paper's Def. 2 note, an averaged dimension is
+/// *not* part of the box — callers express that by simply excluding it from
+/// `region_cols`.
+struct Statistic {
+  StatisticKind kind = StatisticKind::kCount;
+  std::vector<size_t> region_cols;
+  int value_col = -1;
+  double label_value = 0.0;
+
+  /// Count statistic over the given box columns.
+  static Statistic Count(std::vector<size_t> region_cols);
+  /// Average of `value_col` over a box on `region_cols`.
+  static Statistic Average(std::vector<size_t> region_cols, size_t value_col);
+  static Statistic Sum(std::vector<size_t> region_cols, size_t value_col);
+  static Statistic MedianOf(std::vector<size_t> region_cols,
+                            size_t value_col);
+  static Statistic VarianceOf(std::vector<size_t> region_cols,
+                              size_t value_col);
+  /// Ratio of rows with value == label inside the box.
+  static Statistic LabelRatio(std::vector<size_t> region_cols,
+                              size_t value_col, double label_value);
+
+  bool needs_value_column() const { return kind != StatisticKind::kCount; }
+
+  /// Number of box dimensions.
+  size_t dims() const { return region_cols.size(); }
+};
+
+/// \brief Reduces the selected rows of a dataset to the statistic's value.
+///
+/// Empty selections yield 0 for kCount/kSum/kLabelRatio and NaN for the
+/// mean/median/variance kinds — mirroring the paper's observation that f is
+/// undefined over point-free regions (§III-B); downstream objectives treat
+/// NaN as "invalid region".
+double ReduceStatistic(const Dataset& data, const Statistic& stat,
+                       const std::vector<size_t>& rows);
+
+/// Streaming variant used by evaluators that never materialize row lists:
+/// accumulates count / sum / sum-of-squares / matches and finalizes.
+class StatisticAccumulator {
+ public:
+  explicit StatisticAccumulator(const Statistic& stat) : stat_(stat) {}
+
+  /// Adds one in-region row given its value-column entry (ignored for
+  /// kCount).
+  void Add(double value);
+
+  /// Merges a pre-aggregated block (count + sum + sum of squares +
+  /// label matches). Only valid for decomposable kinds.
+  void AddBlock(size_t count, double sum, double sum_sq, size_t matches);
+
+  /// For non-decomposable kinds (median) values must be retained;
+  /// returns true when the evaluator has to collect raw values.
+  static bool NeedsRawValues(StatisticKind kind) {
+    return kind == StatisticKind::kMedian;
+  }
+
+  /// Raw value sink for the median path.
+  void AddRaw(double value) { raw_.push_back(value); }
+
+  /// Finalizes the statistic.
+  double Finalize() const;
+
+ private:
+  Statistic stat_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  size_t matches_ = 0;
+  std::vector<double> raw_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_STATISTIC_H_

@@ -1,0 +1,57 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace surf {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+double CliFlags::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t CliFlags::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool CliFlags::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace surf

@@ -1,0 +1,42 @@
+#ifndef SURF_UTIL_CLI_H_
+#define SURF_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/// \brief Tiny command-line flag parser shared by the bench/example binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare boolean `--name`.
+/// Unknown flags are collected so binaries can warn instead of aborting.
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv);
+
+  /// True if the flag was present at all.
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults.
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  double GetDouble(const std::string& name, double def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_CLI_H_

@@ -1,0 +1,99 @@
+#include "util/csv.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace surf {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> CsvTable::Column(const std::string& name) const {
+  const int idx = ColumnIndex(name);
+  assert(idx >= 0 && "unknown CSV column");
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(row[static_cast<size_t>(idx)]);
+  return out;
+}
+
+void CsvWriter::AddRow(std::vector<double> row) {
+  assert(row.size() == table_.header.size());
+  table_.rows.push_back(std::move(row));
+}
+
+Status CsvWriter::Write(const std::string& path) const {
+  return WriteCsv(path, table_);
+}
+
+StatusOr<CsvTable> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError("empty CSV file " + path);
+  }
+  for (auto& field : SplitString(line, ',')) {
+    table.header.push_back(TrimString(field));
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (TrimString(line).empty()) continue;
+    auto fields = SplitString(line, ',');
+    if (fields.size() != table.header.size()) {
+      return Status::IOError("row " + std::to_string(line_no) + " of " + path +
+                             " has " + std::to_string(fields.size()) +
+                             " fields, expected " +
+                             std::to_string(table.header.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      char* end = nullptr;
+      const std::string t = TrimString(f);
+      const double v = std::strtod(t.c_str(), &end);
+      if (end == t.c_str()) {
+        return Status::IOError("non-numeric cell '" + t + "' at line " +
+                               std::to_string(line_no) + " of " + path);
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot write " + path);
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  std::ostringstream cell;
+  cell.precision(10);
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      cell.str("");
+      cell << row[i];
+      out << cell.str();
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace surf

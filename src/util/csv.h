@@ -1,0 +1,53 @@
+#ifndef SURF_UTIL_CSV_H_
+#define SURF_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief A parsed CSV table of doubles with named columns.
+struct CsvTable {
+  std::vector<std::string> header;
+  /// Row-major numeric cells; rows[i][j] is column j of row i.
+  std::vector<std::vector<double>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const { return header.size(); }
+
+  /// Index of a named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Extracts one column as a vector. Asserts the column exists.
+  std::vector<double> Column(const std::string& name) const;
+};
+
+/// \brief Minimal CSV writer used by benches to emit plot-ready series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header)
+      : table_{std::move(header), {}} {}
+
+  /// Appends a numeric row; must match the header width.
+  void AddRow(std::vector<double> row);
+
+  /// Writes the accumulated table to `path`.
+  Status Write(const std::string& path) const;
+
+  const CsvTable& table() const { return table_; }
+
+ private:
+  CsvTable table_;
+};
+
+/// Reads a numeric CSV (first line = header) from `path`.
+StatusOr<CsvTable> ReadCsv(const std::string& path);
+
+/// Writes a numeric CSV to `path`.
+Status WriteCsv(const std::string& path, const CsvTable& table);
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_CSV_H_

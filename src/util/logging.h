@@ -1,0 +1,46 @@
+#ifndef SURF_UTIL_LOGGING_H_
+#define SURF_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace surf {
+
+/// \brief Log severities. kQuiet disables all output.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kQuiet };
+
+/// Sets the global minimum severity that is emitted (default kWarn so
+/// library internals stay silent in tests and benches unless asked).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr if `level` passes the global threshold.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-style builder behind the SURF_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace surf
+
+/// Usage: SURF_LOG(kInfo) << "trained in " << secs << "s";
+#define SURF_LOG(severity) \
+  ::surf::internal::LogLine(::surf::LogLevel::severity)
+
+#endif  // SURF_UTIL_LOGGING_H_

@@ -1,0 +1,119 @@
+#ifndef SURF_UTIL_STATUS_H_
+#define SURF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace surf {
+
+/// \brief Error codes used across the library.
+///
+/// SuRF follows the RocksDB/Arrow convention of returning a `Status` (or
+/// `StatusOr<T>`) from any operation that can fail for a reason the caller
+/// may want to recover from (I/O, malformed configuration, empty inputs).
+/// Programmer errors (out-of-range indices, dimension mismatches that can
+/// only arise from incorrect call sites) are guarded with assertions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kTimedOut,
+  kInternal,
+};
+
+/// \brief A lightweight success/error result carrying a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: empty dataset".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Accessing the value of an error-state `StatusOr` is a programmer error
+/// and trips an assertion.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on error StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on error StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on error StatusOr");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression, RocksDB-style.
+#define SURF_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::surf::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_STATUS_H_

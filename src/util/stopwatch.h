@@ -1,0 +1,31 @@
+#ifndef SURF_UTIL_STOPWATCH_H_
+#define SURF_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace surf {
+
+/// \brief Wall-clock stopwatch used by benchmark harnesses and time budgets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_STOPWATCH_H_

@@ -1,0 +1,28 @@
+#ifndef SURF_UTIL_STRING_UTIL_H_
+#define SURF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/// Splits `s` on `delim` (keeps empty fields).
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& s);
+
+/// Formats a double with `precision` significant-looking decimals,
+/// trimming trailing zeros ("1.30" -> "1.3", "2.00" -> "2").
+std::string FormatDouble(double v, int precision = 4);
+
+/// Joins strings with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_STRING_UTIL_H_

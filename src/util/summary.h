@@ -1,0 +1,55 @@
+#ifndef SURF_UTIL_SUMMARY_H_
+#define SURF_UTIL_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace surf {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+double StdDev(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> xs, double q);
+
+/// Median shorthand for Quantile(xs, 0.5).
+double Median(std::vector<double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_SUMMARY_H_

@@ -1,0 +1,63 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace surf {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() {
+  rows_.push_back({kSeparatorTag});
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) continue;
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      s += " " + cells[i] + std::string(widths[i] - cells[i].size(), ' ') +
+           " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) {
+      out += rule();
+    } else {
+      out += line(row);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace surf

@@ -1,0 +1,36 @@
+#ifndef SURF_UTIL_TABLE_PRINTER_H_
+#define SURF_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/// \brief Renders aligned ASCII tables, used by every bench binary to print
+/// paper-style rows (Table I, the Fig. 3 series, ...).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells; width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table with column alignment and box-drawing rules.
+  std::string ToString() const;
+
+  /// Convenience: renders straight to a stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  static constexpr const char* kSeparatorTag = "\x01--";
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,76 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace surf {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    assert(!shutdown_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  assert(pool != nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->Wait();
+}
+
+}  // namespace surf

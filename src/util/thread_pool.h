@@ -1,0 +1,58 @@
+#ifndef SURF_UTIL_THREAD_POOL_H_
+#define SURF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace surf {
+
+/// \brief Fixed-size worker pool used for parallel grid search and
+/// cross-validation folds.
+///
+/// Tasks are plain `std::function<void()>`; callers coordinate results
+/// through their own synchronization (typically a pre-sized output vector
+/// indexed by task id, which needs no locking).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_THREAD_POOL_H_

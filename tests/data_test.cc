@@ -1,0 +1,326 @@
+// Tests for the data substrate: Dataset storage, CSV persistence, the
+// synthetic ground-truth generator (the paper's 20 datasets), and the two
+// simulated real-world datasets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "data/activity_sim.h"
+#include "data/crimes_sim.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace surf {
+namespace {
+
+// --------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AddAndGet) {
+  Dataset ds({"x", "y"});
+  ds.AddRow({1.0, 2.0});
+  ds.AddRow({3.0, 4.0});
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.num_cols(), 2u);
+  EXPECT_DOUBLE_EQ(ds.Get(1, 0), 3.0);
+  ds.Set(1, 0, 5.0);
+  EXPECT_DOUBLE_EQ(ds.Get(1, 0), 5.0);
+}
+
+TEST(DatasetTest, ColumnIndexByName) {
+  Dataset ds({"a", "b", "c"});
+  EXPECT_EQ(ds.ColumnIndex("b"), 1);
+  EXPECT_EQ(ds.ColumnIndex("zz"), -1);
+}
+
+TEST(DatasetTest, RowGather) {
+  Dataset ds({"x", "y", "z"});
+  ds.AddRow({1.0, 2.0, 3.0});
+  const auto row = ds.Row(0);
+  EXPECT_EQ(row, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(DatasetTest, ComputeBoundsSelectedColumns) {
+  Dataset ds({"x", "y"});
+  ds.AddRow({0.0, 10.0});
+  ds.AddRow({2.0, -5.0});
+  ds.AddRow({1.0, 3.0});
+  const Bounds b = ds.ComputeBounds({1});
+  EXPECT_EQ(b.dims(), 1u);
+  EXPECT_DOUBLE_EQ(b.lo(0), -5.0);
+  EXPECT_DOUBLE_EQ(b.hi(0), 10.0);
+}
+
+TEST(DatasetTest, SampleWithoutReplacement) {
+  Dataset ds({"x"});
+  for (int i = 0; i < 100; ++i) ds.AddRow({static_cast<double>(i)});
+  Rng rng(3);
+  const Dataset s = ds.Sample(10, &rng);
+  EXPECT_EQ(s.num_rows(), 10u);
+  std::set<double> seen;
+  for (size_t r = 0; r < s.num_rows(); ++r) seen.insert(s.Get(r, 0));
+  EXPECT_EQ(seen.size(), 10u);  // distinct rows
+}
+
+TEST(DatasetTest, SampleLargerThanDataReturnsAll) {
+  Dataset ds({"x"});
+  ds.AddRow({1.0});
+  Rng rng(3);
+  EXPECT_EQ(ds.Sample(10, &rng).num_rows(), 1u);
+}
+
+TEST(DatasetTest, InflateToReachesTarget) {
+  Dataset ds({"x"});
+  ds.AddRow({1.0});
+  ds.AddRow({2.0});
+  Rng rng(4);
+  const Dataset big = ds.InflateTo(100, 0.0, &rng);
+  EXPECT_EQ(big.num_rows(), 100u);
+  // With zero jitter every inflated value replicates an original.
+  for (size_t r = 0; r < big.num_rows(); ++r) {
+    const double v = big.Get(r, 0);
+    EXPECT_TRUE(v == 1.0 || v == 2.0);
+  }
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  Dataset ds({"x", "y"});
+  ds.AddRow({0.5, -1.25});
+  ds.AddRow({3.0, 4.0});
+  const std::string path = "/tmp/surf_dataset_test.csv";
+  ASSERT_TRUE(ds.SaveCsv(path).ok());
+  auto loaded = Dataset::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->Get(0, 1), -1.25);
+  EXPECT_EQ(loaded->column_names()[1], "y");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- Synthetic
+
+TEST(SyntheticTest, SpecNameEncodesSettings) {
+  SyntheticSpec spec;
+  spec.dims = 3;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  EXPECT_EQ(spec.Name(), "den_d3_k1");
+  spec.statistic = SyntheticStatistic::kAggregate;
+  spec.num_gt_regions = 3;
+  EXPECT_EQ(spec.Name(), "agg_d3_k3");
+}
+
+TEST(SyntheticTest, DensityDatasetShape) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 3;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.num_background = 5000;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+
+  EXPECT_EQ(ds.data.num_cols(), 2u);
+  EXPECT_GT(ds.data.num_rows(), 5000u);  // background + injections
+  EXPECT_EQ(ds.gt_regions.size(), 3u);
+  EXPECT_EQ(ds.gt_statistics.size(), 3u);
+  EXPECT_EQ(ds.value_col, -1);
+}
+
+TEST(SyntheticTest, DensityGtRegionsAreDense) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  // GT region count must dominate the uniform-background expectation over
+  // the same volume...
+  const double volume = ds.gt_regions[0].Volume();
+  const double background_expect =
+      volume * static_cast<double>(spec.num_background);
+  EXPECT_GT(ds.gt_statistics[0], 1.2 * background_expect);
+  // ...must exceed the paper's density threshold y_R = 1000...
+  EXPECT_GT(ds.gt_statistics[0], 1000.0);
+  // ...and must land near the configured target so the objective's
+  // optimum coincides with the GT box (see SyntheticSpec docs).
+  const double target =
+      static_cast<double>(spec.EffectiveGtTargetCount());
+  EXPECT_NEAR(ds.gt_statistics[0], target, 0.25 * target);
+}
+
+TEST(SyntheticTest, AggregateGtRegionsHaveHighMean) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 3;
+  spec.statistic = SyntheticStatistic::kAggregate;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  ASSERT_EQ(ds.value_col, 2);
+  EXPECT_EQ(ds.data.num_cols(), 3u);
+  for (double y : ds.gt_statistics) {
+    EXPECT_GT(y, 2.0);  // the paper's aggregate threshold
+    EXPECT_LT(y, 4.0);  // ~N(3, 1) mean
+  }
+}
+
+TEST(SyntheticTest, PointsInsideUnitCube) {
+  SyntheticSpec spec;
+  spec.dims = 4;
+  spec.statistic = SyntheticStatistic::kDensity;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  for (size_t r = 0; r < ds.data.num_rows(); ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(ds.data.Get(r, c), 0.0);
+      EXPECT_LE(ds.data.Get(r, c), 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, GtRegionsDoNotOverlap) {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 3;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  for (size_t i = 0; i < ds.gt_regions.size(); ++i) {
+    for (size_t j = i + 1; j < ds.gt_regions.size(); ++j) {
+      EXPECT_DOUBLE_EQ(ds.gt_regions[i].OverlapVolume(ds.gt_regions[j]),
+                       0.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.seed = 77;
+  const SyntheticDataset a = SyntheticGenerator::Generate(spec);
+  const SyntheticDataset b = SyntheticGenerator::Generate(spec);
+  ASSERT_EQ(a.data.num_rows(), b.data.num_rows());
+  EXPECT_DOUBLE_EQ(a.data.Get(100, 0), b.data.Get(100, 0));
+  EXPECT_EQ(a.gt_regions[0], b.gt_regions[0]);
+}
+
+TEST(SyntheticTest, PaperGridIsTwentyDatasets) {
+  const auto grid = SyntheticGenerator::PaperGrid();
+  EXPECT_EQ(grid.size(), 20u);
+  // 2 statistics × 2 k-values × 5 dims, sizes in the paper's range.
+  std::set<std::string> names;
+  for (const auto& spec : grid) {
+    names.insert(spec.Name());
+    EXPECT_GE(spec.num_background, 7500u);
+    EXPECT_LE(spec.num_background, 12500u);
+    EXPECT_GE(spec.dims, 1u);
+    EXPECT_LE(spec.dims, 5u);
+  }
+  EXPECT_EQ(names.size(), 20u);  // all distinct settings
+}
+
+// ---------------------------------------------------------------- Crimes
+
+TEST(CrimesSimTest, ShapeAndDomain) {
+  CrimesSimSpec spec;
+  spec.num_points = 5000;
+  const CrimesDataset crimes = SimulateCrimes(spec);
+  EXPECT_EQ(crimes.data.num_rows(), 5000u);
+  EXPECT_EQ(crimes.data.num_cols(), 2u);
+  EXPECT_EQ(crimes.hotspots.size(), spec.num_hotspots);
+  for (size_t r = 0; r < crimes.data.num_rows(); ++r) {
+    EXPECT_GE(crimes.data.Get(r, 0), 0.0);
+    EXPECT_LE(crimes.data.Get(r, 0), 1.0);
+    EXPECT_GE(crimes.data.Get(r, 1), 0.0);
+    EXPECT_LE(crimes.data.Get(r, 1), 1.0);
+  }
+}
+
+TEST(CrimesSimTest, HotspotsAreDenserThanBackground) {
+  CrimesSimSpec spec;
+  spec.num_points = 30000;
+  spec.seed = 5;
+  const CrimesDataset crimes = SimulateCrimes(spec);
+  // Count points near the first hot-spot vs an equal-size box in a
+  // (likely) empty corner.
+  const Hotspot& hs = crimes.hotspots[0];
+  auto count_in = [&](double cx, double cy, double half) {
+    size_t n = 0;
+    for (size_t r = 0; r < crimes.data.num_rows(); ++r) {
+      if (std::abs(crimes.data.Get(r, 0) - cx) <= half &&
+          std::abs(crimes.data.Get(r, 1) - cy) <= half) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  const size_t hot = count_in(hs.cx, hs.cy, 0.05);
+  const size_t corner = count_in(0.02, 0.02, 0.05);
+  EXPECT_GT(hot, 2 * corner + 10);
+}
+
+TEST(CrimesSimTest, DeterministicForSeed) {
+  CrimesSimSpec spec;
+  spec.num_points = 100;
+  const CrimesDataset a = SimulateCrimes(spec);
+  const CrimesDataset b = SimulateCrimes(spec);
+  EXPECT_DOUBLE_EQ(a.data.Get(50, 0), b.data.Get(50, 0));
+}
+
+// -------------------------------------------------------------- Activity
+
+TEST(ActivitySimTest, ShapeAndLabels) {
+  ActivitySimSpec spec;
+  spec.num_points = 6000;
+  const ActivityDataset activity = SimulateActivity(spec);
+  EXPECT_EQ(activity.data.num_rows(), 6000u);
+  EXPECT_EQ(activity.data.num_cols(), 4u);
+  EXPECT_EQ(activity.class_means.size(), 6u);
+  // Labels are integral 0..5; all six classes appear.
+  std::set<int> seen;
+  for (size_t r = 0; r < activity.data.num_rows(); ++r) {
+    const double label = activity.data.Get(r, 3);
+    EXPECT_DOUBLE_EQ(label, std::floor(label));
+    EXPECT_GE(label, 0.0);
+    EXPECT_LE(label, 5.0);
+    seen.insert(static_cast<int>(label));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ActivitySimTest, StandClassIsCompact) {
+  ActivitySimSpec spec;
+  spec.num_points = 20000;
+  const ActivityDataset activity = SimulateActivity(spec);
+  const int stand = static_cast<int>(Activity::kStanding);
+  const auto& mean = activity.class_means[static_cast<size_t>(stand)];
+  // Inside a tight box around the stand signature, the stand ratio is
+  // high; globally it is ~its class weight.
+  size_t in_box = 0, in_box_stand = 0, total_stand = 0;
+  for (size_t r = 0; r < activity.data.num_rows(); ++r) {
+    const bool is_stand =
+        static_cast<int>(activity.data.Get(r, 3)) == stand;
+    total_stand += is_stand ? 1 : 0;
+    bool inside = true;
+    for (size_t j = 0; j < 3; ++j) {
+      if (std::abs(activity.data.Get(r, j) - mean[j]) > 0.08) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      ++in_box;
+      in_box_stand += is_stand ? 1 : 0;
+    }
+  }
+  ASSERT_GT(in_box, 50u);
+  const double box_ratio =
+      static_cast<double>(in_box_stand) / static_cast<double>(in_box);
+  const double global_ratio = static_cast<double>(total_stand) /
+                              static_cast<double>(activity.data.num_rows());
+  EXPECT_GT(box_ratio, 0.8);
+  EXPECT_LT(global_ratio, 0.3);
+}
+
+TEST(ActivitySimTest, ActivityNames) {
+  EXPECT_EQ(ActivityName(Activity::kStanding), "stand");
+  EXPECT_EQ(ActivityName(Activity::kWalking), "walk");
+  EXPECT_EQ(ActivityName(Activity::kLaying), "lay");
+}
+
+}  // namespace
+}  // namespace surf

@@ -1,0 +1,324 @@
+// Tests for the extension modules: DBSCAN swarm clustering, incremental
+// surrogate updates (warm-start boosting), KDE sampling, the top-k
+// formulation, and the GSO luciferin scale-invariance fix.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/surf.h"
+#include "core/topk.h"
+#include "data/synthetic.h"
+#include "ml/kde.h"
+#include "opt/clustering.h"
+#include "opt/test_functions.h"
+#include "util/summary.h"
+
+namespace surf {
+namespace {
+
+// ------------------------------------------------------------ Clustering
+
+TEST(ClusterSwarmTest, SeparatesTwoGroups) {
+  std::vector<Region> particles;
+  std::vector<double> fitness;
+  std::vector<bool> valid;
+  // Two tight groups of five particles each.
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 5; ++i) {
+      particles.push_back(
+          Region({0.2 + 0.6 * g + 0.005 * i}, {0.1 + 0.002 * i}));
+      fitness.push_back(g == 0 ? 1.0 + i : 10.0 + i);
+      valid.push_back(true);
+    }
+  }
+  const auto clusters = ClusterSwarm(particles, fitness, valid, 0.05, 3);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].members.size(), 5u);
+  EXPECT_EQ(clusters[1].members.size(), 5u);
+  // Best member has the top fitness of its group.
+  EXPECT_DOUBLE_EQ(clusters[0].best_fitness, 5.0);
+  EXPECT_DOUBLE_EQ(clusters[1].best_fitness, 14.0);
+}
+
+TEST(ClusterSwarmTest, NoiseIsDropped) {
+  std::vector<Region> particles;
+  std::vector<double> fitness;
+  std::vector<bool> valid;
+  for (int i = 0; i < 6; ++i) {
+    particles.push_back(Region({0.5 + 0.004 * i}, {0.1}));
+    fitness.push_back(1.0);
+    valid.push_back(true);
+  }
+  // One isolated particle far away.
+  particles.push_back(Region({0.05}, {0.45}));
+  fitness.push_back(99.0);
+  valid.push_back(true);
+  const auto clusters = ClusterSwarm(particles, fitness, valid, 0.05, 3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 6u);
+}
+
+TEST(ClusterSwarmTest, InvalidParticlesExcluded) {
+  std::vector<Region> particles;
+  std::vector<double> fitness;
+  std::vector<bool> valid;
+  for (int i = 0; i < 8; ++i) {
+    particles.push_back(Region({0.5 + 0.003 * i}, {0.1}));
+    fitness.push_back(1.0);
+    valid.push_back(i % 2 == 0);  // half invalid
+  }
+  const auto clusters = ClusterSwarm(particles, fitness, valid, 0.05, 2);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 4u);
+  for (size_t m : clusters[0].members) EXPECT_TRUE(valid[m]);
+}
+
+TEST(ClusterSwarmTest, EmptyInput) {
+  EXPECT_TRUE(ClusterSwarm({}, {}, {}, 0.1, 2).empty());
+}
+
+TEST(ClusterSwarmTest, CapturesGsoModes) {
+  // End-to-end: cluster a converged swarm over a 3-peak landscape and
+  // recover all three modes.
+  GaussianBumps bumps;
+  bumps.peaks = {{0.2, 0.1}, {0.5, 0.3}, {0.8, 0.15}};
+  bumps.sigma = 0.08;
+  bumps.validity_floor = 0.01;
+  GsoParams params;
+  params.num_glowworms = 150;
+  params.max_iterations = 150;
+  params.seed = 3;
+  RegionSolutionSpace space;
+  space.bounds = Bounds::Unit(1);
+  space.min_half_length = 0.01;
+  space.max_half_length = 0.5;
+  const GsoResult swarm =
+      GlowwormSwarmOptimizer(params).Optimize(bumps.AsFitnessFn(), space);
+  const auto clusters =
+      ClusterSwarm(swarm.particles, swarm.fitness, swarm.valid, 0.06, 4);
+  std::set<int> captured;
+  for (const auto& cluster : clusters) {
+    captured.insert(bumps.NearestPeak(swarm.particles[cluster.best_index]));
+  }
+  EXPECT_GE(captured.size(), 3u);
+}
+
+// --------------------------------------------------- Incremental updates
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticSpec spec;
+    spec.dims = 2;
+    spec.num_gt_regions = 1;
+    spec.statistic = SyntheticStatistic::kDensity;
+    spec.seed = 5;
+    data_ = SyntheticGenerator::Generate(spec);
+    evaluator_ = std::make_unique<ScanEvaluator>(
+        &data_.data, Statistic::Count({0, 1}));
+    domain_ = data_.data.ComputeBounds({0, 1});
+  }
+
+  RegionWorkload MakeWorkload(size_t n, uint64_t seed) {
+    WorkloadParams params;
+    params.num_queries = n;
+    params.seed = seed;
+    return GenerateWorkload(*evaluator_, domain_, params);
+  }
+
+  SyntheticDataset data_;
+  std::unique_ptr<ScanEvaluator> evaluator_;
+  Bounds domain_;
+};
+
+TEST_F(IncrementalTest, UpdateImprovesWeakModel) {
+  // Deliberately under-trained model.
+  SurrogateTrainOptions options;
+  options.gbrt.n_estimators = 5;
+  auto surrogate = Surrogate::Train(MakeWorkload(3000, 1), options);
+  ASSERT_TRUE(surrogate.ok());
+
+  const RegionWorkload probe = MakeWorkload(1000, 99);
+  auto rmse_on_probe = [&](const Surrogate& s) {
+    std::vector<double> pred;
+    for (size_t i = 0; i < probe.size(); ++i) {
+      pred.push_back(s.Predict(probe.RegionAt(i)));
+    }
+    double se = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+      se += (pred[i] - probe.targets[i]) * (pred[i] - probe.targets[i]);
+    }
+    return std::sqrt(se / static_cast<double>(pred.size()));
+  };
+  const double before = rmse_on_probe(*surrogate);
+
+  ASSERT_TRUE(surrogate->Update(MakeWorkload(3000, 2), 60).ok());
+  const double after = rmse_on_probe(*surrogate);
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST_F(IncrementalTest, UpdateValidatesInput) {
+  SurrogateTrainOptions options;
+  auto surrogate = Surrogate::Train(MakeWorkload(2000, 3), options);
+  ASSERT_TRUE(surrogate.ok());
+  RegionWorkload empty;
+  empty.features = FeatureMatrix(4);
+  EXPECT_FALSE(surrogate->Update(empty, 10).ok());
+
+  Surrogate untrained;
+  EXPECT_EQ(untrained.Update(MakeWorkload(100, 4), 10).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IncrementalTest, ContinueFitRejectsMismatchedWidth) {
+  SurrogateTrainOptions options;
+  options.gbrt.n_estimators = 10;
+  auto surrogate = Surrogate::Train(MakeWorkload(1000, 5), options);
+  ASSERT_TRUE(surrogate.ok());
+  // Narrower feature matrix (wrong dimensionality).
+  GradientBoostedTrees model;
+  FeatureMatrix x(2);
+  x.AddRow({0.1, 0.2});
+  ASSERT_TRUE(model.Fit(x, {1.0}).ok());
+  FeatureMatrix wrong(3);
+  wrong.AddRow({0.1, 0.2, 0.3});
+  EXPECT_FALSE(model.ContinueFit(wrong, {1.0}, 5).ok());
+}
+
+TEST_F(IncrementalTest, UpdatedModelGrowsTreeCount) {
+  SurrogateTrainOptions options;
+  options.gbrt.n_estimators = 20;
+  auto surrogate = Surrogate::Train(MakeWorkload(2000, 6), options);
+  ASSERT_TRUE(surrogate.ok());
+  const auto& gbrt =
+      dynamic_cast<const GradientBoostedTrees&>(surrogate->model());
+  const size_t before = gbrt.num_trees();
+  ASSERT_TRUE(surrogate->Update(MakeWorkload(1000, 7), 15).ok());
+  EXPECT_EQ(gbrt.num_trees(), before + 15);
+}
+
+// ------------------------------------------------------------ KDE extras
+
+TEST(KdeSamplingTest, SamplePointRoundTrip) {
+  std::vector<std::vector<double>> points{{1.0, 2.0}, {3.0, 4.0}};
+  const Kde kde = Kde::Fit(points);
+  EXPECT_EQ(kde.SamplePoint(0), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(kde.SamplePoint(1), (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(KdeSamplingTest, DrawPointFollowsDensity) {
+  Rng data_rng(8);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back({data_rng.Gaussian(0.3, 0.02)});
+  }
+  const Kde kde = Kde::Fit(points);
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) stats.Add(kde.DrawPoint(&rng)[0]);
+  EXPECT_NEAR(stats.mean(), 0.3, 0.01);
+  EXPECT_LT(stats.stddev(), 0.06);
+}
+
+// ----------------------------------------------------------------- TopK
+
+TEST(TopKTest, FindsTheDensestRegions) {
+  SyntheticSpec spec;
+  spec.dims = 1;
+  spec.num_gt_regions = 3;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 10;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  ScanEvaluator eval(&ds.data, Statistic::Count({0}));
+  WorkloadParams wparams;
+  wparams.num_queries = 3000;
+  const RegionWorkload workload =
+      GenerateWorkload(eval, ds.data.ComputeBounds({0}), wparams);
+  auto surrogate = Surrogate::Train(workload, SurrogateTrainOptions{});
+  ASSERT_TRUE(surrogate.ok());
+
+  TopKConfig config;
+  config.k = 3;
+  config.gso.num_glowworms = 150;
+  config.gso.max_iterations = 120;
+  TopKFinder finder(surrogate->AsStatisticFn(), workload.space, config);
+  const TopKResult result = finder.Find();
+  ASSERT_LE(result.regions.size(), 3u);
+  ASSERT_GE(result.regions.size(), 1u);
+  // The best region must sit on a planted box.
+  double best_iou = 0.0;
+  for (const auto& gt : ds.gt_regions) {
+    best_iou = std::max(best_iou, result.regions[0].region.IoU(gt));
+  }
+  EXPECT_GT(best_iou, 0.15);
+  // Results are score-ordered.
+  for (size_t i = 1; i < result.regions.size(); ++i) {
+    EXPECT_GE(result.regions[i - 1].fitness, result.regions[i].fitness);
+  }
+}
+
+TEST(TopKTest, KOneReturnsSingleRegion) {
+  SyntheticSpec spec;
+  spec.dims = 1;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.seed = 11;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+  ScanEvaluator eval(&ds.data, Statistic::Count({0}));
+  WorkloadParams wparams;
+  wparams.num_queries = 2000;
+  const RegionWorkload workload =
+      GenerateWorkload(eval, ds.data.ComputeBounds({0}), wparams);
+  auto surrogate = Surrogate::Train(workload, SurrogateTrainOptions{});
+  ASSERT_TRUE(surrogate.ok());
+  TopKConfig config;
+  config.k = 1;
+  config.gso.num_glowworms = 80;
+  config.gso.max_iterations = 80;
+  TopKFinder finder(surrogate->AsStatisticFn(), workload.space, config);
+  EXPECT_LE(finder.Find().regions.size(), 1u);
+}
+
+// -------------------------------------------- GSO luciferin invariance
+
+TEST(GsoScaleInvarianceTest, NegativeFitnessLandscapesStillConverge) {
+  // Shifting a landscape by a large negative constant must not change the
+  // swarm's behaviour (the raw Eq. 6 would let invalid particles
+  // outshine valid ones — the failure mode behind the scale-free
+  // reinforcement deviation documented in gso.cc).
+  GaussianBumps bumps;
+  bumps.peaks = {{0.5, 0.25}};
+  bumps.sigma = 0.15;
+  bumps.validity_floor = 0.05;
+
+  const FitnessFn shifted = [&bumps](const Region& r) {
+    FitnessValue fv = bumps.Evaluate(r);
+    fv.value -= 1000.0;  // heavily negative everywhere
+    return fv;
+  };
+  GsoParams params;
+  params.num_glowworms = 80;
+  params.max_iterations = 100;
+  params.seed = 12;
+  RegionSolutionSpace space;
+  space.bounds = Bounds::Unit(1);
+  space.min_half_length = 0.01;
+  space.max_half_length = 0.5;
+  const GsoResult result =
+      GlowwormSwarmOptimizer(params).Optimize(shifted, space);
+  EXPECT_GT(result.ValidFraction(), 0.5);
+  // The best particle sits near the peak.
+  double best_dist = 1e9;
+  for (size_t i = 0; i < result.particles.size(); ++i) {
+    if (!result.valid[i]) continue;
+    best_dist = std::min(best_dist,
+                         bumps.DistanceToNearestPeak(result.particles[i]));
+  }
+  EXPECT_LT(best_dist, 0.15);
+}
+
+}  // namespace
+}  // namespace surf

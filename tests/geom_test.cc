@@ -1,0 +1,236 @@
+// Unit and property tests for region geometry: the [x, l] encoding,
+// hyper-rectangle algebra, and the IoU metric (paper Eq. 10).
+
+#include <gtest/gtest.h>
+
+#include "geom/bounds.h"
+#include "geom/region.h"
+#include "util/rng.h"
+
+namespace surf {
+namespace {
+
+Region UnitSquareAt(double cx, double cy, double half) {
+  return Region({cx, cy}, {half, half});
+}
+
+// ---------------------------------------------------------------- Region
+
+TEST(RegionTest, CornersRoundTrip) {
+  const Region r = Region::FromCorners({0.0, 1.0}, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(r.center(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.center(1), 3.0);
+  EXPECT_DOUBLE_EQ(r.half_length(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.half_length(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.hi(1), 5.0);
+}
+
+TEST(RegionTest, FlatRoundTrip) {
+  const Region r({0.3, 0.7, 0.1}, {0.05, 0.2, 0.15});
+  const Region back = Region::FromFlat(r.ToFlat());
+  EXPECT_EQ(r, back);
+  EXPECT_EQ(r.ToFlat().size(), 6u);
+}
+
+TEST(RegionTest, ContainsInclusiveEdges) {
+  const Region r({0.5}, {0.25});
+  EXPECT_TRUE(r.Contains({0.5}));
+  EXPECT_TRUE(r.Contains({0.25}));   // lower edge
+  EXPECT_TRUE(r.Contains({0.75}));   // upper edge
+  EXPECT_FALSE(r.Contains({0.249}));
+  EXPECT_FALSE(r.Contains({0.751}));
+}
+
+TEST(RegionTest, ContainsMultiDim) {
+  const Region r({0.5, 0.5}, {0.1, 0.2});
+  EXPECT_TRUE(r.Contains({0.45, 0.65}));
+  EXPECT_FALSE(r.Contains({0.45, 0.75}));
+}
+
+TEST(RegionTest, VolumeIsProductOfSides) {
+  const Region r({0.0, 0.0}, {0.5, 0.25});
+  EXPECT_DOUBLE_EQ(r.Volume(), 1.0 * 0.5);
+  EXPECT_DOUBLE_EQ(Region({1.0}, {2.0}).Volume(), 4.0);
+}
+
+TEST(RegionTest, ZeroSideGivesZeroVolume) {
+  EXPECT_DOUBLE_EQ(Region({0.0, 0.0}, {0.5, 0.0}).Volume(), 0.0);
+}
+
+TEST(RegionTest, DegenerateDetection) {
+  EXPECT_TRUE(Region({0.0}, {-0.1}).Degenerate());
+  EXPECT_FALSE(Region({0.0}, {0.1}).Degenerate());
+  EXPECT_TRUE(
+      Region({std::numeric_limits<double>::quiet_NaN()}, {0.1}).Degenerate());
+  EXPECT_TRUE(
+      Region({0.0}, {std::numeric_limits<double>::infinity()}).Degenerate());
+}
+
+TEST(RegionTest, OverlapVolumeIdentical) {
+  const Region r = UnitSquareAt(0.5, 0.5, 0.25);
+  EXPECT_DOUBLE_EQ(r.OverlapVolume(r), r.Volume());
+}
+
+TEST(RegionTest, OverlapVolumeDisjoint) {
+  const Region a = UnitSquareAt(0.2, 0.2, 0.1);
+  const Region b = UnitSquareAt(0.8, 0.8, 0.1);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.0);
+}
+
+TEST(RegionTest, OverlapVolumePartial) {
+  // [0,1]x[0,1] vs [0.5,1.5]x[0,1]: overlap 0.5.
+  const Region a = Region::FromCorners({0.0, 0.0}, {1.0, 1.0});
+  const Region b = Region::FromCorners({0.5, 0.0}, {1.5, 1.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.5);
+  EXPECT_DOUBLE_EQ(a.UnionVolume(b), 1.5);
+  EXPECT_DOUBLE_EQ(a.IoU(b), 0.5 / 1.5);
+}
+
+TEST(RegionTest, TouchingBoxesHaveZeroOverlap) {
+  const Region a = Region::FromCorners({0.0}, {1.0});
+  const Region b = Region::FromCorners({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.IoU(b), 0.0);
+}
+
+TEST(RegionTest, IoUSelfIsOne) {
+  const Region r({0.3, 0.4, 0.5}, {0.1, 0.1, 0.2});
+  EXPECT_DOUBLE_EQ(r.IoU(r), 1.0);
+}
+
+TEST(RegionTest, IoUContained) {
+  // Inner box 1/4 the volume of the outer box.
+  const Region outer = UnitSquareAt(0.5, 0.5, 0.2);
+  const Region inner = UnitSquareAt(0.5, 0.5, 0.1);
+  EXPECT_NEAR(outer.IoU(inner), 0.25, 1e-12);
+  EXPECT_TRUE(inner.Within(outer));
+  EXPECT_FALSE(outer.Within(inner));
+}
+
+TEST(RegionTest, IoUZeroVolumeUnion) {
+  const Region a({0.5}, {0.0});
+  EXPECT_DOUBLE_EQ(a.IoU(a), 0.0);  // degenerate: union volume 0
+}
+
+TEST(RegionTest, FlatDistanceMatchesManual) {
+  const Region a({0.0, 0.0}, {0.1, 0.1});
+  const Region b({0.3, 0.4}, {0.1, 0.1});
+  EXPECT_DOUBLE_EQ(a.FlatDistance(b), 0.5);  // 3-4-5 triangle in centers
+}
+
+TEST(RegionTest, ClampToBox) {
+  Region r({-1.0, 2.0}, {0.9, 0.0001});
+  r.ClampTo({0.0, 0.0}, {1.0, 1.0}, 0.01, 0.5);
+  EXPECT_DOUBLE_EQ(r.center(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.center(1), 1.0);
+  EXPECT_DOUBLE_EQ(r.half_length(0), 0.5);
+  EXPECT_DOUBLE_EQ(r.half_length(1), 0.01);
+}
+
+TEST(RegionTest, ToStringMentionsCenter) {
+  const std::string s = Region({0.5}, {0.1}).ToString();
+  EXPECT_NE(s.find("center"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+// --------------------------------------------- Property tests (randomized)
+
+class RegionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RegionPropertyTest, IoUProperties) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t d = 1 + rng.UniformInt(4);
+  auto random_region = [&] {
+    std::vector<double> c(d), l(d);
+    for (size_t i = 0; i < d; ++i) {
+      c[i] = rng.Uniform();
+      l[i] = rng.Uniform(0.01, 0.3);
+    }
+    return Region(c, l);
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    const Region a = random_region();
+    const Region b = random_region();
+    const double iou = a.IoU(b);
+    // IoU is symmetric, bounded, and maximal on identity.
+    EXPECT_GE(iou, 0.0);
+    EXPECT_LE(iou, 1.0 + 1e-12);
+    EXPECT_NEAR(iou, b.IoU(a), 1e-12);
+    EXPECT_NEAR(a.IoU(a), 1.0, 1e-12);
+    // Overlap is bounded by each volume.
+    EXPECT_LE(a.OverlapVolume(b), std::min(a.Volume(), b.Volume()) + 1e-12);
+    // Union >= max volume.
+    EXPECT_GE(a.UnionVolume(b), std::max(a.Volume(), b.Volume()) - 1e-12);
+  }
+}
+
+TEST_P(RegionPropertyTest, ContainmentImpliesOverlapEqualsInnerVolume) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t d = 1 + rng.UniformInt(3);
+    std::vector<double> c(d), l_outer(d), l_inner(d);
+    for (size_t i = 0; i < d; ++i) {
+      c[i] = rng.Uniform();
+      l_outer[i] = rng.Uniform(0.1, 0.3);
+      l_inner[i] = l_outer[i] * rng.Uniform(0.2, 0.9);
+    }
+    const Region outer(c, l_outer);
+    const Region inner(c, l_inner);
+    EXPECT_TRUE(inner.Within(outer));
+    EXPECT_NEAR(outer.OverlapVolume(inner), inner.Volume(), 1e-12);
+    EXPECT_NEAR(outer.IoU(inner), inner.Volume() / outer.Volume(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- Bounds
+
+TEST(BoundsTest, UnitCube) {
+  const Bounds b = Bounds::Unit(3);
+  EXPECT_EQ(b.dims(), 3u);
+  EXPECT_DOUBLE_EQ(b.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(b.hi(2), 1.0);
+  EXPECT_DOUBLE_EQ(b.Extent(1), 1.0);
+  EXPECT_DOUBLE_EQ(b.MaxExtent(), 1.0);
+}
+
+TEST(BoundsTest, ExtendGrows) {
+  Bounds b({0.0}, {1.0});
+  b.Extend({2.5});
+  EXPECT_DOUBLE_EQ(b.hi(0), 2.5);
+  b.Extend({-1.0});
+  EXPECT_DOUBLE_EQ(b.lo(0), -1.0);
+}
+
+TEST(BoundsTest, ExtendFromEmpty) {
+  Bounds b;
+  b.Extend({3.0, 4.0});
+  EXPECT_EQ(b.dims(), 2u);
+  EXPECT_DOUBLE_EQ(b.lo(0), 3.0);
+  EXPECT_DOUBLE_EQ(b.hi(1), 4.0);
+}
+
+TEST(BoundsTest, ContainsInclusive) {
+  const Bounds b({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(b.Contains({0.0, 1.0}));
+  EXPECT_FALSE(b.Contains({1.0001, 0.5}));
+}
+
+TEST(BoundsTest, AsRegionCoversBounds) {
+  const Bounds b({-2.0, 0.0}, {2.0, 4.0});
+  const Region r = b.AsRegion();
+  EXPECT_DOUBLE_EQ(r.center(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.half_length(1), 2.0);
+  EXPECT_DOUBLE_EQ(r.Volume(), 16.0);
+}
+
+TEST(BoundsTest, MaxExtentPicksWidest) {
+  const Bounds b({0.0, 0.0}, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(b.MaxExtent(), 3.0);
+}
+
+}  // namespace
+}  // namespace surf

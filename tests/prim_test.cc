@@ -1,0 +1,199 @@
+// Tests for the PRIM baseline (Friedman & Fisher bump hunting): peeling
+// toward high-mean boxes, support control, pasting, covering for multiple
+// boxes, and the density failure mode the paper discusses in §V-B.
+
+#include <gtest/gtest.h>
+
+#include "prim/prim.h"
+#include "util/rng.h"
+
+namespace surf {
+namespace {
+
+/// 2-d points with y high inside a planted box, low outside.
+void MakeBumpData(const Region& bump, size_t n, uint64_t seed,
+                  FeatureMatrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = FeatureMatrix(2);
+  x->Reserve(n);
+  y->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    x->AddRow(p);
+    const bool inside = bump.Contains(p);
+    y->push_back(rng.Gaussian(inside ? 3.0 : 0.0, 0.5));
+  }
+}
+
+TEST(PrimTest, FindsPlantedBump) {
+  const Region bump({0.5, 0.5}, {0.15, 0.15});
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeBumpData(bump, 6000, 1, &x, &y);
+
+  PrimParams params;
+  params.min_support = 0.01;
+  params.max_boxes = 1;
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  ASSERT_EQ(result.boxes.size(), 1u);
+  const PrimBox& box = result.boxes[0];
+  EXPECT_GT(box.mean, 2.0);
+  EXPECT_GT(box.region.IoU(bump), 0.5);
+  EXPECT_GE(box.support, params.min_support);
+  EXPECT_GT(result.peel_steps, 0u);
+}
+
+TEST(PrimTest, CoveringFindsMultipleBumps) {
+  const Region bump_a({0.25, 0.25}, {0.12, 0.12});
+  const Region bump_b({0.75, 0.75}, {0.12, 0.12});
+  Rng rng(2);
+  FeatureMatrix x(2);
+  std::vector<double> y;
+  for (int i = 0; i < 8000; ++i) {
+    const std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    x.AddRow(p);
+    const bool in_a = bump_a.Contains(p);
+    const bool in_b = bump_b.Contains(p);
+    y.push_back(rng.Gaussian(in_a || in_b ? 3.0 : 0.0, 0.4));
+  }
+
+  PrimParams params;
+  params.max_boxes = 2;
+  params.target_threshold = 2.0;  // the paper's aggregate threshold
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  ASSERT_EQ(result.boxes.size(), 2u);
+
+  // Each planted bump must be matched by exactly one found box.
+  double iou_a = 0.0, iou_b = 0.0;
+  for (const auto& box : result.boxes) {
+    iou_a = std::max(iou_a, box.region.IoU(bump_a));
+    iou_b = std::max(iou_b, box.region.IoU(bump_b));
+  }
+  EXPECT_GT(iou_a, 0.4);
+  EXPECT_GT(iou_b, 0.4);
+}
+
+TEST(PrimTest, TargetThresholdStopsCovering) {
+  const Region bump({0.5, 0.5}, {0.15, 0.15});
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeBumpData(bump, 5000, 3, &x, &y);
+  PrimParams params;
+  params.max_boxes = 5;
+  params.target_threshold = 2.0;
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  // After the single real bump is removed the remaining means hover near
+  // 0 < 2, so covering must stop early.
+  EXPECT_LE(result.boxes.size(), 2u);
+  for (const auto& box : result.boxes) EXPECT_GE(box.mean, 2.0);
+}
+
+TEST(PrimTest, SupportFloorRespected) {
+  const Region bump({0.5, 0.5}, {0.1, 0.1});
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeBumpData(bump, 4000, 4, &x, &y);
+  PrimParams params;
+  params.min_support = 0.05;  // larger than the bump itself (4% area)
+  params.max_boxes = 1;
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  ASSERT_EQ(result.boxes.size(), 1u);
+  EXPECT_GE(result.boxes[0].support, 0.05);
+}
+
+TEST(PrimTest, ConstantTargetIsDensityBlind) {
+  // The paper's §V-B observation: PRIM cannot chase density because its
+  // objective is the mean response, which a constant target makes flat.
+  Rng rng(5);
+  FeatureMatrix x(2);
+  std::vector<double> y;
+  const Region dense({0.3, 0.3}, {0.1, 0.1});
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> p{rng.Uniform(), rng.Uniform()};
+    x.AddRow(p);
+    y.push_back(1.0);
+  }
+  for (int i = 0; i < 1500; ++i) {  // dense cluster
+    x.AddRow({rng.Uniform(dense.lo(0), dense.hi(0)),
+              rng.Uniform(dense.lo(1), dense.hi(1))});
+    y.push_back(1.0);
+  }
+  PrimParams params;
+  params.max_boxes = 1;
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  // PRIM returns *a* box, but with no gradient to follow its overlap with
+  // the dense cluster is incidental — typically poor.
+  if (!result.boxes.empty()) {
+    EXPECT_LT(result.boxes[0].region.IoU(dense), 0.5);
+  }
+}
+
+TEST(PrimTest, PastingImprovesOrKeepsMean) {
+  const Region bump({0.5, 0.5}, {0.15, 0.15});
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeBumpData(bump, 5000, 6, &x, &y);
+  PrimParams no_paste;
+  no_paste.enable_pasting = false;
+  no_paste.max_boxes = 1;
+  PrimParams with_paste = no_paste;
+  with_paste.enable_pasting = true;
+
+  const PrimResult a = Prim(no_paste).Run(x, y);
+  const PrimResult b = Prim(with_paste).Run(x, y);
+  ASSERT_FALSE(a.boxes.empty());
+  ASSERT_FALSE(b.boxes.empty());
+  EXPECT_GE(b.boxes[0].mean + 1e-9, a.boxes[0].mean);
+}
+
+TEST(PrimTest, EmptyInputYieldsNothing) {
+  FeatureMatrix x(2);
+  const Prim prim(PrimParams{});
+  const PrimResult result = prim.Run(x, {});
+  EXPECT_TRUE(result.boxes.empty());
+}
+
+TEST(PrimTest, OneDimensionalPeeling) {
+  Rng rng(7);
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.Uniform();
+    x.AddRow({v});
+    y.push_back(v > 0.6 && v < 0.8 ? 5.0 : 0.0);
+  }
+  PrimParams params;
+  params.max_boxes = 1;
+  const Prim prim(params);
+  const PrimResult result = prim.Run(x, y);
+  ASSERT_EQ(result.boxes.size(), 1u);
+  EXPECT_GT(result.boxes[0].region.lo(0), 0.5);
+  EXPECT_LT(result.boxes[0].region.hi(0), 0.9);
+  EXPECT_GT(result.boxes[0].mean, 3.0);
+}
+
+TEST(PrimTest, PeelAlphaControlsGranularity) {
+  const Region bump({0.5, 0.5}, {0.15, 0.15});
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeBumpData(bump, 5000, 8, &x, &y);
+  PrimParams patient;
+  patient.peel_alpha = 0.02;
+  patient.max_boxes = 1;
+  PrimParams greedy = patient;
+  greedy.peel_alpha = 0.3;
+  const PrimResult a = Prim(patient).Run(x, y);
+  const PrimResult b = Prim(greedy).Run(x, y);
+  ASSERT_FALSE(a.boxes.empty());
+  ASSERT_FALSE(b.boxes.empty());
+  // The patient runs peels more often (smaller slivers per step).
+  EXPECT_GT(a.peel_steps, b.peel_steps);
+}
+
+}  // namespace
+}  // namespace surf

@@ -1,0 +1,364 @@
+// Tests for the statistics engine: statistic reduction semantics, the
+// three exact back-ends (scan / grid / k-d tree) and their agreement, and
+// the empirical CDF.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "data/dataset.h"
+#include "stats/ecdf.h"
+#include "stats/evaluator.h"
+#include "stats/grid_index.h"
+#include "stats/kd_tree.h"
+#include "stats/rtree.h"
+#include "stats/statistic.h"
+#include "util/rng.h"
+
+namespace surf {
+namespace {
+
+/// Fixed 1-D dataset with a value column: points at 0.05, 0.15, ..., 0.95
+/// and value = 10 * x.
+Dataset MakeLineData() {
+  Dataset ds({"x", "v"});
+  for (int i = 0; i < 10; ++i) {
+    const double x = 0.05 + 0.1 * i;
+    ds.AddRow({x, 10.0 * x});
+  }
+  return ds;
+}
+
+/// Random dataset over [0,1]^d with a value column and a binary label.
+Dataset MakeRandomData(size_t n, size_t d, uint64_t seed) {
+  std::vector<std::string> names;
+  for (size_t j = 0; j < d; ++j) names.push_back("a" + std::to_string(j));
+  names.push_back("v");
+  names.push_back("label");
+  Dataset ds(names);
+  Rng rng(seed);
+  std::vector<double> row(d + 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) row[j] = rng.Uniform();
+    row[d] = rng.Gaussian(1.0, 2.0);
+    row[d + 1] = rng.Bernoulli(0.3) ? 1.0 : 0.0;
+    ds.AddRow(row);
+  }
+  return ds;
+}
+
+// ------------------------------------------------------------- Statistic
+
+TEST(StatisticTest, FactoryFieldsAndNames) {
+  const Statistic count = Statistic::Count({0, 1});
+  EXPECT_EQ(count.kind, StatisticKind::kCount);
+  EXPECT_FALSE(count.needs_value_column());
+  EXPECT_EQ(count.dims(), 2u);
+
+  const Statistic avg = Statistic::Average({0}, 1);
+  EXPECT_EQ(avg.kind, StatisticKind::kAverage);
+  EXPECT_TRUE(avg.needs_value_column());
+  EXPECT_EQ(avg.value_col, 1);
+
+  EXPECT_EQ(StatisticKindName(StatisticKind::kCount), "count");
+  EXPECT_EQ(StatisticKindName(StatisticKind::kMedian), "median");
+  EXPECT_EQ(StatisticKindName(StatisticKind::kLabelRatio), "ratio");
+}
+
+TEST(StatisticTest, ReduceCount) {
+  const Dataset ds = MakeLineData();
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::Count({0}), {0, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(ReduceStatistic(ds, Statistic::Count({0}), {}), 0.0);
+}
+
+TEST(StatisticTest, ReduceSumAndAverage) {
+  const Dataset ds = MakeLineData();
+  // Rows 0,1,2 have values 0.5, 1.5, 2.5.
+  EXPECT_DOUBLE_EQ(ReduceStatistic(ds, Statistic::Sum({0}, 1), {0, 1, 2}),
+                   4.5);
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::Average({0}, 1), {0, 1, 2}), 1.5);
+}
+
+TEST(StatisticTest, EmptyAverageIsNaN) {
+  const Dataset ds = MakeLineData();
+  EXPECT_TRUE(
+      std::isnan(ReduceStatistic(ds, Statistic::Average({0}, 1), {})));
+  EXPECT_TRUE(
+      std::isnan(ReduceStatistic(ds, Statistic::MedianOf({0}, 1), {})));
+  // Sum of nothing is 0, not NaN.
+  EXPECT_DOUBLE_EQ(ReduceStatistic(ds, Statistic::Sum({0}, 1), {}), 0.0);
+}
+
+TEST(StatisticTest, ReduceMedianOddEven) {
+  const Dataset ds = MakeLineData();
+  // Values of rows 0..2: 0.5 1.5 2.5 -> median 1.5.
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::MedianOf({0}, 1), {0, 1, 2}), 1.5);
+  // Rows 0..3: 0.5 1.5 2.5 3.5 -> median 2.0.
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::MedianOf({0}, 1), {0, 1, 2, 3}), 2.0);
+}
+
+TEST(StatisticTest, ReduceVariance) {
+  Dataset ds({"x", "v"});
+  ds.AddRow({0.1, 2.0});
+  ds.AddRow({0.2, 4.0});
+  ds.AddRow({0.3, 6.0});
+  // Sample variance of {2,4,6} = 4.
+  EXPECT_NEAR(
+      ReduceStatistic(ds, Statistic::VarianceOf({0}, 1), {0, 1, 2}), 4.0,
+      1e-12);
+  // Single point: variance 0; empty: NaN.
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::VarianceOf({0}, 1), {0}), 0.0);
+  EXPECT_TRUE(
+      std::isnan(ReduceStatistic(ds, Statistic::VarianceOf({0}, 1), {})));
+}
+
+TEST(StatisticTest, ReduceLabelRatio) {
+  Dataset ds({"x", "label"});
+  ds.AddRow({0.1, 1.0});
+  ds.AddRow({0.2, 0.0});
+  ds.AddRow({0.3, 1.0});
+  ds.AddRow({0.4, 1.0});
+  EXPECT_DOUBLE_EQ(ReduceStatistic(ds, Statistic::LabelRatio({0}, 1, 1.0),
+                                   {0, 1, 2, 3}),
+                   0.75);
+  EXPECT_DOUBLE_EQ(
+      ReduceStatistic(ds, Statistic::LabelRatio({0}, 1, 1.0), {}), 0.0);
+}
+
+TEST(StatisticAccumulatorTest, BlockMergeMatchesPointwise) {
+  const Statistic stat = Statistic::Average({0}, 1);
+  StatisticAccumulator pointwise(stat);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) pointwise.Add(v);
+
+  StatisticAccumulator blocked(stat);
+  blocked.Add(1.0);
+  blocked.AddBlock(3, 9.0, 29.0, 0);  // {2,3,4}: sum 9, sum² 29
+  EXPECT_DOUBLE_EQ(pointwise.Finalize(), blocked.Finalize());
+}
+
+// -------------------------------------------------- Evaluators (3 kinds)
+
+TEST(ScanEvaluatorTest, CountMatchesManual) {
+  const Dataset ds = MakeLineData();
+  ScanEvaluator eval(&ds, Statistic::Count({0}));
+  // [0.04, 0.36] holds x = 0.05, 0.15, 0.25, 0.35 (edges chosen clear of
+  // the points to avoid floating-point boundary ambiguity).
+  EXPECT_DOUBLE_EQ(eval.Evaluate(Region({0.2}, {0.16})), 4.0);
+  EXPECT_DOUBLE_EQ(eval.Evaluate(Region({0.5}, {0.5})), 10.0);
+  EXPECT_DOUBLE_EQ(eval.Evaluate(Region({-1.0}, {0.1})), 0.0);
+}
+
+TEST(ScanEvaluatorTest, EvaluationCounter) {
+  const Dataset ds = MakeLineData();
+  ScanEvaluator eval(&ds, Statistic::Count({0}));
+  EXPECT_EQ(eval.evaluation_count(), 0u);
+  eval.Evaluate(Region({0.5}, {0.1}));
+  eval.Evaluate(Region({0.5}, {0.2}));
+  EXPECT_EQ(eval.evaluation_count(), 2u);
+  eval.ResetEvaluationCount();
+  EXPECT_EQ(eval.evaluation_count(), 0u);
+}
+
+TEST(ScanEvaluatorTest, AverageUndefinedOutsideData) {
+  const Dataset ds = MakeLineData();
+  ScanEvaluator eval(&ds, Statistic::Average({0}, 1));
+  EXPECT_TRUE(std::isnan(eval.Evaluate(Region({5.0}, {0.1}))));
+  EXPECT_NEAR(eval.Evaluate(Region({0.5}, {0.5})), 5.0, 1e-9);
+}
+
+/// Parameterized agreement suite: every back-end must produce the exact
+/// same answers as the reference scan for every statistic kind.
+struct BackendCase {
+  const char* name;
+  int backend;  // 0 scan, 1 grid, 2 kdtree
+};
+
+class BackendAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::unique_ptr<RegionEvaluator> MakeBackend(int which, const Dataset* ds,
+                                             const Statistic& stat) {
+  switch (which) {
+    case 1:
+      return std::make_unique<GridIndexEvaluator>(ds, stat, 8);
+    case 2:
+      return std::make_unique<KdTreeEvaluator>(ds, stat, 16);
+    case 3:
+      return std::make_unique<RTreeEvaluator>(ds, stat, 8, 32);
+    default:
+      return std::make_unique<ScanEvaluator>(ds, stat);
+  }
+}
+
+Statistic MakeStatistic(int kind, size_t d) {
+  std::vector<size_t> cols;
+  for (size_t j = 0; j < d; ++j) cols.push_back(j);
+  switch (kind) {
+    case 0:
+      return Statistic::Count(cols);
+    case 1:
+      return Statistic::Average(cols, d);
+    case 2:
+      return Statistic::Sum(cols, d);
+    case 3:
+      return Statistic::MedianOf(cols, d);
+    case 4:
+      return Statistic::VarianceOf(cols, d);
+    default:
+      return Statistic::LabelRatio(cols, d + 1, 1.0);
+  }
+}
+
+TEST_P(BackendAgreementTest, MatchesScanOnRandomQueries) {
+  const int backend = std::get<0>(GetParam());
+  const int kind = std::get<1>(GetParam());
+  const size_t d = 2;
+  const Dataset ds = MakeRandomData(3000, d, 42);
+  const Statistic stat = MakeStatistic(kind, d);
+
+  ScanEvaluator reference(&ds, stat);
+  auto candidate = MakeBackend(backend, &ds, stat);
+
+  Rng rng(7);
+  for (int q = 0; q < 60; ++q) {
+    std::vector<double> center(d), half(d);
+    for (size_t j = 0; j < d; ++j) {
+      center[j] = rng.Uniform();
+      half[j] = rng.Uniform(0.02, 0.4);
+    }
+    const Region region(center, half);
+    const double expected = reference.Evaluate(region);
+    const double actual = candidate->Evaluate(region);
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(actual)) << "query " << q;
+    } else {
+      EXPECT_NEAR(actual, expected, 1e-9 * (1.0 + std::fabs(expected)))
+          << "query " << q;
+    }
+  }
+}
+
+std::string BackendCaseName(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* backends[] = {"scan", "grid", "kdtree", "rtree"};
+  static const char* kinds[] = {"count", "avg",    "sum",
+                                "median", "var",   "ratio"};
+  return std::string(backends[std::get<0>(info.param)]) + "_" +
+         kinds[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAllStatistics, BackendAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3, 4, 5)),
+    BackendCaseName);
+
+TEST(GridIndexTest, HighDimensionCellCap) {
+  const Dataset ds = MakeRandomData(500, 5, 9);
+  const Statistic stat =
+      Statistic::Count(std::vector<size_t>{0, 1, 2, 3, 4});
+  GridIndexEvaluator eval(&ds, stat, 64);
+  // 64^5 would be 2^30 cells; the builder must cap resolution.
+  EXPECT_LE(eval.num_cells(), (1u << 20));
+  // And remain exact.
+  ScanEvaluator ref(&ds, stat);
+  const Region probe({0.5, 0.5, 0.5, 0.5, 0.5}, {0.3, 0.3, 0.3, 0.3, 0.3});
+  EXPECT_DOUBLE_EQ(eval.Evaluate(probe), ref.Evaluate(probe));
+}
+
+TEST(KdTreeTest, BuildsBalancedNodes) {
+  const Dataset ds = MakeRandomData(1000, 2, 10);
+  KdTreeEvaluator eval(&ds, Statistic::Count({0, 1}), 16);
+  EXPECT_GT(eval.num_nodes(), 60u);   // ~2*1000/16
+  EXPECT_LT(eval.num_nodes(), 300u);
+}
+
+TEST(KdTreeTest, FullDomainQueryCountsEverything) {
+  const Dataset ds = MakeRandomData(777, 3, 11);
+  KdTreeEvaluator eval(&ds, Statistic::Count({0, 1, 2}));
+  const Region all({0.5, 0.5, 0.5}, {1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(eval.Evaluate(all), 777.0);
+}
+
+TEST(RTreeTest, StructureIsShallow) {
+  const Dataset ds = MakeRandomData(4000, 2, 12);
+  RTreeEvaluator eval(&ds, Statistic::Count({0, 1}), 16, 64);
+  // 4000/64 ≈ 63 leaves, fanout 16 → height 3 (leaves, inner, root).
+  EXPECT_LE(eval.height(), 4u);
+  EXPECT_GE(eval.height(), 2u);
+}
+
+TEST(RTreeTest, FullDomainQueryCountsEverything) {
+  const Dataset ds = MakeRandomData(901, 3, 13);
+  RTreeEvaluator eval(&ds, Statistic::Count({0, 1, 2}));
+  EXPECT_DOUBLE_EQ(
+      eval.Evaluate(Region({0.5, 0.5, 0.5}, {1.0, 1.0, 1.0})), 901.0);
+}
+
+TEST(RTreeTest, OneDimensionalData) {
+  // STR tiling must cope with d = 1 (no secondary sort dimension).
+  const Dataset ds = MakeRandomData(512, 1, 14);
+  RTreeEvaluator eval(&ds, Statistic::Count({0}), 8, 16);
+  ScanEvaluator ref(&ds, Statistic::Count({0}));
+  Rng rng(15);
+  for (int q = 0; q < 30; ++q) {
+    const Region region({rng.Uniform()}, {rng.Uniform(0.05, 0.3)});
+    EXPECT_DOUBLE_EQ(eval.Evaluate(region), ref.Evaluate(region));
+  }
+}
+
+// ------------------------------------------------------------------ Ecdf
+
+TEST(EcdfTest, CdfSteps) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(10.0), 1.0);
+}
+
+TEST(EcdfTest, ExceedanceComplements) {
+  const Ecdf ecdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ecdf.Exceedance(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(2.5) + ecdf.Exceedance(2.5), 1.0);
+}
+
+TEST(EcdfTest, QuantileInterpolation) {
+  const Ecdf ecdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.75), 40.0);
+}
+
+TEST(EcdfTest, DropsNaNSamples) {
+  const Ecdf ecdf({1.0, std::nan(""), 3.0});
+  EXPECT_EQ(ecdf.num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(ecdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.max(), 3.0);
+}
+
+TEST(EcdfTest, EmptyIsSafe) {
+  const Ecdf ecdf(std::vector<double>{});
+  EXPECT_EQ(ecdf.num_samples(), 0u);
+  EXPECT_DOUBLE_EQ(ecdf.Cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.Quantile(0.5), 0.0);
+}
+
+TEST(EcdfTest, MatchesTheoreticalUniform) {
+  Rng rng(33);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Uniform());
+  const Ecdf ecdf(std::move(samples));
+  EXPECT_NEAR(ecdf.Cdf(0.25), 0.25, 0.01);
+  EXPECT_NEAR(ecdf.Quantile(0.75), 0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace surf

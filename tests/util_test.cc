@@ -1,0 +1,439 @@
+// Unit tests for the util module: Status/StatusOr, Rng, summaries, CSV,
+// string helpers, table printing, CLI flags, and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/summary.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace surf {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::TimedOut("x").code(), StatusCode::kTimedOut);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyTypesWork) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    SURF_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectWeights) {
+  Rng rng(15);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += rng.Categorical(weights) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsSignalsMiss) {
+  Rng rng(16);
+  std::vector<double> weights{0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(weights), weights.size());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<size_t> idx{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&idx);
+  std::set<size_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(123);
+  Rng child = a.Fork();
+  // Child diverges from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == child.Next()) ? 1 : 0;
+  EXPECT_LT(same, 5);
+}
+
+// --------------------------------------------------------------- Summary
+
+TEST(SummaryTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryTest, RunningStatsEdgeCases) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);  // single sample
+}
+
+TEST(SummaryTest, MeanAndStd) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+}
+
+TEST(SummaryTest, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(SummaryTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Median({9.0, 1.0, 5.0}), 5.0);
+}
+
+TEST(SummaryTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(SummaryTest, PearsonConstantSideIsZero) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SummaryTest, FitLineRecoversSlope) {
+  std::vector<double> xs{0, 1, 2, 3};
+  std::vector<double> ys{1, 3, 5, 7};  // y = 1 + 2x
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+// ------------------------------------------------------------ StringUtil
+
+TEST(StringUtilTest, Split) {
+  const auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimString("  x \t"), "x");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.5, 4), "1.5");
+  EXPECT_EQ(FormatDouble(2.0, 4), "2");
+  EXPECT_EQ(FormatDouble(0.125, 3), "0.125");
+}
+
+TEST(StringUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, RoundTrip) {
+  CsvWriter writer({"a", "b"});
+  writer.AddRow({1.0, 2.5});
+  writer.AddRow({-3.0, 0.125});
+  const std::string path = "/tmp/surf_csv_test.csv";
+  ASSERT_TRUE(writer.Write(path).ok());
+
+  auto table = ReadCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_cols(), 2u);
+  EXPECT_DOUBLE_EQ(table->rows[1][1], 0.125);
+  EXPECT_EQ(table->Column("a")[0], 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto table = ReadCsv("/tmp/definitely_missing_surf.csv");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  EXPECT_EQ(table.ColumnIndex("y"), 1);
+  EXPECT_EQ(table.ColumnIndex("z"), -1);
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  const std::string path = "/tmp/surf_csv_ragged.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a,b\n1,2\n3\n", f);
+    fclose(f);
+  }
+  auto table = ReadCsv(path);
+  EXPECT_FALSE(table.ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRows) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  const std::string out = table.ToString();
+  // header rule + separator + top/bottom = 4 rules
+  size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+// ------------------------------------------------------------------- CLI
+
+TEST(CliTest, ParsesAllForms) {
+  // Note: a bare "--flag" greedily consumes a following non-flag token as
+  // its value, so positionals must precede flags or flags must use '='.
+  const char* argv[] = {"prog", "positional", "--alpha=1.5", "--n", "42",
+                        "--flag"};
+  CliFlags flags(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 1.5);
+  EXPECT_EQ(flags.GetInt("n", 0), 42);
+  EXPECT_TRUE(flags.GetBool("flag", false));
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(CliTest, FlagValueConsumesNextToken) {
+  const char* argv[] = {"prog", "--name", "value"};
+  CliFlags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetString("name", "dft"), "dft");
+  EXPECT_EQ(flags.GetInt("n", -1), -1);
+  EXPECT_FALSE(flags.Has("n"));
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(50, 0);
+  ParallelFor(&pool, hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel prior = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Emission below the gate is a no-op (nothing to assert besides no
+  // crash; output goes to stderr).
+  SURF_LOG(kDebug) << "suppressed";
+  SetLogLevel(prior);
+}
+
+// -------------------------------------------------------------- Stopwatch
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1000.0 * 0.99);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace surf

@@ -1,0 +1,196 @@
+// surf_cli — command-line front end to the SuRF pipeline.
+//
+// Subcommands:
+//   mine   load a CSV dataset, train (or load) a surrogate, mine regions
+//   ecdf   print region-statistic quantiles (to help pick a threshold)
+//   train  train a surrogate and save it for later `mine --model` runs
+//
+// Examples:
+//   surf_cli mine --data crimes.csv --cols x,y --stat count \
+//            --threshold 800 --direction above
+//   surf_cli ecdf --data crimes.csv --cols x,y --stat count
+//   surf_cli train --data crimes.csv --cols x,y --stat count \
+//            --queries 50000 --model crimes.surf
+//   surf_cli mine --data crimes.csv --cols x,y --stat count \
+//            --model crimes.surf --threshold 800
+
+#include <cstdio>
+#include <string>
+
+#include "core/surf.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace surf;
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "surf_cli: %s\n", msg.c_str());
+  return 1;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: surf_cli <mine|ecdf|train> --data FILE.csv --cols a,b[,c]\n"
+      "  common:  --stat count|avg|sum|median|var|ratio\n"
+      "           --value-col NAME     (avg/sum/median/var/ratio)\n"
+      "           --label VALUE        (ratio)\n"
+      "           --queries N          past evaluations to learn from\n"
+      "           --hypertune          GridSearchCV before the final fit\n"
+      "  mine:    --threshold Y  --direction above|below  --c C\n"
+      "           --model FILE         reuse a saved surrogate\n"
+      "           --max-regions K\n"
+      "  train:   --model FILE         output path\n");
+}
+
+StatusOr<Statistic> ParseStatistic(const CliFlags& flags,
+                                   const Dataset& data) {
+  std::vector<size_t> cols;
+  for (const auto& name : SplitString(flags.GetString("cols", ""), ',')) {
+    if (name.empty()) continue;
+    const int idx = data.ColumnIndex(TrimString(name));
+    if (idx < 0) {
+      return Status::InvalidArgument("unknown column '" + name + "'");
+    }
+    cols.push_back(static_cast<size_t>(idx));
+  }
+  if (cols.empty()) {
+    return Status::InvalidArgument("--cols is required (comma separated)");
+  }
+
+  const std::string kind = flags.GetString("stat", "count");
+  if (kind == "count") return Statistic::Count(cols);
+
+  const std::string value_name = flags.GetString("value-col", "");
+  const int value_idx = data.ColumnIndex(value_name);
+  if (value_idx < 0) {
+    return Status::InvalidArgument("--value-col required for --stat " +
+                                   kind);
+  }
+  const size_t value_col = static_cast<size_t>(value_idx);
+  if (kind == "avg") return Statistic::Average(cols, value_col);
+  if (kind == "sum") return Statistic::Sum(cols, value_col);
+  if (kind == "median") return Statistic::MedianOf(cols, value_col);
+  if (kind == "var") return Statistic::VarianceOf(cols, value_col);
+  if (kind == "ratio") {
+    return Statistic::LabelRatio(cols, value_col,
+                                 flags.GetDouble("label", 1.0));
+  }
+  return Status::InvalidArgument("unknown --stat '" + kind + "'");
+}
+
+SurfOptions ParseOptions(const CliFlags& flags) {
+  SurfOptions options;
+  options.workload.num_queries =
+      static_cast<size_t>(flags.GetInt("queries", 10000));
+  options.surrogate.hypertune = flags.GetBool("hypertune", false);
+  options.finder.c = flags.GetDouble("c", 4.0);
+  options.finder.max_regions =
+      static_cast<size_t>(flags.GetInt("max-regions", 16));
+  options.finder.gso.max_iterations =
+      static_cast<size_t>(flags.GetInt("iterations", 120));
+  return options;
+}
+
+int RunMine(const CliFlags& flags, const Dataset& data) {
+  auto statistic = ParseStatistic(flags, data);
+  if (!statistic.ok()) return Fail(statistic.status().ToString());
+  if (!flags.Has("threshold")) return Fail("--threshold is required");
+  const double threshold = flags.GetDouble("threshold", 0.0);
+  const ThresholdDirection direction =
+      flags.GetString("direction", "above") == "below"
+          ? ThresholdDirection::kBelow
+          : ThresholdDirection::kAbove;
+
+  auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
+  if (!surf.ok()) return Fail(surf.status().ToString());
+  std::printf("surrogate: test RMSE %s (%zu training evaluations, "
+              "%.2fs)\n",
+              FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
+              surf->surrogate().metrics().num_train_examples,
+              surf->surrogate().metrics().train_seconds);
+
+  const FindResult result = surf->FindRegions(threshold, direction);
+  TablePrinter table({"region", "box", "estimate", "true", "complies"});
+  for (size_t i = 0; i < result.regions.size(); ++i) {
+    const auto& r = result.regions[i];
+    std::vector<std::string> box;
+    for (size_t j = 0; j < r.region.dims(); ++j) {
+      box.push_back("[" + FormatDouble(r.region.lo(j), 3) + "," +
+                    FormatDouble(r.region.hi(j), 3) + "]");
+    }
+    table.AddRow({"#" + std::to_string(i + 1), JoinStrings(box, "x"),
+                  FormatDouble(r.estimate, 2),
+                  FormatDouble(r.true_value, 2),
+                  r.complies_true ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("%zu regions in %.2fs (%.0f%% of swarm in valid space, "
+              "%.0f%% true compliance)\n",
+              result.regions.size(), result.report.seconds,
+              100.0 * result.report.particle_valid_fraction,
+              100.0 * result.report.true_compliance);
+  return 0;
+}
+
+int RunEcdf(const CliFlags& flags, const Dataset& data) {
+  auto statistic = ParseStatistic(flags, data);
+  if (!statistic.ok()) return Fail(statistic.status().ToString());
+  SurfOptions options = ParseOptions(flags);
+  options.workload.num_queries = 2000;  // light: ECDF only
+  options.fit_kde = false;
+  auto surf = Surf::Build(&data, *statistic, options);
+  if (!surf.ok()) return Fail(surf.status().ToString());
+  const Ecdf ecdf = surf->SampleStatisticEcdf(
+      static_cast<size_t>(flags.GetInt("samples", 4000)), 7);
+  TablePrinter table({"quantile", "statistic"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    table.AddRow({FormatDouble(q, 2), FormatDouble(ecdf.Quantile(q), 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunTrain(const CliFlags& flags, const Dataset& data) {
+  auto statistic = ParseStatistic(flags, data);
+  if (!statistic.ok()) return Fail(statistic.status().ToString());
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) return Fail("--model output path is required");
+  auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
+  if (!surf.ok()) return Fail(surf.status().ToString());
+  if (auto st = surf->surrogate().Save(model_path); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("trained on %zu evaluations (test RMSE %s) -> %s\n",
+              surf->surrogate().metrics().num_train_examples,
+              FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
+              model_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace surf;
+  CliFlags flags(argc, argv);
+  if (flags.positional().empty()) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = flags.positional()[0];
+
+  const std::string data_path = flags.GetString("data", "");
+  if (data_path.empty()) return Fail("--data FILE.csv is required");
+  auto data = Dataset::LoadCsv(data_path);
+  if (!data.ok()) return Fail(data.status().ToString());
+  std::printf("loaded %zu rows x %zu columns from %s\n",
+              data->num_rows(), data->num_cols(), data_path.c_str());
+
+  if (command == "mine") return RunMine(flags, *data);
+  if (command == "ecdf") return RunEcdf(flags, *data);
+  if (command == "train") return RunTrain(flags, *data);
+  PrintUsage();
+  return 1;
+}
