@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
   tk_config.gso.num_glowworms = 150;
   tk_config.gso.max_iterations = 120;
   TopKFinder topk(surrogate->AsStatisticFn(), workload.space, tk_config);
+  topk.SetBatchEstimate(surrogate->AsBatchStatisticFn());
   const TopKResult topk_result = topk.Find();
   std::vector<Region> topk_regions;
   for (const auto& r : topk_result.regions) {
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
   th_config.gso.max_iterations = 120;
   SurfFinder threshold_finder(surrogate->AsStatisticFn(), workload.space,
                               th_config);
+  threshold_finder.SetBatchEstimate(surrogate->AsBatchStatisticFn());
   const FindResult th_result =
       threshold_finder.Find(1000.0, ThresholdDirection::kAbove);
   std::vector<Region> th_regions;

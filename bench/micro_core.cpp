@@ -2,13 +2,29 @@
 // leans on: surrogate prediction, GBRT tree traversal, KDE region-mass
 // integrals, exact range queries across the three back-ends, GSO
 // iterations, and IoU math.
+//
+// Before the google-benchmark suite, main() runs the GBRT engine speedup
+// report: the reworked engine (contiguous bins, sibling histogram
+// subtraction, leaf-range boosting updates, blocked copy-free batch
+// prediction) against a faithful port of the original single-thread
+// implementation, at 1 and 8 threads, verifying bit-identical predictions
+// across thread counts. Results land in BENCH_gbrt.json (override the
+// path with SURF_BENCH_JSON). Pass --speedup-only to skip the benchmark
+// suite, e.g. in CI perf smoke jobs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "bench_common.h"
+#include "legacy_gbrt.h"
 #include "ml/kde.h"
 #include "stats/grid_index.h"
 #include "stats/kd_tree.h"
+#include "util/stopwatch.h"
 
 namespace surf {
 namespace {
@@ -73,6 +89,14 @@ void BM_SurrogatePredict(benchmark::State& state) {
 }
 BENCHMARK(BM_SurrogatePredict);
 
+void BM_SurrogateEvaluateMany(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.surrogate.EvaluateMany(f.probes));
+  }
+}
+BENCHMARK(BM_SurrogateEvaluateMany);
+
 void BM_ScanEvaluate(benchmark::State& state) {
   MicroFixture& f = MicroFixture::Get();
   size_t i = 0;
@@ -124,7 +148,8 @@ void BM_GsoIteration(benchmark::State& state) {
   MicroFixture& f = MicroFixture::Get();
   ObjectiveConfig oconfig;
   oconfig.threshold = 1000.0;
-  const RegionObjective objective(f.surrogate.AsStatisticFn(), oconfig);
+  const RegionObjective objective(f.surrogate.AsStatisticFn(),
+                                  f.surrogate.AsBatchStatisticFn(), oconfig);
   GsoParams params;
   params.num_glowworms = static_cast<size_t>(state.range(0));
   params.max_iterations = 1;
@@ -132,7 +157,7 @@ void BM_GsoIteration(benchmark::State& state) {
   const GlowwormSwarmOptimizer gso(params);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        gso.Optimize(objective.AsFitnessFn(), f.space));
+        gso.Optimize(objective.AsBatchFitnessFn(), f.space));
   }
 }
 BENCHMARK(BM_GsoIteration)->Arg(50)->Arg(100)->Arg(200);
@@ -154,7 +179,265 @@ void BM_GbrtTraining(benchmark::State& state) {
 BENCHMARK(BM_GbrtTraining)->Arg(1000)->Arg(4000)->Unit(
     benchmark::kMillisecond);
 
+void BM_GbrtPredictBatch(benchmark::State& state) {
+  MicroFixture& f = MicroFixture::Get();
+  Rng rng(6);
+  FeatureMatrix probes(2 * f.space.dims());
+  const size_t n = static_cast<size_t>(state.range(0));
+  probes.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    probes.AddRow(RegionFeatures(f.space.Sample(&rng)));
+  }
+  const auto* model =
+      dynamic_cast<const GradientBoostedTrees*>(&f.surrogate.model());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->PredictBatch(probes));
+  }
+}
+BENCHMARK(BM_GbrtPredictBatch)->Arg(1024)->Arg(16384)->Unit(
+    benchmark::kMillisecond);
+
+// ===================================================================
+// GBRT engine speedup report (BENCH_gbrt.json)
+// ===================================================================
+
+constexpr size_t kReportThreads = 8;
+
+// Training comparison shape.
+constexpr size_t kTrainRows = 100000;
+constexpr size_t kTrainFeatures = 6;
+constexpr size_t kTrainTrees = 100;
+constexpr size_t kTrainDepth = 8;
+
+// Prediction comparison shape (big ensemble: the blocked traversal's
+// cache behaviour is the whole story).
+constexpr size_t kPredictTrees = 300;
+constexpr size_t kPredictDepth = 9;
+constexpr size_t kPredictRows = 30000;
+
+double BenchTargetFn(const std::vector<double>& x) {
+  double out = std::sin(6.0 * x[0]) + 0.7 * x[1] * x[1];
+  for (size_t j = 2; j < x.size(); ++j) {
+    out += 0.3 * std::cos(3.0 * x[j]) * x[(j - 1) % x.size()];
+  }
+  return out;
+}
+
+void MakeBenchProblem(size_t rows, size_t features, uint64_t seed,
+                      FeatureMatrix* x, std::vector<double>* y) {
+  Rng rng(seed);
+  *x = FeatureMatrix(features);
+  x->Reserve(rows);
+  y->clear();
+  y->reserve(rows);
+  std::vector<double> row(features);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < features; ++j) row[j] = rng.Uniform();
+    x->AddRow(row);
+    y->push_back(BenchTargetFn(row) + 0.05 * rng.Gaussian());
+  }
+}
+
+template <typename Fn>
+double BestOfSeconds(size_t reps, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < reps; ++i) {
+    Stopwatch timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+struct SpeedupReport {
+  double train_baseline_ms = 0.0;
+  double train_engine_1t_ms = 0.0;
+  double train_engine_mt_ms = 0.0;
+  double predict_baseline_ms = 0.0;
+  double predict_engine_1t_ms = 0.0;
+  double predict_engine_mt_ms = 0.0;
+  bool deterministic_across_threads = false;
+  double predict_max_abs_diff_vs_baseline = 0.0;
+};
+
+GbrtParams EngineParams(size_t trees, size_t depth, size_t threads) {
+  GbrtParams params;
+  params.n_estimators = trees;
+  params.max_depth = depth;
+  params.num_threads = threads;
+  params.seed = 11;
+  return params;
+}
+
+SpeedupReport RunSpeedupReport() {
+  SpeedupReport report;
+
+  // ---- training ----
+  FeatureMatrix train_x;
+  std::vector<double> train_y;
+  MakeBenchProblem(kTrainRows, kTrainFeatures, 91, &train_x, &train_y);
+
+  report.train_baseline_ms = 1e3 * BestOfSeconds(2, [&] {
+    bench::LegacyGbrt legacy;
+    legacy.n_estimators = kTrainTrees;
+    legacy.tree_params.max_depth = kTrainDepth;
+    legacy.Fit(train_x, train_y);
+    if (legacy.num_trees() != kTrainTrees) std::abort();
+  });
+  report.train_engine_1t_ms = 1e3 * BestOfSeconds(2, [&] {
+    GradientBoostedTrees model(EngineParams(kTrainTrees, kTrainDepth, 1));
+    if (!model.Fit(train_x, train_y).ok()) std::abort();
+  });
+  report.train_engine_mt_ms = 1e3 * BestOfSeconds(2, [&] {
+    GradientBoostedTrees model(
+        EngineParams(kTrainTrees, kTrainDepth, kReportThreads));
+    if (!model.Fit(train_x, train_y).ok()) std::abort();
+  });
+
+  // Determinism: identical predictions for any thread count.
+  {
+    GradientBoostedTrees one(EngineParams(kTrainTrees, kTrainDepth, 1));
+    GradientBoostedTrees many(
+        EngineParams(kTrainTrees, kTrainDepth, kReportThreads));
+    if (!one.Fit(train_x, train_y).ok()) std::abort();
+    if (!many.Fit(train_x, train_y).ok()) std::abort();
+    const std::vector<double> pa = one.PredictBatch(train_x);
+    const std::vector<double> pb = many.PredictBatch(train_x);
+    report.deterministic_across_threads = pa == pb;
+  }
+
+  // ---- batch prediction ----
+  // One big ensemble, walked by both engines: the legacy predictor loads
+  // the library model's serialized trees so the comparison is over the
+  // identical ensemble.
+  GradientBoostedTrees model(
+      EngineParams(kPredictTrees, kPredictDepth, kReportThreads));
+  if (!model.Fit(train_x, train_y).ok()) std::abort();
+
+  bench::LegacyGbrt legacy_model;
+  {
+    const std::string tmp = "/tmp/surf_bench_gbrt.model";
+    if (!model.Save(tmp).ok()) std::abort();
+    std::ifstream is(tmp);
+    std::string magic;
+    size_t num_features = 0, n_trees = 0;
+    double base_score = 0.0, lr = 0.0;
+    is >> magic >> num_features >> base_score >> lr >> n_trees;
+    legacy_model.LoadTrees(is, n_trees, base_score, lr, num_features);
+    std::remove(tmp.c_str());
+  }
+
+  FeatureMatrix probe_x;
+  std::vector<double> probe_y;
+  MakeBenchProblem(kPredictRows, kTrainFeatures, 92, &probe_x, &probe_y);
+
+  std::vector<double> legacy_out, engine_out_1t, engine_out_mt;
+  report.predict_baseline_ms = 1e3 * BestOfSeconds(3, [&] {
+    legacy_out = legacy_model.PredictBatch(probe_x);
+  });
+  model.set_num_threads(1);
+  report.predict_engine_1t_ms = 1e3 * BestOfSeconds(3, [&] {
+    engine_out_1t = model.PredictBatch(probe_x);
+  });
+  model.set_num_threads(kReportThreads);
+  report.predict_engine_mt_ms = 1e3 * BestOfSeconds(3, [&] {
+    engine_out_mt = model.PredictBatch(probe_x);
+  });
+
+  if (engine_out_1t != engine_out_mt) {
+    report.deterministic_across_threads = false;
+  }
+  for (size_t r = 0; r < legacy_out.size(); ++r) {
+    report.predict_max_abs_diff_vs_baseline =
+        std::max(report.predict_max_abs_diff_vs_baseline,
+                 std::fabs(legacy_out[r] - engine_out_1t[r]));
+  }
+  return report;
+}
+
+void WriteReportJson(const SpeedupReport& report, const std::string& path) {
+  std::ofstream os(path);
+  os.precision(6);
+  os << "{\n";
+  os << "  \"threads\": " << kReportThreads << ",\n";
+  os << "  \"train\": {\n";
+  os << "    \"rows\": " << kTrainRows << ",\n";
+  os << "    \"features\": " << kTrainFeatures << ",\n";
+  os << "    \"trees\": " << kTrainTrees << ",\n";
+  os << "    \"max_depth\": " << kTrainDepth << ",\n";
+  os << "    \"baseline_1t_ms\": " << report.train_baseline_ms << ",\n";
+  os << "    \"engine_1t_ms\": " << report.train_engine_1t_ms << ",\n";
+  os << "    \"engine_" << kReportThreads
+     << "t_ms\": " << report.train_engine_mt_ms << ",\n";
+  os << "    \"speedup_1t\": "
+     << report.train_baseline_ms / report.train_engine_1t_ms << ",\n";
+  os << "    \"speedup_" << kReportThreads << "t\": "
+     << report.train_baseline_ms / report.train_engine_mt_ms << "\n";
+  os << "  },\n";
+  os << "  \"predict\": {\n";
+  os << "    \"rows\": " << kPredictRows << ",\n";
+  os << "    \"features\": " << kTrainFeatures << ",\n";
+  os << "    \"trees\": " << kPredictTrees << ",\n";
+  os << "    \"max_depth\": " << kPredictDepth << ",\n";
+  os << "    \"baseline_1t_ms\": " << report.predict_baseline_ms << ",\n";
+  os << "    \"engine_1t_ms\": " << report.predict_engine_1t_ms << ",\n";
+  os << "    \"engine_" << kReportThreads
+     << "t_ms\": " << report.predict_engine_mt_ms << ",\n";
+  os << "    \"speedup_1t\": "
+     << report.predict_baseline_ms / report.predict_engine_1t_ms << ",\n";
+  os << "    \"speedup_" << kReportThreads << "t\": "
+     << report.predict_baseline_ms / report.predict_engine_mt_ms << ",\n";
+  os << "    \"max_abs_diff_vs_baseline\": "
+     << report.predict_max_abs_diff_vs_baseline << "\n";
+  os << "  },\n";
+  os << "  \"bit_identical_across_thread_counts\": "
+     << (report.deterministic_across_threads ? "true" : "false") << "\n";
+  os << "}\n";
+}
+
 }  // namespace
 }  // namespace surf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool speedup_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--speedup-only") {
+      speedup_only = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  const char* json_env = std::getenv("SURF_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_gbrt.json";
+
+  std::printf("== GBRT engine speedup report (vs legacy single-thread "
+              "baseline) ==\n");
+  const surf::SpeedupReport report = surf::RunSpeedupReport();
+  std::printf("train   : baseline %.1f ms | engine 1t %.1f ms (%.2fx) | "
+              "engine %zut %.1f ms (%.2fx)\n",
+              report.train_baseline_ms, report.train_engine_1t_ms,
+              report.train_baseline_ms / report.train_engine_1t_ms,
+              surf::kReportThreads, report.train_engine_mt_ms,
+              report.train_baseline_ms / report.train_engine_mt_ms);
+  std::printf("predict : baseline %.1f ms | engine 1t %.1f ms (%.2fx) | "
+              "engine %zut %.1f ms (%.2fx)\n",
+              report.predict_baseline_ms, report.predict_engine_1t_ms,
+              report.predict_baseline_ms / report.predict_engine_1t_ms,
+              surf::kReportThreads, report.predict_engine_mt_ms,
+              report.predict_baseline_ms / report.predict_engine_mt_ms);
+  std::printf("bit-identical across thread counts: %s | max |Δ| vs "
+              "baseline: %.3g\n",
+              report.deterministic_across_threads ? "yes" : "NO",
+              report.predict_max_abs_diff_vs_baseline);
+  surf::WriteReportJson(report, json_path);
+  std::printf("wrote %s\n\n", json_path.c_str());
+  if (speedup_only) return 0;
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

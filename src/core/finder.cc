@@ -25,22 +25,31 @@ FindResult SurfFinder::Find(double threshold,
   obj_config.direction = direction;
   obj_config.c = config_.c;
   obj_config.use_log = config_.use_log_objective;
-  const RegionObjective objective(estimate_, obj_config);
+  const RegionObjective objective(estimate_, batch_estimate_, obj_config);
 
   const GlowwormSwarmOptimizer gso(config_.gso);
   const Kde* kde = config_.use_kde_guidance ? kde_ : nullptr;
 
   FindResult result;
-  result.gso = gso.Optimize(objective.AsFitnessFn(), space_, kde);
+  // The batched fitness scores each swarm iteration with a single
+  // surrogate PredictBatch call (EvaluateMany) instead of L tree walks.
+  result.gso = gso.Optimize(objective.AsBatchFitnessFn(), space_, kde);
 
-  // Collect valid particles and reduce to distinct regions.
+  // Collect valid particles and reduce to distinct regions; their
+  // statistic estimates come from one batched call.
   std::vector<ScoredRegion> candidates;
+  std::vector<Region> valid_regions;
   for (size_t i = 0; i < result.gso.particles.size(); ++i) {
+    if (result.gso.valid[i]) valid_regions.push_back(result.gso.particles[i]);
+  }
+  const std::vector<double> estimates =
+      EvaluateStatistics(valid_regions, estimate_, batch_estimate_);
+  for (size_t i = 0, v = 0; i < result.gso.particles.size(); ++i) {
     if (!result.gso.valid[i]) continue;
     ScoredRegion cand;
     cand.region = result.gso.particles[i];
     cand.fitness = result.gso.fitness[i];
-    cand.statistic = estimate_(cand.region);
+    cand.statistic = estimates[v++];
     candidates.push_back(std::move(cand));
   }
   const auto distinct = SelectDistinctRegions(

@@ -81,6 +81,14 @@ class SurfFinder {
   SurfFinder(StatisticFn estimate, RegionSolutionSpace space,
              FinderConfig config);
 
+  /// Attaches a batched estimate source (e.g.
+  /// Surrogate::AsBatchStatisticFn). When set, the optimizer scores each
+  /// swarm iteration with one call instead of one estimate per particle.
+  /// Must agree with the scalar `estimate` value-for-value.
+  void SetBatchEstimate(BatchStatisticFn batch_estimate) {
+    batch_estimate_ = std::move(batch_estimate);
+  }
+
   /// Attaches a KDE prior over the data distribution (non-owning); used
   /// only when config.use_kde_guidance is set.
   void SetKde(const Kde* kde) { kde_ = kde; }
@@ -99,6 +107,7 @@ class SurfFinder {
 
  private:
   StatisticFn estimate_;
+  BatchStatisticFn batch_estimate_;  // may be null
   RegionSolutionSpace space_;
   FinderConfig config_;
   const Kde* kde_ = nullptr;

@@ -95,6 +95,7 @@ StatusOr<Surf> Surf::Build(const Dataset* data, Statistic statistic,
   }
   surf.finder_ = std::make_unique<SurfFinder>(
       surf.surrogate_.AsStatisticFn(), surf.space_, finder_config);
+  surf.finder_->SetBatchEstimate(surf.surrogate_.AsBatchStatisticFn());
   if (surf.kde_ != nullptr) surf.finder_->SetKde(surf.kde_.get());
   if (options.validate_results) {
     surf.finder_->SetValidator(surf.evaluator_.get());

@@ -118,6 +118,29 @@ double Surrogate::Predict(const Region& region) const {
   return model_->Predict(RegionFeatures(region));
 }
 
+namespace {
+
+/// Shared batched-evaluation kernel: one feature-matrix fill, one
+/// blocked PredictBatch.
+std::vector<double> PredictRegions(const Regressor& model,
+                                   const std::vector<Region>& regions) {
+  if (regions.empty()) return {};
+  FeatureMatrix features(2 * regions[0].dims());
+  features.Reserve(regions.size());
+  for (const Region& region : regions) {
+    features.AddRow(RegionFeatures(region));
+  }
+  return model.PredictBatch(features);
+}
+
+}  // namespace
+
+std::vector<double> Surrogate::EvaluateMany(
+    const std::vector<Region>& regions) const {
+  assert(trained());
+  return PredictRegions(*model_, regions);
+}
+
 Status Surrogate::Update(const RegionWorkload& fresh_workload,
                          size_t extra_trees) {
   if (!trained()) return Status::FailedPrecondition("surrogate not trained");
@@ -144,6 +167,14 @@ StatisticFn Surrogate::AsStatisticFn() const {
   auto model = model_;
   return [model](const Region& region) {
     return model->Predict(RegionFeatures(region));
+  };
+}
+
+BatchStatisticFn Surrogate::AsBatchStatisticFn() const {
+  assert(trained());
+  auto model = model_;
+  return [model](const std::vector<Region>& regions) {
+    return PredictRegions(*model, regions);
   };
 }
 

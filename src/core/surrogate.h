@@ -65,6 +65,11 @@ class Surrogate {
   /// ŷ = f̂(x, l).
   double Predict(const Region& region) const;
 
+  /// Batched ŷ for a whole population of regions: one feature-matrix fill
+  /// plus one blocked PredictBatch instead of per-region feature vectors
+  /// and tree walks. Element i corresponds to regions[i].
+  std::vector<double> EvaluateMany(const std::vector<Region>& regions) const;
+
   /// Folds freshly observed region evaluations into the deployed model by
   /// warm-start boosting (`extra_trees` additional rounds fitted to the
   /// current residuals on the new batch). This is the "models will be
@@ -74,6 +79,9 @@ class Surrogate {
 
   /// Adapter feeding the optimization objective.
   StatisticFn AsStatisticFn() const;
+
+  /// Batched adapter: lets optimizers score an entire swarm per call.
+  BatchStatisticFn AsBatchStatisticFn() const;
 
   const SurrogateMetrics& metrics() const { return metrics_; }
   const RegionSolutionSpace& space() const { return space_; }

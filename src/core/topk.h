@@ -50,6 +50,12 @@ class TopKFinder {
   TopKFinder(StatisticFn estimate, RegionSolutionSpace space,
              TopKConfig config);
 
+  /// Attaches a batched estimate source, as in SurfFinder: each GSO
+  /// iteration then costs one batched model call for the whole swarm.
+  void SetBatchEstimate(BatchStatisticFn batch_estimate) {
+    batch_estimate_ = std::move(batch_estimate);
+  }
+
   /// Attaches a KDE prior (non-owning), as in SurfFinder.
   void SetKde(const Kde* kde) { kde_ = kde; }
 
@@ -60,6 +66,7 @@ class TopKFinder {
 
  private:
   StatisticFn estimate_;
+  BatchStatisticFn batch_estimate_;  // may be null
   RegionSolutionSpace space_;
   TopKConfig config_;
   const Kde* kde_ = nullptr;

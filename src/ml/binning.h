@@ -8,6 +8,61 @@
 
 namespace surf {
 
+/// \brief Pre-binned training matrix in one contiguous column-major
+/// `uint16_t` buffer.
+///
+/// Feature j's bins occupy `bins_[j * num_rows .. (j+1) * num_rows)`, so a
+/// histogram build streams one cache-friendly span per feature — the layout
+/// the threaded trainer parallelizes over. `bin_offset(j)` maps feature j
+/// into a single flat histogram array shared by all features (prefix sums
+/// of per-feature bin counts), which is what makes whole-histogram
+/// sibling subtraction a single contiguous loop.
+class BinnedMatrix {
+ public:
+  BinnedMatrix() = default;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Contiguous bin ids of feature j (length num_rows()).
+  const uint16_t* col(size_t j) const {
+    return bins_.data() + j * num_rows_;
+  }
+
+  /// True when every feature has ≤ 256 bins and the byte-wide shadow
+  /// copy exists (the default max_bins=256 case).
+  bool has_packed8() const { return !bins8_.empty(); }
+
+  /// Byte-wide view of feature j (same values as col(j)); halves the
+  /// memory touched by histogram gathers and partition reads.
+  const uint8_t* col8(size_t j) const {
+    return bins8_.data() + j * num_rows_;
+  }
+
+  /// Start of feature j's slice in a flat histogram array.
+  uint32_t bin_offset(size_t j) const { return offsets_[j]; }
+
+  /// Bins materialized for feature j.
+  uint32_t num_bins(size_t j) const {
+    return offsets_[j + 1] - offsets_[j];
+  }
+
+  /// Total histogram size across all features.
+  uint32_t total_bins() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+ private:
+  friend class FeatureBinner;
+
+  std::vector<uint16_t> bins_;     // column-major, num_features * num_rows
+  std::vector<uint8_t> bins8_;     // byte shadow when all bins fit
+  std::vector<uint32_t> offsets_;  // per-feature prefix sums, size F + 1
+  size_t num_rows_ = 0;
+};
+
 /// \brief Quantile feature binning for histogram-based tree training
 /// (the strategy XGBoost's `hist` mode and LightGBM use).
 ///
@@ -33,7 +88,12 @@ class FeatureBinner {
   /// so prediction can work on raw doubles. `b < num_bins(j)-1`.
   double BinUpperEdge(size_t j, size_t b) const { return edges_[j][b]; }
 
-  /// Bins an entire matrix (column-major, same layout as the input).
+  /// Bins an entire matrix into the contiguous column-major layout the
+  /// tree trainer consumes.
+  BinnedMatrix Bin(const FeatureMatrix& x) const;
+
+  /// Legacy nested-vector binning (kept for tests and as the reference
+  /// layout the flat `Bin` is checked against).
   std::vector<std::vector<uint16_t>> BinMatrix(const FeatureMatrix& x) const;
 
  private:

@@ -29,6 +29,15 @@ struct GbrtParams {
   double colsample = 1.0;
   /// Histogram resolution.
   size_t max_bins = 256;
+  /// Worker threads for histogram building and blocked batch prediction
+  /// (0 = hardware concurrency). Results are bit-identical for any value:
+  /// parallel work is partitioned per feature / per row block with a
+  /// fixed reduction order.
+  size_t num_threads = 1;
+  /// Derive each larger child's histogram by subtracting the smaller
+  /// sibling's from the parent's (off = direct rebuild, the reference
+  /// path for equivalence tests).
+  bool use_sibling_subtraction = true;
   /// Early stopping: stop when the held-out RMSE has not improved for
   /// `early_stopping_rounds` trees (0 disables; requires
   /// validation_fraction > 0).
@@ -63,12 +72,21 @@ class GradientBoostedTrees : public Regressor {
                      size_t extra_trees);
 
   double Predict(const std::vector<double>& x) const override;
+
+  /// Copy-free blocked batch prediction: walks every tree over a block of
+  /// rows straight out of the column-major matrix (no per-row gather), so
+  /// each tree's nodes stay cache-hot across the whole block. Blocks run
+  /// in parallel when `num_threads > 1`; output is bit-identical to the
+  /// scalar path for any thread count.
   std::vector<double> PredictBatch(const FeatureMatrix& x) const override;
 
   bool trained() const override { return trained_; }
   std::string Name() const override { return "gbrt"; }
 
   const GbrtParams& params() const { return params_; }
+  /// Prediction-time parallelism is a runtime choice: retargeting the
+  /// thread count never changes results (blocks reduce in a fixed order).
+  void set_num_threads(size_t n) { params_.num_threads = n; }
   size_t num_trees() const { return trees_.size(); }
   double base_score() const { return base_score_; }
 

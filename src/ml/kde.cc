@@ -7,18 +7,13 @@ namespace surf {
 
 double StdNormalCdf(double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); }
 
-Kde Kde::Fit(const std::vector<std::vector<double>>& points) {
-  assert(!points.empty());
-  const size_t n = points.size();
-  const size_t d = points[0].size();
+Kde Kde::FitFlat(std::vector<double> flat, size_t d) {
   assert(d > 0);
+  assert(!flat.empty() && flat.size() % d == 0);
+  const size_t n = flat.size() / d;
 
   Kde kde;
-  kde.points_.reserve(n * d);
-  for (const auto& p : points) {
-    assert(p.size() == d);
-    kde.points_.insert(kde.points_.end(), p.begin(), p.end());
-  }
+  kde.points_ = std::move(flat);
 
   // Scott's rule bandwidth per dimension.
   kde.bandwidths_.resize(d);
@@ -40,16 +35,35 @@ Kde Kde::Fit(const std::vector<std::vector<double>>& points) {
   return kde;
 }
 
+Kde Kde::Fit(const std::vector<std::vector<double>>& points) {
+  assert(!points.empty());
+  const size_t d = points[0].size();
+  std::vector<double> flat;
+  flat.reserve(points.size() * d);
+  for (const auto& p : points) {
+    assert(p.size() == d);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return FitFlat(std::move(flat), d);
+}
+
 Kde Kde::FitSampled(const std::vector<std::vector<double>>& points,
                     size_t max_samples, Rng* rng) {
   if (points.size() <= max_samples) return Fit(points);
   std::vector<size_t> idx(points.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   rng->Shuffle(&idx);
-  std::vector<std::vector<double>> sample;
-  sample.reserve(max_samples);
-  for (size_t i = 0; i < max_samples; ++i) sample.push_back(points[idx[i]]);
-  return Fit(sample);
+  // Gather the selected rows straight into the flat buffer.
+  assert(!points.empty());
+  const size_t d = points[0].size();
+  std::vector<double> flat;
+  flat.reserve(max_samples * d);
+  for (size_t i = 0; i < max_samples; ++i) {
+    const auto& p = points[idx[i]];
+    assert(p.size() == d);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return FitFlat(std::move(flat), d);
 }
 
 double Kde::Density(const std::vector<double>& point) const {

@@ -34,6 +34,17 @@ class FeatureMatrix {
   /// Contiguous storage of feature j.
   const std::vector<double>& feature(size_t j) const { return cols_[j]; }
 
+  /// Raw pointer to feature j's column (for copy-free batch traversal).
+  const double* col_data(size_t j) const { return cols_[j].data(); }
+
+  /// Column pointers for all features, in feature order — the view the
+  /// blocked tree-prediction kernel walks without gathering rows.
+  std::vector<const double*> ColPointers() const {
+    std::vector<const double*> out(cols_.size());
+    for (size_t j = 0; j < cols_.size(); ++j) out[j] = cols_[j].data();
+    return out;
+  }
+
   double Get(size_t row, size_t j) const { return cols_[j][row]; }
 
   /// Gathers a row (for per-point prediction APIs).

@@ -8,6 +8,8 @@
 #include "ml/binning.h"
 #include "ml/matrix.h"
 #include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace surf {
 
@@ -27,42 +29,90 @@ struct TreeParams {
   double min_split_gain = 0.0;
   /// Fraction of features considered per tree (colsample_bytree).
   double colsample = 1.0;
+  /// Derive the larger child's histogram by subtracting the smaller
+  /// child's from the parent's instead of rebuilding it. Off switches to
+  /// direct per-node builds (reference path for equivalence tests).
+  bool use_sibling_subtraction = true;
 };
 
 /// \brief One regression tree trained on gradient/hessian pairs
 /// (second-order boosting; for squared loss g = pred − y, h = 1).
 ///
-/// Training is histogram-based over pre-binned features; prediction walks
-/// raw double thresholds, so a fitted tree is independent of the binner.
+/// Training is histogram-based over the contiguous pre-binned matrix;
+/// prediction walks raw double thresholds, so a fitted tree is independent
+/// of the binner. Nodes are packed 16 bytes each with the left child
+/// stored implicitly at `index + 1` (depth-first layout), which halves the
+/// traversal working set versus a naive five-field node.
 class RegressionTree {
  public:
-  /// Fits the tree on `rows` (indices into the binned matrix).
-  /// `binned[j][r]` is the bin of row r on feature j.
-  void Fit(const std::vector<std::vector<uint16_t>>& binned,
-           const FeatureBinner& binner, const std::vector<double>& grad,
-           const std::vector<double>& hess, const std::vector<size_t>& rows,
-           const TreeParams& params, Rng* rng);
+  /// Row span of one leaf in the (partitioned) training row array, plus
+  /// the leaf's output value. Lets boosting update training predictions
+  /// with one add per row instead of a full tree walk.
+  struct LeafRange {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    double value = 0.0;
+  };
+
+  /// Fits the tree on `*rows` (indices into the binned matrix), which is
+  /// partitioned in place so that on return each leaf owns a contiguous
+  /// span of it (see leaf_ranges()). An empty `hess` means unit hessians
+  /// (squared loss), enabling the count-only histogram fast path. When
+  /// `pool` is non-null, per-feature histograms build in parallel; results
+  /// are bit-identical for any thread count (each feature is accumulated
+  /// by exactly one task, in row order).
+  void Fit(const BinnedMatrix& binned, const FeatureBinner& binner,
+           const std::vector<double>& grad, const std::vector<double>& hess,
+           std::vector<uint32_t>* rows, const TreeParams& params, Rng* rng,
+           ThreadPool* pool = nullptr);
 
   /// Leaf value for one raw feature vector.
   double Predict(const std::vector<double>& x) const;
   double Predict(const double* x) const;
 
+  /// Copy-free blocked traversal: adds `scale * leaf(r)` to
+  /// `out[r - begin]` for every row r in [begin, end), reading features
+  /// straight out of column-major storage (`cols[j][r]` is feature j of
+  /// row r — see FeatureMatrix::ColPointers()).
+  void AddPredictions(const double* const* cols, size_t begin, size_t end,
+                      double scale, double* out) const;
+
+  /// Leaf spans over the row array passed to Fit (training-time only;
+  /// empty for deserialized trees).
+  const std::vector<LeafRange>& leaf_ranges() const { return leaf_ranges_; }
+
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_leaves() const;
   size_t Depth() const;
 
-  /// Text (de)serialization for model persistence.
+  /// Largest feature index referenced by any split (0 for leaf-only
+  /// trees); loaders validate this against the model's feature width.
+  size_t MaxFeatureIndex() const;
+
+  /// Text (de)serialization for model persistence. Deserialize validates
+  /// the node count, record fields, and tree shape, and returns
+  /// Status::IOError on malformed input instead of trusting it.
   void Serialize(std::ostream& os) const;
-  static RegressionTree Deserialize(std::istream& is);
+  static StatusOr<RegressionTree> Deserialize(std::istream& is);
 
  private:
+  /// Packed 16-byte node. Internal node: `tv` is the split threshold
+  /// (go left if x[feature] <= tv), `right` is the right-child index and
+  /// the left child lives at the next index. Leaf: `tv` is NaN and
+  /// `right` points at the node itself, so the traversal select
+  /// `x <= tv ? idx+1 : right` self-loops branch-free at leaves
+  /// (`v <= NaN` is false for every v, including NaN and ±inf). Leaf
+  /// values live in the parallel `values_` array, read once per row.
   struct Node {
-    int32_t left = -1;    // -1 for leaf
+    double tv = 0.0;
     int32_t right = -1;
     uint32_t feature = 0;
-    double threshold = 0.0;  // go left if x[feature] <= threshold
-    double value = 0.0;      // leaf output
   };
+  static_assert(sizeof(Node) == 16, "prediction hot path expects packed nodes");
+
+  bool IsLeaf(size_t idx) const {
+    return nodes_[idx].right == static_cast<int32_t>(idx);
+  }
 
   struct SplitDecision {
     bool found = false;
@@ -70,25 +120,30 @@ class RegressionTree {
     uint16_t bin = 0;
     double threshold = 0.0;
     double gain = 0.0;
+    // Totals of the left child at the chosen bin (right = parent - left),
+    // so children inherit their sums without another pass over rows.
+    double g_left = 0.0;
+    double h_left = 0.0;
+    size_t n_left = 0;
   };
 
-  int32_t BuildNode(const std::vector<std::vector<uint16_t>>& binned,
-                    const FeatureBinner& binner,
-                    const std::vector<double>& grad,
-                    const std::vector<double>& hess,
-                    std::vector<size_t>* rows, size_t begin, size_t end,
-                    size_t depth, const TreeParams& params,
-                    const std::vector<size_t>& features);
+  struct TrainState;  // defined in tree.cc
 
-  SplitDecision FindBestSplit(const std::vector<std::vector<uint16_t>>& binned,
-                              const FeatureBinner& binner,
-                              const std::vector<double>& grad,
-                              const std::vector<double>& hess,
-                              const std::vector<size_t>& rows, size_t begin,
-                              size_t end, const TreeParams& params,
-                              const std::vector<size_t>& features) const;
+  int32_t BuildNode(TrainState& st, int hist_id, size_t begin, size_t end,
+                    size_t depth, double g_sum, double h_sum);
+
+  SplitDecision FindBestSplit(const TrainState& st, int hist_id,
+                              double g_total, double h_total,
+                              size_t n_total) const;
 
   std::vector<Node> nodes_;
+  /// Leaf output per node index (0.0 at internal nodes).
+  std::vector<double> values_;
+  std::vector<LeafRange> leaf_ranges_;
+  /// Cached Depth() of the fitted/loaded tree: the blocked predictor
+  /// walks interleaved row groups for exactly depth-1 levels (leaves
+  /// self-loop), overlapping the per-level load latencies.
+  size_t depth_ = 0;
 };
 
 }  // namespace surf

@@ -34,6 +34,13 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const FitnessFn& fitness,
                                            const RegionSolutionSpace& space,
                                            const Kde* kde) const {
   assert(fitness != nullptr);
+  return Optimize(ToBatchFitness(fitness), space, kde);
+}
+
+GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
+                                           const RegionSolutionSpace& space,
+                                           const Kde* kde) const {
+  assert(fitness != nullptr);
   const size_t L = std::max<size_t>(2, params_.num_glowworms);
   const double diagonal = space.FlatDiagonal();
   const double r0 = params_.initial_radius_frac * diagonal;
@@ -105,9 +112,10 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const FitnessFn& fitness,
     double fitness_sum = 0.0;
     size_t valid_count = 0;
     double worst_valid = std::numeric_limits<double>::infinity();
+    const std::vector<FitnessValue> evals = fitness(result.particles);
+    result.objective_evaluations += L;
     for (size_t i = 0; i < L; ++i) {
-      const FitnessValue fv = fitness(result.particles[i]);
-      ++result.objective_evaluations;
+      const FitnessValue& fv = evals[i];
       result.fitness[i] = fv.value;
       result.valid[i] = fv.valid;
       if (fv.valid) {
@@ -212,11 +220,11 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const FitnessFn& fitness,
   }
 
   // Final fitness refresh so reported values match final positions.
+  const std::vector<FitnessValue> final_evals = fitness(result.particles);
+  result.objective_evaluations += L;
   for (size_t i = 0; i < L; ++i) {
-    const FitnessValue fv = fitness(result.particles[i]);
-    ++result.objective_evaluations;
-    result.fitness[i] = fv.value;
-    result.valid[i] = fv.valid;
+    result.fitness[i] = final_evals[i].value;
+    result.valid[i] = final_evals[i].valid;
   }
   result.luciferin = std::move(luciferin);
   return result;

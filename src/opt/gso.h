@@ -113,6 +113,13 @@ class GlowwormSwarmOptimizer {
                      const RegionSolutionSpace& space,
                      const Kde* kde = nullptr) const;
 
+  /// Batched variant: the whole swarm is scored with one `fitness` call
+  /// per iteration (one surrogate PredictBatch instead of L tree walks).
+  /// Identical trajectory to the scalar overload for the same seed.
+  GsoResult Optimize(const BatchFitnessFn& fitness,
+                     const RegionSolutionSpace& space,
+                     const Kde* kde = nullptr) const;
+
   const GsoParams& params() const { return params_; }
 
  private:

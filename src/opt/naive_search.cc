@@ -48,20 +48,58 @@ NaiveSearchResult NaiveSearch::Run(const RegionObjective& objective,
   Stopwatch timer;
   std::vector<size_t> odo(d, 0);  // per-dim combined (center, size) index
   std::vector<double> center(d), half(d);
-  for (;;) {
-    // Decode the odometer into a region.
-    for (size_t i = 0; i < d; ++i) {
-      center[i] = centers[i][odo[i] / m];
-      half[i] = lengths[i][odo[i] % m];
+
+  // Candidates are scored in chunks through the objective's batched path:
+  // one surrogate PredictBatch per chunk instead of one tree-walk per
+  // grid cell. Budgets are re-checked between chunks.
+  constexpr size_t kChunk = 256;
+  std::vector<Region> chunk;
+  std::vector<double> chunk_stats;
+  chunk.reserve(kChunk);
+  bool exhausted = false;
+  while (!exhausted) {
+    chunk.clear();
+    size_t limit = kChunk;
+    if (params_.max_evaluations > 0) {
+      const uint64_t remaining = params_.max_evaluations - result.examined;
+      limit = std::min<uint64_t>(limit, remaining);
     }
-    Region region(center, half);
-    const FitnessValue fv = objective.Evaluate(region);
-    ++result.examined;
-    if (fv.valid) {
+    while (chunk.size() < limit) {
+      // Decode the odometer into a region.
+      for (size_t i = 0; i < d; ++i) {
+        center[i] = centers[i][odo[i] / m];
+        half[i] = lengths[i][odo[i] % m];
+      }
+      chunk.emplace_back(center, half);
+
+      // Advance the odometer.
+      size_t i = d;
+      bool done = true;
+      while (i > 0) {
+        --i;
+        if (odo[i] + 1 < per_dim) {
+          ++odo[i];
+          for (size_t k = i + 1; k < d; ++k) odo[k] = 0;
+          done = false;
+          break;
+        }
+      }
+      if (done) {
+        exhausted = true;
+        break;
+      }
+    }
+    if (chunk.empty()) break;
+
+    const std::vector<FitnessValue> evals =
+        objective.EvaluateMany(chunk, &chunk_stats);
+    result.examined += chunk.size();
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      if (!evals[i].valid) continue;
       ScoredRegion scored;
-      scored.region = region;
-      scored.fitness = fv.value;
-      scored.statistic = objective.Statistic(region);
+      scored.region = chunk[i];
+      scored.fitness = evals[i].value;
+      scored.statistic = chunk_stats[i];
       result.viable.push_back(std::move(scored));
     }
 
@@ -75,20 +113,6 @@ NaiveSearchResult NaiveSearch::Run(const RegionObjective& objective,
       result.timed_out = result.examined < result.total_candidates;
       break;
     }
-
-    // Advance the odometer.
-    size_t i = d;
-    bool done = true;
-    while (i > 0) {
-      --i;
-      if (odo[i] + 1 < per_dim) {
-        ++odo[i];
-        for (size_t k = i + 1; k < d; ++k) odo[k] = 0;
-        done = false;
-        break;
-      }
-    }
-    if (done) break;
   }
   result.elapsed_seconds = timer.ElapsedSeconds();
   return result;
@@ -102,11 +126,29 @@ std::vector<ScoredRegion> SelectDistinctRegions(
               return a.fitness > b.fitness;
             });
   std::vector<ScoredRegion> kept;
+  std::vector<double> center;
   for (auto& cand : candidates) {
     if (kept.size() >= max_regions) break;
+    center.assign(cand.region.dims(), 0.0);
+    for (size_t j = 0; j < cand.region.dims(); ++j) {
+      center[j] = cand.region.center(j);
+    }
     bool overlaps = false;
+    std::vector<double> kept_center(cand.region.dims());
     for (const auto& k : kept) {
-      if (cand.region.IoU(k.region) > max_iou) {
+      // A candidate is a duplicate of a better region when they overlap
+      // heavily OR when the boxes mutually contain each other's centers
+      // — the latter catches shifted near-copies of the same basin
+      // whose IoU dips just under the ceiling. Requiring containment
+      // both ways keeps genuinely distinct discoveries (e.g. a large
+      // region whose center merely falls inside a small unrelated
+      // hotspot) reportable.
+      for (size_t j = 0; j < k.region.dims(); ++j) {
+        kept_center[j] = k.region.center(j);
+      }
+      if (cand.region.IoU(k.region) > max_iou ||
+          (k.region.Contains(center) &&
+           cand.region.Contains(kept_center))) {
         overlaps = true;
         break;
       }

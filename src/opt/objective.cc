@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace surf {
 
@@ -18,11 +19,18 @@ RegionObjective::RegionObjective(StatisticFn statistic,
   assert(statistic_ != nullptr);
 }
 
-FitnessValue RegionObjective::Evaluate(const Region& region) const {
-  FitnessValue out;
-  if (region.Degenerate()) return out;
+RegionObjective::RegionObjective(StatisticFn statistic,
+                                 BatchStatisticFn batch_statistic,
+                                 ObjectiveConfig config)
+    : statistic_(std::move(statistic)),
+      batch_statistic_(std::move(batch_statistic)),
+      config_(config) {
+  assert(statistic_ != nullptr);
+}
 
-  const double y = statistic_(region);
+FitnessValue RegionObjective::FromStatistic(const Region& region,
+                                            double y) const {
+  FitnessValue out;
   if (std::isnan(y) || !std::isfinite(y)) return out;
 
   const double diff = config_.direction == ThresholdDirection::kBelow
@@ -56,8 +64,96 @@ FitnessValue RegionObjective::Evaluate(const Region& region) const {
   return out;
 }
 
+FitnessValue RegionObjective::Evaluate(const Region& region) const {
+  if (region.Degenerate()) return FitnessValue{};
+  return FromStatistic(region, statistic_(region));
+}
+
+std::vector<FitnessValue> RegionObjective::EvaluateMany(
+    const std::vector<Region>& regions,
+    std::vector<double>* stats_out) const {
+  std::vector<FitnessValue> out(regions.size());
+  if (stats_out != nullptr) {
+    stats_out->assign(regions.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+  }
+  if (regions.empty()) return out;
+  if (batch_statistic_ == nullptr) {
+    for (size_t i = 0; i < regions.size(); ++i) {
+      // Same short-circuit as Evaluate: degenerate regions never probe
+      // the statistic.
+      if (regions[i].Degenerate()) continue;
+      const double y = statistic_(regions[i]);
+      if (stats_out != nullptr) (*stats_out)[i] = y;
+      out[i] = FromStatistic(regions[i], y);
+    }
+    return out;
+  }
+  // Degenerate regions never reach the statistic source (same
+  // short-circuit as Evaluate); the common all-valid case goes through
+  // without any gather/scatter.
+  bool any_degenerate = false;
+  for (const Region& region : regions) {
+    if (region.Degenerate()) {
+      any_degenerate = true;
+      break;
+    }
+  }
+  if (!any_degenerate) {
+    const std::vector<double> stats = batch_statistic_(regions);
+    assert(stats.size() == regions.size());
+    for (size_t i = 0; i < regions.size(); ++i) {
+      if (stats_out != nullptr) (*stats_out)[i] = stats[i];
+      out[i] = FromStatistic(regions[i], stats[i]);
+    }
+    return out;
+  }
+  std::vector<Region> live;
+  std::vector<size_t> live_idx;
+  live.reserve(regions.size());
+  live_idx.reserve(regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    if (regions[i].Degenerate()) continue;
+    live.push_back(regions[i]);
+    live_idx.push_back(i);
+  }
+  const std::vector<double> stats = batch_statistic_(live);
+  assert(stats.size() == live.size());
+  for (size_t k = 0; k < live.size(); ++k) {
+    const size_t i = live_idx[k];
+    if (stats_out != nullptr) (*stats_out)[i] = stats[k];
+    out[i] = FromStatistic(regions[i], stats[k]);
+  }
+  return out;
+}
+
 FitnessFn RegionObjective::AsFitnessFn() const {
   return [this](const Region& region) { return Evaluate(region); };
+}
+
+BatchFitnessFn RegionObjective::AsBatchFitnessFn() const {
+  return [this](const std::vector<Region>& regions) {
+    return EvaluateMany(regions);
+  };
+}
+
+BatchFitnessFn ToBatchFitness(FitnessFn fitness) {
+  assert(fitness != nullptr);
+  return [fitness = std::move(fitness)](const std::vector<Region>& regions) {
+    std::vector<FitnessValue> out(regions.size());
+    for (size_t i = 0; i < regions.size(); ++i) out[i] = fitness(regions[i]);
+    return out;
+  };
+}
+
+std::vector<double> EvaluateStatistics(const std::vector<Region>& regions,
+                                       const StatisticFn& scalar,
+                                       const BatchStatisticFn& batch) {
+  if (batch != nullptr) return batch(regions);
+  std::vector<double> out;
+  out.reserve(regions.size());
+  for (const Region& region : regions) out.push_back(scalar(region));
+  return out;
 }
 
 }  // namespace surf

@@ -43,8 +43,18 @@ struct FitnessValue {
 /// Statistic provider: region -> y (possibly NaN where f is undefined).
 using StatisticFn = std::function<double(const Region&)>;
 
+/// Batched statistic provider: scores many regions in one call (one
+/// surrogate PredictBatch instead of one tree-walk per region).
+using BatchStatisticFn =
+    std::function<std::vector<double>(const std::vector<Region>&)>;
+
 /// Generic fitness: region -> FitnessValue (used directly by optimizers).
 using FitnessFn = std::function<FitnessValue(const Region&)>;
+
+/// Batched fitness: scores a whole population (e.g. a particle swarm) in
+/// one call. Element i corresponds to regions[i].
+using BatchFitnessFn =
+    std::function<std::vector<FitnessValue>(const std::vector<Region>&)>;
 
 /// \brief The SuRF objective over a statistic function (true f or a
 /// surrogate f̂).
@@ -57,26 +67,57 @@ class RegionObjective {
  public:
   RegionObjective(StatisticFn statistic, ObjectiveConfig config);
 
+  /// Same objective with a batched statistic source: EvaluateMany scores
+  /// all regions through one `batch_statistic` call. The scalar
+  /// `statistic` stays for one-off probes (reports, validation).
+  RegionObjective(StatisticFn statistic, BatchStatisticFn batch_statistic,
+                  ObjectiveConfig config);
+
   /// Evaluates the objective; invalid where the constraint is violated,
   /// where f is NaN, or where any side length is non-positive.
   FitnessValue Evaluate(const Region& region) const;
+
+  /// Batched Evaluate: one statistic call for the whole population, then
+  /// the (cheap) objective math per region. Falls back to per-region
+  /// statistics when no batch source was supplied. Result i matches
+  /// Evaluate(regions[i]) exactly. When `stats_out` is non-null it
+  /// receives the raw statistic per region (NaN where it was never
+  /// computed), sparing callers a second statistic pass.
+  std::vector<FitnessValue> EvaluateMany(
+      const std::vector<Region>& regions,
+      std::vector<double>* stats_out = nullptr) const;
 
   /// Exposes the raw statistic (for validation/report paths).
   double Statistic(const Region& region) const { return statistic_(region); }
 
   const ObjectiveConfig& config() const { return config_; }
 
-  /// Adapter for optimizer APIs.
+  /// Adapters for optimizer APIs.
   FitnessFn AsFitnessFn() const;
+  BatchFitnessFn AsBatchFitnessFn() const;
 
  private:
+  /// Objective math on an already-computed statistic value.
+  FitnessValue FromStatistic(const Region& region, double y) const;
+
   StatisticFn statistic_;
+  BatchStatisticFn batch_statistic_;  // may be null
   ObjectiveConfig config_;
 };
 
 /// True if the statistic value satisfies the threshold constraint.
 bool SatisfiesThreshold(double y, double threshold,
                         ThresholdDirection direction);
+
+/// Wraps a scalar fitness into the batched optimizer signature (the
+/// function object is copied, so the adapter owns its callee).
+BatchFitnessFn ToBatchFitness(FitnessFn fitness);
+
+/// Scores every region through `batch` when non-null, else by looping
+/// `scalar` — the shared fallback for report/extraction paths.
+std::vector<double> EvaluateStatistics(const std::vector<Region>& regions,
+                                       const StatisticFn& scalar,
+                                       const BatchStatisticFn& batch);
 
 }  // namespace surf
 

@@ -10,6 +10,12 @@ namespace surf {
 PsoResult ParticleSwarmOptimizer::Optimize(
     const FitnessFn& fitness, const RegionSolutionSpace& space) const {
   assert(fitness != nullptr);
+  return Optimize(ToBatchFitness(fitness), space);
+}
+
+PsoResult ParticleSwarmOptimizer::Optimize(
+    const BatchFitnessFn& fitness, const RegionSolutionSpace& space) const {
+  assert(fitness != nullptr);
   const size_t L = std::max<size_t>(2, params_.num_particles);
   const size_t flat_d = space.flat_dims();
   const double vmax = params_.max_velocity_frac * space.FlatDiagonal();
@@ -29,13 +35,21 @@ PsoResult ParticleSwarmOptimizer::Optimize(
     pbest[i] = pos[i];
   }
 
+  std::vector<Region> regions;
+  regions.reserve(L);
   for (size_t t = 0; t < params_.max_iterations; ++t) {
+    // Clamp every particle, then score the whole swarm in one call.
+    regions.clear();
     for (size_t i = 0; i < L; ++i) {
       Region region = Region::FromFlat(pos[i]);
       space.Clamp(&region);
       pos[i] = region.ToFlat();
-      const FitnessValue fv = fitness(region);
-      ++result.objective_evaluations;
+      regions.push_back(std::move(region));
+    }
+    const std::vector<FitnessValue> evals = fitness(regions);
+    result.objective_evaluations += L;
+    for (size_t i = 0; i < L; ++i) {
+      const FitnessValue& fv = evals[i];
       if (fv.valid && fv.value > pbest_fit[i]) {
         pbest_fit[i] = fv.value;
         pbest[i] = pos[i];

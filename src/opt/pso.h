@@ -46,6 +46,11 @@ class ParticleSwarmOptimizer {
   PsoResult Optimize(const FitnessFn& fitness,
                      const RegionSolutionSpace& space) const;
 
+  /// Batched variant: one `fitness` call scores the whole swarm per
+  /// iteration. Identical trajectory to the scalar overload.
+  PsoResult Optimize(const BatchFitnessFn& fitness,
+                     const RegionSolutionSpace& space) const;
+
   const PsoParams& params() const { return params_; }
 
  private:

@@ -108,6 +108,13 @@ void Rng::Shuffle(std::vector<size_t>* indices) {
   }
 }
 
+void Rng::Shuffle(std::vector<uint32_t>* indices) {
+  for (size_t i = indices->size(); i > 1; --i) {
+    size_t j = UniformInt(i);
+    std::swap((*indices)[i - 1], (*indices)[j]);
+  }
+}
+
 Rng Rng::Fork() { return Rng(Next()); }
 
 }  // namespace surf

@@ -47,8 +47,11 @@ class Rng {
   /// Returns weights.size() if all weights are zero.
   size_t Categorical(const std::vector<double>& weights);
 
-  /// Fisher–Yates shuffle of an index vector.
+  /// Fisher–Yates shuffle of an index vector. Both overloads draw the
+  /// same UniformInt sequence, so the resulting permutation depends only
+  /// on the vector length, not the element type.
   void Shuffle(std::vector<size_t>* indices);
+  void Shuffle(std::vector<uint32_t>* indices);
 
   /// Derives an independent child generator (for parallel streams).
   Rng Fork();

@@ -1,0 +1,453 @@
+// Tests for the parallel, cache-efficient GBRT engine: the contiguous
+// binned layout, sibling histogram subtraction, the copy-free blocked
+// prediction path, thread-count determinism, batched surrogate
+// evaluation, and hardened model deserialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/surrogate.h"
+#include "core/workload.h"
+#include "geom/bounds.h"
+#include "ml/binning.h"
+#include "ml/gbrt.h"
+#include "ml/matrix.h"
+#include "ml/tree.h"
+#include "opt/gso.h"
+#include "opt/naive_search.h"
+#include "opt/objective.h"
+#include "util/rng.h"
+
+namespace surf {
+namespace {
+
+double BumpyFn(const std::vector<double>& x) {
+  double out = std::sin(5.0 * x[0]) + 0.5 * x[1];
+  for (size_t j = 2; j < x.size(); ++j) out += 0.2 * x[j] * x[j];
+  return out;
+}
+
+void MakeProblem(size_t n, size_t d, uint64_t seed, FeatureMatrix* x,
+                 std::vector<double>* y) {
+  Rng rng(seed);
+  *x = FeatureMatrix(d);
+  x->Reserve(n);
+  y->clear();
+  y->reserve(n);
+  std::vector<double> row(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) row[j] = rng.Uniform();
+    x->AddRow(row);
+    y->push_back(BumpyFn(row));
+  }
+}
+
+// ------------------------------------------------------------ BinnedMatrix
+
+TEST(BinnedMatrixTest, MatchesLegacyNestedLayout) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeProblem(700, 3, 41, &x, &y);
+  const FeatureBinner binner(x, 64);
+  const BinnedMatrix flat = binner.Bin(x);
+  const auto nested = binner.BinMatrix(x);
+
+  ASSERT_EQ(flat.num_rows(), x.num_rows());
+  ASSERT_EQ(flat.num_features(), x.num_features());
+  uint32_t expected_offset = 0;
+  for (size_t j = 0; j < x.num_features(); ++j) {
+    EXPECT_EQ(flat.bin_offset(j), expected_offset);
+    EXPECT_EQ(flat.num_bins(j), binner.num_bins(j));
+    expected_offset += flat.num_bins(j);
+    for (size_t r = 0; r < x.num_rows(); ++r) {
+      ASSERT_EQ(flat.col(j)[r], nested[j][r]);
+    }
+  }
+  EXPECT_EQ(flat.total_bins(), expected_offset);
+}
+
+// ------------------------------------------------- scalar vs blocked batch
+
+TEST(GbrtEngineTest, ScalarPredictMatchesBlockedBatch) {
+  for (const size_t depth : {2u, 5u, 8u}) {
+    FeatureMatrix x;
+    std::vector<double> y;
+    MakeProblem(1500, 4, 42 + depth, &x, &y);
+    GbrtParams params;
+    params.n_estimators = 40;
+    params.max_depth = depth;
+    GradientBoostedTrees model(params);
+    ASSERT_TRUE(model.Fit(x, y).ok());
+
+    FeatureMatrix tx;
+    std::vector<double> ty;
+    MakeProblem(3000, 4, 142 + depth, &tx, &ty);
+    const std::vector<double> batch = model.PredictBatch(tx);
+    ASSERT_EQ(batch.size(), tx.num_rows());
+    for (size_t r = 0; r < tx.num_rows(); ++r) {
+      EXPECT_DOUBLE_EQ(batch[r], model.Predict(tx.Row(r)))
+          << "row " << r << " depth " << depth;
+    }
+  }
+}
+
+// ------------------------------------------------- sibling subtraction
+
+TEST(GbrtEngineTest, SiblingSubtractionMatchesDirectBuild) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeProblem(2500, 5, 43, &x, &y);
+
+  GbrtParams direct;
+  direct.n_estimators = 60;
+  direct.max_depth = 7;
+  direct.use_sibling_subtraction = false;
+  GbrtParams subtract = direct;
+  subtract.use_sibling_subtraction = true;
+
+  GradientBoostedTrees a(direct), b(subtract);
+  ASSERT_TRUE(a.Fit(x, y).ok());
+  ASSERT_TRUE(b.Fit(x, y).ok());
+  ASSERT_EQ(a.num_trees(), b.num_trees());
+
+  // Histogram subtraction changes only the floating-point rounding of the
+  // per-bin sums (parent − small vs a fresh accumulation), so predictions
+  // agree to ~1e-14 relative; anything beyond that would mean a split
+  // actually flipped.
+  const std::vector<double> pa = a.PredictBatch(x);
+  const std::vector<double> pb = b.PredictBatch(x);
+  for (size_t r = 0; r < x.num_rows(); ++r) {
+    EXPECT_NEAR(pa[r], pb[r], 1e-9) << "row " << r;
+  }
+}
+
+TEST(TreeTest, SubtractionAndDirectSplitsAgree) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  MakeProblem(1200, 3, 44, &x, &y);
+  std::vector<double> grad(y.size());
+  for (size_t i = 0; i < y.size(); ++i) grad[i] = -y[i];
+  std::vector<uint32_t> rows_a(y.size()), rows_b(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    rows_a[i] = static_cast<uint32_t>(i);
+    rows_b[i] = static_cast<uint32_t>(i);
+  }
+  const FeatureBinner binner(x, 128);
+  const BinnedMatrix binned = binner.Bin(x);
+
+  TreeParams direct;
+  direct.max_depth = 6;
+  direct.use_sibling_subtraction = false;
+  TreeParams subtract = direct;
+  subtract.use_sibling_subtraction = true;
+
+  RegressionTree ta, tb;
+  ta.Fit(binned, binner, grad, {}, &rows_a, direct, nullptr);
+  tb.Fit(binned, binner, grad, {}, &rows_b, subtract, nullptr);
+  ASSERT_EQ(ta.num_nodes(), tb.num_nodes());
+  EXPECT_EQ(ta.num_leaves(), tb.num_leaves());
+
+  // Split decisions must be identical: same node layout, same split
+  // features, same thresholds (thresholds are bin edges, so they match
+  // exactly when the chosen bins match). Leaf values may differ in the
+  // last ulps from the subtraction's rounding — compare those with a
+  // tight tolerance via prediction instead.
+  std::stringstream sa, sb;
+  ta.Serialize(sa);
+  tb.Serialize(sb);
+  size_t na = 0, nb = 0;
+  sa >> na;
+  sb >> nb;
+  ASSERT_EQ(na, nb);
+  for (size_t i = 0; i < na; ++i) {
+    long long la, ra, lb, rb;
+    unsigned long long fa, fb;
+    double tha, va, thb, vb;
+    sa >> la >> ra >> fa >> tha >> va;
+    sb >> lb >> rb >> fb >> thb >> vb;
+    EXPECT_EQ(la, lb) << "node " << i;
+    EXPECT_EQ(ra, rb) << "node " << i;
+    EXPECT_EQ(fa, fb) << "node " << i;
+    EXPECT_DOUBLE_EQ(tha, thb) << "node " << i;
+  }
+
+  Rng rng(45);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> p{rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(ta.Predict(p), tb.Predict(p), 1e-10);
+  }
+}
+
+// ------------------------------------------------- thread-count determinism
+
+TEST(GbrtEngineTest, BitIdenticalAcrossThreadCounts) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  // Large enough that both the parallel histogram path (≥ 16384 rows per
+  // node, see kMinParallelHistRows) and the parallel prediction path
+  // (≥ 8192 rows) actually engage — smaller problems would compare the
+  // serial path against itself.
+  MakeProblem(20000, 5, 46, &x, &y);
+
+  std::vector<std::vector<double>> outputs;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    GbrtParams params;
+    params.n_estimators = 30;
+    params.max_depth = 6;
+    params.num_threads = threads;
+    params.seed = 7;
+    GradientBoostedTrees model(params);
+    ASSERT_TRUE(model.Fit(x, y).ok());
+    outputs.push_back(model.PredictBatch(x));
+  }
+  for (size_t t = 1; t < outputs.size(); ++t) {
+    ASSERT_EQ(outputs[0].size(), outputs[t].size());
+    for (size_t r = 0; r < outputs[0].size(); ++r) {
+      // Bitwise equality, not tolerance: the parallel engine partitions
+      // work without changing any reduction order.
+      EXPECT_EQ(outputs[0][r], outputs[t][r]) << "row " << r;
+    }
+  }
+}
+
+TEST(GbrtEngineTest, SubsampledTrainingDeterministicAcrossThreads) {
+  FeatureMatrix x;
+  std::vector<double> y;
+  // Above the parallel-histogram row threshold even after the 80% row
+  // subsample, so the threaded build really runs.
+  MakeProblem(24000, 3, 47, &x, &y);
+  std::vector<std::vector<double>> outputs;
+  for (const size_t threads : {1u, 8u}) {
+    GbrtParams params;
+    params.n_estimators = 25;
+    params.subsample = 0.8;
+    params.colsample = 0.7;
+    params.early_stopping_rounds = 10;
+    params.validation_fraction = 0.2;
+    params.num_threads = threads;
+    GradientBoostedTrees model(params);
+    ASSERT_TRUE(model.Fit(x, y).ok());
+    outputs.push_back(model.PredictBatch(x));
+  }
+  for (size_t r = 0; r < outputs[0].size(); ++r) {
+    EXPECT_EQ(outputs[0][r], outputs[1][r]) << "row " << r;
+  }
+}
+
+// ---------------------------------------------- hardened deserialization
+
+StatusOr<RegressionTree> ParseTree(const std::string& text) {
+  std::istringstream is(text);
+  return RegressionTree::Deserialize(is);
+}
+
+TEST(TreeDeserializeTest, RejectsMalformedInput) {
+  // Unreadable / negative / absurd node counts.
+  EXPECT_FALSE(ParseTree("abc").ok());
+  EXPECT_FALSE(ParseTree("-5").ok());
+  EXPECT_FALSE(ParseTree("0").ok());
+  EXPECT_FALSE(ParseTree("999999999999999").ok());
+  // Truncated record.
+  EXPECT_FALSE(ParseTree("1\n-1 -1 0").ok());
+  // Child index out of range.
+  EXPECT_FALSE(ParseTree("2\n5 1 0 0.5 0\n-1 -1 0 0 1.0").ok());
+  // Half-leaf record (only one child missing).
+  EXPECT_FALSE(ParseTree("2\n-1 1 0 0.5 0\n-1 -1 0 0 1.0").ok());
+  // Shared child (node 1 referenced twice).
+  EXPECT_FALSE(ParseTree("2\n1 1 0 0.5 0\n-1 -1 0 0 1.0").ok());
+  // Self-cycle at the root.
+  EXPECT_FALSE(ParseTree("2\n0 1 0 0.5 0\n-1 -1 0 0 1.0").ok());
+  // Orphan node (root is a leaf but the file claims two nodes).
+  EXPECT_FALSE(ParseTree("2\n-1 -1 0 0 1.0\n-1 -1 0 0 2.0").ok());
+  // Non-finite threshold.
+  EXPECT_FALSE(ParseTree("3\n1 2 0 nan 0\n-1 -1 0 0 1\n-1 -1 0 0 2").ok());
+  // Feature index out of the serialized-format range.
+  EXPECT_FALSE(
+      ParseTree("3\n1 2 99999999 0.5 0\n-1 -1 0 0 1\n-1 -1 0 0 2").ok());
+}
+
+TEST(TreeDeserializeTest, SanitizesLeafFeatureIndices) {
+  // The traversal reads x[feature] even at leaves (discarded by the NaN
+  // self-loop compare), so a junk feature index on a leaf record must
+  // not survive deserialization — it would read out of bounds at
+  // predict time.
+  const auto tree =
+      ParseTree("3\n1 2 0 0.5 0\n-1 -1 9999 0 -3.0\n-1 -1 9999 0 4.0");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->MaxFeatureIndex(), 0u);
+  EXPECT_DOUBLE_EQ(tree->Predict({0.2}), -3.0);
+  EXPECT_DOUBLE_EQ(tree->Predict({0.8}), 4.0);
+}
+
+TEST(TreeDeserializeTest, AcceptsValidTreeAndNormalizesLayout) {
+  // A valid 3-node tree written right-child-heavy; traversal must agree
+  // with the record semantics after the DFS re-layout.
+  const auto tree = ParseTree("3\n1 2 0 0.5 0\n-1 -1 0 0 -3.0\n-1 -1 0 0 4.0");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 3u);
+  EXPECT_DOUBLE_EQ(tree->Predict({0.2}), -3.0);
+  EXPECT_DOUBLE_EQ(tree->Predict({0.8}), 4.0);
+}
+
+TEST(GbrtLoadTest, RejectsMalformedModelFiles) {
+  const std::string path = "/tmp/surf_gbrt_engine_bad.model";
+  const auto write_and_check = [&](const std::string& body) {
+    {
+      std::ofstream os(path);
+      os << body;
+    }
+    const auto loaded = GradientBoostedTrees::Load(path);
+    EXPECT_FALSE(loaded.ok()) << body;
+  };
+  // Negative tree count.
+  write_and_check("surf-gbrt-v1\n2 0.0 0.1 -3\n");
+  // Negative / zero feature count.
+  write_and_check("surf-gbrt-v1\n-2 0.0 0.1 1\n1\n-1 -1 0 0 1.0\n");
+  write_and_check("surf-gbrt-v1\n0 0.0 0.1 1\n1\n-1 -1 0 0 1.0\n");
+  // Absurd tree count.
+  write_and_check("surf-gbrt-v1\n2 0.0 0.1 99999999999\n");
+  // Non-finite base score.
+  write_and_check("surf-gbrt-v1\n2 inf 0.1 1\n1\n-1 -1 0 0 1.0\n");
+  // Tree body with a split feature beyond the declared width.
+  write_and_check(
+      "surf-gbrt-v1\n2 0.0 0.1 1\n3\n1 2 7 0.5 0\n-1 -1 0 0 1\n-1 -1 0 0 2\n");
+  // Truncated: fewer trees than declared.
+  write_and_check("surf-gbrt-v1\n2 0.0 0.1 2\n1\n-1 -1 0 0 1.0\n");
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- batched evaluation
+
+RegionWorkload MakeWorkload(size_t n, uint64_t seed) {
+  RegionWorkload workload;
+  const Bounds domain({0.0, 0.0}, {1.0, 1.0});
+  workload.space = RegionSolutionSpace::ForBounds(domain, 0.01, 0.2);
+  workload.features = FeatureMatrix(4);
+  workload.features.Reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const Region region = workload.space.Sample(&rng);
+    workload.features.AddRow(RegionFeatures(region));
+    workload.targets.push_back(BumpyFn(RegionFeatures(region)));
+  }
+  return workload;
+}
+
+TEST(SurrogateBatchTest, EvaluateManyMatchesPredict) {
+  const RegionWorkload workload = MakeWorkload(2000, 48);
+  SurrogateTrainOptions options;
+  options.gbrt.n_estimators = 40;
+  auto surrogate = Surrogate::Train(workload, options);
+  ASSERT_TRUE(surrogate.ok());
+
+  Rng rng(49);
+  std::vector<Region> probes;
+  for (int i = 0; i < 300; ++i) probes.push_back(workload.space.Sample(&rng));
+
+  const std::vector<double> batch = surrogate->EvaluateMany(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  const auto batch_fn = surrogate->AsBatchStatisticFn();
+  const std::vector<double> batch2 = batch_fn(probes);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], surrogate->Predict(probes[i]));
+    EXPECT_DOUBLE_EQ(batch2[i], batch[i]);
+  }
+}
+
+TEST(ObjectiveBatchTest, EvaluateManyMatchesEvaluate) {
+  const StatisticFn statistic = [](const Region& region) {
+    return 10.0 * region.half_length(0) + region.center(1);
+  };
+  const BatchStatisticFn batch_statistic =
+      [&statistic](const std::vector<Region>& regions) {
+        std::vector<double> out;
+        out.reserve(regions.size());
+        for (const auto& region : regions) out.push_back(statistic(region));
+        return out;
+      };
+  ObjectiveConfig config;
+  config.threshold = 0.5;
+  const RegionObjective scalar(statistic, config);
+  const RegionObjective batched(statistic, batch_statistic, config);
+
+  Rng rng(50);
+  const RegionSolutionSpace space = RegionSolutionSpace::ForBounds(
+      Bounds({0.0, 0.0}, {1.0, 1.0}), 0.01, 0.3);
+  std::vector<Region> regions;
+  for (int i = 0; i < 200; ++i) regions.push_back(space.Sample(&rng));
+
+  std::vector<double> stats;
+  const auto scalar_evals = scalar.EvaluateMany(regions, &stats);
+  const auto batch_evals = batched.EvaluateMany(regions);
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const FitnessValue direct = scalar.Evaluate(regions[i]);
+    EXPECT_EQ(scalar_evals[i].valid, direct.valid);
+    EXPECT_DOUBLE_EQ(scalar_evals[i].value, direct.value);
+    EXPECT_EQ(batch_evals[i].valid, direct.valid);
+    EXPECT_DOUBLE_EQ(batch_evals[i].value, direct.value);
+    EXPECT_DOUBLE_EQ(stats[i], statistic(regions[i]));
+  }
+}
+
+TEST(GsoBatchTest, BatchAndScalarPathsProduceIdenticalSwarms) {
+  const StatisticFn statistic = [](const Region& region) {
+    const double dx = region.center(0) - 0.5;
+    return 2.0 - 10.0 * dx * dx;
+  };
+  ObjectiveConfig config;
+  config.threshold = 0.5;
+  const RegionObjective objective(statistic, config);
+  const RegionSolutionSpace space =
+      RegionSolutionSpace::ForBounds(Bounds({0.0}, {1.0}), 0.05, 0.3);
+
+  GsoParams params;
+  params.num_glowworms = 40;
+  params.max_iterations = 20;
+  const GlowwormSwarmOptimizer gso(params);
+  const GsoResult scalar = gso.Optimize(objective.AsFitnessFn(), space);
+  const GsoResult batch = gso.Optimize(objective.AsBatchFitnessFn(), space);
+
+  ASSERT_EQ(scalar.particles.size(), batch.particles.size());
+  EXPECT_EQ(scalar.iterations_run, batch.iterations_run);
+  EXPECT_EQ(scalar.objective_evaluations, batch.objective_evaluations);
+  for (size_t i = 0; i < scalar.particles.size(); ++i) {
+    EXPECT_EQ(scalar.valid[i], batch.valid[i]);
+    EXPECT_DOUBLE_EQ(scalar.fitness[i], batch.fitness[i]);
+    for (size_t j = 0; j < scalar.particles[i].dims(); ++j) {
+      EXPECT_DOUBLE_EQ(scalar.particles[i].center(j),
+                       batch.particles[i].center(j));
+    }
+  }
+}
+
+TEST(NaiveSearchBatchTest, ChunkedEvaluationKeepsBudgetSemantics) {
+  const StatisticFn statistic = [](const Region& region) {
+    return region.center(0) + region.center(1);
+  };
+  ObjectiveConfig config;
+  config.threshold = 1.0;
+  const RegionObjective objective(statistic, config);
+  const RegionSolutionSpace space = RegionSolutionSpace::ForBounds(
+      Bounds({0.0, 0.0}, {1.0, 1.0}), 0.05, 0.3);
+
+  NaiveSearchParams params;
+  params.centers_per_dim = 10;
+  params.sizes_per_dim = 10;  // (10·10)^2 = 10000 candidates
+  params.max_evaluations = 1000;
+  const NaiveSearchResult capped = NaiveSearch(params).Run(objective, space);
+  EXPECT_EQ(capped.examined, 1000u);
+  EXPECT_TRUE(capped.timed_out);
+
+  params.max_evaluations = 0;
+  const NaiveSearchResult full = NaiveSearch(params).Run(objective, space);
+  EXPECT_EQ(full.examined, 10000u);
+  EXPECT_FALSE(full.timed_out);
+  EXPECT_FALSE(full.viable.empty());
+}
+
+}  // namespace
+}  // namespace surf

@@ -174,15 +174,15 @@ TEST(TreeTest, FitsStepFunctionExactly) {
   // Squared loss from a zero baseline: g = -y, h = 1.
   std::vector<double> grad(y.size()), hess(y.size(), 1.0);
   for (size_t i = 0; i < y.size(); ++i) grad[i] = -y[i];
-  std::vector<size_t> rows(y.size());
-  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<uint32_t> rows(y.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
 
   const FeatureBinner binner(x, 256);
   TreeParams params;
   params.max_depth = 2;
   params.reg_lambda = 0.0;
   RegressionTree tree;
-  tree.Fit(binner.BinMatrix(x), binner, grad, hess, rows, params, nullptr);
+  tree.Fit(binner.Bin(x), binner, grad, hess, &rows, params, nullptr);
 
   EXPECT_NEAR(tree.Predict({0.2}), 1.0, 0.05);
   EXPECT_NEAR(tree.Predict({0.8}), 5.0, 0.05);
@@ -200,15 +200,15 @@ TEST(TreeTest, DepthZeroIsSingleLeaf) {
     mean += y[i];
   }
   mean /= static_cast<double>(y.size());
-  std::vector<size_t> rows(y.size());
-  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<uint32_t> rows(y.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
 
   const FeatureBinner binner(x, 64);
   TreeParams params;
   params.max_depth = 0;
   params.reg_lambda = 0.0;
   RegressionTree tree;
-  tree.Fit(binner.BinMatrix(x), binner, grad, hess, rows, params, nullptr);
+  tree.Fit(binner.Bin(x), binner, grad, hess, &rows, params, nullptr);
   EXPECT_EQ(tree.num_nodes(), 1u);
   EXPECT_EQ(tree.num_leaves(), 1u);
   EXPECT_NEAR(tree.Predict({0.5}), mean, 1e-9);
@@ -220,8 +220,8 @@ TEST(TreeTest, RegLambdaShrinksLeaves) {
   MakeRegressionProblem(200, 1, 9, StepFn, &x, &y);
   std::vector<double> grad(y.size()), hess(y.size(), 1.0);
   for (size_t i = 0; i < y.size(); ++i) grad[i] = -y[i];
-  std::vector<size_t> rows(y.size());
-  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<uint32_t> rows(y.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   const FeatureBinner binner(x, 64);
 
   TreeParams free_params;
@@ -231,9 +231,10 @@ TEST(TreeTest, RegLambdaShrinksLeaves) {
   heavy_params.reg_lambda = 1000.0;
 
   RegressionTree free_tree, heavy_tree;
-  const auto binned = binner.BinMatrix(x);
-  free_tree.Fit(binned, binner, grad, hess, rows, free_params, nullptr);
-  heavy_tree.Fit(binned, binner, grad, hess, rows, heavy_params, nullptr);
+  const BinnedMatrix binned = binner.Bin(x);
+  std::vector<uint32_t> rows_b = rows;
+  free_tree.Fit(binned, binner, grad, hess, &rows, free_params, nullptr);
+  heavy_tree.Fit(binned, binner, grad, hess, &rows_b, heavy_params, nullptr);
   EXPECT_LT(std::fabs(heavy_tree.Predict({0.8})),
             std::fabs(free_tree.Predict({0.8})));
 }
@@ -244,21 +245,22 @@ TEST(TreeTest, SerializeRoundTrip) {
   MakeRegressionProblem(300, 2, 10, SmoothFn, &x, &y);
   std::vector<double> grad(y.size()), hess(y.size(), 1.0);
   for (size_t i = 0; i < y.size(); ++i) grad[i] = -y[i];
-  std::vector<size_t> rows(y.size());
-  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  std::vector<uint32_t> rows(y.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
   const FeatureBinner binner(x, 64);
   TreeParams params;
   params.max_depth = 4;
   RegressionTree tree;
-  tree.Fit(binner.BinMatrix(x), binner, grad, hess, rows, params, nullptr);
+  tree.Fit(binner.Bin(x), binner, grad, hess, &rows, params, nullptr);
 
   std::stringstream ss;
   tree.Serialize(ss);
-  const RegressionTree restored = RegressionTree::Deserialize(ss);
+  const auto restored = RegressionTree::Deserialize(ss);
+  ASSERT_TRUE(restored.ok());
   Rng rng(11);
   for (int i = 0; i < 50; ++i) {
     const std::vector<double> p{rng.Uniform(), rng.Uniform()};
-    EXPECT_DOUBLE_EQ(tree.Predict(p), restored.Predict(p));
+    EXPECT_DOUBLE_EQ(tree.Predict(p), restored->Predict(p));
   }
 }
 

@@ -94,6 +94,46 @@ SurfOptions ParseOptions(const CliFlags& flags) {
   return options;
 }
 
+FindResult MineWithLoadedModel(const CliFlags& flags, const Dataset& data,
+                               const Surrogate& surrogate, double threshold,
+                               ThresholdDirection direction) {
+  FinderConfig config;
+  config.c = flags.GetDouble("c", 4.0);
+  config.max_regions =
+      static_cast<size_t>(flags.GetInt("max-regions", 16));
+  config.gso.max_iterations =
+      static_cast<size_t>(flags.GetInt("iterations", 120));
+  // Same §V-G swarm sizing Surf::Build applies.
+  config.gso.num_glowworms = std::max(
+      config.gso.num_glowworms,
+      GsoParams::PaperScaled(surrogate.statistic().region_cols.size())
+          .num_glowworms);
+
+  SurfFinder finder(surrogate.AsStatisticFn(), surrogate.space(), config);
+  finder.SetBatchEstimate(surrogate.AsBatchStatisticFn());
+
+  // Validate reported regions against the true statistic, and give the
+  // swarm the same KDE data prior Surf::Build fits.
+  const auto evaluator = MakeEvaluator(BackendKind::kGridIndex, &data,
+                                       surrogate.statistic());
+  finder.SetValidator(evaluator.get());
+  const auto& region_cols = surrogate.statistic().region_cols;
+  Rng rng(6);
+  std::vector<std::vector<double>> points;
+  points.reserve(data.num_rows());
+  std::vector<double> p(region_cols.size());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t j = 0; j < region_cols.size(); ++j) {
+      p[j] = data.Get(r, region_cols[j]);
+    }
+    points.push_back(p);
+  }
+  // Same sample cap as SurfOptions.kde_max_samples.
+  const Kde kde = Kde::FitSampled(points, 2000, &rng);
+  finder.SetKde(&kde);
+  return finder.Find(threshold, direction);
+}
+
 int RunMine(const CliFlags& flags, const Dataset& data) {
   auto statistic = ParseStatistic(flags, data);
   if (!statistic.ok()) return Fail(statistic.status().ToString());
@@ -104,15 +144,26 @@ int RunMine(const CliFlags& flags, const Dataset& data) {
           ? ThresholdDirection::kBelow
           : ThresholdDirection::kAbove;
 
-  auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
-  if (!surf.ok()) return Fail(surf.status().ToString());
-  std::printf("surrogate: test RMSE %s (%zu training evaluations, "
-              "%.2fs)\n",
-              FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
-              surf->surrogate().metrics().num_train_examples,
-              surf->surrogate().metrics().train_seconds);
+  FindResult result;
+  const std::string model_path = flags.GetString("model", "");
+  if (!model_path.empty()) {
+    auto surrogate = Surrogate::Load(model_path);
+    if (!surrogate.ok()) return Fail(surrogate.status().ToString());
+    std::printf("loaded surrogate from %s\n", model_path.c_str());
+    result =
+        MineWithLoadedModel(flags, data, *surrogate, threshold, direction);
+  } else {
+    auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
+    if (!surf.ok()) return Fail(surf.status().ToString());
+    std::printf(
+        "surrogate: test RMSE %s (%zu training evaluations, "
+        "%.2fs)\n",
+        FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
+        surf->surrogate().metrics().num_train_examples,
+        surf->surrogate().metrics().train_seconds);
+    result = surf->FindRegions(threshold, direction);
+  }
 
-  const FindResult result = surf->FindRegions(threshold, direction);
   TablePrinter table({"region", "box", "estimate", "true", "complies"});
   for (size_t i = 0; i < result.regions.size(); ++i) {
     const auto& r = result.regions[i];
