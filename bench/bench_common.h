@@ -122,16 +122,7 @@ inline MinerOutput RunFGso(const SyntheticDataset& ds,
       space, config);
 
   // Same KDE prior SuRF's finder gets from Surf::Build.
-  Rng kde_rng(3);
-  std::vector<std::vector<double>> points;
-  std::vector<double> p(ds.region_cols.size());
-  for (size_t r = 0; r < ds.data.num_rows(); ++r) {
-    for (size_t j = 0; j < ds.region_cols.size(); ++j) {
-      p[j] = ds.data.Get(r, ds.region_cols[j]);
-    }
-    points.push_back(p);
-  }
-  const Kde kde = Kde::FitSampled(points, 2000, &kde_rng);
+  const Kde kde = FitDataKde(ds.data, ds.region_cols, 2000, 3);
   finder.SetKde(&kde);
 
   Stopwatch timer;

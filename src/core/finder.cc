@@ -27,8 +27,12 @@ FindResult SurfFinder::Find(double threshold,
   obj_config.use_log = config_.use_log_objective;
   const RegionObjective objective(estimate_, batch_estimate_, obj_config);
 
-  const GlowwormSwarmOptimizer gso(config_.gso);
-  const Kde* kde = config_.use_kde_guidance ? kde_ : nullptr;
+  GsoParams gso_params = config_.gso;
+  if (!config_.use_kde_guidance) gso_params.kde_mass_guidance = false;
+  if (!config_.use_kde_seeding) gso_params.kde_seeded_fraction = 0.0;
+  const GlowwormSwarmOptimizer gso(gso_params);
+  const Kde* kde =
+      (config_.use_kde_guidance || config_.use_kde_seeding) ? kde_ : nullptr;
 
   FindResult result;
   // The batched fitness scores each swarm iteration with a single

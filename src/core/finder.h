@@ -1,6 +1,9 @@
 #ifndef SURF_CORE_FINDER_H_
 #define SURF_CORE_FINDER_H_
 
+/// \file
+/// \brief The GSO-based region-mining engine and its configuration.
+
 #include <cstdint>
 #include <vector>
 
@@ -15,6 +18,7 @@ namespace surf {
 /// \brief Region-finder configuration: the GSO engine plus the objective
 /// and result-extraction knobs.
 struct FinderConfig {
+  /// GSO engine parameters (swarm size, iterations, radii, seeding).
   GsoParams gso;
   /// Let Surf::Build retune the GSO neighbourhood radius and swarm size
   /// for the data dimensionality per the paper's §V-G rules (L = 50·d,
@@ -28,14 +32,22 @@ struct FinderConfig {
   /// Result extraction: particles are reduced to distinct regions via
   /// greedy non-max suppression at this IoU ceiling.
   double nms_max_iou = 0.25;
+  /// Maximum number of distinct regions reported.
   size_t max_regions = 16;
   /// Steer neighbour selection by the KDE data prior (Eq. 8) when a KDE
-  /// is attached.
+  /// is attached. This is the expensive KDE use: one region-mass
+  /// integral per particle per iteration.
   bool use_kde_guidance = true;
+  /// Seed a fraction of the initial swarm from the KDE data prior
+  /// (§III-B guidance at t = 0; see GsoParams::kde_seeded_fraction).
+  /// One-off cost — latency-sensitive serving recipes keep this on even
+  /// with `use_kde_guidance` off.
+  bool use_kde_seeding = true;
 };
 
 /// \brief One reported region.
 struct FoundRegion {
+  /// The mined hyper-rectangle.
   Region region;
   /// Objective value Ĵ at the particle.
   double fitness = 0.0;
@@ -50,11 +62,15 @@ struct FoundRegion {
 
 /// \brief Run metadata for the performance tables.
 struct FindReport {
+  /// Mining wall-time in seconds.
   double seconds = 0.0;
+  /// GSO iterations run.
   size_t iterations = 0;
+  /// Objective evaluations issued against the statistic source.
   uint64_t objective_evaluations = 0;
   /// Fraction of final particles with a defined objective (Fig. 1's 84 %).
   double particle_valid_fraction = 0.0;
+  /// Whether the swarm met the movement-convergence criterion early.
   bool converged = false;
   /// Fraction of reported regions whose true statistic complies (only
   /// meaningful with a validator attached).
@@ -63,7 +79,9 @@ struct FindReport {
 
 /// \brief Full mining outcome.
 struct FindResult {
+  /// Distinct reported regions, best fitness first.
   std::vector<FoundRegion> regions;
+  /// Run metadata (timing, evaluations, compliance).
   FindReport report;
   /// Raw final swarm (for the particle-plot experiments).
   GsoResult gso;
@@ -89,8 +107,10 @@ class SurfFinder {
     batch_estimate_ = std::move(batch_estimate);
   }
 
-  /// Attaches a KDE prior over the data distribution (non-owning); used
-  /// only when config.use_kde_guidance is set.
+  /// Attaches a KDE prior over the data distribution (non-owning). Used
+  /// for Eq. 8 neighbour guidance when config.use_kde_guidance is set
+  /// and for seeded swarm initialization when config.use_kde_seeding is
+  /// set; ignored when both are off.
   void SetKde(const Kde* kde) { kde_ = kde; }
 
   /// Attaches the true-statistic evaluator used to validate reported
@@ -102,7 +122,9 @@ class SurfFinder {
   /// Mines regions whose statistic is above/below `threshold`.
   FindResult Find(double threshold, ThresholdDirection direction) const;
 
+  /// The finder configuration.
   const FinderConfig& config() const { return config_; }
+  /// The particle solution space.
   const RegionSolutionSpace& space() const { return space_; }
 
  private:

@@ -25,6 +25,21 @@ std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
   return nullptr;
 }
 
+Kde FitDataKde(const Dataset& data, const std::vector<size_t>& region_cols,
+               size_t max_samples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  points.reserve(data.num_rows());
+  std::vector<double> p(region_cols.size());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t j = 0; j < region_cols.size(); ++j) {
+      p[j] = data.Get(r, region_cols[j]);
+    }
+    points.push_back(p);
+  }
+  return Kde::FitSampled(points, max_samples, &rng);
+}
+
 StatusOr<Surf> Surf::Build(const Dataset* data, Statistic statistic,
                            const SurfOptions& options, ThreadPool* pool) {
   if (data == nullptr || data->num_rows() == 0) {
@@ -69,18 +84,9 @@ StatusOr<Surf> Surf::Build(const Dataset* data, Statistic statistic,
   surf.space_ = workload.space;
 
   if (options.fit_kde) {
-    Rng rng(options.workload.seed + 1);
-    std::vector<std::vector<double>> points;
-    points.reserve(data->num_rows());
-    std::vector<double> p(statistic.region_cols.size());
-    for (size_t r = 0; r < data->num_rows(); ++r) {
-      for (size_t j = 0; j < statistic.region_cols.size(); ++j) {
-        p[j] = data->Get(r, statistic.region_cols[j]);
-      }
-      points.push_back(p);
-    }
     surf.kde_ = std::make_unique<Kde>(
-        Kde::FitSampled(points, options.kde_max_samples, &rng));
+        FitDataKde(*data, statistic.region_cols, options.kde_max_samples,
+                   options.workload.seed + 1));
   }
 
   FinderConfig finder_config = options.finder;

@@ -1,6 +1,9 @@
 #ifndef SURF_CORE_SURF_H_
 #define SURF_CORE_SURF_H_
 
+/// \file
+/// \brief The Surf facade: the end-to-end pipeline over one dataset + statistic.
+
 #include <memory>
 
 #include "core/finder.h"
@@ -27,12 +30,17 @@ enum class BackendKind {
 
 /// \brief End-to-end configuration of the SuRF pipeline.
 struct SurfOptions {
+  /// Training-workload recipe (query count, length range, seed).
   WorkloadParams workload;
+  /// Surrogate training recipe (GBRT parameters, hypertune, holdout).
   SurrogateTrainOptions surrogate;
+  /// Mining-engine knobs (GSO, objective, extraction).
   FinderConfig finder;
+  /// Which exact back-end labels the workload and validates results.
   BackendKind backend = BackendKind::kGridIndex;
   /// Fit the KDE data prior for Eq. 8 guidance.
   bool fit_kde = true;
+  /// Sample cap for the KDE fit.
   size_t kde_max_samples = 2000;
   /// Validate reported regions against the true f (Fig. 5's compliance
   /// metric). Costs one back-end evaluation per reported region.
@@ -68,10 +76,15 @@ class Surf {
   /// used to pick quantile thresholds like the crimes experiment's Q3).
   Ecdf SampleStatisticEcdf(size_t n, uint64_t seed) const;
 
+  /// The trained surrogate f̂.
   const Surrogate& surrogate() const { return surrogate_; }
+  /// The exact back-end evaluator (true f).
   const RegionEvaluator& evaluator() const { return *evaluator_; }
+  /// The solution space the finder roams.
   const RegionSolutionSpace& space() const { return space_; }
+  /// The configured mining engine.
   const SurfFinder& finder() const { return *finder_; }
+  /// The options the pipeline was built with.
   const SurfOptions& options() const { return options_; }
 
  private:
@@ -90,6 +103,12 @@ class Surf {
 std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
                                                const Dataset* data,
                                                const Statistic& statistic);
+
+/// Fits the Eq. 8 KDE data prior over a dataset's region columns on a
+/// bounded subsample (deterministic for a given seed). Shared by
+/// Surf::Build, the serving layer, and the CLI's saved-model path.
+Kde FitDataKde(const Dataset& data, const std::vector<size_t>& region_cols,
+               size_t max_samples, uint64_t seed);
 
 }  // namespace surf
 

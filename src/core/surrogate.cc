@@ -160,6 +160,49 @@ Status Surrogate::Update(const RegionWorkload& fresh_workload,
   return Status::OK();
 }
 
+StatusOr<Surrogate> Surrogate::WarmStarted(
+    const RegionWorkload& fresh_workload, size_t extra_trees) const {
+  if (!trained()) return Status::FailedPrecondition("surrogate not trained");
+  const auto* gbrt = dynamic_cast<const GradientBoostedTrees*>(model_.get());
+  if (gbrt == nullptr) {
+    return Status::FailedPrecondition(
+        "warm-start updates require a GBRT surrogate");
+  }
+  if (fresh_workload.size() == 0) {
+    return Status::InvalidArgument("empty update workload");
+  }
+  Stopwatch timer;
+  auto clone = std::make_shared<GradientBoostedTrees>(*gbrt);
+
+  // Hold a slice of the fresh batch out of the fit so the refreshed
+  // model's out-of-sample fidelity can be re-declared — otherwise the
+  // provenance would keep reporting the pre-refresh holdout RMSE. Tiny
+  // batches (< 5) train whole and keep the previous figure.
+  Surrogate warmed = *this;
+  if (fresh_workload.size() >= 5) {
+    Rng rng(1 + metrics_.num_train_examples);
+    const Fold split = TrainTestSplit(fresh_workload.size(), 0.2, &rng);
+    FeatureMatrix train_x;
+    std::vector<double> train_y;
+    GatherFold(fresh_workload, split.train, &train_x, &train_y);
+    SURF_RETURN_IF_ERROR(clone->ContinueFit(train_x, train_y, extra_trees));
+    FeatureMatrix test_x;
+    std::vector<double> test_y;
+    GatherFold(fresh_workload, split.test, &test_x, &test_y);
+    if (!test_y.empty()) {
+      warmed.metrics_.test_rmse = Rmse(clone->PredictBatch(test_x), test_y);
+    }
+    warmed.metrics_.num_train_examples += split.train.size();
+  } else {
+    SURF_RETURN_IF_ERROR(clone->ContinueFit(
+        fresh_workload.features, fresh_workload.targets, extra_trees));
+    warmed.metrics_.num_train_examples += fresh_workload.size();
+  }
+  warmed.model_ = std::move(clone);
+  warmed.metrics_.train_seconds += timer.ElapsedSeconds();
+  return warmed;
+}
+
 StatisticFn Surrogate::AsStatisticFn() const {
   assert(trained());
   // Capture the shared model so the adapter stays valid if the Surrogate

@@ -1,6 +1,9 @@
 #ifndef SURF_CORE_TOPK_H_
 #define SURF_CORE_TOPK_H_
 
+/// \file
+/// \brief The top-k (k-highest-statistic) query formulation.
+
 #include <cstddef>
 #include <vector>
 
@@ -24,6 +27,7 @@ struct TopKConfig {
   /// Distinctness: regions overlapping a better one by more than this
   /// IoU are not counted toward k.
   double nms_max_iou = 0.25;
+  /// GSO engine parameters.
   GsoParams gso;
 };
 
@@ -31,7 +35,9 @@ struct TopKConfig {
 struct TopKResult {
   /// At most k distinct regions, best first.
   std::vector<ScoredRegion> regions;
+  /// GSO iterations run.
   size_t iterations = 0;
+  /// Objective evaluations issued against the statistic source.
   uint64_t objective_evaluations = 0;
 };
 
@@ -47,6 +53,7 @@ struct TopKResult {
 /// `bench/ext_topk`.
 class TopKFinder {
  public:
+  /// `estimate` supplies f̂ (or f). `space` bounds the particle domain.
   TopKFinder(StatisticFn estimate, RegionSolutionSpace space,
              TopKConfig config);
 
@@ -62,6 +69,7 @@ class TopKFinder {
   /// Mines the k highest-statistic regions.
   TopKResult Find() const;
 
+  /// The top-k configuration.
   const TopKConfig& config() const { return config_; }
 
  private:

@@ -1,6 +1,9 @@
 #ifndef SURF_CORE_WORKLOAD_H_
 #define SURF_CORE_WORKLOAD_H_
 
+/// \file
+/// \brief Past-region-evaluation workloads: generation, persistence, merging.
+
 #include <cstdint>
 
 #include "geom/bounds.h"
@@ -14,14 +17,17 @@ namespace surf {
 /// uniform at random across the data space, side lengths covering 1–15 %
 /// of the data domain).
 struct WorkloadParams {
+  /// Number of past evaluations to draw and label.
   size_t num_queries = 10000;
-  /// Half side-length range as fractions of the (per-dimension) extent.
+  /// Smallest half side-length, as a fraction of the per-dimension extent.
   double min_length_frac = 0.01;
+  /// Largest half side-length, as a fraction of the per-dimension extent.
   double max_length_frac = 0.15;
   /// Drop queries whose statistic is undefined (NaN — e.g. the mean of an
   /// empty region). The surviving count can therefore be slightly lower
   /// than num_queries.
   bool drop_undefined = true;
+  /// Seed of the random region draw.
   uint64_t seed = 5;
 };
 
@@ -29,13 +35,16 @@ struct WorkloadParams {
 /// (paper §IV) in ML-ready form: one feature row [x_1..x_d, l_1..l_d] per
 /// region, with the statistic value as the target.
 struct RegionWorkload {
+  /// One [x_1..x_d, l_1..l_d] row per past evaluation.
   FeatureMatrix features;
+  /// The statistic value y_m of each row.
   std::vector<double> targets;
   /// The solution space the queries were drawn from.
   RegionSolutionSpace space;
   /// The statistic that produced the targets.
   Statistic statistic;
 
+  /// Number of past evaluations.
   size_t size() const { return features.num_rows(); }
 
   /// Region form of row i.

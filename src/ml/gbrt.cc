@@ -85,6 +85,19 @@ std::string GbrtParams::ToString() const {
   return os.str();
 }
 
+std::string GbrtParams::CanonicalString() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "lr=" << learning_rate << ";trees=" << n_estimators
+     << ";depth=" << max_depth << ";lambda=" << reg_lambda
+     << ";mcw=" << min_child_weight << ";msg=" << min_split_gain
+     << ";msl=" << min_samples_leaf << ";subsample=" << subsample
+     << ";colsample=" << colsample << ";bins=" << max_bins
+     << ";esr=" << early_stopping_rounds << ";vf=" << validation_fraction
+     << ";seed=" << seed;
+  return os.str();
+}
+
 Status GradientBoostedTrees::Fit(const FeatureMatrix& x,
                                  const std::vector<double>& y) {
   if (x.num_rows() == 0) {

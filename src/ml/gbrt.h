@@ -45,7 +45,15 @@ struct GbrtParams {
   double validation_fraction = 0.0;
   uint64_t seed = 1234;
 
+  /// Short display form (the four §V-E grid axes only).
   std::string ToString() const;
+
+  /// Canonical full serialization of every *model-relevant* field, used by
+  /// the serving layer to fingerprint cache keys. Two parameter sets with
+  /// equal canonical strings train bit-identical ensembles on the same
+  /// data. Runtime-only knobs (`num_threads`, `use_sibling_subtraction`)
+  /// are excluded: they never change the fitted model.
+  std::string CanonicalString() const;
 };
 
 /// \brief Gradient-boosted regression trees with squared-error loss —

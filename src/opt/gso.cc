@@ -84,10 +84,13 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
   result.fitness.assign(L, 0.0);
   result.valid.assign(L, false);
 
-  // Cached KDE region mass per particle, refreshed after each move.
+  // Cached KDE region mass per particle, refreshed after each move. Only
+  // maintained when Eq. 8 guidance is on — the per-particle RegionMass
+  // integral dominates iteration cost otherwise.
+  const bool kde_guided = kde != nullptr && params_.kde_mass_guidance;
   std::vector<double> kde_mass(L, 1.0);
   auto refresh_mass = [&](size_t i) {
-    if (kde != nullptr) {
+    if (kde_guided) {
       kde_mass[i] = std::max(1e-12, kde->RegionMass(result.particles[i]));
     }
   };
@@ -154,7 +157,7 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
         if (dist <= radius[i]) {
           neighbors.push_back(j);
           double w = luciferin[j] - luciferin[i];  // Eq. 7 numerator
-          if (kde != nullptr) w *= kde_mass[j];    // Eq. 8 re-weighting
+          if (kde_guided) w *= kde_mass[j];  // Eq. 8 re-weighting
           weights.push_back(w);
         }
       }

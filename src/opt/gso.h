@@ -56,6 +56,12 @@ struct GsoParams {
   /// basins (e.g. a single dense box occupying 2 % of the domain). 0
   /// restores fully uniform initialization.
   double kde_seeded_fraction = 0.5;
+  /// Per-iteration Eq. 8 re-weighting of neighbour selection by KDE
+  /// region mass. One RegionMass integral per particle per iteration —
+  /// by far the most expensive KDE use; latency-sensitive serving
+  /// configurations disable it and keep the (one-off) seeded
+  /// initialization above.
+  bool kde_mass_guidance = true;
   uint64_t seed = 99;
 
   /// The paper's §V-G scaling for data dimensionality d (region space is

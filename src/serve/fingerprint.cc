@@ -1,0 +1,135 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace surf {
+
+namespace {
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+}  // namespace
+
+void Fingerprinter::AddByte(unsigned char b) {
+  state_ ^= b;
+  state_ *= kFnvPrime;
+}
+
+void Fingerprinter::Add(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    AddByte(static_cast<unsigned char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void Fingerprinter::Add(double v) { Add(std::bit_cast<uint64_t>(v)); }
+
+void Fingerprinter::Add(const std::string& s) {
+  Add(static_cast<uint64_t>(s.size()));
+  for (char c : s) AddByte(static_cast<unsigned char>(c));
+}
+
+uint64_t FingerprintDataset(const Dataset& data) {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(data.num_rows()));
+  fp.Add(static_cast<uint64_t>(data.num_cols()));
+  for (const auto& name : data.column_names()) fp.Add(name);
+  // Per-column full-pass aggregates (sum, min, max) plus a stride sample
+  // of up to 64 cells: any single-cell edit moves the sum, and the
+  // samples anchor positions. O(N·d) — MiningService computes this once
+  // at registration, not per request.
+  constexpr size_t kSamplesPerColumn = 64;
+  const size_t rows = data.num_rows();
+  const size_t stride = rows <= kSamplesPerColumn
+                            ? 1
+                            : (rows + kSamplesPerColumn - 1) / kSamplesPerColumn;
+  for (size_t c = 0; c < data.num_cols(); ++c) {
+    const std::vector<double>& column = data.column(c);
+    double sum = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double v : column) {
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    fp.Add(sum);
+    fp.Add(lo);
+    fp.Add(hi);
+    for (size_t r = 0; r < rows; r += stride) fp.Add(column[r]);
+    if (rows > 0) fp.Add(column[rows - 1]);
+  }
+  return fp.digest();
+}
+
+uint64_t FingerprintStatistic(const Statistic& statistic) {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(statistic.kind));
+  fp.Add(static_cast<uint64_t>(statistic.region_cols.size()));
+  for (size_t c : statistic.region_cols) fp.Add(static_cast<uint64_t>(c));
+  fp.Add(static_cast<uint64_t>(statistic.value_col + 1));
+  fp.Add(statistic.label_value);
+  return fp.digest();
+}
+
+uint64_t FingerprintWorkloadParams(const WorkloadParams& params) {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(params.num_queries));
+  fp.Add(params.min_length_frac);
+  fp.Add(params.max_length_frac);
+  fp.Add(static_cast<uint64_t>(params.drop_undefined ? 1 : 0));
+  fp.Add(params.seed);
+  return fp.digest();
+}
+
+uint64_t FingerprintTrainOptions(const SurrogateTrainOptions& options) {
+  Fingerprinter fp;
+  fp.Add(options.gbrt.CanonicalString());
+  fp.Add(static_cast<uint64_t>(options.hypertune ? 1 : 0));
+  if (options.hypertune) {
+    // The grid defines the search space, so it is part of the recipe.
+    for (double v : options.grid.learning_rates) fp.Add(v);
+    for (size_t v : options.grid.max_depths) fp.Add(static_cast<uint64_t>(v));
+    for (size_t v : options.grid.n_estimators) {
+      fp.Add(static_cast<uint64_t>(v));
+    }
+    for (double v : options.grid.reg_lambdas) fp.Add(v);
+    fp.Add(static_cast<uint64_t>(options.cv_folds));
+  }
+  fp.Add(options.test_fraction);
+  fp.Add(options.seed);
+  return fp.digest();
+}
+
+uint64_t SurrogateKey::Hash() const {
+  Fingerprinter fp;
+  fp.Add(dataset);
+  fp.Add(statistic);
+  fp.Add(workload);
+  fp.Add(model);
+  return fp.digest();
+}
+
+std::string SurrogateKey::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "d=%016llx s=%016llx w=%016llx m=%016llx",
+                static_cast<unsigned long long>(dataset),
+                static_cast<unsigned long long>(statistic),
+                static_cast<unsigned long long>(workload),
+                static_cast<unsigned long long>(model));
+  return buf;
+}
+
+SurrogateKey MakeSurrogateKey(const Dataset& data, const Statistic& statistic,
+                              const WorkloadParams& workload,
+                              const SurrogateTrainOptions& options) {
+  SurrogateKey key;
+  key.dataset = FingerprintDataset(data);
+  key.statistic = FingerprintStatistic(statistic);
+  key.workload = FingerprintWorkloadParams(workload);
+  key.model = FingerprintTrainOptions(options);
+  return key;
+}
+
+}  // namespace surf

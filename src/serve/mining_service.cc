@@ -1,0 +1,229 @@
+#include "serve/mining_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "ml/grid_search.h"
+#include "util/stopwatch.h"
+
+namespace surf {
+
+MiningService::MiningService(Options options)
+    : options_(options),
+      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : options.num_threads),
+      scheduler_(&pool_),
+      cache_(options.cache) {}
+
+Status MiningService::RegisterDataset(const std::string& name, Dataset data) {
+  if (name.empty()) return Status::InvalidArgument("empty dataset name");
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty dataset '" + name + "'");
+  }
+  NamedDataset named;
+  named.fingerprint = FingerprintDataset(data);
+  named.data = std::make_unique<Dataset>(std::move(data));
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(named));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status MiningService::RegisterCsvDataset(const std::string& name,
+                                         const std::string& path) {
+  auto data = Dataset::LoadCsv(path);
+  if (!data.ok()) return data.status();
+  return RegisterDataset(name, std::move(data).value());
+}
+
+const Dataset* MiningService::dataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.data.get();
+}
+
+std::vector<std::string> MiningService::dataset_names() const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, named] : datasets_) names.push_back(name);
+  return names;
+}
+
+StatusOr<const MiningService::NamedDataset*> MiningService::ResolveRequest(
+    const MineRequest& request) const {
+  const NamedDataset* named = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    auto it = datasets_.find(request.dataset);
+    if (it != datasets_.end()) named = &it->second;
+  }
+  if (named == nullptr) {
+    return Status::NotFound("dataset '" + request.dataset +
+                            "' not registered");
+  }
+  const Dataset* data = named->data.get();
+  if (request.statistic.region_cols.empty()) {
+    return Status::InvalidArgument("statistic has no region columns");
+  }
+  for (size_t c : request.statistic.region_cols) {
+    if (c >= data->num_cols()) {
+      return Status::InvalidArgument("region column out of range");
+    }
+  }
+  if (request.statistic.needs_value_column() &&
+      (request.statistic.value_col < 0 ||
+       static_cast<size_t>(request.statistic.value_col) >=
+           data->num_cols())) {
+    return Status::InvalidArgument("value column out of range");
+  }
+  return named;
+}
+
+StatusOr<SurrogateKey> MiningService::KeyFor(
+    const MineRequest& request) const {
+  auto named = ResolveRequest(request);
+  if (!named.ok()) return named.status();
+  SurrogateKey key;
+  key.dataset = (*named)->fingerprint;  // cached at registration
+  key.statistic = FingerprintStatistic(request.statistic);
+  key.workload = FingerprintWorkloadParams(request.workload);
+  key.model = FingerprintTrainOptions(request.surrogate);
+  return key;
+}
+
+StatusOr<TrainedSurrogate> MiningService::TrainEntry(
+    const MineRequest& request, const Dataset* data) {
+  std::shared_ptr<const RegionEvaluator> evaluator(
+      MakeEvaluator(request.backend, data, request.statistic));
+  const Bounds domain = data->ComputeBounds(request.statistic.region_cols);
+  const RegionWorkload workload =
+      GenerateWorkload(*evaluator, domain, request.workload);
+  if (workload.size() == 0) {
+    return Status::FailedPrecondition(
+        "workload generation produced no defined statistics");
+  }
+
+  // No shared-pool parallelism here: TrainEntry may itself be running on a
+  // pool worker (MineBatch), and ThreadPool::Wait drains the *whole* pool
+  // — nesting would deadlock. GBRT-internal threading (params.num_threads)
+  // is independent of the service pool and stays available.
+  auto surrogate = Surrogate::Train(workload, request.surrogate, nullptr);
+  if (!surrogate.ok()) return surrogate.status();
+
+  TrainedSurrogate trained;
+  trained.surrogate = std::move(surrogate).value();
+  trained.evaluator = std::move(evaluator);
+
+  // The KDE prior is always fitted with the entry (cheap — a bounded
+  // subsample) so every later request can opt into Eq. 8 guidance
+  // regardless of what the entry-creating request asked for.
+  trained.kde = std::make_shared<const Kde>(
+      FitDataKde(*data, request.statistic.region_cols,
+                 options_.kde_max_samples, request.workload.seed + 1));
+
+  if (options_.provenance_cv_folds >= 2) {
+    trained.cv_rmse = CrossValidatedRmse(
+        workload.features, workload.targets,
+        trained.surrogate.metrics().chosen_params,
+        options_.provenance_cv_folds, request.surrogate.seed);
+  }
+  return trained;
+}
+
+StatusOr<std::shared_ptr<CachedSurrogate>> MiningService::EntryFor(
+    const MineRequest& request, bool* was_hit) {
+  auto key = KeyFor(request);
+  if (!key.ok()) return key.status();
+  const Dataset* data = dataset(request.dataset);
+  return cache_.GetOrTrain(
+      *key, [&] { return TrainEntry(request, data); }, was_hit);
+}
+
+MineResponse MiningService::Mine(const MineRequest& request) {
+  Stopwatch timer;
+  MineResponse response;
+  bool hit = false;
+  auto entry = EntryFor(request, &hit);
+  if (!entry.ok()) {
+    response.status = entry.status();
+    return response;
+  }
+  response.cache_hit = hit;
+  const SurrogateSnapshot snap = (*entry)->Snapshot();
+  response.provenance = snap.provenance;
+  const size_t dims = snap.surrogate->dims();
+
+  if (request.mode == MineRequest::Mode::kTopK) {
+    TopKConfig config = request.topk;
+    // Same §V-G swarm-size floor as the threshold path, gated by the
+    // same opt-out (request.finder.auto_scale_gso).
+    if (request.finder.auto_scale_gso) {
+      config.gso.num_glowworms =
+          std::max(config.gso.num_glowworms,
+                   GsoParams::PaperScaled(dims).num_glowworms);
+    }
+    TopKFinder finder(snap.surrogate->AsStatisticFn(), snap.space, config);
+    finder.SetBatchEstimate(snap.surrogate->AsBatchStatisticFn());
+    if (request.use_kde && snap.kde != nullptr) finder.SetKde(snap.kde.get());
+    response.topk = finder.Find();
+  } else {
+    FinderConfig config = request.finder;
+    if (config.auto_scale_gso) {
+      config.gso.num_glowworms =
+          std::max(config.gso.num_glowworms,
+                   GsoParams::PaperScaled(dims).num_glowworms);
+    }
+    SurfFinder finder(snap.surrogate->AsStatisticFn(), snap.space, config);
+    finder.SetBatchEstimate(snap.surrogate->AsBatchStatisticFn());
+    if (request.use_kde && snap.kde != nullptr) finder.SetKde(snap.kde.get());
+    if (request.validate && snap.evaluator != nullptr) {
+      finder.SetValidator(snap.evaluator.get());
+    }
+    response.result = finder.Find(request.threshold, request.direction);
+
+    if (request.record_evaluations && request.validate) {
+      RegionWorkload fresh;
+      fresh.space = snap.space;
+      fresh.statistic = snap.surrogate->statistic();
+      fresh.features = FeatureMatrix(2 * dims);
+      for (const auto& found : response.result.regions) {
+        if (std::isnan(found.true_value)) continue;
+        fresh.features.AddRow(RegionFeatures(found.region));
+        fresh.targets.push_back(found.true_value);
+      }
+      if (fresh.size() > 0) {
+        // Best-effort: a failed warm start must not fail the mining
+        // response that triggered it.
+        (void)(*entry)->Append(fresh);
+        response.provenance = (*entry)->provenance();
+      }
+    }
+  }
+  response.total_seconds = timer.ElapsedSeconds();
+  return response;
+}
+
+std::vector<MineResponse> MiningService::MineBatch(
+    const std::vector<MineRequest>& requests) {
+  std::vector<std::function<MineResponse()>> jobs;
+  jobs.reserve(requests.size());
+  for (const MineRequest& request : requests) {
+    jobs.push_back([this, request] { return Mine(request); });
+  }
+  return scheduler_.RunAll<MineResponse>(std::move(jobs));
+}
+
+Status MiningService::AppendEvaluations(const MineRequest& request,
+                                        const RegionWorkload& fresh) {
+  bool hit = false;
+  auto entry = EntryFor(request, &hit);
+  if (!entry.ok()) return entry.status();
+  return (*entry)->Append(fresh);
+}
+
+}  // namespace surf

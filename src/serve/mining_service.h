@@ -1,0 +1,190 @@
+#ifndef SURF_SERVE_MINING_SERVICE_H_
+#define SURF_SERVE_MINING_SERVICE_H_
+
+/// \file
+/// \brief The persistent multi-query mining service.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/finder.h"
+#include "core/surf.h"
+#include "core/topk.h"
+#include "serve/scheduler.h"
+#include "serve/surrogate_cache.h"
+#include "util/thread_pool.h"
+
+namespace surf {
+
+/// \brief One mining request against a registered dataset.
+///
+/// The tuple (dataset, statistic, workload, surrogate) forms the
+/// surrogate-cache key; everything else — threshold, direction, finder
+/// knobs, top-k settings — is per-request search configuration evaluated
+/// against the shared read-only model.
+struct MineRequest {
+  /// Name the dataset was registered under.
+  std::string dataset;
+  /// The statistic f whose interesting regions are sought.
+  Statistic statistic;
+
+  /// The user's cut-off value y_R (paper Problem 1).
+  double threshold = 0.0;
+  /// Which side of the threshold is interesting.
+  ThresholdDirection direction = ThresholdDirection::kAbove;
+
+  /// \brief Query formulation.
+  enum class Mode {
+    /// Regions whose statistic crosses `threshold` (paper Problem 1).
+    kThreshold,
+    /// The k highest-statistic regions (§VI's alternative formulation).
+    kTopK,
+  };
+  /// Threshold query (default) vs. k-highest-statistic query.
+  Mode mode = Mode::kThreshold;
+  /// Top-k settings (used when mode == kTopK).
+  TopKConfig topk;
+
+  /// Per-request GSO/extraction knobs.
+  FinderConfig finder;
+  /// Training-workload recipe — part of the cache key.
+  WorkloadParams workload;
+  /// Surrogate training recipe — part of the cache key.
+  SurrogateTrainOptions surrogate;
+  /// Which exact back-end labels the workload and validates results.
+  BackendKind backend = BackendKind::kGridIndex;
+
+  /// Fit/use the KDE data prior (Eq. 8 guidance).
+  bool use_kde = true;
+  /// Validate reported regions against the true statistic.
+  bool validate = true;
+  /// Feed validated (region, true value) pairs back into the cache
+  /// entry's pending workload, so repeated traffic warms the next
+  /// incremental retrain. Requires `validate`.
+  bool record_evaluations = false;
+};
+
+/// \brief One mining response.
+struct MineResponse {
+  /// Request outcome; `result`/`topk` are meaningful only when OK.
+  Status status = Status::OK();
+  /// Threshold-mode result.
+  FindResult result;
+  /// Top-k-mode result.
+  TopKResult topk;
+  /// Whether an already-resident surrogate served this request.
+  bool cache_hit = false;
+  /// Declared pedigree of the model that served the request.
+  SurrogateProvenance provenance;
+  /// End-to-end request wall-time (training share included on misses).
+  double total_seconds = 0.0;
+};
+
+/// \brief Persistent multi-query region-mining service (the deployment
+/// story of paper §V-D: "models will be trained once and successively
+/// used to answer queries").
+///
+/// Owns named datasets, a keyed surrogate cache, and a worker pool.
+/// Concurrent requests for the same (dataset, statistic, workload recipe,
+/// model recipe) share one trained surrogate — the first request trains,
+/// the rest block on the in-flight fit, and later ones hit the cache
+/// outright. Mining itself (GSO/PSO/top-k search) runs per request
+/// against read-only model snapshots, so any number of requests can be in
+/// flight at once.
+class MiningService {
+ public:
+  /// \brief Service configuration.
+  struct Options {
+    /// Worker threads for MineBatch (0 = hardware concurrency).
+    size_t num_threads = 0;
+    /// Surrogate-cache sizing/eviction/warm-start policy.
+    SurrogateCache::Options cache;
+    /// When >= 2, declare a k-fold cross-validated RMSE in each entry's
+    /// provenance (costs `provenance_cv_folds` extra fits per training).
+    /// 0 skips CV; provenance then carries only the holdout RMSE.
+    size_t provenance_cv_folds = 0;
+    /// Sample cap for the per-entry KDE data prior.
+    size_t kde_max_samples = 2000;
+  };
+
+  /// Service with default options (all-core pool, default cache policy).
+  MiningService() : MiningService(Options{}) {}
+  /// Service with an explicit configuration.
+  explicit MiningService(Options options);
+
+  /// Registers a dataset under `name`. Fails with AlreadyExists on reuse.
+  Status RegisterDataset(const std::string& name, Dataset data);
+
+  /// Convenience: LoadCsv + RegisterDataset.
+  Status RegisterCsvDataset(const std::string& name, const std::string& path);
+
+  /// The registered dataset, or null.
+  const Dataset* dataset(const std::string& name) const;
+
+  /// Registered dataset names, sorted.
+  std::vector<std::string> dataset_names() const;
+
+  /// Serves one request synchronously on the calling thread. Thread-safe;
+  /// any number of Mine calls may run concurrently.
+  MineResponse Mine(const MineRequest& request);
+
+  /// Serves a batch concurrently over the worker pool; responses are in
+  /// request order.
+  std::vector<MineResponse> MineBatch(const std::vector<MineRequest>& requests);
+
+  /// Appends externally observed region evaluations to the cache entry
+  /// `request` keys to (training it first if absent). Past the configured
+  /// retrain threshold this triggers the warm-start swap.
+  Status AppendEvaluations(const MineRequest& request,
+                           const RegionWorkload& fresh);
+
+  /// Cache-key derivation for a request (exposed for tests/tools).
+  StatusOr<SurrogateKey> KeyFor(const MineRequest& request) const;
+
+  /// The surrogate cache (for stats, Peek, Clear).
+  SurrogateCache& cache() { return cache_; }
+  /// Read-only view of the surrogate cache.
+  const SurrogateCache& cache() const { return cache_; }
+  /// The worker pool MineBatch schedules over.
+  ThreadPool& pool() { return pool_; }
+  /// Worker-thread count of the pool.
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// A registered dataset plus its content fingerprint, computed once at
+  /// registration (datasets are immutable after RegisterDataset).
+  struct NamedDataset {
+    std::unique_ptr<Dataset> data;
+    uint64_t fingerprint = 0;
+  };
+
+  /// Validates the request against the dataset; returns the registry
+  /// entry (stable address).
+  StatusOr<const NamedDataset*> ResolveRequest(
+      const MineRequest& request) const;
+
+  /// Trains a cache entry for `request` (runs on a miss, outside the
+  /// cache lock).
+  StatusOr<TrainedSurrogate> TrainEntry(const MineRequest& request,
+                                        const Dataset* data);
+
+  /// Fetches (or trains) the cache entry for `request`.
+  StatusOr<std::shared_ptr<CachedSurrogate>> EntryFor(
+      const MineRequest& request, bool* was_hit);
+
+  Options options_;
+  ThreadPool pool_;
+  RequestScheduler scheduler_;
+  SurrogateCache cache_;
+
+  mutable std::mutex datasets_mu_;
+  /// std::map keeps entry addresses stable across inserts and names
+  /// sorted for dataset_names().
+  std::map<std::string, NamedDataset> datasets_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_SERVE_MINING_SERVICE_H_

@@ -1,0 +1,62 @@
+#ifndef SURF_SERVE_SCHEDULER_H_
+#define SURF_SERVE_SCHEDULER_H_
+
+/// \file
+/// \brief Request fan-out over a shared worker pool.
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace surf {
+
+/// \brief Fans mining requests out over a shared ThreadPool and collects
+/// their responses in submission order.
+///
+/// The scheduler is deliberately generic over the response type: the
+/// service hands it closures that already capture the request, so the
+/// scheduler only owns ordering and future plumbing. Single-flight
+/// de-duplication of the expensive part (surrogate training) lives in
+/// SurrogateCache — by the time concurrent same-key jobs run here, all
+/// but one of them block cheaply on the in-flight training instead of
+/// fitting their own model.
+class RequestScheduler {
+ public:
+  /// `pool` is borrowed and must outlive the scheduler.
+  explicit RequestScheduler(ThreadPool* pool) : pool_(pool) {}
+
+  /// Enqueues one job; the future resolves when the pool runs it.
+  template <typename T>
+  std::future<T> Submit(std::function<T()> job) {
+    auto task = std::make_shared<std::packaged_task<T()>>(std::move(job));
+    std::future<T> future = task->get_future();
+    pool_->Submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs every job concurrently and returns their results in input
+  /// order. Blocks until all jobs finish.
+  template <typename T>
+  std::vector<T> RunAll(std::vector<std::function<T()>> jobs) {
+    std::vector<std::future<T>> futures;
+    futures.reserve(jobs.size());
+    for (auto& job : jobs) futures.push_back(Submit<T>(std::move(job)));
+    std::vector<T> results;
+    results.reserve(futures.size());
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  }
+
+  /// The borrowed pool.
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_SERVE_SCHEDULER_H_

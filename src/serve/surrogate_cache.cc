@@ -1,0 +1,244 @@
+#include "serve/surrogate_cache.h"
+
+#include <cmath>
+#include <utility>
+
+namespace surf {
+
+// ---------------------------------------------------------------- entry
+
+SurrogateSnapshot CachedSurrogate::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SurrogateSnapshot snap;
+  snap.surrogate = model_;
+  snap.kde = kde_;
+  snap.evaluator = evaluator_;
+  snap.space = space_;
+  snap.provenance = provenance_;
+  return snap;
+}
+
+SurrogateProvenance CachedSurrogate::provenance() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return provenance_;
+}
+
+void CachedSurrogate::Publish(TrainedSurrogate trained,
+                              uint64_t dataset_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  space_ = trained.surrogate.space();
+  provenance_.dataset_fingerprint = dataset_fingerprint;
+  provenance_.training_set_size =
+      trained.surrogate.metrics().num_train_examples;
+  provenance_.holdout_rmse = trained.surrogate.metrics().test_rmse;
+  provenance_.train_seconds = trained.surrogate.metrics().train_seconds;
+  provenance_.cv_rmse = trained.cv_rmse;
+  model_ = std::make_shared<const Surrogate>(std::move(trained.surrogate));
+  kde_ = std::move(trained.kde);
+  evaluator_ = std::move(trained.evaluator);
+  state_ = State::kReady;
+  cv_.notify_all();
+}
+
+void CachedSurrogate::Fail(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_ = std::move(status);
+  state_ = State::kFailed;
+  cv_.notify_all();
+}
+
+Status CachedSurrogate::WaitReady() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return state_ != State::kTraining; });
+  return state_ == State::kReady ? Status::OK() : status_;
+}
+
+Status CachedSurrogate::Append(const RegionWorkload& fresh) {
+  if (fresh.size() == 0) {
+    return Status::InvalidArgument("empty incremental workload");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kReady) {
+      return Status::FailedPrecondition("cache entry not ready");
+    }
+    // Reject shape mismatches up front: once a mismatched batch sat in
+    // pending_, every later (correct) append would fail MergeWorkloads
+    // and the entry could never warm-start again.
+    if (fresh.features.num_features() != 2 * model_->dims()) {
+      return Status::InvalidArgument(
+          "incremental workload feature width mismatch");
+    }
+    if (!has_pending_) {
+      pending_ = fresh;
+      has_pending_ = true;
+    } else {
+      SURF_RETURN_IF_ERROR(MergeWorkloads(&pending_, fresh));
+    }
+    provenance_.pending_examples = pending_.size();
+  }
+
+  // Retrain loop: claim a batch whenever the threshold is crossed and no
+  // other thread is already retraining. Looping (rather than a single
+  // pass) covers appends that crossed the threshold again while this
+  // thread's warm start was in flight — without it those evaluations
+  // would sit pending until the *next* append arrived.
+  for (;;) {
+    std::shared_ptr<const Surrogate> base;
+    RegionWorkload batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.size() < retrain_threshold_ || retraining_) {
+        return Status::OK();
+      }
+      retraining_ = true;
+      batch = std::move(pending_);
+      pending_ = RegionWorkload{};
+      has_pending_ = false;
+      provenance_.pending_examples = 0;
+      base = model_;
+    }
+
+    // Warm start outside the lock — Snapshot() keeps serving `base`.
+    auto warmed = base->WarmStarted(batch, warm_start_trees_);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    retraining_ = false;
+    if (!warmed.ok()) {
+      // Put the batch back so the evaluations are not lost; the next
+      // append past the threshold retries.
+      if (!has_pending_) {
+        pending_ = std::move(batch);
+        has_pending_ = true;
+      } else {
+        (void)MergeWorkloads(&pending_, batch);
+      }
+      provenance_.pending_examples = pending_.size();
+      return warmed.status();
+    }
+    model_ = std::make_shared<const Surrogate>(std::move(warmed).value());
+    provenance_.warm_starts += 1;
+    provenance_.training_set_size = model_->metrics().num_train_examples;
+    provenance_.train_seconds = model_->metrics().train_seconds;
+    provenance_.holdout_rmse = model_->metrics().test_rmse;
+  }
+}
+
+// ---------------------------------------------------------------- cache
+
+void SurrogateCache::Touch(const SurrogateKey& key, Slot* slot) {
+  lru_.erase(slot->lru_pos);
+  lru_.push_front(key);
+  slot->lru_pos = lru_.begin();
+}
+
+void SurrogateCache::EnforceCapacity() {
+  // Walk from the LRU tail, skipping in-flight entries.
+  auto it = lru_.end();
+  while (map_.size() > options_.capacity && it != lru_.begin()) {
+    --it;
+    auto found = map_.find(*it);
+    if (found == map_.end()) {
+      it = lru_.erase(it);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> entry_lock(found->second.entry->mu_);
+      if (found->second.entry->state_ == CachedSurrogate::State::kTraining) {
+        continue;
+      }
+    }
+    map_.erase(found);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+StatusOr<std::shared_ptr<CachedSurrogate>> SurrogateCache::GetOrTrain(
+    const SurrogateKey& key, const Factory& factory, bool* was_hit) {
+  std::shared_ptr<CachedSurrogate> entry;
+  bool train_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      bool stale = false;
+      {
+        std::lock_guard<std::mutex> entry_lock(it->second.entry->mu_);
+        if (it->second.entry->state_ != CachedSurrogate::State::kTraining &&
+            std::isfinite(options_.max_age_seconds)) {
+          const double age =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            it->second.entry->created_)
+                  .count();
+          stale = age > options_.max_age_seconds;
+        }
+      }
+      if (!stale) {
+        Touch(key, &it->second);
+        ++stats_.hits;
+        if (was_hit != nullptr) *was_hit = true;
+        entry = it->second.entry;
+      } else {
+        lru_.erase(it->second.lru_pos);
+        map_.erase(it);
+        ++stats_.stale_evictions;
+      }
+    }
+    if (entry == nullptr) {
+      entry = std::shared_ptr<CachedSurrogate>(new CachedSurrogate(
+          options_.retrain_threshold, options_.warm_start_trees));
+      lru_.push_front(key);
+      map_.emplace(key, Slot{entry, lru_.begin()});
+      ++stats_.misses;
+      if (was_hit != nullptr) *was_hit = false;
+      train_here = true;
+      EnforceCapacity();
+    }
+  }
+
+  if (train_here) {
+    auto trained = factory();
+    if (trained.ok()) {
+      entry->Publish(std::move(trained).value(), key.dataset);
+    } else {
+      entry->Fail(trained.status());
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      // Only drop the slot if it still refers to this failed attempt.
+      if (it != map_.end() && it->second.entry == entry) {
+        lru_.erase(it->second.lru_pos);
+        map_.erase(it);
+      }
+      return trained.status();
+    }
+  }
+
+  SURF_RETURN_IF_ERROR(entry->WaitReady());
+  return entry;
+}
+
+std::shared_ptr<CachedSurrogate> SurrogateCache::Peek(
+    const SurrogateKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second.entry;
+}
+
+void SurrogateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+size_t SurrogateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+SurrogateCache::Stats SurrogateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace surf

@@ -22,6 +22,8 @@ const char* CodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

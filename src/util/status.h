@@ -24,6 +24,7 @@ enum class StatusCode {
   kIOError,
   kTimedOut,
   kInternal,
+  kAlreadyExists,
 };
 
 /// \brief A lightweight success/error result carrying a code and message.
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,385 @@
+// Tests for the serving layer: fingerprinting, the surrogate cache
+// (keying, single-flight training, LRU/staleness eviction), warm-start
+// swaps, and the MiningService front end.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "serve/fingerprint.h"
+#include "serve/mining_service.h"
+#include "serve/surrogate_cache.h"
+
+namespace surf {
+namespace {
+
+SyntheticDataset DensityData(size_t dims, size_t k, uint64_t seed = 42) {
+  SyntheticSpec spec;
+  spec.dims = dims;
+  spec.num_gt_regions = k;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.num_background = 6000;
+  spec.seed = seed;
+  return SyntheticGenerator::Generate(spec);
+}
+
+/// A request with a small (fast) training recipe.
+MineRequest SmallRequest(const std::string& dataset_name, double threshold) {
+  MineRequest request;
+  request.dataset = dataset_name;
+  request.statistic = Statistic::Count({0, 1});
+  request.threshold = threshold;
+  request.workload.num_queries = 800;
+  request.surrogate.gbrt.n_estimators = 30;
+  request.surrogate.gbrt.max_depth = 4;
+  request.finder.gso.max_iterations = 25;
+  request.finder.gso.num_glowworms = 60;
+  request.finder.auto_scale_gso = false;
+  return request;
+}
+
+// ----------------------------------------------------------- Fingerprint
+
+TEST(FingerprintTest, DatasetFingerprintIsContentSensitive) {
+  const SyntheticDataset ds = DensityData(2, 1);
+  const uint64_t fp = FingerprintDataset(ds.data);
+  EXPECT_EQ(fp, FingerprintDataset(ds.data));  // deterministic
+
+  Dataset copy = ds.data;
+  copy.Set(0, 0, copy.Get(0, 0) + 1.0);
+  EXPECT_NE(fp, FingerprintDataset(copy));  // first-row edits visible
+
+  Dataset appended = ds.data;
+  appended.AddRow(appended.Row(0));
+  EXPECT_NE(fp, FingerprintDataset(appended));  // row count visible
+
+  const SyntheticDataset other = DensityData(2, 1, 43);
+  EXPECT_NE(fp, FingerprintDataset(other.data));
+}
+
+TEST(FingerprintTest, KeyComponentsAreIndependent) {
+  const SyntheticDataset ds = DensityData(2, 1);
+  WorkloadParams workload;
+  SurrogateTrainOptions options;
+  const SurrogateKey base = MakeSurrogateKey(ds.data, Statistic::Count({0, 1}),
+                                             workload, options);
+  EXPECT_EQ(base, MakeSurrogateKey(ds.data, Statistic::Count({0, 1}),
+                                   workload, options));
+
+  // A different statistic moves only the statistic component.
+  const SurrogateKey stat_key = MakeSurrogateKey(
+      ds.data, Statistic::Average({0, 1}, 1), workload, options);
+  EXPECT_EQ(base.dataset, stat_key.dataset);
+  EXPECT_NE(base.statistic, stat_key.statistic);
+
+  // A different workload recipe moves only the workload component.
+  WorkloadParams workload2 = workload;
+  workload2.num_queries += 1;
+  const SurrogateKey wl_key = MakeSurrogateKey(
+      ds.data, Statistic::Count({0, 1}), workload2, options);
+  EXPECT_EQ(base.statistic, wl_key.statistic);
+  EXPECT_NE(base.workload, wl_key.workload);
+
+  // A different GBRT recipe moves only the model component.
+  SurrogateTrainOptions options2 = options;
+  options2.gbrt.max_depth += 1;
+  const SurrogateKey model_key = MakeSurrogateKey(
+      ds.data, Statistic::Count({0, 1}), workload, options2);
+  EXPECT_EQ(base.workload, model_key.workload);
+  EXPECT_NE(base.model, model_key.model);
+
+  // Runtime-only knobs do not move the key.
+  SurrogateTrainOptions options3 = options;
+  options3.gbrt.num_threads = 8;
+  EXPECT_EQ(base, MakeSurrogateKey(ds.data, Statistic::Count({0, 1}),
+                                   workload, options3));
+}
+
+// ----------------------------------------------------------------- Cache
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = DensityData(2, 1);
+    MiningService::Options options;
+    options.num_threads = 4;
+    options.cache.capacity = 4;
+    ASSERT_TRUE(
+        service_.emplace(options).RegisterDataset("d", data_.data).ok());
+  }
+
+  MiningService& service() { return *service_; }
+
+  SyntheticDataset data_;
+  std::optional<MiningService> service_;
+};
+
+TEST_F(ServiceTest, CacheHitAndMissKeying) {
+  MineRequest request = SmallRequest("d", 500.0);
+  const MineResponse first = service().Mine(request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+
+  // Same key, different threshold: threshold is per-request search
+  // configuration, not part of the key.
+  request.threshold = 800.0;
+  const MineResponse second = service().Mine(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(service().cache().size(), 1u);
+
+  // A different GBRT recipe is a different key.
+  MineRequest other = request;
+  other.surrogate.gbrt.n_estimators = 31;
+  const MineResponse third = service().Mine(other);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(service().cache().size(), 2u);
+
+  const SurrogateCache::Stats stats = service().cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(ServiceTest, ProvenanceIsDeclared) {
+  const MineResponse response = service().Mine(SmallRequest("d", 500.0));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.provenance.dataset_fingerprint,
+            FingerprintDataset(data_.data));
+  EXPECT_GT(response.provenance.training_set_size, 0u);
+  EXPECT_GT(response.provenance.holdout_rmse, 0.0);
+  EXPECT_GT(response.provenance.train_seconds, 0.0);
+  EXPECT_EQ(response.provenance.warm_starts, 0u);
+  EXPECT_TRUE(std::isnan(response.provenance.cv_rmse));  // CV off by default
+}
+
+TEST(ServiceCvTest, ProvenanceCvRmseWhenEnabled) {
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.provenance_cv_folds = 3;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineResponse response = service.Mine(SmallRequest("d", 500.0));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(std::isfinite(response.provenance.cv_rmse));
+  EXPECT_GT(response.provenance.cv_rmse, 0.0);
+}
+
+TEST_F(ServiceTest, ConcurrentIdenticalRequestsTrainExactlyOnce) {
+  const MineRequest request = SmallRequest("d", 500.0);
+  const std::vector<MineRequest> requests(32, request);
+  const std::vector<MineResponse> responses = service().MineBatch(requests);
+  ASSERT_EQ(responses.size(), 32u);
+
+  size_t misses = 0;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    if (!response.cache_hit) ++misses;
+  }
+  // Single-flight: exactly one request paid for training; everyone else
+  // either joined the in-flight fit or hit the published entry.
+  EXPECT_EQ(misses, 1u);
+  EXPECT_EQ(service().cache().size(), 1u);
+  EXPECT_EQ(service().cache().stats().misses, 1u);
+  EXPECT_EQ(service().cache().stats().hits, 31u);
+
+  // Deterministic engine + shared model: every response reports the same
+  // regions.
+  ASSERT_FALSE(responses[0].result.regions.empty());
+  for (const auto& response : responses) {
+    ASSERT_EQ(response.result.regions.size(),
+              responses[0].result.regions.size());
+    for (size_t i = 0; i < response.result.regions.size(); ++i) {
+      EXPECT_EQ(response.result.regions[i].estimate,
+                responses[0].result.regions[i].estimate);
+    }
+  }
+}
+
+TEST_F(ServiceTest, LruEvictionUnderCapacity) {
+  // Capacity is 4; six distinct keys must evict the two least recently
+  // used entries.
+  std::vector<MineRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    MineRequest request = SmallRequest("d", 500.0);
+    request.workload.seed = 100 + i;  // distinct key per request
+    requests.push_back(request);
+  }
+  for (const auto& request : requests) {
+    ASSERT_TRUE(service().Mine(request).status.ok());
+  }
+  EXPECT_EQ(service().cache().size(), 4u);
+  EXPECT_EQ(service().cache().stats().evictions, 2u);
+
+  // The two oldest keys (seeds 100, 101) were evicted: mining them again
+  // is a miss. The newest (seed 105) is still resident: a hit.
+  EXPECT_TRUE(service().Mine(requests[5]).cache_hit);
+  EXPECT_FALSE(service().Mine(requests[0]).cache_hit);
+}
+
+TEST(StaleCacheTest, StaleEntriesRetrain) {
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.cache.max_age_seconds = 0.0;  // everything is stale immediately
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+  EXPECT_FALSE(service.Mine(request).cache_hit);
+  EXPECT_FALSE(service.Mine(request).cache_hit);  // stale -> retrained
+  EXPECT_EQ(service.cache().stats().stale_evictions, 1u);
+}
+
+// ------------------------------------------------------------ Warm start
+
+TEST_F(ServiceTest, WarmStartSwapServesConsistentResultsMidRetrain) {
+  MineRequest request = SmallRequest("d", 500.0);
+  const MineResponse first = service().Mine(request);
+  ASSERT_TRUE(first.status.ok());
+
+  auto key = service().KeyFor(request);
+  ASSERT_TRUE(key.ok());
+  auto entry = service().cache().Peek(*key);
+  ASSERT_NE(entry, nullptr);
+  const SurrogateSnapshot before = entry->Snapshot();
+
+  // Label a fresh batch of evaluations with the true statistic.
+  ScanEvaluator evaluator(&data_.data, request.statistic);
+  WorkloadParams fresh_params;
+  fresh_params.num_queries = 600;
+  fresh_params.seed = 77;
+  const RegionWorkload fresh = GenerateWorkload(
+      evaluator, data_.data.ComputeBounds({0, 1}), fresh_params);
+
+  // Readers snapshot concurrently while appends push the entry past the
+  // retrain threshold (512): every observed model must be internally
+  // consistent (either the old or the new one, never a half-retrained
+  // state), which EvaluateMany would crash/garble on if the model were
+  // mutated in place.
+  std::atomic<bool> stop{false};
+  Rng probe_rng(5);
+  const Region probe = before.space.Sample(&probe_rng);
+  const double before_value = before.surrogate->Predict(probe);
+  std::vector<double> observed;
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const SurrogateSnapshot snap = entry->Snapshot();
+      observed.push_back(snap.surrogate->Predict(probe));
+    }
+  });
+
+  ASSERT_TRUE(entry->Append(fresh).ok());
+  stop.store(true);
+  reader.join();
+
+  const SurrogateSnapshot after = entry->Snapshot();
+  // The threshold (512 < 600) was crossed: the swap happened. The
+  // refreshed model trained on ~80% of the batch (the rest is held out
+  // to re-measure the declared holdout RMSE).
+  EXPECT_EQ(after.provenance.warm_starts, 1u);
+  EXPECT_EQ(after.provenance.pending_examples, 0u);
+  EXPECT_GT(after.provenance.training_set_size,
+            before.provenance.training_set_size);
+  EXPECT_LT(after.provenance.training_set_size,
+            before.provenance.training_set_size + fresh.size());
+  EXPECT_GT(after.provenance.holdout_rmse, 0.0);
+  // The old snapshot still serves its original answer (copy-on-write).
+  EXPECT_EQ(before.surrogate->Predict(probe), before_value);
+  const double after_value = after.surrogate->Predict(probe);
+  // Every concurrently observed prediction came from one of the two
+  // models — no torn state.
+  for (double v : observed) {
+    EXPECT_TRUE(v == before_value || v == after_value)
+        << "torn read: " << v << " vs " << before_value << "/"
+        << after_value;
+  }
+}
+
+TEST_F(ServiceTest, AppendBelowThresholdOnlyAccumulates) {
+  MineRequest request = SmallRequest("d", 500.0);
+  ASSERT_TRUE(service().Mine(request).status.ok());
+
+  ScanEvaluator evaluator(&data_.data, request.statistic);
+  WorkloadParams fresh_params;
+  fresh_params.num_queries = 100;  // below the 512 default threshold
+  fresh_params.seed = 78;
+  const RegionWorkload fresh = GenerateWorkload(
+      evaluator, data_.data.ComputeBounds({0, 1}), fresh_params);
+  ASSERT_TRUE(service().AppendEvaluations(request, fresh).ok());
+
+  auto key = service().KeyFor(request);
+  ASSERT_TRUE(key.ok());
+  const SurrogateProvenance provenance =
+      service().cache().Peek(*key)->provenance();
+  EXPECT_EQ(provenance.warm_starts, 0u);
+  EXPECT_EQ(provenance.pending_examples, fresh.size());
+}
+
+TEST_F(ServiceTest, AppendRejectsMismatchedFeatureWidth) {
+  MineRequest request = SmallRequest("d", 500.0);
+  ASSERT_TRUE(service().Mine(request).status.ok());
+
+  RegionWorkload bad;
+  bad.features = FeatureMatrix(6);  // model expects 2*d = 4
+  bad.features.AddRow({0.0, 0.0, 0.0, 1.0, 1.0, 1.0});
+  bad.targets.push_back(1.0);
+  EXPECT_EQ(service().AppendEvaluations(request, bad).code(),
+            StatusCode::kInvalidArgument);
+
+  // The entry is not poisoned: a correctly shaped append still lands.
+  ScanEvaluator evaluator(&data_.data, request.statistic);
+  WorkloadParams fresh_params;
+  fresh_params.num_queries = 50;
+  fresh_params.seed = 79;
+  const RegionWorkload good = GenerateWorkload(
+      evaluator, data_.data.ComputeBounds({0, 1}), fresh_params);
+  EXPECT_TRUE(service().AppendEvaluations(request, good).ok());
+  auto key = service().KeyFor(request);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(service().cache().Peek(*key)->provenance().pending_examples,
+            good.size());
+}
+
+// --------------------------------------------------------------- Service
+
+TEST_F(ServiceTest, TopKModeServesFromTheSameCache) {
+  MineRequest request = SmallRequest("d", 0.0);
+  request.mode = MineRequest::Mode::kTopK;
+  request.topk.k = 3;
+  request.topk.gso.max_iterations = 25;
+  request.topk.gso.num_glowworms = 60;
+  const MineResponse response = service().Mine(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.topk.regions.empty());
+  EXPECT_LE(response.topk.regions.size(), 3u);
+
+  // A threshold request with the same training recipe hits the same
+  // entry.
+  EXPECT_TRUE(service().Mine(SmallRequest("d", 500.0)).cache_hit);
+}
+
+TEST_F(ServiceTest, ErrorsAreReportedPerRequest) {
+  MineRequest missing = SmallRequest("nope", 500.0);
+  EXPECT_EQ(service().Mine(missing).status.code(), StatusCode::kNotFound);
+
+  MineRequest bad_cols = SmallRequest("d", 500.0);
+  bad_cols.statistic = Statistic::Count({0, 9});
+  EXPECT_EQ(service().Mine(bad_cols).status.code(),
+            StatusCode::kInvalidArgument);
+
+  // A failed training does not leave a poisoned entry behind.
+  EXPECT_EQ(service().cache().size(), 0u);
+}
+
+TEST_F(ServiceTest, DuplicateDatasetRegistrationFails) {
+  EXPECT_EQ(service().RegisterDataset("d", data_.data).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(service().dataset_names(), std::vector<std::string>{"d"});
+}
+
+}  // namespace
+}  // namespace surf

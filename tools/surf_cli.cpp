@@ -4,21 +4,36 @@
 //   mine   load a CSV dataset, train (or load) a surrogate, mine regions
 //   ecdf   print region-statistic quantiles (to help pick a threshold)
 //   train  train a surrogate and save it for later `mine --model` runs
+//   batch  serve many mining requests from a query file through the
+//          MiningService (shared surrogate cache + worker pool)
 //
 // Examples:
-//   surf_cli mine --data crimes.csv --cols x,y --stat count \
+//   surf_cli mine --data crimes.csv --cols x,y --stat count
 //            --threshold 800 --direction above
 //   surf_cli ecdf --data crimes.csv --cols x,y --stat count
-//   surf_cli train --data crimes.csv --cols x,y --stat count \
+//   surf_cli train --data crimes.csv --cols x,y --stat count
 //            --queries 50000 --model crimes.surf
-//   surf_cli mine --data crimes.csv --cols x,y --stat count \
-//            --model crimes.surf --threshold 800
+//   surf_cli mine --data crimes.csv --model crimes.surf --threshold 800
+//   surf_cli batch --queryfile queries.txt --threads 8
+// (flags may wrap across lines; each example is one invocation)
+//
+// Query-file format (one directive per line, '#' comments):
+//   dataset NAME PATH.csv
+//   mine dataset=NAME cols=x,y stat=count threshold=800 [direction=above]
+//        [queries=10000] [c=4] [max-regions=16] [iterations=120] [topk=K]
+// Requests sharing (dataset, statistic, training recipe) share one cached
+// surrogate — the first request trains it, the rest reuse it.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <string>
 
 #include "core/surf.h"
+#include "serve/mining_service.h"
 #include "util/cli.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -33,22 +48,37 @@ int Fail(const std::string& msg) {
 
 void PrintUsage() {
   std::printf(
-      "usage: surf_cli <mine|ecdf|train> --data FILE.csv --cols a,b[,c]\n"
-      "  common:  --stat count|avg|sum|median|var|ratio\n"
+      "usage: surf_cli <mine|ecdf|train|batch> [flags]\n"
+      "  common:  --data FILE.csv      dataset (mine/ecdf/train)\n"
+      "           --cols a,b[,c]       region columns\n"
+      "           --stat count|avg|sum|median|var|ratio\n"
       "           --value-col NAME     (avg/sum/median/var/ratio)\n"
       "           --label VALUE        (ratio)\n"
       "           --queries N          past evaluations to learn from\n"
       "           --hypertune          GridSearchCV before the final fit\n"
       "  mine:    --threshold Y  --direction above|below  --c C\n"
-      "           --model FILE         reuse a saved surrogate\n"
-      "           --max-regions K\n"
-      "  train:   --model FILE         output path\n");
+      "           --model FILE         mine with a saved surrogate; the\n"
+      "                                statistic/columns/solution space\n"
+      "                                come from the model file, so\n"
+      "                                --cols/--stat are not needed\n"
+      "           --max-regions K  --iterations T\n"
+      "  train:   --model FILE         output path\n"
+      "  batch:   --queryfile FILE     query file (see header comment)\n"
+      "           --threads N          service worker threads (0 = all\n"
+      "                                cores); requests run concurrently\n"
+      "                                against shared cached surrogates\n"
+      "           --data FILE.csv      optional dataset registered as\n"
+      "                                'default' for mine lines without\n"
+      "                                dataset=\n");
 }
 
-StatusOr<Statistic> ParseStatistic(const CliFlags& flags,
-                                   const Dataset& data) {
+StatusOr<Statistic> ParseStatisticTokens(const Dataset& data,
+                                         const std::string& cols_csv,
+                                         const std::string& kind,
+                                         const std::string& value_name,
+                                         double label) {
   std::vector<size_t> cols;
-  for (const auto& name : SplitString(flags.GetString("cols", ""), ',')) {
+  for (const auto& name : SplitString(cols_csv, ',')) {
     if (name.empty()) continue;
     const int idx = data.ColumnIndex(TrimString(name));
     if (idx < 0) {
@@ -57,28 +87,29 @@ StatusOr<Statistic> ParseStatistic(const CliFlags& flags,
     cols.push_back(static_cast<size_t>(idx));
   }
   if (cols.empty()) {
-    return Status::InvalidArgument("--cols is required (comma separated)");
+    return Status::InvalidArgument("cols is required (comma separated)");
   }
-
-  const std::string kind = flags.GetString("stat", "count");
   if (kind == "count") return Statistic::Count(cols);
 
-  const std::string value_name = flags.GetString("value-col", "");
   const int value_idx = data.ColumnIndex(value_name);
   if (value_idx < 0) {
-    return Status::InvalidArgument("--value-col required for --stat " +
-                                   kind);
+    return Status::InvalidArgument("value-col required for stat " + kind);
   }
   const size_t value_col = static_cast<size_t>(value_idx);
   if (kind == "avg") return Statistic::Average(cols, value_col);
   if (kind == "sum") return Statistic::Sum(cols, value_col);
   if (kind == "median") return Statistic::MedianOf(cols, value_col);
   if (kind == "var") return Statistic::VarianceOf(cols, value_col);
-  if (kind == "ratio") {
-    return Statistic::LabelRatio(cols, value_col,
-                                 flags.GetDouble("label", 1.0));
-  }
-  return Status::InvalidArgument("unknown --stat '" + kind + "'");
+  if (kind == "ratio") return Statistic::LabelRatio(cols, value_col, label);
+  return Status::InvalidArgument("unknown stat '" + kind + "'");
+}
+
+StatusOr<Statistic> ParseStatistic(const CliFlags& flags,
+                                   const Dataset& data) {
+  return ParseStatisticTokens(data, flags.GetString("cols", ""),
+                              flags.GetString("stat", "count"),
+                              flags.GetString("value-col", ""),
+                              flags.GetDouble("label", 1.0));
 }
 
 SurfOptions ParseOptions(const CliFlags& flags) {
@@ -113,57 +144,18 @@ FindResult MineWithLoadedModel(const CliFlags& flags, const Dataset& data,
   finder.SetBatchEstimate(surrogate.AsBatchStatisticFn());
 
   // Validate reported regions against the true statistic, and give the
-  // swarm the same KDE data prior Surf::Build fits.
+  // swarm the same KDE data prior Surf::Build fits (same 2000-sample cap
+  // as SurfOptions.kde_max_samples).
   const auto evaluator = MakeEvaluator(BackendKind::kGridIndex, &data,
                                        surrogate.statistic());
   finder.SetValidator(evaluator.get());
-  const auto& region_cols = surrogate.statistic().region_cols;
-  Rng rng(6);
-  std::vector<std::vector<double>> points;
-  points.reserve(data.num_rows());
-  std::vector<double> p(region_cols.size());
-  for (size_t r = 0; r < data.num_rows(); ++r) {
-    for (size_t j = 0; j < region_cols.size(); ++j) {
-      p[j] = data.Get(r, region_cols[j]);
-    }
-    points.push_back(p);
-  }
-  // Same sample cap as SurfOptions.kde_max_samples.
-  const Kde kde = Kde::FitSampled(points, 2000, &rng);
+  const Kde kde =
+      FitDataKde(data, surrogate.statistic().region_cols, 2000, 6);
   finder.SetKde(&kde);
   return finder.Find(threshold, direction);
 }
 
-int RunMine(const CliFlags& flags, const Dataset& data) {
-  auto statistic = ParseStatistic(flags, data);
-  if (!statistic.ok()) return Fail(statistic.status().ToString());
-  if (!flags.Has("threshold")) return Fail("--threshold is required");
-  const double threshold = flags.GetDouble("threshold", 0.0);
-  const ThresholdDirection direction =
-      flags.GetString("direction", "above") == "below"
-          ? ThresholdDirection::kBelow
-          : ThresholdDirection::kAbove;
-
-  FindResult result;
-  const std::string model_path = flags.GetString("model", "");
-  if (!model_path.empty()) {
-    auto surrogate = Surrogate::Load(model_path);
-    if (!surrogate.ok()) return Fail(surrogate.status().ToString());
-    std::printf("loaded surrogate from %s\n", model_path.c_str());
-    result =
-        MineWithLoadedModel(flags, data, *surrogate, threshold, direction);
-  } else {
-    auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
-    if (!surf.ok()) return Fail(surf.status().ToString());
-    std::printf(
-        "surrogate: test RMSE %s (%zu training evaluations, "
-        "%.2fs)\n",
-        FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
-        surf->surrogate().metrics().num_train_examples,
-        surf->surrogate().metrics().train_seconds);
-    result = surf->FindRegions(threshold, direction);
-  }
-
+void PrintFindResult(const FindResult& result) {
   TablePrinter table({"region", "box", "estimate", "true", "complies"});
   for (size_t i = 0; i < result.regions.size(); ++i) {
     const auto& r = result.regions[i];
@@ -178,6 +170,55 @@ int RunMine(const CliFlags& flags, const Dataset& data) {
                   r.complies_true ? "yes" : "no"});
   }
   std::printf("%s", table.ToString().c_str());
+}
+
+int RunMine(const CliFlags& flags, const Dataset& data) {
+  if (!flags.Has("threshold")) return Fail("--threshold is required");
+  const double threshold = flags.GetDouble("threshold", 0.0);
+  const ThresholdDirection direction =
+      flags.GetString("direction", "above") == "below"
+          ? ThresholdDirection::kBelow
+          : ThresholdDirection::kAbove;
+
+  FindResult result;
+  const std::string model_path = flags.GetString("model", "");
+  if (!model_path.empty()) {
+    // The saved surrogate embeds the statistic, columns, and solution
+    // space — --cols/--stat are not consulted. The embedded column
+    // indices must still exist in the supplied CSV.
+    auto surrogate = Surrogate::Load(model_path);
+    if (!surrogate.ok()) return Fail(surrogate.status().ToString());
+    const Statistic& stat = surrogate->statistic();
+    for (size_t c : stat.region_cols) {
+      if (c >= data.num_cols()) {
+        return Fail("model was trained on column index " +
+                    std::to_string(c) + " but --data has only " +
+                    std::to_string(data.num_cols()) + " columns");
+      }
+    }
+    if (stat.needs_value_column() &&
+        (stat.value_col < 0 ||
+         static_cast<size_t>(stat.value_col) >= data.num_cols())) {
+      return Fail("model's value column is out of range for --data");
+    }
+    std::printf("loaded surrogate from %s\n", model_path.c_str());
+    result =
+        MineWithLoadedModel(flags, data, *surrogate, threshold, direction);
+  } else {
+    auto statistic = ParseStatistic(flags, data);
+    if (!statistic.ok()) return Fail(statistic.status().ToString());
+    auto surf = Surf::Build(&data, *statistic, ParseOptions(flags));
+    if (!surf.ok()) return Fail(surf.status().ToString());
+    std::printf(
+        "surrogate: test RMSE %s (%zu training evaluations, "
+        "%.2fs)\n",
+        FormatDouble(surf->surrogate().metrics().test_rmse, 2).c_str(),
+        surf->surrogate().metrics().num_train_examples,
+        surf->surrogate().metrics().train_seconds);
+    result = surf->FindRegions(threshold, direction);
+  }
+
+  PrintFindResult(result);
   std::printf("%zu regions in %.2fs (%.0f%% of swarm in valid space, "
               "%.0f%% true compliance)\n",
               result.regions.size(), result.report.seconds,
@@ -221,6 +262,180 @@ int RunTrain(const CliFlags& flags, const Dataset& data) {
   return 0;
 }
 
+/// key=value lookup over one query-file line's tokens.
+class LineArgs {
+ public:
+  explicit LineArgs(const std::vector<std::string>& tokens) {
+    for (const auto& token : tokens) {
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) continue;
+      kv_[token.substr(0, eq)] = token.substr(eq + 1);
+    }
+  }
+  std::string Get(const std::string& key, const std::string& def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+StatusOr<MineRequest> ParseMineLine(const MiningService& service,
+                                    const LineArgs& args) {
+  MineRequest request;
+  request.dataset = args.Get("dataset", "default");
+  const Dataset* data = service.dataset(request.dataset);
+  if (data == nullptr) {
+    return Status::NotFound("dataset '" + request.dataset +
+                            "' not declared (use a 'dataset NAME PATH' "
+                            "line or --data)");
+  }
+  auto statistic = ParseStatisticTokens(
+      *data, args.Get("cols", ""), args.Get("stat", "count"),
+      args.Get("value-col", ""), args.GetDouble("label", 1.0));
+  if (!statistic.ok()) return statistic.status();
+  request.statistic = *statistic;
+
+  if (args.Has("topk")) {
+    request.mode = MineRequest::Mode::kTopK;
+    request.topk.k = static_cast<size_t>(args.GetInt("topk", 3));
+    request.topk.c = args.GetDouble("c", 0.8);
+    request.topk.gso.max_iterations =
+        static_cast<size_t>(args.GetInt("iterations", 120));
+  } else {
+    if (!args.Has("threshold")) {
+      return Status::InvalidArgument(
+          "mine line needs threshold= (or topk=)");
+    }
+    request.threshold = args.GetDouble("threshold", 0.0);
+    request.direction = args.Get("direction", "above") == "below"
+                            ? ThresholdDirection::kBelow
+                            : ThresholdDirection::kAbove;
+    request.finder.c = args.GetDouble("c", 4.0);
+    request.finder.max_regions =
+        static_cast<size_t>(args.GetInt("max-regions", 16));
+    request.finder.gso.max_iterations =
+        static_cast<size_t>(args.GetInt("iterations", 120));
+  }
+  request.workload.num_queries =
+      static_cast<size_t>(args.GetInt("queries", 10000));
+  return request;
+}
+
+int RunBatch(const CliFlags& flags) {
+  const std::string query_path = flags.GetString("queryfile", "");
+  if (query_path.empty()) return Fail("--queryfile FILE is required");
+
+  MiningService::Options options;
+  options.num_threads =
+      static_cast<size_t>(flags.GetInt("threads", 0));
+  MiningService service(options);
+  std::printf("service: %zu worker threads\n", service.num_threads());
+
+  const std::string data_path = flags.GetString("data", "");
+  if (!data_path.empty()) {
+    if (auto st = service.RegisterCsvDataset("default", data_path);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
+
+  std::ifstream in(query_path);
+  if (!in) return Fail("cannot open " + query_path);
+  std::vector<MineRequest> requests;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tokens;
+    for (const auto& t : SplitString(trimmed, ' ')) {
+      if (!t.empty()) tokens.push_back(t);
+    }
+    const std::string lead = tokens.empty() ? "" : tokens[0];
+    if (lead == "dataset") {
+      if (tokens.size() != 3) {
+        return Fail(query_path + ":" + std::to_string(line_no) +
+                    ": expected 'dataset NAME PATH'");
+      }
+      if (auto st = service.RegisterCsvDataset(tokens[1], tokens[2]);
+          !st.ok()) {
+        return Fail(query_path + ":" + std::to_string(line_no) + ": " +
+                    st.ToString());
+      }
+      const Dataset* data = service.dataset(tokens[1]);
+      std::printf("dataset %s: %zu rows x %zu columns from %s\n",
+                  tokens[1].c_str(), data->num_rows(), data->num_cols(),
+                  tokens[2].c_str());
+    } else if (lead == "mine") {
+      auto request = ParseMineLine(service, LineArgs(tokens));
+      if (!request.ok()) {
+        return Fail(query_path + ":" + std::to_string(line_no) + ": " +
+                    request.status().ToString());
+      }
+      requests.push_back(std::move(request).value());
+    } else {
+      return Fail(query_path + ":" + std::to_string(line_no) +
+                  ": unknown directive '" + lead + "'");
+    }
+  }
+  if (requests.empty()) return Fail("query file has no mine lines");
+
+  Stopwatch timer;
+  const std::vector<MineResponse> responses = service.MineBatch(requests);
+  const double seconds = timer.ElapsedSeconds();
+
+  int failures = 0;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    const MineResponse& response = responses[i];
+    std::printf("-- request %zu/%zu [%s, %s]\n", i + 1, responses.size(),
+                responses[i].cache_hit ? "cache hit" : "trained",
+                requests[i].dataset.c_str());
+    if (!response.status.ok()) {
+      std::printf("   %s\n", response.status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (requests[i].mode == MineRequest::Mode::kTopK) {
+      TablePrinter table({"rank", "box", "estimate"});
+      for (size_t r = 0; r < response.topk.regions.size(); ++r) {
+        const auto& scored = response.topk.regions[r];
+        std::vector<std::string> box;
+        for (size_t j = 0; j < scored.region.dims(); ++j) {
+          box.push_back("[" + FormatDouble(scored.region.lo(j), 3) + "," +
+                        FormatDouble(scored.region.hi(j), 3) + "]");
+        }
+        table.AddRow({"#" + std::to_string(r + 1), JoinStrings(box, "x"),
+                      FormatDouble(scored.statistic, 2)});
+      }
+      std::printf("%s", table.ToString().c_str());
+    } else {
+      PrintFindResult(response.result);
+    }
+  }
+
+  const SurrogateCache::Stats stats = service.cache().stats();
+  std::printf(
+      "%zu requests in %.2fs (%.1f req/s) | surrogate cache: %llu hits, "
+      "%llu misses, %llu evictions\n",
+      responses.size(), seconds, responses.size() / seconds,
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.evictions));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,16 +447,20 @@ int main(int argc, char** argv) {
   }
   const std::string command = flags.positional()[0];
 
-  const std::string data_path = flags.GetString("data", "");
-  if (data_path.empty()) return Fail("--data FILE.csv is required");
-  auto data = Dataset::LoadCsv(data_path);
-  if (!data.ok()) return Fail(data.status().ToString());
-  std::printf("loaded %zu rows x %zu columns from %s\n",
-              data->num_rows(), data->num_cols(), data_path.c_str());
+  if (command == "batch") return RunBatch(flags);
 
-  if (command == "mine") return RunMine(flags, *data);
-  if (command == "ecdf") return RunEcdf(flags, *data);
-  if (command == "train") return RunTrain(flags, *data);
+  if (command == "mine" || command == "ecdf" || command == "train") {
+    const std::string data_path = flags.GetString("data", "");
+    if (data_path.empty()) return Fail("--data FILE.csv is required");
+    auto data = Dataset::LoadCsv(data_path);
+    if (!data.ok()) return Fail(data.status().ToString());
+    std::printf("loaded %zu rows x %zu columns from %s\n",
+                data->num_rows(), data->num_cols(), data_path.c_str());
+    if (command == "mine") return RunMine(flags, *data);
+    if (command == "ecdf") return RunEcdf(flags, *data);
+    return RunTrain(flags, *data);
+  }
+
   PrintUsage();
   return 1;
 }
