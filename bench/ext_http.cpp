@@ -1,0 +1,408 @@
+// Extension: HTTP front-end serving throughput (ISSUE 3 acceptance).
+//
+// Closed-loop multi-connection load generator against a loopback surfd
+// instance: N persistent keep-alive connections (default 32) each send
+// POST /v1/mine back-to-back against a warm surrogate cache for a fixed
+// duration. Reports qps, p50/p99 latency, and the cache hit ratio, then
+// re-loads the server and calls Shutdown() mid-flight to prove the
+// graceful drain: every response the server wrote arrives complete at a
+// client (no partial/truncated responses under load).
+//
+// Writes BENCH_http.json (override with SURF_BENCH_HTTP_JSON).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "net/http_server.h"
+#include "net/json_codec.h"
+#include "net/metrics.h"
+#include "net/surf_handler.h"
+#include "serve/mining_service.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+using namespace surf;
+
+namespace {
+
+/// Outcome of one blocking request over a persistent connection.
+enum class RequestOutcome {
+  kComplete,        // full response received
+  kClosedCleanly,   // EOF before any response byte (drain race: retryable)
+  kPartial,         // response started but truncated — a dropped response
+  kSendFailed,      // connection already closed when sending
+};
+
+/// Minimal blocking keep-alive HTTP client.
+class BenchClient {
+ public:
+  ~BenchClient() { Close(); }
+
+  bool Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval timeout{30, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  RequestOutcome Request(const std::string& wire, int* status,
+                         std::string* body) {
+    size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return RequestOutcome::kSendFailed;
+      sent += static_cast<size_t>(n);
+    }
+    std::string buffer;
+    size_t head_end = std::string::npos;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill(&buffer)) {
+        return buffer.empty() ? RequestOutcome::kClosedCleanly
+                              : RequestOutcome::kPartial;
+      }
+    }
+    *status = std::atoi(buffer.substr(9, 3).c_str());
+    size_t content_length = 0;
+    const size_t cl = buffer.find("Content-Length: ");
+    if (cl != std::string::npos && cl < head_end) {
+      content_length = static_cast<size_t>(
+          std::atoll(buffer.c_str() + cl + std::strlen("Content-Length: ")));
+    }
+    std::string payload = buffer.substr(head_end + 4);
+    while (payload.size() < content_length) {
+      if (!Fill(&payload)) return RequestOutcome::kPartial;
+    }
+    *body = payload.substr(0, content_length);
+    return RequestOutcome::kComplete;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  bool Fill(std::string* buffer) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+std::string WireRequest(const std::string& path, const std::string& body) {
+  return "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+double PercentileMs(std::vector<double>* latencies_ms, double q) {
+  if (latencies_ms->empty()) return 0.0;
+  std::sort(latencies_ms->begin(), latencies_ms->end());
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(latencies_ms->size() - 1));
+  return (*latencies_ms)[idx];
+}
+
+struct HttpBenchReport {
+  size_t connections = 0;
+  double duration_seconds = 0.0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_ratio = 0.0;
+  uint64_t drain_responses_client = 0;
+  uint64_t drain_responses_server = 0;
+  uint64_t drain_partial = 0;
+  bool drain_clean = false;
+};
+
+void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"connections\": %zu,\n"
+               "  \"duration_seconds\": %.3f,\n"
+               "  \"requests\": %llu,\n"
+               "  \"errors\": %llu,\n"
+               "  \"qps\": %.2f,\n"
+               "  \"p50_latency_ms\": %.3f,\n"
+               "  \"p99_latency_ms\": %.3f,\n"
+               "  \"cache_hit_ratio\": %.4f,\n"
+               "  \"drain_responses_client\": %llu,\n"
+               "  \"drain_responses_server\": %llu,\n"
+               "  \"drain_partial_responses\": %llu,\n"
+               "  \"drain_clean\": %s\n"
+               "}\n",
+               r.connections, r.duration_seconds,
+               static_cast<unsigned long long>(r.requests),
+               static_cast<unsigned long long>(r.errors), r.qps, r.p50_ms,
+               r.p99_ms, r.cache_hit_ratio,
+               static_cast<unsigned long long>(r.drain_responses_client),
+               static_cast<unsigned long long>(r.drain_responses_server),
+               static_cast<unsigned long long>(r.drain_partial),
+               r.drain_clean ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const size_t connections =
+      static_cast<size_t>(flags.GetInt("connections", 32));
+  const double seconds = flags.GetDouble("seconds", 3.0);
+  const size_t queries = static_cast<size_t>(flags.GetInt("queries", 2000));
+
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 2;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.num_background = 12000;
+  spec.seed = 31;
+  const SyntheticDataset ds = SyntheticGenerator::Generate(spec);
+
+  // The serving recipe from bench/ext_service: seeded init, no
+  // per-iteration KDE integrals, modest swarm — representative of a
+  // latency-sensitive deployment.
+  MineRequest request;
+  request.dataset = "bench";
+  request.statistic = Statistic::Count(ds.region_cols);
+  request.threshold = 1000.0;
+  request.workload.num_queries = queries;
+  request.surrogate.gbrt.n_estimators = 100;
+  request.finder.gso.max_iterations = 30;
+  request.finder.use_kde_guidance = false;
+  const std::string mine_wire =
+      WireRequest("/v1/mine", WriteJson(MineRequestToJson(request)));
+
+  HttpBenchReport report;
+  report.connections = connections;
+  report.duration_seconds = seconds;
+
+  // ---- phase 1: closed-loop throughput against a warm cache.
+  {
+    MiningService service;
+    if (auto st = service.RegisterDataset("bench", ds.data); !st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServerMetrics metrics;
+    SurfHandler handler(&service, &metrics);
+    HttpServer::Options options;
+    options.max_inflight = connections + 4;
+    options.num_workers = connections + 4;
+    HttpServer server(options, handler.AsHttpHandler());
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // Warm the cache so the loop measures serving, not training.
+    {
+      BenchClient warmer;
+      if (!warmer.Connect(server.port())) {
+        std::fprintf(stderr, "cannot connect to loopback server\n");
+        return 1;
+      }
+      int status = 0;
+      std::string body;
+      if (warmer.Request(mine_wire, &status, &body) !=
+              RequestOutcome::kComplete ||
+          status != 200) {
+        std::fprintf(stderr, "warmup request failed (status %d): %s\n",
+                     status, body.c_str());
+        return 1;
+      }
+    }
+
+    std::printf("== HTTP closed-loop: %zu connections x %.1fs against a "
+                "warm cache ==\n",
+                connections, seconds);
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<double>> latencies(connections);
+    std::vector<uint64_t> errors(connections, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    const uint16_t port = server.port();
+    for (size_t i = 0; i < connections; ++i) {
+      workers.emplace_back([&, i] {
+        BenchClient client;
+        if (!client.Connect(port)) {
+          ++errors[i];
+          return;
+        }
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch timer;
+          int status = 0;
+          std::string body;
+          const RequestOutcome outcome =
+              client.Request(mine_wire, &status, &body);
+          if (outcome != RequestOutcome::kComplete || status != 200 ||
+              body.find("\"cache_hit\":true") == std::string::npos) {
+            ++errors[i];
+            if (outcome != RequestOutcome::kComplete) break;
+            continue;
+          }
+          latencies[i].push_back(timer.ElapsedMillis());
+        }
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+    stop.store(true);
+    for (std::thread& t : workers) t.join();
+    server.Shutdown();
+
+    std::vector<double> all;
+    for (const auto& per_conn : latencies) {
+      all.insert(all.end(), per_conn.begin(), per_conn.end());
+      report.requests += per_conn.size();
+    }
+    for (uint64_t e : errors) report.errors += e;
+    report.qps = static_cast<double>(report.requests) / seconds;
+    report.p50_ms = PercentileMs(&all, 0.50);
+    report.p99_ms = PercentileMs(&all, 0.99);
+    const SurrogateCache::Stats cache = service.cache().stats();
+    report.cache_hit_ratio =
+        cache.hits + cache.misses == 0
+            ? 0.0
+            : static_cast<double>(cache.hits) /
+                  static_cast<double>(cache.hits + cache.misses);
+    std::printf("served %llu requests (%.1f qps), p50 %.2fms, p99 %.2fms, "
+                "cache hit ratio %.3f, %llu errors\n",
+                static_cast<unsigned long long>(report.requests), report.qps,
+                report.p50_ms, report.p99_ms, report.cache_hit_ratio,
+                static_cast<unsigned long long>(report.errors));
+  }
+
+  // ---- phase 2: graceful drain under load. Clients blast requests with
+  // no coordination; Shutdown() lands mid-flight. Every response the
+  // server counts as served must arrive complete client-side.
+  {
+    MiningService service;
+    if (auto st = service.RegisterDataset("bench", ds.data); !st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServerMetrics metrics;
+    SurfHandler handler(&service, &metrics);
+    HttpServer::Options options;
+    options.max_inflight = connections + 4;
+    options.num_workers = connections + 4;
+    HttpServer server(options, handler.AsHttpHandler());
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    {
+      BenchClient warmer;
+      int status = 0;
+      std::string body;
+      if (!warmer.Connect(server.port()) ||
+          warmer.Request(mine_wire, &status, &body) !=
+              RequestOutcome::kComplete) {
+        std::fprintf(stderr, "drain-phase warmup failed\n");
+        return 1;
+      }
+    }
+
+    std::atomic<uint64_t> complete{0};
+    std::atomic<uint64_t> partial{0};
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    const uint16_t port = server.port();
+    for (size_t i = 0; i < connections; ++i) {
+      workers.emplace_back([&, port] {
+        BenchClient client;
+        if (!client.Connect(port)) return;
+        while (true) {
+          int status = 0;
+          std::string body;
+          const RequestOutcome outcome =
+              client.Request(mine_wire, &status, &body);
+          if (outcome == RequestOutcome::kComplete) {
+            complete.fetch_add(1);
+            continue;  // keep loading until the drain closes us
+          }
+          if (outcome == RequestOutcome::kPartial) partial.fetch_add(1);
+          break;  // clean close / send failure: the server is gone
+        }
+      });
+    }
+    // Let the load build, then drain mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    server.Shutdown();
+    for (std::thread& t : workers) t.join();
+
+    report.drain_responses_client = complete.load();
+    // The warmup response is counted by the server too; subtract it to
+    // compare against the loaded clients only.
+    report.drain_responses_server = server.stats().requests_served - 1;
+    report.drain_partial = partial.load();
+    report.drain_clean =
+        report.drain_partial == 0 &&
+        report.drain_responses_client == report.drain_responses_server;
+    std::printf("drain under load: server wrote %llu responses, clients "
+                "received %llu complete / %llu partial -> %s\n",
+                static_cast<unsigned long long>(report.drain_responses_server),
+                static_cast<unsigned long long>(report.drain_responses_client),
+                static_cast<unsigned long long>(report.drain_partial),
+                report.drain_clean ? "clean" : "DROPPED RESPONSES");
+  }
+
+  const char* json_env = std::getenv("SURF_BENCH_HTTP_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_http.json";
+  WriteJsonReport(report, json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // Acceptance contract: ≥ 32 sustained connections with a warm cache,
+  // and a drain that drops nothing.
+  if (report.requests == 0 || report.errors > 0) {
+    std::fprintf(stderr, "FAIL: closed loop had errors\n");
+    return 1;
+  }
+  if (!report.drain_clean) {
+    std::fprintf(stderr, "FAIL: graceful drain dropped responses\n");
+    return 1;
+  }
+  return 0;
+}

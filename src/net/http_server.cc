@@ -1,0 +1,467 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace surf {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Polling granularity: the unit at which blocked reads/writes re-check
+/// the drain flag and their deadline.
+constexpr int kPollSliceMs = 20;
+
+Clock::time_point DeadlineAfter(double seconds) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds));
+}
+
+bool Expired(Clock::time_point deadline) { return Clock::now() >= deadline; }
+
+/// Waits up to one poll slice (bounded by `deadline`) for `events`.
+bool PollSlice(int fd, short events, Clock::time_point deadline) {
+  const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  const int timeout_ms = static_cast<int>(
+      std::clamp<long long>(remaining.count(), 0, kPollSliceMs));
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  return ::poll(&pfd, 1, timeout_ms) > 0;
+}
+
+std::string LowerAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& h : headers) {
+    if (h.first == name) return &h.second;
+  }
+  return nullptr;
+}
+
+const char* HttpReasonPhrase(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpResponse JsonErrorResponse(int status_code, const std::string& code,
+                               const std::string& message) {
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue(code));
+  error.Set("message", JsonValue(message));
+  JsonValue body = JsonValue::Object();
+  body.Set("error", std::move(error));
+  HttpResponse response;
+  response.status_code = status_code;
+  response.body = WriteJson(body) + "\n";
+  return response;
+}
+
+HttpServer::HttpServer(Options options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+Status HttpServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("invalid bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, options_.accept_backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  // The acceptor polls with a timeout so Shutdown() can stop it without
+  // racy cross-thread close() tricks.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  // Thread-per-connection: an admitted keep-alive connection holds its
+  // worker until it closes, so the pool must cover max_inflight or
+  // admitted connections would starve in the queue behind long-lived
+  // ones.
+  const size_t workers =
+      options_.num_workers > 0
+          ? options_.num_workers
+          : std::max(ThreadPool::DefaultThreadCount(), options_.max_inflight);
+  workers_ = std::make_unique<ThreadPool>(workers);
+
+  draining_.store(false);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Shutdown() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Every admitted connection either finishes its in-flight request or
+    // notices the drain flag at its next poll slice and closes.
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return stats_.inflight == 0; });
+  }
+  workers_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    if (!PollSlice(listen_fd_, POLLIN, DeadlineAfter(1.0))) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    bool admit = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.connections_accepted;
+      if (stats_.inflight < options_.max_inflight) {
+        ++stats_.inflight;
+        admit = true;
+      } else {
+        ++stats_.connections_rejected;
+      }
+    }
+    if (!admit) {
+      // Backpressure: answer 429 inline on the acceptor thread (a fixed
+      // small write) rather than queueing unbounded work.
+      WriteResponse(fd,
+                    JsonErrorResponse(429, "overloaded",
+                                      "server at max in-flight connections"),
+                    /*keep_alive=*/false);
+      // The client may have already sent its request; close() with
+      // unread bytes in the receive queue provokes an RST that can
+      // discard the 429 before the client reads it. Half-close our
+      // side and briefly drain theirs so the response survives.
+      ::shutdown(fd, SHUT_WR);
+      const auto drain_deadline = DeadlineAfter(0.05);
+      char sink[4096];
+      while (!Expired(drain_deadline)) {
+        const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+        if (n == 0) break;  // client finished and closed
+        if (n < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            break;
+          }
+          PollSlice(fd, POLLIN, drain_deadline);
+        }
+      }
+      ::close(fd);
+      continue;
+    }
+    workers_->Submit([this, fd] {
+      ServeConnection(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      --stats_.inflight;
+      if (stats_.inflight == 0) drained_cv_.notify_all();
+    });
+  }
+}
+
+namespace {
+
+/// Parses the header section (request line + fields, no trailing CRLF
+/// CRLF). Returns an HTTP status code: 0 on success, else the error code
+/// to answer with.
+int ParseRequestHead(const std::string& head, HttpRequest* request) {
+  size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::vector<std::string> parts = SplitString(request_line, ' ');
+  if (parts.size() != 3) return 400;
+  request->method = parts[0];
+  request->target = parts[1];
+  if (!StartsWith(parts[2], "HTTP/1.")) return 400;
+
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return 400;
+    request->headers.emplace_back(LowerAscii(TrimString(line.substr(0, colon))),
+                                  TrimString(line.substr(colon + 1)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int HttpServer::ReadRequest(int fd, HttpRequest* request) {
+  // One request per read: surplus bytes beyond Content-Length (HTTP
+  // pipelining) are dropped — keep-alive clients that wait for each
+  // response before sending the next request (ours all do) never
+  // pipeline.
+  std::string buffer;
+  bool saw_byte = false;
+  auto deadline = DeadlineAfter(options_.idle_timeout_seconds);
+  size_t head_end = std::string::npos;
+
+  // Phase 1: header section.
+  while (true) {
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > options_.max_header_bytes) {
+      WriteResponse(fd,
+                    JsonErrorResponse(431, "headers_too_large",
+                                      "header section exceeds limit"),
+                    false);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return -1;
+    }
+    if (!saw_byte && draining_.load(std::memory_order_acquire) &&
+        buffer.empty()) {
+      return 0;  // idle connection during drain: close cleanly
+    }
+    if (Expired(deadline)) {
+      if (!saw_byte) return 0;  // idle keep-alive timeout
+      WriteResponse(fd,
+                    JsonErrorResponse(408, "deadline_exceeded",
+                                      "request not received in time"),
+                    false);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.request_timeouts;
+      return -1;
+    }
+    PollSlice(fd, POLLIN, deadline);
+    char chunk[8192];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      if (!saw_byte) {
+        // The per-request deadline starts at the first byte.
+        saw_byte = true;
+        deadline = DeadlineAfter(options_.request_deadline_seconds);
+      }
+      buffer.append(chunk, static_cast<size_t>(n));
+    } else if (n == 0) {
+      return saw_byte ? -1 : 0;  // EOF
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return saw_byte ? -1 : 0;
+    }
+  }
+
+  const int parse_code = ParseRequestHead(buffer.substr(0, head_end), request);
+  if (parse_code != 0) {
+    WriteResponse(fd,
+                  JsonErrorResponse(parse_code, "bad_request",
+                                    "malformed HTTP request"),
+                  false);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parse_errors;
+    return -1;
+  }
+  if (request->FindHeader("transfer-encoding") != nullptr) {
+    WriteResponse(fd,
+                  JsonErrorResponse(501, "unsupported",
+                                    "chunked transfer encoding not supported"),
+                  false);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parse_errors;
+    return -1;
+  }
+
+  // Phase 2: Content-Length body.
+  size_t content_length = 0;
+  if (const std::string* cl = request->FindHeader("content-length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0') {
+      WriteResponse(fd,
+                    JsonErrorResponse(400, "bad_request",
+                                      "invalid Content-Length"),
+                    false);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+      return -1;
+    }
+    content_length = static_cast<size_t>(v);
+  }
+  if (content_length > options_.max_body_bytes) {
+    WriteResponse(fd,
+                  JsonErrorResponse(413, "payload_too_large",
+                                    "request body exceeds limit"),
+                  false);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.parse_errors;
+    return -1;
+  }
+
+  std::string body = buffer.substr(head_end + 4);
+  while (body.size() < content_length) {
+    if (Expired(deadline)) {
+      WriteResponse(fd,
+                    JsonErrorResponse(408, "deadline_exceeded",
+                                      "request body not received in time"),
+                    false);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.request_timeouts;
+      return -1;
+    }
+    PollSlice(fd, POLLIN, deadline);
+    char chunk[16384];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      body.append(chunk, static_cast<size_t>(n));
+    } else if (n == 0) {
+      return -1;  // EOF mid-body
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return -1;
+    }
+  }
+  body.resize(content_length);
+  request->body = std::move(body);
+  return 1;
+}
+
+bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status_code));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status_code));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(response.body);
+
+  const auto deadline = DeadlineAfter(options_.request_deadline_seconds);
+  size_t sent = 0;
+  while (sent < out.size()) {
+    if (Expired(deadline)) return false;
+    PollSlice(fd, POLLOUT, deadline);
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+    } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+               errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HttpServer::ServeConnection(int fd) {
+  while (true) {
+    HttpRequest request;
+    const int got = ReadRequest(fd, &request);
+    if (got <= 0) break;
+
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (...) {
+      response = JsonErrorResponse(500, "internal", "handler threw");
+    }
+
+    // Close after this response when the client asked to, or when the
+    // server is draining (so clients re-connect elsewhere).
+    bool keep_alive = !draining_.load(std::memory_order_acquire);
+    if (const std::string* conn = request.FindHeader("connection")) {
+      if (LowerAscii(*conn) == "close") keep_alive = false;
+    }
+    const bool written = WriteResponse(fd, response, keep_alive);
+    if (written) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests_served;
+    }
+    if (!written || !keep_alive) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace surf

@@ -1,0 +1,179 @@
+#ifndef SURF_NET_HTTP_SERVER_H_
+#define SURF_NET_HTTP_SERVER_H_
+
+/// \file
+/// \brief A dependency-free HTTP/1.1 server over POSIX sockets.
+///
+/// Architecture: one acceptor thread accepts loopback/TCP connections and
+/// hands each to a handler worker on a ThreadPool. Admission control is a
+/// bounded in-flight budget — past `max_inflight` concurrently served
+/// connections the acceptor answers `429 Too Many Requests` immediately
+/// instead of queueing unbounded work (the overload contract of the
+/// serving layer). Each request is read under a deadline (`408` on
+/// expiry), and `Shutdown()` performs a graceful drain: accepting stops,
+/// idle keep-alive connections are closed, and every request whose bytes
+/// have started arriving is served to completion before the call returns.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace surf {
+
+/// \brief One parsed HTTP request.
+struct HttpRequest {
+  /// Upper-case request method ("GET", "POST", ...).
+  std::string method;
+  /// Request target as sent (path, no scheme/authority), e.g. "/v1/mine".
+  std::string target;
+  /// Header fields with lower-cased names, in arrival order.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Request body (Content-Length framing; chunked is not accepted).
+  std::string body;
+
+  /// Value of the first header named `name` (lower-case), or null.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// \brief One HTTP response produced by a handler.
+struct HttpResponse {
+  /// HTTP status code (200, 404, ...).
+  int status_code = 200;
+  /// Content-Type header value.
+  std::string content_type = "application/json";
+  /// Response body.
+  std::string body;
+};
+
+/// Builds a JSON error response `{"error": {"code": ..., "message": ...}}`
+/// with the given HTTP status.
+HttpResponse JsonErrorResponse(int status_code, const std::string& code,
+                               const std::string& message);
+
+/// The standard reason phrase for a status code ("OK", "Not Found", ...).
+const char* HttpReasonPhrase(int status_code);
+
+/// \brief Application callback: one request in, one response out.
+/// Invoked concurrently from worker threads; must be thread-safe.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief The embedded HTTP/1.1 server (`surfd`'s transport).
+class HttpServer {
+ public:
+  /// \brief Listener, concurrency, and deadline configuration.
+  struct Options {
+    /// Address to bind (loopback by default; "0.0.0.0" to expose).
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 asks the kernel for an ephemeral port (see port()).
+    uint16_t port = 0;
+    /// Handler worker threads. The server is thread-per-connection (a
+    /// worker owns a keep-alive connection until it closes), so the
+    /// default 0 sizes the pool to max(hardware concurrency,
+    /// max_inflight) — every admitted connection gets a worker, and
+    /// admission control is what bounds concurrency.
+    size_t num_workers = 0;
+    /// Concurrently served connections admitted before the acceptor
+    /// starts answering 429 (the bounded accept queue).
+    size_t max_inflight = 64;
+    /// listen(2) backlog.
+    int accept_backlog = 128;
+    /// Per-request deadline: reading one full request (and writing its
+    /// response) must finish within this budget or the connection is
+    /// answered 408 and closed.
+    double request_deadline_seconds = 30.0;
+    /// Idle keep-alive connections are closed after this long without a
+    /// new request.
+    double idle_timeout_seconds = 60.0;
+    /// Maximum accepted header section size.
+    size_t max_header_bytes = 64 * 1024;
+    /// Maximum accepted body size (413 beyond it).
+    size_t max_body_bytes = 64 * 1024 * 1024;
+  };
+
+  /// \brief Monotonic transport counters.
+  struct Stats {
+    /// Connections accepted (including ones later rejected with 429).
+    uint64_t connections_accepted = 0;
+    /// Connections turned away with 429 by admission control.
+    uint64_t connections_rejected = 0;
+    /// Requests fully served (handler ran, response written).
+    uint64_t requests_served = 0;
+    /// Requests that hit the read deadline (408).
+    uint64_t request_timeouts = 0;
+    /// Requests rejected by the HTTP parser (400/413/501).
+    uint64_t parse_errors = 0;
+    /// Connections currently being served.
+    uint64_t inflight = 0;
+  };
+
+  /// Configures the server; call Start() to bind and serve.
+  HttpServer(Options options, HttpHandler handler);
+  /// Stops (gracefully) if still running.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor thread. Fails with IOError
+  /// when the address/port cannot be bound.
+  Status Start();
+
+  /// Graceful drain: stop accepting, close idle connections, serve every
+  /// in-flight request to completion, then return. Idempotent.
+  void Shutdown();
+
+  /// Whether Start() succeeded and Shutdown() has not completed.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the kernel-chosen one when Options::port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Effective handler-worker count (the resolved default sizing when
+  /// Options::num_workers was 0); 0 before Start().
+  size_t workers() const {
+    return workers_ == nullptr ? 0 : workers_->num_threads();
+  }
+
+  /// Transport counter snapshot.
+  Stats stats() const;
+
+  /// The configuration the server runs with.
+  const Options& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Reads one request. Returns 1 on success, 0 on clean close (no bytes
+  /// of a next request arrived — EOF, idle timeout, or drain), -1 after
+  /// an error response has been written.
+  int ReadRequest(int fd, HttpRequest* request);
+  bool WriteResponse(int fd, const HttpResponse& response, bool keep_alive);
+
+  Options options_;
+  HttpHandler handler_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  std::unique_ptr<ThreadPool> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  Stats stats_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_NET_HTTP_SERVER_H_

@@ -1,0 +1,80 @@
+#ifndef SURF_NET_JSON_CODEC_H_
+#define SURF_NET_JSON_CODEC_H_
+
+/// \file
+/// \brief JSON codecs for the wire types of the HTTP front-end.
+///
+/// The encoders write every field of `MineRequest` (so a decoded request
+/// re-encodes to the identical document — the round-trip property the
+/// codec tests enforce) and the full `MineResponse` including
+/// `SurrogateProvenance`. Doubles survive bit-exactly (`%.17g` via
+/// WriteJson); 64-bit fingerprints are carried as hex strings because
+/// JSON numbers lose integer precision past 2^53. Decoders treat absent
+/// fields as "keep the struct default", reject wrongly-typed or
+/// non-finite values with InvalidArgument, and never crash on malformed
+/// documents.
+
+#include <functional>
+#include <string>
+
+#include "geom/region.h"
+#include "serve/mining_service.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief Resolves a dataset's column *name* to its index (−1 when
+/// unknown). Lets HTTP clients write `"region_cols": ["x", "y"]` instead
+/// of numeric indices; decoding without a resolver accepts indices only.
+using ColumnResolver =
+    std::function<int(const std::string& dataset, const std::string& column)>;
+
+/// Maps a library Status onto the HTTP status code the front-end answers
+/// with (NotFound→404, InvalidArgument→400, AlreadyExists→409,
+/// TimedOut→408, FailedPrecondition→412, everything else 500; OK→200).
+int HttpStatusFromStatus(const Status& status);
+
+/// Wire name of a status code ("ok", "invalid_argument", ...).
+std::string StatusCodeName(StatusCode code);
+
+/// Encodes a Status as `{"code": ..., "message": ...}`.
+JsonValue StatusToJson(const Status& status);
+/// Decodes a Status encoded by StatusToJson into `*out`; the return
+/// value reports decode failure (out-param because StatusOr<Status>
+/// would be ambiguous).
+Status StatusFromJson(const JsonValue& json, Status* out);
+
+/// Encodes a region as center/half-length vectors plus derived lo/hi
+/// corners (the corners are informational; decoding uses center/lengths).
+JsonValue RegionToJson(const Region& region);
+/// Decodes a region from `{"center": [...], "half_lengths": [...]}`.
+StatusOr<Region> RegionFromJson(const JsonValue& json);
+
+/// Encodes provenance; the dataset fingerprint travels as a hex string.
+JsonValue ProvenanceToJson(const SurrogateProvenance& provenance);
+/// Decodes provenance written by ProvenanceToJson.
+StatusOr<SurrogateProvenance> ProvenanceFromJson(const JsonValue& json);
+
+/// Encodes every field of a MineRequest.
+JsonValue MineRequestToJson(const MineRequest& request);
+
+/// Decodes a MineRequest. Absent fields keep their defaults. String
+/// entries in `statistic.region_cols` / `statistic.value_col` are
+/// resolved through `resolver` (InvalidArgument without one).
+StatusOr<MineRequest> MineRequestFromJson(
+    const JsonValue& json, const ColumnResolver* resolver = nullptr);
+
+/// Encodes a MineResponse. `mode` selects whether the threshold `result`
+/// or the `topk` payload is emitted (the other is empty by construction).
+JsonValue MineResponseToJson(const MineResponse& response,
+                             MineRequest::Mode mode);
+
+/// Decodes a MineResponse written by MineResponseToJson (used by network
+/// clients — the load bench and the parity tests). The raw GSO swarm is
+/// not carried over the wire and stays empty.
+StatusOr<MineResponse> MineResponseFromJson(const JsonValue& json);
+
+}  // namespace surf
+
+#endif  // SURF_NET_JSON_CODEC_H_

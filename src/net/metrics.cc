@@ -1,0 +1,138 @@
+#include "net/metrics.h"
+
+#include <cstdio>
+
+namespace surf {
+
+namespace {
+
+void AppendMetric(std::string* out, const std::string& line) {
+  out->append(line);
+  out->push_back('\n');
+}
+
+std::string FormatSeconds(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void ServerMetrics::RecordRequest(const std::string& route, int status_code,
+                                  double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_[{route, status_code}];
+  size_t bucket = kLatencyBucketsSeconds.size();  // +Inf slot
+  for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+    if (seconds <= kLatencyBucketsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  latency_sum_seconds_ += seconds;
+  ++latency_count_;
+}
+
+uint64_t ServerMetrics::total_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_count_;
+}
+
+double ServerMetrics::LatencyQuantileSeconds(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latency_count_ == 0) return 0.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(latency_count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i < kLatencyBucketsSeconds.size() ? kLatencyBucketsSeconds[i]
+                                               : kLatencyBucketsSeconds.back();
+    }
+  }
+  return kLatencyBucketsSeconds.back();
+}
+
+std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache) const {
+  std::string out;
+  out.reserve(2048);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AppendMetric(&out,
+                 "# HELP surf_http_requests_total Requests served, by route "
+                 "and status code.");
+    AppendMetric(&out, "# TYPE surf_http_requests_total counter");
+    for (const auto& [key, count] : requests_) {
+      AppendMetric(&out, "surf_http_requests_total{route=\"" + key.first +
+                             "\",code=\"" + std::to_string(key.second) +
+                             "\"} " + std::to_string(count));
+    }
+
+    AppendMetric(&out,
+                 "# HELP surf_http_request_duration_seconds End-to-end "
+                 "handler latency.");
+    AppendMetric(&out, "# TYPE surf_http_request_duration_seconds histogram");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+      cumulative += buckets_[i];
+      AppendMetric(&out, "surf_http_request_duration_seconds_bucket{le=\"" +
+                             FormatSeconds(kLatencyBucketsSeconds[i]) +
+                             "\"} " + std::to_string(cumulative));
+    }
+    cumulative += buckets_.back();
+    AppendMetric(&out,
+                 "surf_http_request_duration_seconds_bucket{le=\"+Inf\"} " +
+                     std::to_string(cumulative));
+    AppendMetric(&out, "surf_http_request_duration_seconds_sum " +
+                           FormatSeconds(latency_sum_seconds_));
+    AppendMetric(&out, "surf_http_request_duration_seconds_count " +
+                           std::to_string(latency_count_));
+  }
+
+  AppendMetric(&out,
+               "# HELP surf_http_inflight_requests Requests currently "
+               "inside a handler.");
+  AppendMetric(&out, "# TYPE surf_http_inflight_requests gauge");
+  AppendMetric(&out, "surf_http_inflight_requests " +
+                         std::to_string(inflight_.load()));
+
+  AppendMetric(&out,
+               "# HELP surf_cache_requests_total Surrogate-cache lookups, "
+               "by outcome.");
+  AppendMetric(&out, "# TYPE surf_cache_requests_total counter");
+  AppendMetric(&out, "surf_cache_requests_total{outcome=\"hit\"} " +
+                         std::to_string(cache.hits));
+  AppendMetric(&out, "surf_cache_requests_total{outcome=\"miss\"} " +
+                         std::to_string(cache.misses));
+
+  AppendMetric(&out,
+               "# HELP surf_cache_evictions_total Surrogate-cache "
+               "evictions, by reason.");
+  AppendMetric(&out, "# TYPE surf_cache_evictions_total counter");
+  AppendMetric(&out, "surf_cache_evictions_total{reason=\"capacity\"} " +
+                         std::to_string(cache.evictions));
+  AppendMetric(&out, "surf_cache_evictions_total{reason=\"stale\"} " +
+                         std::to_string(cache.stale_evictions));
+
+  AppendMetric(&out, "# HELP surf_cache_entries Resident cache entries.");
+  AppendMetric(&out, "# TYPE surf_cache_entries gauge");
+  AppendMetric(&out, "surf_cache_entries " + std::to_string(cache.entries));
+
+  const uint64_t lookups = cache.hits + cache.misses;
+  AppendMetric(&out,
+               "# HELP surf_cache_hit_ratio Fraction of lookups served by "
+               "a resident surrogate.");
+  AppendMetric(&out, "# TYPE surf_cache_hit_ratio gauge");
+  AppendMetric(
+      &out, "surf_cache_hit_ratio " +
+                FormatSeconds(lookups == 0 ? 0.0
+                                           : static_cast<double>(cache.hits) /
+                                                 static_cast<double>(lookups)));
+  return out;
+}
+
+}  // namespace surf

@@ -1,0 +1,78 @@
+#ifndef SURF_NET_METRICS_H_
+#define SURF_NET_METRICS_H_
+
+/// \file
+/// \brief Request-level observability for the HTTP front-end, rendered in
+/// Prometheus text exposition format.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace surf {
+
+/// \brief Thread-safe counters behind `GET /metrics`: per-route request
+/// counts by status code, a latency histogram, and an in-flight gauge.
+class ServerMetrics {
+ public:
+  /// Upper bounds (seconds) of the latency histogram buckets; the
+  /// implicit final bucket is +Inf.
+  static constexpr std::array<double, 14> kLatencyBucketsSeconds = {
+      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+      0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+
+  /// Records one completed request: its route label (the matched
+  /// endpoint pattern, not the raw target), HTTP status, and wall-time.
+  void RecordRequest(const std::string& route, int status_code,
+                     double seconds);
+
+  /// Marks one request entering the handler (in-flight gauge +1).
+  void BeginRequest() { inflight_.fetch_add(1, std::memory_order_relaxed); }
+  /// Marks one request leaving the handler (in-flight gauge −1).
+  void EndRequest() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Requests currently inside a handler.
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Total requests recorded (across routes and status codes).
+  uint64_t total_requests() const;
+
+  /// Latency quantile (e.g. 0.5, 0.99) estimated from the histogram:
+  /// the upper bound of the bucket containing the quantile. Returns 0
+  /// when nothing has been recorded.
+  double LatencyQuantileSeconds(double q) const;
+
+  /// \brief One cache figure the exporter publishes alongside transport
+  /// counters (filled by the caller from SurrogateCache::Stats).
+  struct CacheFigures {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t stale_evictions = 0;
+    uint64_t entries = 0;
+  };
+
+  /// Renders every metric in Prometheus text format (version 0.0.4).
+  std::string RenderPrometheus(const CacheFigures& cache) const;
+
+ private:
+  mutable std::mutex mu_;
+  /// (route, status code) → request count.
+  std::map<std::pair<std::string, int>, uint64_t> requests_;
+  /// Cumulative bucket counts; index i = bucket kLatencyBucketsSeconds[i],
+  /// last slot = +Inf.
+  std::array<uint64_t, kLatencyBucketsSeconds.size() + 1> buckets_{};
+  double latency_sum_seconds_ = 0.0;
+  uint64_t latency_count_ = 0;
+  std::atomic<uint64_t> inflight_{0};
+};
+
+}  // namespace surf
+
+#endif  // SURF_NET_METRICS_H_

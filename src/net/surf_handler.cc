@@ -1,0 +1,331 @@
+#include "net/surf_handler.h"
+
+#include <cmath>
+
+#include "core/workload.h"
+#include "util/stopwatch.h"
+
+namespace surf {
+
+namespace {
+
+HttpResponse JsonResponse(int status_code, const JsonValue& body) {
+  HttpResponse response;
+  response.status_code = status_code;
+  response.body = WriteJson(body) + "\n";
+  return response;
+}
+
+HttpResponse StatusResponse(const Status& status) {
+  return JsonErrorResponse(HttpStatusFromStatus(status),
+                           StatusCodeName(status.code()), status.message());
+}
+
+}  // namespace
+
+SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics)
+    : service_(service), metrics_(metrics) {
+  routes_ = {
+      {"GET", "/healthz", &SurfHandler::HandleHealthz},
+      {"GET", "/metrics", &SurfHandler::HandleMetrics},
+      {"GET", "/v1/cache/stats", &SurfHandler::HandleCacheStats},
+      {"POST", "/v1/datasets", &SurfHandler::HandleRegisterDataset},
+      {"POST", "/v1/mine", &SurfHandler::HandleMine},
+      {"POST", "/v1/mine:batch", &SurfHandler::HandleMineBatch},
+      {"POST", "/v1/evaluations", &SurfHandler::HandleEvaluations},
+  };
+}
+
+HttpResponse SurfHandler::Handle(const HttpRequest& request) {
+  // Strip any query string before matching; the API carries every
+  // parameter in JSON bodies.
+  std::string path = request.target;
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path = path.substr(0, query);
+
+  const Route* match = nullptr;
+  bool path_known = false;
+  for (const Route& route : routes_) {
+    if (route.path != path) continue;
+    path_known = true;
+    if (route.method == request.method) {
+      match = &route;
+      break;
+    }
+  }
+
+  Stopwatch timer;
+  metrics_->BeginRequest();
+  HttpResponse response;
+  if (match != nullptr) {
+    response = (this->*(match->fn))(request);
+  } else if (path_known) {
+    response = JsonErrorResponse(405, "method_not_allowed",
+                                 request.method + " not supported on " + path);
+  } else {
+    response = JsonErrorResponse(404, "unknown_route",
+                                 "no handler for " + path);
+  }
+  metrics_->EndRequest();
+  metrics_->RecordRequest(match != nullptr ? match->path : "unmatched",
+                          response.status_code, timer.ElapsedSeconds());
+  return response;
+}
+
+ColumnResolver SurfHandler::MakeResolver() const {
+  MiningService* service = service_;
+  return [service](const std::string& dataset, const std::string& column) {
+    const Dataset* data = service->dataset(dataset);
+    return data == nullptr ? -1 : data->ColumnIndex(column);
+  };
+}
+
+HttpResponse SurfHandler::HandleHealthz(const HttpRequest&) {
+  JsonValue body = JsonValue::Object();
+  body.Set("status", JsonValue("ok"));
+  body.Set("datasets",
+           JsonValue(static_cast<double>(service_->dataset_names().size())));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleMetrics(const HttpRequest&) {
+  const SurrogateCache::Stats stats = service_->cache().stats();
+  ServerMetrics::CacheFigures cache;
+  cache.hits = stats.hits;
+  cache.misses = stats.misses;
+  cache.evictions = stats.evictions;
+  cache.stale_evictions = stats.stale_evictions;
+  cache.entries = service_->cache().size();
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = metrics_->RenderPrometheus(cache);
+  return response;
+}
+
+HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&) {
+  const SurrogateCache::Stats stats = service_->cache().stats();
+  const uint64_t lookups = stats.hits + stats.misses;
+  JsonValue body = JsonValue::Object();
+  body.Set("hits", JsonValue(static_cast<double>(stats.hits)));
+  body.Set("misses", JsonValue(static_cast<double>(stats.misses)));
+  body.Set("evictions", JsonValue(static_cast<double>(stats.evictions)));
+  body.Set("stale_evictions",
+           JsonValue(static_cast<double>(stats.stale_evictions)));
+  body.Set("entries", JsonValue(static_cast<double>(service_->cache().size())));
+  body.Set("capacity",
+           JsonValue(static_cast<double>(service_->cache().options().capacity)));
+  body.Set("hit_ratio",
+           JsonValue(lookups == 0 ? 0.0
+                                  : static_cast<double>(stats.hits) /
+                                        static_cast<double>(lookups)));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleRegisterDataset(const HttpRequest& request) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  if (!json->is_object()) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "dataset registration must be a JSON object");
+  }
+  const JsonValue* name = json->Find("name");
+  if (name == nullptr || !name->is_string() ||
+      name->string_value().empty()) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "field 'name' (non-empty string) is required");
+  }
+  const JsonValue* path = json->Find("path");
+  const JsonValue* rows = json->Find("rows");
+  if ((path != nullptr) == (rows != nullptr)) {
+    return JsonErrorResponse(
+        400, "invalid_argument",
+        "provide exactly one of 'path' (CSV file) or 'rows' (inline data)");
+  }
+
+  Status registered = Status::OK();
+  if (path != nullptr) {
+    if (!path->is_string()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "field 'path' must be a string");
+    }
+    registered =
+        service_->RegisterCsvDataset(name->string_value(), path->string_value());
+  } else {
+    const JsonValue* columns = json->Find("columns");
+    if (columns == nullptr || !columns->is_array() || columns->size() == 0) {
+      return JsonErrorResponse(
+          400, "invalid_argument",
+          "inline registration needs 'columns' (array of names)");
+    }
+    std::vector<std::string> column_names;
+    for (const JsonValue& c : columns->array()) {
+      if (!c.is_string()) {
+        return JsonErrorResponse(400, "invalid_argument",
+                                 "'columns' entries must be strings");
+      }
+      column_names.push_back(c.string_value());
+    }
+    if (!rows->is_array()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "field 'rows' must be an array of rows");
+    }
+    Dataset data(column_names);
+    data.Reserve(rows->size());
+    std::vector<double> row(column_names.size());
+    for (const JsonValue& r : rows->array()) {
+      if (!r.is_array() || r.size() != column_names.size()) {
+        return JsonErrorResponse(
+            400, "invalid_argument",
+            "every row must be an array of " +
+                std::to_string(column_names.size()) + " numbers");
+      }
+      for (size_t j = 0; j < row.size(); ++j) {
+        const JsonValue& cell = r.array()[j];
+        if (!cell.is_number()) {
+          return JsonErrorResponse(400, "invalid_argument",
+                                   "row cells must be numbers");
+        }
+        row[j] = cell.number_value();
+      }
+      data.AddRow(row);
+    }
+    registered = service_->RegisterDataset(name->string_value(), std::move(data));
+  }
+  if (!registered.ok()) return StatusResponse(registered);
+
+  const Dataset* data = service_->dataset(name->string_value());
+  JsonValue body = JsonValue::Object();
+  body.Set("name", *name);
+  body.Set("rows", JsonValue(static_cast<double>(data->num_rows())));
+  body.Set("columns", JsonValue(static_cast<double>(data->num_cols())));
+  return JsonResponse(201, body);
+}
+
+HttpResponse SurfHandler::HandleMine(const HttpRequest& request) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  const ColumnResolver resolver = MakeResolver();
+  auto decoded = MineRequestFromJson(*json, &resolver);
+  if (!decoded.ok()) return StatusResponse(decoded.status());
+
+  const MineResponse response = service_->Mine(*decoded);
+  if (!response.status.ok()) return StatusResponse(response.status);
+  return JsonResponse(200, MineResponseToJson(response, decoded->mode));
+}
+
+HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  if (!json->is_object()) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "batch body must be a JSON object");
+  }
+  const JsonValue* list = json->Find("requests");
+  if (list == nullptr || !list->is_array() || list->size() == 0) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "field 'requests' (non-empty array) is required");
+  }
+  const ColumnResolver resolver = MakeResolver();
+  std::vector<MineRequest> requests;
+  requests.reserve(list->size());
+  for (size_t i = 0; i < list->array().size(); ++i) {
+    auto decoded = MineRequestFromJson(list->array()[i], &resolver);
+    if (!decoded.ok()) {
+      return JsonErrorResponse(
+          400, "invalid_argument",
+          "requests[" + std::to_string(i) +
+              "]: " + decoded.status().message());
+    }
+    requests.push_back(std::move(decoded).value());
+  }
+
+  const std::vector<MineResponse> responses = service_->MineBatch(requests);
+  size_t failed = 0;
+  JsonValue encoded = JsonValue::Array();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].status.ok()) ++failed;
+    encoded.Append(MineResponseToJson(responses[i], requests[i].mode));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("responses", std::move(encoded));
+  body.Set("total", JsonValue(static_cast<double>(responses.size())));
+  body.Set("failed", JsonValue(static_cast<double>(failed)));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  if (!json->is_object()) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "evaluations body must be a JSON object");
+  }
+  const JsonValue* keyed = json->Find("request");
+  if (keyed == nullptr) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "field 'request' (cache-keying MineRequest) is "
+                             "required");
+  }
+  const ColumnResolver resolver = MakeResolver();
+  auto decoded = MineRequestFromJson(*keyed, &resolver);
+  if (!decoded.ok()) return StatusResponse(decoded.status());
+
+  const JsonValue* evaluations = json->Find("evaluations");
+  if (evaluations == nullptr || !evaluations->is_array() ||
+      evaluations->size() == 0) {
+    return JsonErrorResponse(
+        400, "invalid_argument",
+        "field 'evaluations' (non-empty array of {region, value}) is "
+        "required");
+  }
+
+  const size_t dims = decoded->statistic.region_cols.size();
+  RegionWorkload fresh;
+  fresh.features = FeatureMatrix(2 * dims);
+  fresh.statistic = decoded->statistic;
+  for (size_t i = 0; i < evaluations->array().size(); ++i) {
+    const JsonValue& entry = evaluations->array()[i];
+    const std::string at = "evaluations[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               at + " must be an object");
+    }
+    const JsonValue* region_json = entry.Find("region");
+    const JsonValue* value = entry.Find("value");
+    if (region_json == nullptr || value == nullptr || !value->is_number()) {
+      return JsonErrorResponse(
+          400, "invalid_argument",
+          at + " needs 'region' and a numeric 'value'");
+    }
+    auto region = RegionFromJson(*region_json);
+    if (!region.ok()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               at + ": " + region.status().message());
+    }
+    if (region->dims() != dims) {
+      return JsonErrorResponse(
+          400, "invalid_argument",
+          at + ": region has " + std::to_string(region->dims()) +
+              " dims but the statistic spans " + std::to_string(dims));
+    }
+    fresh.features.AddRow(RegionFeatures(*region));
+    fresh.targets.push_back(value->number_value());
+  }
+
+  const Status appended = service_->AppendEvaluations(*decoded, fresh);
+  if (!appended.ok()) return StatusResponse(appended);
+
+  JsonValue body = JsonValue::Object();
+  body.Set("appended", JsonValue(static_cast<double>(fresh.size())));
+  // Report the entry's declared pedigree after the append, so clients
+  // see pending counts and warm-start folds move.
+  auto key = service_->KeyFor(*decoded);
+  if (key.ok()) {
+    if (auto entry = service_->cache().Peek(*key)) {
+      body.Set("provenance", ProvenanceToJson(entry->provenance()));
+    }
+  }
+  return JsonResponse(200, body);
+}
+
+}  // namespace surf

@@ -1,0 +1,75 @@
+#ifndef SURF_NET_SURF_HANDLER_H_
+#define SURF_NET_SURF_HANDLER_H_
+
+/// \file
+/// \brief The HTTP router exposing MiningService as a JSON API (`surfd`).
+///
+/// Endpoints (see docs/api.md for payload examples):
+///   POST /v1/datasets     register a dataset (CSV path or inline rows)
+///   POST /v1/mine         serve one MineRequest
+///   POST /v1/mine:batch   serve many MineRequests over the worker pool
+///   POST /v1/evaluations  append observed evaluations (warm-start feed)
+///   GET  /v1/cache/stats  surrogate-cache counters
+///   GET  /healthz         liveness probe
+///   GET  /metrics         Prometheus text exposition
+///
+/// Library `Status` codes map onto HTTP statuses via
+/// HttpStatusFromStatus (NotFound→404, InvalidArgument→400,
+/// AlreadyExists→409, ...); transport overload is answered 429 by the
+/// HttpServer admission control before a handler ever runs.
+
+#include <string>
+#include <vector>
+
+#include "net/http_server.h"
+#include "net/json_codec.h"
+#include "net/metrics.h"
+#include "serve/mining_service.h"
+
+namespace surf {
+
+/// \brief Routes HTTP requests to MiningService calls. Thread-safe: the
+/// service and metrics registry are both concurrent, and the handler
+/// itself is stateless beyond them.
+class SurfHandler {
+ public:
+  /// Binds the handler to a service and a metrics registry (both
+  /// non-owning; they must outlive the handler).
+  SurfHandler(MiningService* service, ServerMetrics* metrics);
+
+  /// Dispatches one request: route match → JSON decode → service call →
+  /// JSON encode, recording per-route metrics on every path.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Adapter for HttpServer's handler slot.
+  HttpHandler AsHttpHandler() {
+    return [this](const HttpRequest& request) { return Handle(request); };
+  }
+
+ private:
+  /// One route-table entry.
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpResponse (SurfHandler::*fn)(const HttpRequest&);
+  };
+
+  HttpResponse HandleHealthz(const HttpRequest& request);
+  HttpResponse HandleMetrics(const HttpRequest& request);
+  HttpResponse HandleCacheStats(const HttpRequest& request);
+  HttpResponse HandleRegisterDataset(const HttpRequest& request);
+  HttpResponse HandleMine(const HttpRequest& request);
+  HttpResponse HandleMineBatch(const HttpRequest& request);
+  HttpResponse HandleEvaluations(const HttpRequest& request);
+
+  /// Column-name → index resolver backed by the service's registry.
+  ColumnResolver MakeResolver() const;
+
+  MiningService* service_;
+  ServerMetrics* metrics_;
+  std::vector<Route> routes_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_NET_SURF_HANDLER_H_

@@ -1,0 +1,503 @@
+// Tests for the JSON layer of the network front-end: the util/json
+// parser/writer and the net/json_codec wire codecs. The codec contract
+// under test is the satellite of ISSUE 3: MineRequest → JSON →
+// MineRequest round-trips losslessly (including every nested recipe),
+// provenance fields survive with bit fidelity, NaN/Inf never leak into
+// documents, and malformed/fuzzed input returns InvalidArgument instead
+// of crashing.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/json_codec.h"
+#include "serve/fingerprint.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace surf {
+namespace {
+
+// ----------------------------------------------------------- util/json
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-0.5e3")->number_value(), -500.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_TRUE(a->array()[2].Find("b")->bool_value());
+  EXPECT_EQ(v->Find("c")->string_value(), "x");
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\ndAé€")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "a\"b\\c\ndA\xC3\xA9\xE2\x82\xAC");
+  // Surrogate pair: U+1F600.
+  auto emoji = ParseJson(R"("😀")");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->string_value(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* cases[] = {
+      "",
+      "{",
+      "[1,",
+      "{\"a\" 1}",
+      "{\"a\": 1,}",
+      "[1 2]",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"\\ud800 unpaired\"",
+      "01",
+      "1.",
+      "1e",
+      "+1",
+      "tru",
+      "nul",
+      "{\"a\": 1} trailing",
+      "\x01",
+      "\"ctrl \x02 char\"",
+  };
+  for (const char* text : cases) {
+    auto v = ParseJson(text);
+    EXPECT_FALSE(v.ok()) << "accepted: " << text;
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(JsonParse, RejectsNanAndInfinityTokens) {
+  // Not part of the JSON grammar; the codec satellite requires they are
+  // rejected rather than smuggled through as doubles.
+  for (const char* text :
+       {"NaN", "nan", "Infinity", "-Infinity", "inf", "1e999",
+        "{\"x\": NaN}", "[Infinity]"}) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParse, DuplicateKeysResolveLastWins) {
+  auto v = ParseJson(R"({"a": 1, "b": 2, "a": 3})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("a")->number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(v->Find("b")->number_value(), 2.0);
+}
+
+TEST(JsonParse, LargeObjectParsesInLinearTime) {
+  // 200k members: quadratic member insertion would take minutes here
+  // (a DoS vector for network bodies); linear parses in milliseconds.
+  std::string text = "{";
+  for (int i = 0; i < 200000; ++i) {
+    if (i > 0) text.push_back(',');
+    text += "\"k" + std::to_string(i) + "\":" + std::to_string(i);
+  }
+  text.push_back('}');
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 200000u);
+  EXPECT_DOUBLE_EQ(v->Find("k199999")->number_value(), 199999.0);
+}
+
+TEST(JsonParse, DepthLimitStopsRecursion) {
+  std::string deep(5000, '[');
+  deep.append(5000, ']');
+  auto v = ParseJson(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonWrite, EscapingRoundTrips) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", JsonValue(std::string("line\nquote\"back\\slash\ttab\x01")));
+  const std::string text = WriteJson(obj);
+  auto parsed = ParseJson(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("s")->string_value(),
+            obj.Find("s")->string_value());
+}
+
+TEST(JsonWrite, NonFiniteBecomesNull) {
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue(std::numeric_limits<double>::quiet_NaN()));
+  arr.Append(JsonValue(std::numeric_limits<double>::infinity()));
+  arr.Append(JsonValue(-std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(WriteJson(arr), "[null,null,null]");
+}
+
+TEST(JsonWrite, DoublesRoundTripBitExactly) {
+  Rng rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    double v;
+    if (i % 3 == 0) {
+      v = rng.Uniform(-1e12, 1e12);
+    } else if (i % 3 == 1) {
+      v = rng.Gaussian() * std::pow(10.0, rng.Uniform(-20, 20));
+    } else {
+      v = rng.Uniform();
+    }
+    JsonValue arr = JsonValue::Array();
+    arr.Append(JsonValue(v));
+    auto parsed = ParseJson(WriteJson(arr));
+    ASSERT_TRUE(parsed.ok());
+    const double back = parsed->array()[0].number_value();
+    EXPECT_EQ(back, v) << "lost precision for " << v;
+  }
+}
+
+TEST(JsonParse, FuzzedInputNeverCrashes) {
+  // Random byte soup plus random truncations of a valid document: every
+  // outcome must be a clean Status, never a crash or hang.
+  const std::string valid = WriteJson([] {
+    JsonValue obj = JsonValue::Object();
+    obj.Set("a", JsonValue(1.5));
+    JsonValue arr = JsonValue::Array();
+    arr.Append(JsonValue("x"));
+    arr.Append(JsonValue(true));
+    obj.Set("b", std::move(arr));
+    return obj;
+  }());
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    std::string input;
+    if (i % 2 == 0) {
+      const size_t len = rng.UniformInt(64);
+      for (size_t j = 0; j < len; ++j) {
+        input.push_back(static_cast<char>(rng.UniformInt(256)));
+      }
+    } else {
+      input = valid.substr(0, rng.UniformInt(valid.size() + 1));
+      if (!input.empty() && rng.Bernoulli(0.5)) {
+        input[rng.UniformInt(input.size())] =
+            static_cast<char>(rng.UniformInt(256));
+      }
+    }
+    auto v = ParseJson(input);  // must return, whatever the verdict
+    if (!v.ok()) {
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+// ------------------------------------------------------- net/json_codec
+
+/// Builds a request with every field moved off its default, pseudo-randomly
+/// per `seed` — the property-test generator.
+MineRequest RandomizedRequest(uint64_t seed) {
+  Rng rng(seed);
+  MineRequest r;
+  r.dataset = "ds_" + std::to_string(rng.UniformInt(1000));
+  r.statistic.kind = static_cast<StatisticKind>(rng.UniformInt(6));
+  r.statistic.region_cols = {rng.UniformInt(4), 4 + rng.UniformInt(4)};
+  r.statistic.value_col = static_cast<int>(rng.UniformInt(8));
+  r.statistic.label_value = rng.Uniform(-5, 5);
+  r.threshold = rng.Gaussian(500, 200);
+  r.direction = rng.Bernoulli(0.5) ? ThresholdDirection::kAbove
+                                   : ThresholdDirection::kBelow;
+  r.mode = rng.Bernoulli(0.5) ? MineRequest::Mode::kThreshold
+                              : MineRequest::Mode::kTopK;
+  r.topk.k = 1 + rng.UniformInt(9);
+  r.topk.c = rng.Uniform(0.1, 2.0);
+  r.topk.nms_max_iou = rng.Uniform();
+  r.topk.gso.num_glowworms = 10 + rng.UniformInt(300);
+  r.topk.gso.seed = rng.UniformInt(1 << 30);
+  r.finder.c = rng.Uniform(0.5, 8.0);
+  r.finder.auto_scale_gso = rng.Bernoulli(0.5);
+  r.finder.use_log_objective = rng.Bernoulli(0.5);
+  r.finder.nms_max_iou = rng.Uniform();
+  r.finder.max_regions = 1 + rng.UniformInt(31);
+  r.finder.use_kde_guidance = rng.Bernoulli(0.5);
+  r.finder.use_kde_seeding = rng.Bernoulli(0.5);
+  r.finder.gso.max_iterations = 10 + rng.UniformInt(200);
+  r.finder.gso.luciferin_decay = rng.Uniform();
+  r.finder.gso.luciferin_gain = rng.Uniform();
+  r.finder.gso.initial_radius_frac = rng.Uniform();
+  r.finder.gso.step_frac = rng.Uniform(0.001, 0.1);
+  r.finder.gso.kde_seeded_fraction = rng.Uniform();
+  r.finder.gso.kde_mass_guidance = rng.Bernoulli(0.5);
+  r.finder.gso.exploration_restart_prob = rng.Uniform();
+  r.finder.gso.desired_neighbors = 1 + rng.UniformInt(10);
+  r.finder.gso.seed = rng.UniformInt(1 << 30);
+  r.workload.num_queries = 100 + rng.UniformInt(100000);
+  r.workload.min_length_frac = rng.Uniform(0.001, 0.05);
+  r.workload.max_length_frac = rng.Uniform(0.05, 0.4);
+  r.workload.drop_undefined = rng.Bernoulli(0.5);
+  r.workload.seed = rng.UniformInt(1 << 30);
+  r.surrogate.gbrt.learning_rate = rng.Uniform(0.001, 0.5);
+  r.surrogate.gbrt.n_estimators = 50 + rng.UniformInt(400);
+  r.surrogate.gbrt.max_depth = 2 + rng.UniformInt(10);
+  r.surrogate.gbrt.reg_lambda = rng.Uniform(0.0001, 2.0);
+  r.surrogate.gbrt.subsample = rng.Uniform(0.5, 1.0);
+  r.surrogate.gbrt.colsample = rng.Uniform(0.5, 1.0);
+  r.surrogate.gbrt.max_bins = 16 + rng.UniformInt(240);
+  r.surrogate.gbrt.seed = rng.UniformInt(1 << 30);
+  r.surrogate.hypertune = rng.Bernoulli(0.3);
+  r.surrogate.grid.learning_rates = {rng.Uniform(0.01, 0.2)};
+  r.surrogate.grid.max_depths = {2 + rng.UniformInt(8),
+                                 2 + rng.UniformInt(8)};
+  r.surrogate.cv_folds = 2 + rng.UniformInt(4);
+  r.surrogate.test_fraction = rng.Uniform(0.1, 0.4);
+  r.surrogate.seed = rng.UniformInt(1 << 30);
+  r.backend = static_cast<BackendKind>(rng.UniformInt(4));
+  r.use_kde = rng.Bernoulli(0.5);
+  r.validate = rng.Bernoulli(0.5);
+  r.record_evaluations = rng.Bernoulli(0.5);
+  return r;
+}
+
+TEST(MineRequestCodec, RoundTripIsLossless) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const MineRequest original = RandomizedRequest(seed);
+    const JsonValue encoded = MineRequestToJson(original);
+    auto decoded = MineRequestFromJson(encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+    // Lossless: re-encoding the decoded request reproduces the document
+    // byte-for-byte (the writer is deterministic), so no field was
+    // dropped, defaulted, or rounded.
+    EXPECT_EQ(WriteJson(MineRequestToJson(*decoded)), WriteJson(encoded))
+        << "seed " << seed;
+
+    // Spot checks on semantically-critical fields.
+    EXPECT_EQ(decoded->dataset, original.dataset);
+    EXPECT_EQ(decoded->mode, original.mode);
+    EXPECT_EQ(decoded->direction, original.direction);
+    EXPECT_EQ(decoded->threshold, original.threshold);
+    EXPECT_EQ(decoded->backend, original.backend);
+    EXPECT_EQ(decoded->finder.gso.seed, original.finder.gso.seed);
+
+    // The cache key is derived from (statistic, workload, model recipe):
+    // equal fingerprints mean an HTTP round trip targets the same cached
+    // surrogate as the in-process request.
+    EXPECT_EQ(FingerprintStatistic(decoded->statistic),
+              FingerprintStatistic(original.statistic));
+    EXPECT_EQ(FingerprintWorkloadParams(decoded->workload),
+              FingerprintWorkloadParams(original.workload));
+    EXPECT_EQ(FingerprintTrainOptions(decoded->surrogate),
+              FingerprintTrainOptions(original.surrogate));
+  }
+}
+
+TEST(MineRequestCodec, MinimalRequestUsesDefaults) {
+  auto decoded = MineRequestFromJson(*ParseJson(
+      R"({"dataset": "d", "statistic": {"region_cols": [0, 1]}})"));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const MineRequest defaults;
+  EXPECT_EQ(decoded->statistic.kind, StatisticKind::kCount);
+  EXPECT_EQ(decoded->mode, MineRequest::Mode::kThreshold);
+  EXPECT_EQ(decoded->workload.num_queries, defaults.workload.num_queries);
+  EXPECT_EQ(decoded->finder.max_regions, defaults.finder.max_regions);
+  EXPECT_EQ(decoded->use_kde, defaults.use_kde);
+}
+
+TEST(MineRequestCodec, RejectsBadDocuments) {
+  const char* cases[] = {
+      R"([1, 2])",                                        // not an object
+      R"({"statistic": {"region_cols": [0]}})",           // missing dataset
+      R"({"dataset": "d"})",                              // no region cols
+      R"({"dataset": "d", "statistic": {"region_cols": [0],
+          "kind": "p99"}})",                              // unknown kind
+      R"({"dataset": "d", "statistic": {"region_cols": [0]},
+          "direction": "sideways"})",                     // bad enum
+      R"({"dataset": "d", "statistic": {"region_cols": [0]},
+          "threshold": "high"})",                         // wrong type
+      R"({"dataset": "d", "statistic": {"region_cols": [0]},
+          "workload": {"num_queries": -4}})",             // negative size
+      R"({"dataset": "d", "statistic": {"region_cols": [0]},
+          "workload": {"seed": 1.5}})",                   // fractional seed
+      R"({"dataset": "d", "statistic": {"region_cols": ["x"]}})",
+      // ^ name resolution without a resolver
+      R"({"dataset": "d", "statistic": {"region_cols": [0, 1e300]}})",
+      // ^ index too large to cast (would be UB unchecked)
+      R"({"dataset": "d", "statistic": {"region_cols": [0],
+          "value_col": 1e18}})",                        // beyond int range
+      R"({"dataset": "d", "statistic": {"region_cols": [0],
+          "value_col": -2}})",                          // only -1 is legal
+      R"({"dataset": "d", "statistic": {"region_cols": [0]},
+          "surrogate": {"grid": {"max_depths": [1e300]}}})",
+  };
+  for (const char* text : cases) {
+    auto json = ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    auto decoded = MineRequestFromJson(*json);
+    ASSERT_FALSE(decoded.ok()) << "accepted: " << text;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(MineRequestCodec, ResolvesColumnNames) {
+  const ColumnResolver resolver = [](const std::string& dataset,
+                                     const std::string& column) {
+    if (dataset != "trips") return -1;
+    if (column == "x") return 2;
+    if (column == "y") return 5;
+    if (column == "fare") return 7;
+    return -1;
+  };
+  auto decoded = MineRequestFromJson(
+      *ParseJson(R"({"dataset": "trips",
+                     "statistic": {"kind": "avg",
+                                   "region_cols": ["x", "y"],
+                                   "value_col": "fare"}})"),
+      &resolver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->statistic.region_cols, (std::vector<size_t>{2, 5}));
+  EXPECT_EQ(decoded->statistic.value_col, 7);
+
+  auto unknown = MineRequestFromJson(
+      *ParseJson(R"({"dataset": "trips",
+                     "statistic": {"region_cols": ["nope"]}})"),
+      &resolver);
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST(ProvenanceCodec, FieldFidelity) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    SurrogateProvenance p;
+    p.dataset_fingerprint = rng.Next();  // full 64-bit range
+    p.training_set_size = rng.UniformInt(1u << 20);
+    p.cv_rmse = i % 4 == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : rng.Uniform(0, 100);
+    p.holdout_rmse = rng.Uniform(0, 100);
+    p.train_seconds = rng.Uniform(0, 1000);
+    p.warm_starts = rng.UniformInt(50);
+    p.pending_examples = rng.UniformInt(4096);
+
+    auto decoded = ProvenanceFromJson(ProvenanceToJson(p));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->dataset_fingerprint, p.dataset_fingerprint);
+    EXPECT_EQ(decoded->training_set_size, p.training_set_size);
+    EXPECT_EQ(decoded->holdout_rmse, p.holdout_rmse);
+    EXPECT_EQ(decoded->train_seconds, p.train_seconds);
+    EXPECT_EQ(decoded->warm_starts, p.warm_starts);
+    EXPECT_EQ(decoded->pending_examples, p.pending_examples);
+    if (std::isnan(p.cv_rmse)) {
+      EXPECT_TRUE(std::isnan(decoded->cv_rmse));
+      // The wire form must be null, not a NaN token.
+      EXPECT_NE(WriteJson(ProvenanceToJson(p)).find("\"cv_rmse\":null"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(decoded->cv_rmse, p.cv_rmse);
+    }
+  }
+}
+
+TEST(MineResponseCodec, RegionsRoundTripBitExactly) {
+  Rng rng(31);
+  MineResponse response;
+  response.cache_hit = true;
+  response.total_seconds = 0.125;
+  response.provenance.dataset_fingerprint = rng.Next();
+  response.provenance.training_set_size = 9000;
+  for (int i = 0; i < 8; ++i) {
+    FoundRegion r;
+    r.region = Region({rng.Uniform(-100, 100), rng.Uniform(-100, 100)},
+                      {rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    r.fitness = rng.Gaussian();
+    r.estimate = rng.Gaussian(100, 30);
+    r.true_value = i % 3 == 0 ? std::numeric_limits<double>::quiet_NaN()
+                              : rng.Gaussian(100, 30);
+    r.complies_true = i % 2 == 0;
+    response.result.regions.push_back(r);
+  }
+  response.result.report.seconds = 0.5;
+  response.result.report.iterations = 120;
+  response.result.report.objective_evaluations = 12000;
+  response.result.report.particle_valid_fraction = 0.84;
+  response.result.report.converged = true;
+  response.result.report.true_compliance = 0.75;
+
+  const std::string wire =
+      WriteJson(MineResponseToJson(response, MineRequest::Mode::kThreshold));
+  auto parsed_json = ParseJson(wire);
+  ASSERT_TRUE(parsed_json.ok());
+  auto decoded = MineResponseFromJson(*parsed_json);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  EXPECT_TRUE(decoded->status.ok());
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_EQ(decoded->provenance.dataset_fingerprint,
+            response.provenance.dataset_fingerprint);
+  ASSERT_EQ(decoded->result.regions.size(), response.result.regions.size());
+  for (size_t i = 0; i < response.result.regions.size(); ++i) {
+    const FoundRegion& a = response.result.regions[i];
+    const FoundRegion& b = decoded->result.regions[i];
+    // Bit-identical geometry is what the HTTP parity acceptance check
+    // rests on.
+    EXPECT_EQ(a.region, b.region) << "region " << i;
+    EXPECT_EQ(a.fitness, b.fitness);
+    EXPECT_EQ(a.estimate, b.estimate);
+    if (std::isnan(a.true_value)) {
+      EXPECT_TRUE(std::isnan(b.true_value));
+    } else {
+      EXPECT_EQ(a.true_value, b.true_value);
+    }
+    EXPECT_EQ(a.complies_true, b.complies_true);
+  }
+  EXPECT_EQ(decoded->result.report.objective_evaluations, 12000u);
+  EXPECT_EQ(decoded->result.report.converged, true);
+
+  // Error statuses survive the wire too.
+  MineResponse failed;
+  failed.status = Status::NotFound("dataset 'x' not registered");
+  auto failed_back = MineResponseFromJson(*ParseJson(WriteJson(
+      MineResponseToJson(failed, MineRequest::Mode::kThreshold))));
+  ASSERT_TRUE(failed_back.ok());
+  EXPECT_EQ(failed_back->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(failed_back->status.message(), "dataset 'x' not registered");
+}
+
+TEST(StatusMapping, LibraryCodesMapOntoHttp) {
+  EXPECT_EQ(HttpStatusFromStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusFromStatus(Status::InvalidArgument("")), 400);
+  EXPECT_EQ(HttpStatusFromStatus(Status::NotFound("")), 404);
+  EXPECT_EQ(HttpStatusFromStatus(Status::AlreadyExists("")), 409);
+  EXPECT_EQ(HttpStatusFromStatus(Status::TimedOut("")), 408);
+  EXPECT_EQ(HttpStatusFromStatus(Status::FailedPrecondition("")), 412);
+  EXPECT_EQ(HttpStatusFromStatus(Status::Internal("")), 500);
+  EXPECT_EQ(HttpStatusFromStatus(Status::IOError("")), 500);
+  EXPECT_EQ(HttpStatusFromStatus(Status::OutOfRange("")), 400);
+}
+
+TEST(MineRequestCodec, FuzzedDocumentsNeverCrash) {
+  // Structured fuzz: parse random mutations of a valid request document;
+  // whenever the JSON itself parses, the codec must return a clean
+  // status (either outcome), never crash.
+  const std::string valid = WriteJson(MineRequestToJson(RandomizedRequest(5)));
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = valid;
+    const size_t edits = 1 + rng.UniformInt(8);
+    for (size_t e = 0; e < edits; ++e) {
+      input[rng.UniformInt(input.size())] =
+          static_cast<char>(rng.UniformInt(128));
+    }
+    auto json = ParseJson(input);
+    if (!json.ok()) continue;
+    auto decoded = MineRequestFromJson(*json);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace surf

@@ -1,0 +1,616 @@
+// Tests for the src/net HTTP front-end: transport behaviour of
+// HttpServer (admission control / 429, per-request deadlines / 408,
+// graceful drain) and the SurfHandler JSON API, including the ISSUE 3
+// acceptance check — a MineRequest served over loopback HTTP must yield
+// regions bit-identical to the same request served in-process, and the
+// second HTTP request must be a cache hit with identical provenance.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "net/http_server.h"
+#include "net/json_codec.h"
+#include "net/metrics.h"
+#include "net/surf_handler.h"
+#include "serve/mining_service.h"
+#include "util/json.h"
+
+namespace surf {
+namespace {
+
+// ------------------------------------------------------- test HTTP client
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  bool connection_close = false;
+};
+
+/// Minimal blocking HTTP/1.1 client for loopback tests (keep-alive,
+/// Content-Length framing only — mirroring what the server emits).
+class TestClient {
+ public:
+  ~TestClient() { Close(); }
+
+  bool Connect(uint16_t port) {
+    Close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval timeout{30, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Sends one request and reads one full response.
+  ClientResponse Request(const std::string& method, const std::string& path,
+                         const std::string& body = "") {
+    std::string out = method + " " + path + " HTTP/1.1\r\n";
+    out += "Host: 127.0.0.1\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    out += body;
+    if (!SendRaw(out)) return {};
+    return ReadResponse();
+  }
+
+  ClientResponse ReadResponse() {
+    std::string buffer;
+    size_t head_end = std::string::npos;
+    while (true) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) break;
+      if (!Fill(&buffer)) return {};
+    }
+    ClientResponse response;
+    // Status line: HTTP/1.1 NNN Reason
+    if (buffer.size() >= 12) {
+      response.status = std::atoi(buffer.substr(9, 3).c_str());
+    }
+    response.connection_close =
+        buffer.substr(0, head_end).find("Connection: close") !=
+        std::string::npos;
+    size_t content_length = 0;
+    const std::string head = buffer.substr(0, head_end);
+    const size_t cl = head.find("Content-Length: ");
+    if (cl != std::string::npos) {
+      content_length = static_cast<size_t>(
+          std::atoll(head.c_str() + cl + std::strlen("Content-Length: ")));
+    }
+    std::string body = buffer.substr(head_end + 4);
+    while (body.size() < content_length) {
+      if (!Fill(&body)) return {};
+    }
+    response.body = body.substr(0, content_length);
+    return response;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  bool Fill(std::string* buffer) {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+};
+
+// ------------------------------------------------------------- fixtures
+
+SyntheticDataset MakeTestData() {
+  SyntheticSpec spec;
+  spec.dims = 2;
+  spec.num_gt_regions = 1;
+  spec.statistic = SyntheticStatistic::kDensity;
+  spec.num_background = 4000;
+  spec.seed = 17;
+  return SyntheticGenerator::Generate(spec);
+}
+
+/// The shared fast-mining recipe: small workload, short swarm, no
+/// per-iteration KDE integrals — keeps each train+mine well under a
+/// second on one core.
+MineRequest MakeTestRequest(const std::string& dataset,
+                            const std::vector<size_t>& region_cols) {
+  MineRequest request;
+  request.dataset = dataset;
+  request.statistic = Statistic::Count(region_cols);
+  request.threshold = 800.0;
+  request.workload.num_queries = 800;
+  request.finder.gso.max_iterations = 30;
+  request.finder.use_kde_guidance = false;
+  request.surrogate.gbrt.n_estimators = 60;
+  return request;
+}
+
+/// JSON rows payload for inline registration of a dataset.
+std::string InlineDatasetBody(const std::string& name, const Dataset& data) {
+  JsonValue body = JsonValue::Object();
+  body.Set("name", JsonValue(name));
+  JsonValue columns = JsonValue::Array();
+  for (const std::string& c : data.column_names()) {
+    columns.Append(JsonValue(c));
+  }
+  body.Set("columns", std::move(columns));
+  JsonValue rows = JsonValue::Array();
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    JsonValue row = JsonValue::Array();
+    for (size_t j = 0; j < data.num_cols(); ++j) {
+      row.Append(JsonValue(data.Get(i, j)));
+    }
+    rows.Append(std::move(row));
+  }
+  body.Set("rows", std::move(rows));
+  return WriteJson(body);
+}
+
+/// An HttpServer + MiningService + SurfHandler bundle on an ephemeral
+/// loopback port.
+struct TestServer {
+  explicit TestServer(HttpServer::Options options = {},
+                      MiningService::Options service_options = {}) {
+    service = std::make_unique<MiningService>(service_options);
+    metrics = std::make_unique<ServerMetrics>();
+    handler = std::make_unique<SurfHandler>(service.get(), metrics.get());
+    options.port = 0;
+    server = std::make_unique<HttpServer>(options, handler->AsHttpHandler());
+    start_status = server->Start();
+  }
+
+  std::unique_ptr<MiningService> service;
+  std::unique_ptr<ServerMetrics> metrics;
+  std::unique_ptr<SurfHandler> handler;
+  std::unique_ptr<HttpServer> server;
+  Status start_status = Status::OK();
+};
+
+// ----------------------------------------------------------------- tests
+
+TEST(SurfHandlerTest, RoutingAndProbes) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok()) << ts.start_status.ToString();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  ClientResponse health = client.Request("GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"ok\""), std::string::npos);
+
+  EXPECT_EQ(client.Request("GET", "/nope").status, 404);
+  EXPECT_EQ(client.Request("DELETE", "/v1/mine").status, 405);
+  // Malformed JSON → 400 from the codec, not a connection drop.
+  EXPECT_EQ(client.Request("POST", "/v1/mine", "{not json").status, 400);
+  // Unknown dataset → 404 via Status mapping.
+  ClientResponse missing = client.Request(
+      "POST", "/v1/mine",
+      R"({"dataset": "ghost", "statistic": {"region_cols": [0, 1]}})");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("not_found"), std::string::npos);
+}
+
+TEST(SurfHandlerTest, DatasetRegistrationConflictsAndValidation) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  const std::string body =
+      R"({"name": "tiny", "columns": ["x", "y"],
+          "rows": [[0, 0], [1, 1], [2, 0.5]]})";
+  EXPECT_EQ(client.Request("POST", "/v1/datasets", body).status, 201);
+  // Same name again → AlreadyExists → 409.
+  EXPECT_EQ(client.Request("POST", "/v1/datasets", body).status, 409);
+  // Ragged row → 400.
+  EXPECT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         R"({"name": "bad", "columns": ["x", "y"],
+                             "rows": [[1, 2], [3]]})")
+                .status,
+            400);
+  // Both path and rows → 400.
+  EXPECT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         R"({"name": "bad2", "path": "x.csv",
+                             "columns": ["x"], "rows": [[1]]})")
+                .status,
+            400);
+  // Missing CSV file → IOError → 500 (not a crash).
+  EXPECT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         R"({"name": "bad3",
+                             "path": "/nonexistent/x.csv"})")
+                .status,
+            500);
+}
+
+TEST(SurfHandlerTest, HttpMineMatchesInProcessBitExactly) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  // Register over the wire (inline rows), so the server-side dataset
+  // itself went through the JSON codec.
+  ASSERT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         InlineDatasetBody("synth", ds.data))
+                .status,
+            201);
+
+  const MineRequest request = MakeTestRequest("synth", ds.region_cols);
+  const std::string wire = WriteJson(MineRequestToJson(request));
+
+  ClientResponse first = client.Request("POST", "/v1/mine", wire);
+  ASSERT_EQ(first.status, 200) << first.body;
+  auto first_json = ParseJson(first.body);
+  ASSERT_TRUE(first_json.ok());
+  auto first_response = MineResponseFromJson(*first_json);
+  ASSERT_TRUE(first_response.ok()) << first_response.status().ToString();
+  EXPECT_FALSE(first_response->cache_hit);
+  ASSERT_FALSE(first_response->result.regions.empty());
+
+  // In-process arm: an independent service instance, same dataset, same
+  // request. The engine is deterministic, so regions must agree bit for
+  // bit with what came over the wire.
+  MiningService local;
+  ASSERT_TRUE(local.RegisterDataset("synth", ds.data).ok());
+  const MineResponse in_process = local.Mine(request);
+  ASSERT_TRUE(in_process.status.ok()) << in_process.status.ToString();
+
+  ASSERT_EQ(first_response->result.regions.size(),
+            in_process.result.regions.size());
+  for (size_t i = 0; i < in_process.result.regions.size(); ++i) {
+    const FoundRegion& http = first_response->result.regions[i];
+    const FoundRegion& direct = in_process.result.regions[i];
+    EXPECT_EQ(http.region, direct.region) << "region " << i;
+    EXPECT_EQ(http.estimate, direct.estimate) << "region " << i;
+    EXPECT_EQ(http.true_value, direct.true_value) << "region " << i;
+    EXPECT_EQ(http.complies_true, direct.complies_true) << "region " << i;
+  }
+  EXPECT_EQ(first_response->provenance.dataset_fingerprint,
+            in_process.provenance.dataset_fingerprint);
+  EXPECT_EQ(first_response->provenance.training_set_size,
+            in_process.provenance.training_set_size);
+  EXPECT_EQ(first_response->provenance.holdout_rmse,
+            in_process.provenance.holdout_rmse);
+
+  // Second HTTP request: cache hit, identical provenance, identical
+  // regions.
+  ClientResponse second = client.Request("POST", "/v1/mine", wire);
+  ASSERT_EQ(second.status, 200);
+  auto second_response = MineResponseFromJson(*ParseJson(second.body));
+  ASSERT_TRUE(second_response.ok());
+  EXPECT_TRUE(second_response->cache_hit);
+  EXPECT_EQ(second_response->provenance.dataset_fingerprint,
+            first_response->provenance.dataset_fingerprint);
+  EXPECT_EQ(second_response->provenance.training_set_size,
+            first_response->provenance.training_set_size);
+  EXPECT_EQ(second_response->provenance.holdout_rmse,
+            first_response->provenance.holdout_rmse);
+  EXPECT_EQ(second_response->provenance.train_seconds,
+            first_response->provenance.train_seconds);
+  ASSERT_EQ(second_response->result.regions.size(),
+            first_response->result.regions.size());
+  for (size_t i = 0; i < first_response->result.regions.size(); ++i) {
+    EXPECT_EQ(second_response->result.regions[i].region,
+              first_response->result.regions[i].region);
+  }
+
+  // The cache counters observable over the wire agree.
+  auto stats = ParseJson(client.Request("GET", "/v1/cache/stats").body);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->Find("hits")->number_value(), 1.0);
+  EXPECT_EQ(stats->Find("misses")->number_value(), 1.0);
+}
+
+TEST(SurfHandlerTest, BatchEndpointReportsPerRequestFailures) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  ASSERT_TRUE(ts.service->RegisterDataset("synth", ds.data).ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  JsonValue batch = JsonValue::Object();
+  JsonValue requests = JsonValue::Array();
+  requests.Append(
+      MineRequestToJson(MakeTestRequest("synth", ds.region_cols)));
+  requests.Append(
+      MineRequestToJson(MakeTestRequest("missing", ds.region_cols)));
+  batch.Set("requests", std::move(requests));
+
+  ClientResponse response =
+      client.Request("POST", "/v1/mine:batch", WriteJson(batch));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = ParseJson(response.body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("total")->number_value(), 2.0);
+  EXPECT_EQ(json->Find("failed")->number_value(), 1.0);
+  const auto& responses = json->Find("responses")->array();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].Find("status")->Find("code")->string_value(), "ok");
+  EXPECT_EQ(responses[1].Find("status")->Find("code")->string_value(),
+            "not_found");
+}
+
+TEST(SurfHandlerTest, EvaluationsEndpointFeedsWarmStartPool) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  ASSERT_TRUE(ts.service->RegisterDataset("synth", ds.data).ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  const MineRequest request = MakeTestRequest("synth", ds.region_cols);
+  ClientResponse mined =
+      client.Request("POST", "/v1/mine", WriteJson(MineRequestToJson(request)));
+  ASSERT_EQ(mined.status, 200);
+  auto mined_response = MineResponseFromJson(*ParseJson(mined.body));
+  ASSERT_TRUE(mined_response.ok());
+  ASSERT_FALSE(mined_response->result.regions.empty());
+
+  JsonValue body = JsonValue::Object();
+  body.Set("request", MineRequestToJson(request));
+  JsonValue evaluations = JsonValue::Array();
+  for (const FoundRegion& r : mined_response->result.regions) {
+    JsonValue e = JsonValue::Object();
+    e.Set("region", RegionToJson(r.region));
+    e.Set("value", JsonValue(r.true_value));
+    evaluations.Append(std::move(e));
+  }
+  body.Set("evaluations", std::move(evaluations));
+
+  ClientResponse appended =
+      client.Request("POST", "/v1/evaluations", WriteJson(body));
+  ASSERT_EQ(appended.status, 200) << appended.body;
+  auto appended_json = ParseJson(appended.body);
+  ASSERT_TRUE(appended_json.ok());
+  EXPECT_EQ(appended_json->Find("appended")->number_value(),
+            static_cast<double>(mined_response->result.regions.size()));
+  auto provenance =
+      ProvenanceFromJson(*appended_json->Find("provenance"));
+  ASSERT_TRUE(provenance.ok());
+  EXPECT_EQ(provenance->pending_examples,
+            mined_response->result.regions.size());
+
+  // Dimension mismatch is rejected before touching the cache entry.
+  JsonValue bad = JsonValue::Object();
+  bad.Set("request", MineRequestToJson(request));
+  JsonValue bad_list = JsonValue::Array();
+  JsonValue bad_entry = JsonValue::Object();
+  bad_entry.Set("region", RegionToJson(Region({0.5}, {0.1})));
+  bad_entry.Set("value", JsonValue(1.0));
+  bad_list.Append(std::move(bad_entry));
+  bad.Set("evaluations", std::move(bad_list));
+  EXPECT_EQ(client.Request("POST", "/v1/evaluations", WriteJson(bad)).status,
+            400);
+}
+
+TEST(SurfHandlerTest, MetricsExposeTransportAndCache) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+  client.Request("GET", "/healthz");
+  client.Request("GET", "/nope");
+
+  ClientResponse metrics = client.Request("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find(
+                "surf_http_requests_total{route=\"/healthz\",code=\"200\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find(
+                "surf_http_requests_total{route=\"unmatched\",code=\"404\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("surf_http_request_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("surf_http_inflight_requests 1"),
+            std::string::npos)
+      << "the /metrics request itself is in flight";
+  EXPECT_NE(metrics.body.find("surf_cache_hit_ratio"), std::string::npos);
+}
+
+// ------------------------------------------------- transport behaviour
+
+TEST(HttpServerTest, BackpressureAnswers429PastMaxInflight) {
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+  HttpServer::Options options;
+  options.max_inflight = 2;
+  options.num_workers = 2;
+  HttpServer server(options, [&](const HttpRequest&) {
+    entered.fetch_add(1);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    HttpResponse ok;
+    ok.body = "{}";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient slow1, slow2;
+  ASSERT_TRUE(slow1.Connect(server.port()));
+  ASSERT_TRUE(slow2.Connect(server.port()));
+  ASSERT_TRUE(slow1.SendRaw("GET /a HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  ASSERT_TRUE(slow2.SendRaw("GET /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+  while (entered.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Both slots are held; the next connection must be turned away with
+  // 429 by the acceptor without reaching the handler.
+  TestClient rejected;
+  ASSERT_TRUE(rejected.Connect(server.port()));
+  ClientResponse overflow = rejected.Request("GET", "/c");
+  EXPECT_EQ(overflow.status, 429);
+  EXPECT_NE(overflow.body.find("overloaded"), std::string::npos);
+
+  release.store(true);
+  EXPECT_EQ(slow1.ReadResponse().status, 200);
+  EXPECT_EQ(slow2.ReadResponse().status, 200);
+  server.Shutdown();
+  const HttpServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.connections_rejected, 1u);
+  EXPECT_EQ(stats.requests_served, 2u);
+  EXPECT_EQ(entered.load(), 2);
+}
+
+TEST(HttpServerTest, RequestDeadlineAnswers408) {
+  HttpServer::Options options;
+  options.request_deadline_seconds = 0.25;
+  options.num_workers = 2;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse ok;
+    ok.body = "{}";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  // A partial request that never completes: the read deadline must fire
+  // and answer 408 rather than hold the worker hostage.
+  ASSERT_TRUE(client.SendRaw("POST /v1/mine HTTP/1.1\r\nContent-Le"));
+  ClientResponse response = client.ReadResponse();
+  EXPECT_EQ(response.status, 408);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().request_timeouts, 1u);
+}
+
+TEST(HttpServerTest, OversizedBodyAnswers413) {
+  HttpServer::Options options;
+  options.max_body_bytes = 128;
+  options.num_workers = 1;
+  HttpServer server(options, [](const HttpRequest&) {
+    HttpResponse ok;
+    ok.body = "{}";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  EXPECT_EQ(client.Request("POST", "/x", std::string(4096, 'a')).status, 413);
+  server.Shutdown();
+}
+
+TEST(HttpServerTest, GracefulDrainServesEveryInflightRequest) {
+  constexpr int kClients = 8;
+  std::atomic<int> entered{0};
+  HttpServer::Options options;
+  options.max_inflight = kClients;
+  options.num_workers = kClients;
+  HttpServer server(options, [&](const HttpRequest&) {
+    entered.fetch_add(1);
+    // Slow handler: Shutdown() arrives while all of these are running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    HttpResponse ok;
+    ok.body = R"({"served": true})";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, port] {
+      TestClient client;
+      if (!client.Connect(port)) return;
+      ClientResponse response = client.Request("POST", "/work", "{}");
+      if (response.status == 200 &&
+          response.body.find("served") != std::string::npos) {
+        completed.fetch_add(1);
+      }
+    });
+  }
+  while (entered.load() < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Drain while every request is mid-handler: all of them must still
+  // receive complete responses (the acceptance criterion: no dropped
+  // responses under load).
+  server.Shutdown();
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(completed.load(), kClients);
+  EXPECT_EQ(server.stats().requests_served,
+            static_cast<uint64_t>(kClients));
+
+  // After the drain the listener is gone: new connections are refused.
+  TestClient late;
+  EXPECT_FALSE(late.Connect(port));
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsPerConnection) {
+  std::atomic<int> served{0};
+  HttpServer::Options options;
+  options.num_workers = 1;
+  HttpServer server(options, [&](const HttpRequest& request) {
+    served.fetch_add(1);
+    HttpResponse ok;
+    ok.body = "{\"target\": \"" + request.target + "\"}";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  for (int i = 0; i < 20; ++i) {
+    ClientResponse response =
+        client.Request("GET", "/req/" + std::to_string(i));
+    ASSERT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("/req/" + std::to_string(i)),
+              std::string::npos);
+    EXPECT_FALSE(response.connection_close);
+  }
+  server.Shutdown();
+  EXPECT_EQ(served.load(), 20);
+  EXPECT_EQ(server.stats().connections_accepted, 1u);
+}
+
+}  // namespace
+}  // namespace surf

@@ -6,6 +6,8 @@
 //   train  train a surrogate and save it for later `mine --model` runs
 //   batch  serve many mining requests from a query file through the
 //          MiningService (shared surrogate cache + worker pool)
+//   serve  run surfd, the embedded HTTP/JSON front-end, until
+//          SIGINT/SIGTERM triggers a graceful drain
 //
 // Examples:
 //   surf_cli mine --data crimes.csv --cols x,y --stat count
@@ -15,6 +17,7 @@
 //            --queries 50000 --model crimes.surf
 //   surf_cli mine --data crimes.csv --model crimes.surf --threshold 800
 //   surf_cli batch --queryfile queries.txt --threads 8
+//   surf_cli serve --port 8080 --threads 8 --max-inflight 64
 // (flags may wrap across lines; each example is one invocation)
 //
 // Query-file format (one directive per line, '#' comments):
@@ -24,13 +27,20 @@
 // Requests sharing (dataset, statistic, training recipe) share one cached
 // surrogate — the first request trains it, the rest reuse it.
 
+#include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/surf.h"
+#include "net/http_server.h"
+#include "net/metrics.h"
+#include "net/surf_handler.h"
 #include "serve/mining_service.h"
 #include "util/cli.h"
 #include "util/stopwatch.h"
@@ -48,7 +58,7 @@ int Fail(const std::string& msg) {
 
 void PrintUsage() {
   std::printf(
-      "usage: surf_cli <mine|ecdf|train|batch> [flags]\n"
+      "usage: surf_cli <mine|ecdf|train|batch|serve> [flags]\n"
       "  common:  --data FILE.csv      dataset (mine/ecdf/train)\n"
       "           --cols a,b[,c]       region columns\n"
       "           --stat count|avg|sum|median|var|ratio\n"
@@ -69,7 +79,16 @@ void PrintUsage() {
       "                                against shared cached surrogates\n"
       "           --data FILE.csv      optional dataset registered as\n"
       "                                'default' for mine lines without\n"
-      "                                dataset=\n");
+      "                                dataset=\n"
+      "  serve:   --port N             listen port (default 8080)\n"
+      "           --bind ADDR          bind address (default 127.0.0.1)\n"
+      "           --threads N          service worker threads (0 = all)\n"
+      "           --http-workers N     HTTP handler threads (0 = all)\n"
+      "           --max-inflight N     concurrent connections before 429\n"
+      "           --deadline SECONDS   per-request deadline (default 30)\n"
+      "           --data FILE.csv      optional dataset registered as\n"
+      "                                'default' at startup\n"
+      "           SIGINT/SIGTERM drain in-flight requests, then exit\n");
 }
 
 StatusOr<Statistic> ParseStatisticTokens(const Dataset& data,
@@ -433,7 +452,77 @@ int RunBatch(const CliFlags& flags) {
       static_cast<unsigned long long>(stats.hits),
       static_cast<unsigned long long>(stats.misses),
       static_cast<unsigned long long>(stats.evictions));
-  return failures == 0 ? 0 : 1;
+  // Per-request failures must reach the process exit code, so scripted
+  // batch runs cannot silently half-succeed.
+  std::printf("batch summary: %d/%zu requests failed\n", failures,
+              responses.size());
+  if (failures > 0) {
+    std::fprintf(stderr, "surf_cli: %d of %zu batch requests failed\n",
+                 failures, responses.size());
+    return 1;
+  }
+  return 0;
+}
+
+/// SIGINT/SIGTERM flip this; the serve loop polls it and then drains.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleStopSignal(int) { g_shutdown_requested = 1; }
+
+int RunServe(const CliFlags& flags) {
+  MiningService::Options service_options;
+  service_options.num_threads =
+      static_cast<size_t>(flags.GetInt("threads", 0));
+  MiningService service(service_options);
+
+  const std::string data_path = flags.GetString("data", "");
+  if (!data_path.empty()) {
+    if (auto st = service.RegisterCsvDataset("default", data_path);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+    const Dataset* data = service.dataset("default");
+    std::printf("dataset default: %zu rows x %zu columns from %s\n",
+                data->num_rows(), data->num_cols(), data_path.c_str());
+  }
+
+  ServerMetrics metrics;
+  SurfHandler handler(&service, &metrics);
+
+  HttpServer::Options options;
+  options.bind_address = flags.GetString("bind", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
+  options.num_workers =
+      static_cast<size_t>(flags.GetInt("http-workers", 0));
+  options.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 64));
+  options.request_deadline_seconds = flags.GetDouble("deadline", 30.0);
+  HttpServer server(options, handler.AsHttpHandler());
+  if (auto st = server.Start(); !st.ok()) return Fail(st.ToString());
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("surfd listening on http://%s:%u (workers=%zu, "
+              "max-inflight=%zu, deadline=%.1fs)\n",
+              options.bind_address.c_str(), server.port(), server.workers(),
+              options.max_inflight, options.request_deadline_seconds);
+  std::fflush(stdout);
+
+  while (g_shutdown_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("signal received: draining in-flight requests...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  const HttpServer::Stats stats = server.stats();
+  std::printf("drained. served %llu requests (%llu connections, %llu "
+              "rejected with 429, %llu timeouts)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.connections_rejected),
+              static_cast<unsigned long long>(stats.request_timeouts));
+  return 0;
 }
 
 }  // namespace
@@ -448,6 +537,7 @@ int main(int argc, char** argv) {
   const std::string command = flags.positional()[0];
 
   if (command == "batch") return RunBatch(flags);
+  if (command == "serve") return RunServe(flags);
 
   if (command == "mine" || command == "ecdf" || command == "train") {
     const std::string data_path = flags.GetString("data", "");
