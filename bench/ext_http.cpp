@@ -1,4 +1,5 @@
-// Extension: HTTP front-end serving throughput (ISSUE 3 acceptance).
+// Extension: HTTP front-end serving throughput (ISSUE 3 acceptance) and
+// cancellation CPU reclaim (ISSUE 4 acceptance).
 //
 // Closed-loop multi-connection load generator against a loopback surfd
 // instance: N persistent keep-alive connections (default 32) each send
@@ -7,6 +8,14 @@
 // re-loads the server and calls Shutdown() mid-flight to prove the
 // graceful drain: every response the server wrote arrives complete at a
 // client (no partial/truncated responses under load).
+//
+// A third phase measures the CPU reclaimed by cancellation: one long
+// mine request is run to completion over POST /v1/mine, then the same
+// request is submitted as an async job (POST /v1/jobs) and cancelled
+// shortly after (DELETE /v1/jobs/{id}); the job must reach its terminal
+// Cancelled state in a small fraction of the run-to-completion
+// wall-time, proving a cancelled search stops computing instead of
+// stranding its worker.
 //
 // Writes BENCH_http.json (override with SURF_BENCH_HTTP_JSON).
 
@@ -148,6 +157,10 @@ struct HttpBenchReport {
   uint64_t drain_responses_server = 0;
   uint64_t drain_partial = 0;
   bool drain_clean = false;
+  double run_to_completion_seconds = 0.0;
+  double cancelled_job_seconds = 0.0;
+  double cancel_reclaim_ratio = 0.0;
+  bool cancel_clean = false;
 };
 
 void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
@@ -169,7 +182,11 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                "  \"drain_responses_client\": %llu,\n"
                "  \"drain_responses_server\": %llu,\n"
                "  \"drain_partial_responses\": %llu,\n"
-               "  \"drain_clean\": %s\n"
+               "  \"drain_clean\": %s,\n"
+               "  \"run_to_completion_seconds\": %.3f,\n"
+               "  \"cancelled_job_seconds\": %.3f,\n"
+               "  \"cancel_reclaim_ratio\": %.4f,\n"
+               "  \"cancel_clean\": %s\n"
                "}\n",
                r.connections, r.duration_seconds,
                static_cast<unsigned long long>(r.requests),
@@ -178,7 +195,9 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                static_cast<unsigned long long>(r.drain_responses_client),
                static_cast<unsigned long long>(r.drain_responses_server),
                static_cast<unsigned long long>(r.drain_partial),
-               r.drain_clean ? "true" : "false");
+               r.drain_clean ? "true" : "false",
+               r.run_to_completion_seconds, r.cancelled_job_seconds,
+               r.cancel_reclaim_ratio, r.cancel_clean ? "true" : "false");
   std::fclose(f);
 }
 
@@ -388,6 +407,134 @@ int main(int argc, char** argv) {
                 report.drain_clean ? "clean" : "DROPPED RESPONSES");
   }
 
+  // ---- phase 3: cancellation CPU reclaim. The same long search is run
+  // once to completion (blocking /v1/mine) and once as an async job
+  // cancelled ~100ms in; the cancelled job must reach its terminal state
+  // in a small fraction of the run-to-completion wall-time.
+  {
+    MiningService service;
+    if (auto st = service.RegisterDataset("bench", ds.data); !st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServerMetrics metrics;
+    SurfHandler handler(&service, &metrics);
+    HttpServer::Options options;
+    options.request_deadline_seconds = 120.0;  // the full run must finish
+    HttpServer server(options, handler.AsHttpHandler());
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+
+    // A deliberately long search: convergence disabled, big iteration
+    // budget, per-iteration KDE mass guidance on. Same cache key as the
+    // warmup (finder knobs are per-request, not part of the key).
+    MineRequest slow = request;
+    slow.finder.gso.max_iterations = 1500;
+    slow.finder.gso.convergence_tol_frac = 0.0;
+    slow.finder.use_kde_guidance = true;
+    const std::string slow_wire =
+        WireRequest("/v1/mine", WriteJson(MineRequestToJson(slow)));
+
+    BenchClient client;
+    int status = 0;
+    std::string body;
+    if (!client.Connect(server.port()) ||
+        client.Request(mine_wire, &status, &body) !=
+            RequestOutcome::kComplete ||
+        status != 200) {
+      std::fprintf(stderr, "cancel-phase warmup failed (status %d)\n",
+                   status);
+      return 1;
+    }
+
+    std::printf("== cancellation: long mine to completion vs cancelled "
+                "job ==\n");
+    Stopwatch full_timer;
+    if (client.Request(slow_wire, &status, &body) !=
+            RequestOutcome::kComplete ||
+        status != 200) {
+      std::fprintf(stderr, "run-to-completion request failed (status %d)\n",
+                   status);
+      return 1;
+    }
+    report.run_to_completion_seconds = full_timer.ElapsedSeconds();
+
+    Stopwatch cancel_timer;
+    const std::string submit_wire =
+        WireRequest("/v1/jobs", WriteJson(MineRequestToJson(slow)));
+    if (client.Request(submit_wire, &status, &body) !=
+            RequestOutcome::kComplete ||
+        status != 202) {
+      std::fprintf(stderr, "job submit failed (status %d): %s\n", status,
+                   body.c_str());
+      return 1;
+    }
+    auto submitted = ParseJson(body);
+    const JsonValue* id_field =
+        submitted.ok() ? submitted->Find("job_id") : nullptr;
+    if (id_field == nullptr || !id_field->is_string()) {
+      std::fprintf(stderr, "job submit returned no job_id: %s\n",
+                   body.c_str());
+      return 1;
+    }
+    const std::string job_id = id_field->string_value();
+
+    // Let the search get going, then cancel.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const std::string cancel_wire = "DELETE /v1/jobs/" + job_id +
+                                    " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                    "Content-Length: 0\r\n\r\n";
+    if (client.Request(cancel_wire, &status, &body) !=
+            RequestOutcome::kComplete ||
+        status != 200) {
+      std::fprintf(stderr, "job cancel failed (status %d): %s\n", status,
+                   body.c_str());
+      return 1;
+    }
+
+    // Poll until the job reaches its terminal state.
+    const std::string poll_wire = "GET /v1/jobs/" + job_id +
+                                  " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                  "Content-Length: 0\r\n\r\n";
+    bool cancelled_status = false;
+    for (int i = 0; i < 2000; ++i) {
+      if (client.Request(poll_wire, &status, &body) !=
+              RequestOutcome::kComplete ||
+          status != 200) {
+        std::fprintf(stderr, "job poll failed (status %d)\n", status);
+        return 1;
+      }
+      auto polled = ParseJson(body);
+      const JsonValue* response_field =
+          polled.ok() ? polled->Find("response") : nullptr;
+      if (response_field != nullptr) {
+        const JsonValue* job_status = response_field->Find("status");
+        const JsonValue* code =
+            job_status != nullptr ? job_status->Find("code") : nullptr;
+        cancelled_status = code != nullptr && code->is_string() &&
+                           code->string_value() == "cancelled";
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    report.cancelled_job_seconds = cancel_timer.ElapsedSeconds();
+    report.cancel_reclaim_ratio =
+        report.run_to_completion_seconds > 0.0
+            ? report.cancelled_job_seconds / report.run_to_completion_seconds
+            : 0.0;
+    report.cancel_clean =
+        cancelled_status && report.cancel_reclaim_ratio < 0.5;
+    std::printf("run-to-completion %.3fs vs cancelled job %.3fs "
+                "(ratio %.3f, terminal status %s) -> %s\n",
+                report.run_to_completion_seconds,
+                report.cancelled_job_seconds, report.cancel_reclaim_ratio,
+                cancelled_status ? "cancelled" : "NOT CANCELLED",
+                report.cancel_clean ? "clean" : "CPU NOT RECLAIMED");
+    server.Shutdown();
+  }
+
   const char* json_env = std::getenv("SURF_BENCH_HTTP_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_http.json";
@@ -402,6 +549,14 @@ int main(int argc, char** argv) {
   }
   if (!report.drain_clean) {
     std::fprintf(stderr, "FAIL: graceful drain dropped responses\n");
+    return 1;
+  }
+  if (!report.cancel_clean) {
+    std::fprintf(stderr,
+                 "FAIL: cancelled job did not stop promptly "
+                 "(%.3fs vs %.3fs run-to-completion)\n",
+                 report.cancelled_job_seconds,
+                 report.run_to_completion_seconds);
     return 1;
   }
   return 0;

@@ -1,0 +1,49 @@
+#include "api/api.h"
+
+namespace surf {
+
+namespace {
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string CxxStandard() {
+#if __cplusplus >= 202302L
+  return "c++23";
+#elif __cplusplus >= 202002L
+  return "c++20";
+#elif __cplusplus >= 201703L
+  return "c++17";
+#else
+  return "pre-c++17";
+#endif
+}
+
+}  // namespace
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.library_version = kLibraryVersion;
+  info.compiler = CompilerId();
+  info.cxx_standard = CxxStandard();
+  return info;
+}
+
+std::string VersionString() {
+  const BuildInfo info = GetBuildInfo();
+  return "surf " + info.library_version + " (api v" +
+         std::to_string(info.api_version) + ", min v" +
+         std::to_string(info.api_min_version) + "; " + info.compiler + ", " +
+         info.cxx_standard + ")";
+}
+
+}  // namespace surf

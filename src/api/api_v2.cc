@@ -1,0 +1,111 @@
+#include "api/api_v2.h"
+
+#include <cmath>
+
+#include "api/api.h"
+
+namespace surf {
+namespace v2 {
+
+Status ValidateAndNormalize(MineRequest* request) {
+  if (request == nullptr) {
+    return Status::InvalidArgument("null request");
+  }
+  if (request->api_version < kApiMinVersion ||
+      request->api_version > kApiVersion) {
+    return Status::InvalidArgument(
+        "unsupported api_version " + std::to_string(request->api_version) +
+        " (this build accepts v" + std::to_string(kApiMinVersion) + "..v" +
+        std::to_string(kApiVersion) + ")");
+  }
+  if (request->dataset.empty()) {
+    return Status::InvalidArgument("field 'dataset' is required");
+  }
+  if (request->query.statistic.region_cols.empty()) {
+    return Status::InvalidArgument(
+        "statistic.region_cols must name at least one column");
+  }
+  if (request->query.kind == QueryKind::kThreshold &&
+      !std::isfinite(request->query.threshold)) {
+    return Status::InvalidArgument("threshold must be finite");
+  }
+  if (request->query.kind == QueryKind::kTopK && request->search.topk.k == 0) {
+    return Status::InvalidArgument("top-k queries need k >= 1");
+  }
+  if (request->execution.record_evaluations && !request->execution.validate) {
+    return Status::InvalidArgument(
+        "record_evaluations requires validate: recorded evaluations are the "
+        "validated true statistics, which an unvalidated request never "
+        "computes");
+  }
+  if (request->training.workload.num_queries == 0) {
+    return Status::InvalidArgument(
+        "training.workload.num_queries must be >= 1");
+  }
+  if (std::isnan(request->execution.deadline_seconds) ||
+      request->execution.deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be >= 0 (0 = no deadline)");
+  }
+  return Status::OK();
+}
+
+surf::MineRequest ToLegacy(const MineRequest& request) {
+  surf::MineRequest legacy;
+  legacy.dataset = request.dataset;
+  legacy.statistic = request.query.statistic;
+  legacy.threshold = request.query.threshold;
+  legacy.direction = request.query.direction;
+  legacy.mode = request.query.kind == QueryKind::kTopK
+                    ? surf::MineRequest::Mode::kTopK
+                    : surf::MineRequest::Mode::kThreshold;
+  legacy.topk = request.search.topk;
+  legacy.finder = request.search.finder;
+  legacy.workload = request.training.workload;
+  legacy.surrogate = request.training.surrogate;
+  legacy.backend = request.execution.backend;
+  legacy.use_kde = request.execution.use_kde;
+  legacy.validate = request.execution.validate;
+  legacy.record_evaluations = request.execution.record_evaluations;
+  return legacy;
+}
+
+MineRequest FromLegacy(const surf::MineRequest& request) {
+  MineRequest v2;
+  v2.api_version = kApiMinVersion;
+  v2.dataset = request.dataset;
+  v2.query.statistic = request.statistic;
+  v2.query.kind = request.mode == surf::MineRequest::Mode::kTopK
+                      ? QueryKind::kTopK
+                      : QueryKind::kThreshold;
+  v2.query.threshold = request.threshold;
+  v2.query.direction = request.direction;
+  v2.search.topk = request.topk;
+  v2.search.finder = request.finder;
+  v2.training.workload = request.workload;
+  v2.training.surrogate = request.surrogate;
+  v2.execution.backend = request.backend;
+  v2.execution.use_kde = request.use_kde;
+  v2.execution.validate = request.validate;
+  v2.execution.record_evaluations = request.record_evaluations;
+  return v2;
+}
+
+Status ValidateLegacy(const surf::MineRequest& request) {
+  MineRequest lifted = FromLegacy(request);
+  return ValidateAndNormalize(&lifted);
+}
+
+MineResponse FromLegacyResponse(surf::MineResponse response) {
+  MineResponse v2;
+  v2.status = std::move(response.status);
+  v2.result = std::move(response.result);
+  v2.topk = std::move(response.topk);
+  v2.cache_hit = response.cache_hit;
+  v2.provenance = response.provenance;
+  v2.total_seconds = response.total_seconds;
+  return v2;
+}
+
+}  // namespace v2
+}  // namespace surf

@@ -1,0 +1,155 @@
+#ifndef SURF_API_API_V2_H_
+#define SURF_API_API_V2_H_
+
+/// \file
+/// \brief The v2 public request surface: one versioned, validated
+/// MineRequest/MineResponse pair shared by every front-end.
+///
+/// v1 exposed the service through a flat `surf::MineRequest` whose four
+/// loose config structs (finder, topk, workload, surrogate) were
+/// re-declared ad hoc by each front-end: the in-process structs, the JSON
+/// codec, and the CLI query-file parser each validated (or failed to
+/// validate) their own copy. v2 declares the surface once:
+///
+///  - an explicit `api_version` field, so clients can negotiate schemas
+///    (see api.h and `GET /v1/version`);
+///  - named, defaultable sub-recipes — QuerySpec (what to mine),
+///    SearchRecipe (how to search), TrainingRecipe (the cache-keyed
+///    model recipe), ExecutionPolicy (per-request runtime policy,
+///    including the cancellation deadline);
+///  - one `ValidateAndNormalize` pass every front-end routes through
+///    before a request reaches the mining core.
+///
+/// The legacy flat struct remains the in-memory execution form;
+/// `ToLegacy`/`FromLegacy` convert losslessly, so v1 callers keep working
+/// bit-identically.
+
+#include <string>
+
+#include "serve/mining_service.h"
+#include "util/status.h"
+
+namespace surf {
+namespace v2 {
+
+/// \brief Query formulation of the v2 surface.
+enum class QueryKind {
+  /// Regions whose statistic crosses a threshold (paper Problem 1).
+  kThreshold,
+  /// The k highest-statistic regions (§VI's alternative formulation).
+  kTopK,
+};
+
+/// \brief What to mine: the statistic and the question asked of it.
+struct QuerySpec {
+  /// The statistic f whose interesting regions are sought.
+  Statistic statistic;
+  /// Threshold query (default) vs. k-highest-statistic query.
+  QueryKind kind = QueryKind::kThreshold;
+  /// The user's cut-off value y_R (threshold queries).
+  double threshold = 0.0;
+  /// Which side of the threshold is interesting.
+  ThresholdDirection direction = ThresholdDirection::kAbove;
+};
+
+/// \brief How to search: the per-request GSO/extraction knobs. Not part
+/// of the surrogate-cache key.
+struct SearchRecipe {
+  /// Threshold-mode finder configuration (GSO engine + extraction).
+  FinderConfig finder;
+  /// Top-k-mode configuration (used when kind == kTopK).
+  TopKConfig topk;
+};
+
+/// \brief The model recipe: what the surrogate is trained on and how.
+/// Together with the dataset and statistic this forms the cache key.
+struct TrainingRecipe {
+  /// Training-workload recipe.
+  WorkloadParams workload;
+  /// Surrogate training recipe.
+  SurrogateTrainOptions surrogate;
+};
+
+/// \brief Per-request runtime policy: backend, validation, feedback, and
+/// the cancellation deadline.
+struct ExecutionPolicy {
+  /// Which exact back-end labels the workload and validates results.
+  BackendKind backend = BackendKind::kGridIndex;
+  /// Fit/use the KDE data prior (Eq. 8 guidance).
+  bool use_kde = true;
+  /// Validate reported regions against the true statistic.
+  bool validate = true;
+  /// Feed validated (region, true value) pairs back into the cache
+  /// entry's pending workload. Requires `validate` — the shared
+  /// validation path rejects the combination otherwise.
+  bool record_evaluations = false;
+  /// Cooperative deadline for the whole request (training + search),
+  /// seconds; 0 = none. An exceeded deadline cancels the request within
+  /// one GSO iteration / boosting round and returns Cancelled with
+  /// whatever partial results the search had.
+  double deadline_seconds = 0.0;
+};
+
+/// \brief One v2 mining request.
+struct MineRequest {
+  /// Schema version of this request (kApiMinVersion..kApiVersion).
+  int api_version = 2;
+  /// Name the dataset was registered under.
+  std::string dataset;
+  /// What to mine.
+  QuerySpec query;
+  /// How to search.
+  SearchRecipe search;
+  /// The cache-keyed model recipe.
+  TrainingRecipe training;
+  /// Runtime policy.
+  ExecutionPolicy execution;
+};
+
+/// \brief One v2 mining response.
+struct MineResponse {
+  /// Schema version of this response.
+  int api_version = 2;
+  /// Request outcome; Cancelled carries partial results + provenance.
+  Status status = Status::OK();
+  /// Threshold-mode result.
+  FindResult result;
+  /// Top-k-mode result.
+  TopKResult topk;
+  /// Whether an already-resident surrogate served this request.
+  bool cache_hit = false;
+  /// Declared pedigree of the model that served the request.
+  SurrogateProvenance provenance;
+  /// End-to-end request wall-time (training share included on misses).
+  double total_seconds = 0.0;
+};
+
+/// \brief The one validation/normalization pass every front-end routes a
+/// request through before it reaches the mining core.
+///
+/// Rejects with InvalidArgument: unsupported `api_version`, empty
+/// dataset, a statistic without region columns, non-finite threshold,
+/// `record_evaluations` without `validate`, k = 0 top-k queries, an
+/// empty training workload, and negative/non-finite deadlines.
+Status ValidateAndNormalize(MineRequest* request);
+
+/// Converts a v2 request to the legacy flat execution form (lossless;
+/// the deadline lives in ExecutionPolicy only and is applied by the job
+/// layer, not the legacy struct).
+surf::MineRequest ToLegacy(const MineRequest& request);
+
+/// Lifts a legacy flat request into the v2 surface (api_version = 1).
+MineRequest FromLegacy(const surf::MineRequest& request);
+
+/// Validates a legacy request through the same v2 path (the conversion
+/// is lossless, so this is exactly `ValidateAndNormalize` on the lifted
+/// form).
+Status ValidateLegacy(const surf::MineRequest& request);
+
+/// Wraps a legacy response in the v2 envelope.
+MineResponse FromLegacyResponse(surf::MineResponse response);
+
+}  // namespace v2
+}  // namespace surf
+
+#endif  // SURF_API_API_V2_H_

@@ -37,7 +37,9 @@ FindResult SurfFinder::Find(double threshold,
   FindResult result;
   // The batched fitness scores each swarm iteration with a single
   // surrogate PredictBatch call (EvaluateMany) instead of L tree walks.
-  result.gso = gso.Optimize(objective.AsBatchFitnessFn(), space_, kde);
+  result.gso =
+      gso.Optimize(objective.AsBatchFitnessFn(), space_, kde, cancel_,
+                   progress_);
 
   // Collect valid particles and reduce to distinct regions; their
   // statistic estimates come from one batched call.
@@ -81,6 +83,7 @@ FindResult SurfFinder::Find(double threshold,
   result.report.objective_evaluations = result.gso.objective_evaluations;
   result.report.particle_valid_fraction = result.gso.ValidFraction();
   result.report.converged = result.gso.converged;
+  result.report.cancelled = result.gso.cancelled;
   result.report.true_compliance =
       (validator_ != nullptr && !result.regions.empty())
           ? static_cast<double>(complying) /

@@ -72,6 +72,9 @@ struct FindReport {
   double particle_valid_fraction = 0.0;
   /// Whether the swarm met the movement-convergence criterion early.
   bool converged = false;
+  /// Whether a CancelToken (or deadline) stopped the search early; the
+  /// reported regions are the partial extraction from the swarm so far.
+  bool cancelled = false;
   /// Fraction of reported regions whose true statistic complies (only
   /// meaningful with a validator attached).
   double true_compliance = 0.0;
@@ -119,6 +122,16 @@ class SurfFinder {
     validator_ = validator;
   }
 
+  /// Attaches a cooperative-cancellation token polled once per GSO
+  /// iteration. A fired token stops the search within one iteration;
+  /// Find then extracts and returns the regions found so far with
+  /// `report.cancelled` set.
+  void SetCancelToken(CancelToken cancel) { cancel_ = std::move(cancel); }
+
+  /// Attaches a live progress observer (non-owning) updated once per GSO
+  /// iteration. Optional.
+  void SetProgress(SearchProgress* progress) { progress_ = progress; }
+
   /// Mines regions whose statistic is above/below `threshold`.
   FindResult Find(double threshold, ThresholdDirection direction) const;
 
@@ -134,6 +147,8 @@ class SurfFinder {
   FinderConfig config_;
   const Kde* kde_ = nullptr;
   const RegionEvaluator* validator_ = nullptr;
+  CancelToken cancel_;
+  SearchProgress* progress_ = nullptr;
 };
 
 }  // namespace surf

@@ -26,17 +26,20 @@ std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
 }
 
 Kde FitDataKde(const Dataset& data, const std::vector<size_t>& region_cols,
-               size_t max_samples, uint64_t seed) {
+               size_t max_samples, uint64_t seed, CancelToken cancel) {
+  if (cancel.cancelled()) return Kde();
   Rng rng(seed);
   std::vector<std::vector<double>> points;
   points.reserve(data.num_rows());
   std::vector<double> p(region_cols.size());
   for (size_t r = 0; r < data.num_rows(); ++r) {
+    if ((r & 0xFFFF) == 0 && cancel.cancelled()) return Kde();
     for (size_t j = 0; j < region_cols.size(); ++j) {
       p[j] = data.Get(r, region_cols[j]);
     }
     points.push_back(p);
   }
+  if (cancel.cancelled()) return Kde();
   return Kde::FitSampled(points, max_samples, &rng);
 }
 

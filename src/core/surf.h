@@ -107,8 +107,10 @@ std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
 /// Fits the Eq. 8 KDE data prior over a dataset's region columns on a
 /// bounded subsample (deterministic for a given seed). Shared by
 /// Surf::Build, the serving layer, and the CLI's saved-model path.
+/// A fired `cancel` token short-circuits to an empty (0-dim) KDE; callers
+/// that care check the token afterwards.
 Kde FitDataKde(const Dataset& data, const std::vector<size_t>& region_cols,
-               size_t max_samples, uint64_t seed);
+               size_t max_samples, uint64_t seed, CancelToken cancel = {});
 
 }  // namespace surf
 

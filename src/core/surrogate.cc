@@ -25,10 +25,11 @@ void GatherFold(const RegionWorkload& workload,
 
 StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
                                      const SurrogateTrainOptions& options,
-                                     ThreadPool* pool) {
+                                     ThreadPool* pool, CancelToken cancel) {
   if (workload.size() == 0) {
     return Status::InvalidArgument("empty workload");
   }
+  if (cancel.cancelled()) return cancel.ToStatus();
   Stopwatch timer;
 
   GbrtParams params = options.gbrt;
@@ -43,6 +44,7 @@ StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
 
   Surrogate surrogate;
   auto model = std::make_unique<GradientBoostedTrees>(params);
+  model->SetCancelToken(cancel);
 
   // Holdout split for out-of-sample RMSE reporting.
   Rng rng(options.seed);
@@ -55,6 +57,9 @@ StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
   std::vector<double> train_y;
   GatherFold(workload, split.train, &train_x, &train_y);
   SURF_RETURN_IF_ERROR(model->Fit(train_x, train_y));
+  // The token is per-request state; a later warm-start continuation of
+  // this model must not observe it.
+  model->SetCancelToken(CancelToken());
 
   SurrogateMetrics metrics;
   metrics.hypertuned = hypertuned;

@@ -63,10 +63,13 @@ class Surrogate {
 
   /// Trains the default GBRT surrogate on a workload. When
   /// `options.hypertune` is set, runs GridSearchCV first (parallelized
-  /// over `pool` if provided).
+  /// over `pool` if provided). `cancel` is polled between boosting
+  /// rounds: a fired token aborts the fit and returns Cancelled within
+  /// one round.
   static StatusOr<Surrogate> Train(const RegionWorkload& workload,
                                    const SurrogateTrainOptions& options,
-                                   ThreadPool* pool = nullptr);
+                                   ThreadPool* pool = nullptr,
+                                   CancelToken cancel = {});
 
   /// Trains a caller-supplied regressor instead (ablation path). The
   /// model must be unfitted; ownership transfers.

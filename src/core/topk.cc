@@ -63,14 +63,14 @@ TopKResult TopKFinder::Find() const {
           }
           return out;
         };
-    swarm = gso.Optimize(fitness, space_, kde_);
+    swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_);
   } else {
     const StatisticFn estimate = estimate_;
     const FitnessFn fitness = [&estimate, c](const Region& region) {
       if (region.Degenerate()) return FitnessValue{};
       return TopKFitness(region, estimate(region), c);
     };
-    swarm = gso.Optimize(fitness, space_, kde_);
+    swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_);
   }
 
   // Score the surviving valid particles with one batched call.
@@ -96,6 +96,7 @@ TopKResult TopKFinder::Find() const {
                                          config_.nms_max_iou, config_.k);
   result.iterations = swarm.iterations_run;
   result.objective_evaluations = swarm.objective_evaluations;
+  result.cancelled = swarm.cancelled;
   return result;
 }
 

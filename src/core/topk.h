@@ -39,6 +39,9 @@ struct TopKResult {
   size_t iterations = 0;
   /// Objective evaluations issued against the statistic source.
   uint64_t objective_evaluations = 0;
+  /// Whether a CancelToken stopped the search early; `regions` then holds
+  /// the best distinct regions of the partial swarm.
+  bool cancelled = false;
 };
 
 /// \brief The top-k formulation the paper contrasts with in §VI: instead
@@ -66,6 +69,13 @@ class TopKFinder {
   /// Attaches a KDE prior (non-owning), as in SurfFinder.
   void SetKde(const Kde* kde) { kde_ = kde; }
 
+  /// Attaches a cancellation token polled per GSO iteration, as in
+  /// SurfFinder.
+  void SetCancelToken(CancelToken cancel) { cancel_ = std::move(cancel); }
+
+  /// Attaches a live progress observer (non-owning), as in SurfFinder.
+  void SetProgress(SearchProgress* progress) { progress_ = progress; }
+
   /// Mines the k highest-statistic regions.
   TopKResult Find() const;
 
@@ -78,6 +88,8 @@ class TopKFinder {
   RegionSolutionSpace space_;
   TopKConfig config_;
   const Kde* kde_ = nullptr;
+  CancelToken cancel_;
+  SearchProgress* progress_ = nullptr;
 };
 
 }  // namespace surf

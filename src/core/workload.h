@@ -10,6 +10,7 @@
 #include "ml/matrix.h"
 #include "opt/solution_space.h"
 #include "stats/evaluator.h"
+#include "util/cancel.h"
 
 namespace surf {
 
@@ -57,9 +58,13 @@ std::vector<double> RegionFeatures(const Region& region);
 /// Draws `params.num_queries` random regions over the evaluator's data
 /// domain and labels each with the true statistic. This simulates the
 /// "past queries issued by analysts/applications" SuRF learns from.
+/// `cancel` is polled periodically during labelling; a fired token stops
+/// the draw early and returns the (incomplete) workload so far — callers
+/// that care check the token afterwards.
 RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
                                 const Bounds& domain,
-                                const WorkloadParams& params);
+                                const WorkloadParams& params,
+                                CancelToken cancel = {});
 
 /// Persists a workload as CSV (columns x1..xd, l1..ld, y) so real past
 /// query logs can be replayed into surrogate training. The solution-space

@@ -155,6 +155,11 @@ Status GradientBoostedTrees::Fit(const FeatureMatrix& x,
 
   std::vector<uint32_t> tree_rows;
   for (size_t round = 0; round < params_.n_estimators; ++round) {
+    if (cancel_.cancelled()) {
+      trees_.clear();
+      train_curve_.clear();
+      return Status::Cancelled("surrogate training cancelled");
+    }
     // Squared loss: g = pred − y, h = 1.
     for (uint32_t r : train_rows) grad[r] = pred[r] - y[r];
 
@@ -237,6 +242,9 @@ Status GradientBoostedTrees::ContinueFit(const FeatureMatrix& x,
   if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
 
   for (size_t round = 0; round < extra_trees; ++round) {
+    if (cancel_.cancelled()) {
+      return Status::Cancelled("warm-start continuation cancelled");
+    }
     for (size_t r = 0; r < x.num_rows(); ++r) grad[r] = pred[r] - y[r];
     std::iota(rows.begin(), rows.end(), 0);
     RegressionTree tree;

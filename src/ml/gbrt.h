@@ -6,6 +6,7 @@
 
 #include "ml/regressor.h"
 #include "ml/tree.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace surf {
@@ -91,6 +92,15 @@ class GradientBoostedTrees : public Regressor {
   bool trained() const override { return trained_; }
   std::string Name() const override { return "gbrt"; }
 
+  /// Attaches a cooperative-cancellation token polled between boosting
+  /// rounds: Fit/ContinueFit return Cancelled within one round of the
+  /// token firing, leaving the model untrained (Fit) or unchanged beyond
+  /// the rounds already appended (ContinueFit). The token is runtime-only
+  /// state — it never affects a completed fit's results and is excluded
+  /// from fingerprints. Reset it (default token) before reusing the model
+  /// object for an unrelated fit.
+  void SetCancelToken(CancelToken cancel) { cancel_ = std::move(cancel); }
+
   const GbrtParams& params() const { return params_; }
   /// Prediction-time parallelism is a runtime choice: retargeting the
   /// thread count never changes results (blocks reduce in a fixed order).
@@ -107,6 +117,7 @@ class GradientBoostedTrees : public Regressor {
 
  private:
   GbrtParams params_;
+  CancelToken cancel_;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
   std::vector<double> train_curve_;

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 
 #include "util/json.h"
 #include "util/string_util.h"
@@ -55,6 +56,15 @@ std::string LowerAscii(const std::string& s) {
 }
 
 }  // namespace
+
+double HttpRequest::RemainingSeconds() const {
+  if (deadline == Clock::time_point::max()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double remaining =
+      std::chrono::duration<double>(deadline - Clock::now()).count();
+  return remaining > 0.0 ? remaining : 0.0;
+}
 
 const std::string* HttpRequest::FindHeader(const std::string& name) const {
   for (const auto& h : headers) {
@@ -398,6 +408,10 @@ int HttpServer::ReadRequest(int fd, HttpRequest* request) {
   }
   body.resize(content_length);
   request->body = std::move(body);
+  // Hand the handler what is left of the request deadline, so
+  // long-running work can cancel itself instead of burning the worker
+  // past a budget the client has already given up on.
+  request->deadline = deadline;
   return 1;
 }
 

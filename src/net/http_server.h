@@ -15,6 +15,7 @@
 /// have started arriving is served to completion before the call returns.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -39,6 +40,16 @@ struct HttpRequest {
   std::vector<std::pair<std::string, std::string>> headers;
   /// Request body (Content-Length framing; chunked is not accepted).
   std::string body;
+  /// The transport's per-request deadline (started at the request's first
+  /// byte). Handlers serving long-running work thread the remaining
+  /// budget into a CancelSource so an expired deadline reclaims the
+  /// worker's CPU instead of stranding it (max() = no deadline, e.g. for
+  /// handlers invoked outside the server).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Seconds until `deadline` (clamped at 0); +inf when no deadline.
+  double RemainingSeconds() const;
 
   /// Value of the first header named `name` (lower-case), or null.
   const std::string* FindHeader(const std::string& name) const;

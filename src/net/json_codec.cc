@@ -515,6 +515,7 @@ JsonValue ReportToJson(const FindReport& r) {
           JsonValue(static_cast<double>(r.objective_evaluations)));
   obj.Set("particle_valid_fraction", JsonValue(r.particle_valid_fraction));
   obj.Set("converged", JsonValue(r.converged));
+  obj.Set("cancelled", JsonValue(r.cancelled));
   obj.Set("true_compliance", JsonValue(r.true_compliance));
   return obj;
 }
@@ -529,6 +530,7 @@ Status ReportFromJson(const JsonValue& obj, FindReport* r) {
   SURF_RETURN_IF_ERROR(ReadDouble(obj, "particle_valid_fraction",
                                   &r->particle_valid_fraction));
   SURF_RETURN_IF_ERROR(ReadBool(obj, "converged", &r->converged));
+  SURF_RETURN_IF_ERROR(ReadBool(obj, "cancelled", &r->cancelled));
   SURF_RETURN_IF_ERROR(
       ReadDouble(obj, "true_compliance", &r->true_compliance));
   return Status::OK();
@@ -549,6 +551,9 @@ int HttpStatusFromStatus(const Status& status) {
     case StatusCode::kTimedOut: return 408;
     case StatusCode::kInternal: return 500;
     case StatusCode::kAlreadyExists: return 409;
+    // Cancellation surfaces as 408: the dominant producer is a deadline
+    // (transport or execution.deadline_seconds) firing mid-request.
+    case StatusCode::kCancelled: return 408;
   }
   return 500;
 }
@@ -564,6 +569,7 @@ std::string StatusCodeName(StatusCode code) {
     case StatusCode::kTimedOut: return "timed_out";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "internal";
 }
@@ -580,6 +586,7 @@ StatusOr<StatusCode> StatusCodeFromName(const std::string& name) {
   if (name == "timed_out") return StatusCode::kTimedOut;
   if (name == "internal") return StatusCode::kInternal;
   if (name == "already_exists") return StatusCode::kAlreadyExists;
+  if (name == "cancelled") return StatusCode::kCancelled;
   return Status::InvalidArgument("unknown status code '" + name + "'");
 }
 
@@ -756,18 +763,44 @@ StatusOr<MineRequest> MineRequestFromJson(const JsonValue& json,
 
 // ----------------------------------------------------------- MineResponse
 
+namespace {
+
+/// Shared response envelope: the v1 and v2 encoders differ only in the
+/// version stamp the caller adds on top.
+JsonValue EncodeResponseEnvelope(const Status& status, bool cache_hit,
+                                 double total_seconds,
+                                 const SurrogateProvenance& provenance,
+                                 const FindResult& result,
+                                 const TopKResult& topk_result,
+                                 MineRequest::Mode mode);
+
+}  // namespace
+
 JsonValue MineResponseToJson(const MineResponse& response,
                              MineRequest::Mode mode) {
+  return EncodeResponseEnvelope(response.status, response.cache_hit,
+                                response.total_seconds, response.provenance,
+                                response.result, response.topk, mode);
+}
+
+namespace {
+
+JsonValue EncodeResponseEnvelope(const Status& status, bool cache_hit,
+                                 double total_seconds,
+                                 const SurrogateProvenance& provenance,
+                                 const FindResult& result,
+                                 const TopKResult& topk_result,
+                                 MineRequest::Mode mode) {
   JsonValue obj = JsonValue::Object();
-  obj.Set("status", StatusToJson(response.status));
-  obj.Set("cache_hit", JsonValue(response.cache_hit));
-  obj.Set("total_seconds", JsonValue(response.total_seconds));
-  obj.Set("provenance", ProvenanceToJson(response.provenance));
+  obj.Set("status", StatusToJson(status));
+  obj.Set("cache_hit", JsonValue(cache_hit));
+  obj.Set("total_seconds", JsonValue(total_seconds));
+  obj.Set("provenance", ProvenanceToJson(provenance));
   obj.Set("mode", JsonValue(ModeName(mode)));
   if (mode == MineRequest::Mode::kTopK) {
     JsonValue topk = JsonValue::Object();
     JsonValue regions = JsonValue::Array();
-    for (const ScoredRegion& r : response.topk.regions) {
+    for (const ScoredRegion& r : topk_result.regions) {
       JsonValue scored = JsonValue::Object();
       scored.Set("region", RegionToJson(r.region));
       scored.Set("fitness", JsonValue(r.fitness));
@@ -776,23 +809,26 @@ JsonValue MineResponseToJson(const MineResponse& response,
     }
     topk.Set("regions", std::move(regions));
     topk.Set("iterations",
-             JsonValue(static_cast<double>(response.topk.iterations)));
+             JsonValue(static_cast<double>(topk_result.iterations)));
     topk.Set("objective_evaluations",
              JsonValue(
-                 static_cast<double>(response.topk.objective_evaluations)));
+                 static_cast<double>(topk_result.objective_evaluations)));
+    topk.Set("cancelled", JsonValue(topk_result.cancelled));
     obj.Set("topk", std::move(topk));
   } else {
-    JsonValue result = JsonValue::Object();
+    JsonValue encoded = JsonValue::Object();
     JsonValue regions = JsonValue::Array();
-    for (const FoundRegion& r : response.result.regions) {
+    for (const FoundRegion& r : result.regions) {
       regions.Append(FoundRegionToJson(r));
     }
-    result.Set("regions", std::move(regions));
-    result.Set("report", ReportToJson(response.result.report));
-    obj.Set("result", std::move(result));
+    encoded.Set("regions", std::move(regions));
+    encoded.Set("report", ReportToJson(result.report));
+    obj.Set("result", std::move(encoded));
   }
   return obj;
 }
+
+}  // namespace
 
 StatusOr<MineResponse> MineResponseFromJson(const JsonValue& json) {
   if (!json.is_object()) {
@@ -846,8 +882,170 @@ StatusOr<MineResponse> MineResponseFromJson(const JsonValue& json) {
     uint64_t evals = 0;
     SURF_RETURN_IF_ERROR(ReadU64(*topk, "objective_evaluations", &evals));
     response.topk.objective_evaluations = evals;
+    SURF_RETURN_IF_ERROR(
+        ReadBool(*topk, "cancelled", &response.topk.cancelled));
   }
   return response;
+}
+
+// ------------------------------------------------------------- v2 schema
+
+namespace {
+
+const char* QueryKindName(v2::QueryKind kind) {
+  return kind == v2::QueryKind::kTopK ? "topk" : "threshold";
+}
+
+StatusOr<v2::QueryKind> QueryKindFromName(const std::string& name) {
+  if (name == "threshold") return v2::QueryKind::kThreshold;
+  if (name == "topk") return v2::QueryKind::kTopK;
+  return Status::InvalidArgument("unknown query kind '" + name +
+                                 "' (threshold|topk)");
+}
+
+}  // namespace
+
+JsonValue MineRequestV2ToJson(const v2::MineRequest& request) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("api_version",
+          JsonValue(static_cast<double>(request.api_version)));
+  obj.Set("dataset", JsonValue(request.dataset));
+
+  JsonValue query = JsonValue::Object();
+  query.Set("statistic", StatisticToJson(request.query.statistic));
+  query.Set("kind", JsonValue(QueryKindName(request.query.kind)));
+  query.Set("threshold", JsonValue(request.query.threshold));
+  query.Set("direction", JsonValue(DirectionName(request.query.direction)));
+  obj.Set("query", std::move(query));
+
+  JsonValue search = JsonValue::Object();
+  search.Set("finder", FinderToJson(request.search.finder));
+  search.Set("topk", TopKToJson(request.search.topk));
+  obj.Set("search", std::move(search));
+
+  JsonValue training = JsonValue::Object();
+  training.Set("workload", WorkloadToJson(request.training.workload));
+  training.Set("surrogate",
+               SurrogateOptionsToJson(request.training.surrogate));
+  obj.Set("training", std::move(training));
+
+  JsonValue execution = JsonValue::Object();
+  execution.Set("backend", JsonValue(BackendName(request.execution.backend)));
+  execution.Set("use_kde", JsonValue(request.execution.use_kde));
+  execution.Set("validate", JsonValue(request.execution.validate));
+  execution.Set("record_evaluations",
+                JsonValue(request.execution.record_evaluations));
+  execution.Set("deadline_seconds",
+                JsonValue(request.execution.deadline_seconds));
+  obj.Set("execution", std::move(execution));
+  return obj;
+}
+
+StatusOr<v2::MineRequest> MineRequestV2FromJson(
+    const JsonValue& json, const ColumnResolver* resolver) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("mine request must be a JSON object");
+  }
+  uint64_t api_version = 1;  // absent = the v1 flat schema
+  SURF_RETURN_IF_ERROR(ReadU64(json, "api_version", &api_version));
+
+  if (api_version == 1) {
+    auto legacy = MineRequestFromJson(json, resolver);
+    if (!legacy.ok()) return legacy.status();
+    // Both schema versions answer 400 at decode time through the same
+    // validation path (e.g. record_evaluations without validate).
+    v2::MineRequest lifted = v2::FromLegacy(*legacy);
+    SURF_RETURN_IF_ERROR(v2::ValidateAndNormalize(&lifted));
+    return lifted;
+  }
+  if (api_version != 2) {
+    return Status::InvalidArgument(
+        "unsupported api_version " + std::to_string(api_version) +
+        " (this build accepts v1..v2; see GET /v1/version)");
+  }
+
+  v2::MineRequest request;
+  request.api_version = 2;
+  SURF_RETURN_IF_ERROR(ReadString(json, "dataset", &request.dataset));
+  if (request.dataset.empty()) {
+    return Status::InvalidArgument("field 'dataset' is required");
+  }
+
+  if (const JsonValue* query = json.Find("query")) {
+    if (!query->is_object()) return TypeError("query", "an object");
+    if (const JsonValue* stat = query->Find("statistic")) {
+      SURF_RETURN_IF_ERROR(StatisticFromJson(*stat, request.dataset, resolver,
+                                             &request.query.statistic));
+    }
+    std::string kind = QueryKindName(request.query.kind);
+    SURF_RETURN_IF_ERROR(ReadString(*query, "kind", &kind));
+    auto parsed_kind = QueryKindFromName(kind);
+    if (!parsed_kind.ok()) return parsed_kind.status();
+    request.query.kind = *parsed_kind;
+    SURF_RETURN_IF_ERROR(
+        ReadDouble(*query, "threshold", &request.query.threshold));
+    std::string direction = DirectionName(request.query.direction);
+    SURF_RETURN_IF_ERROR(ReadString(*query, "direction", &direction));
+    auto parsed_direction = DirectionFromName(direction);
+    if (!parsed_direction.ok()) return parsed_direction.status();
+    request.query.direction = *parsed_direction;
+  }
+
+  if (const JsonValue* search = json.Find("search")) {
+    if (!search->is_object()) return TypeError("search", "an object");
+    if (const JsonValue* finder = search->Find("finder")) {
+      SURF_RETURN_IF_ERROR(FinderFromJson(*finder, &request.search.finder));
+    }
+    if (const JsonValue* topk = search->Find("topk")) {
+      SURF_RETURN_IF_ERROR(TopKFromJson(*topk, &request.search.topk));
+    }
+  }
+
+  if (const JsonValue* training = json.Find("training")) {
+    if (!training->is_object()) return TypeError("training", "an object");
+    if (const JsonValue* workload = training->Find("workload")) {
+      SURF_RETURN_IF_ERROR(
+          WorkloadFromJson(*workload, &request.training.workload));
+    }
+    if (const JsonValue* surrogate = training->Find("surrogate")) {
+      SURF_RETURN_IF_ERROR(
+          SurrogateOptionsFromJson(*surrogate, &request.training.surrogate));
+    }
+  }
+
+  if (const JsonValue* execution = json.Find("execution")) {
+    if (!execution->is_object()) return TypeError("execution", "an object");
+    std::string backend = BackendName(request.execution.backend);
+    SURF_RETURN_IF_ERROR(ReadString(*execution, "backend", &backend));
+    auto parsed_backend = BackendFromName(backend);
+    if (!parsed_backend.ok()) return parsed_backend.status();
+    request.execution.backend = *parsed_backend;
+    SURF_RETURN_IF_ERROR(
+        ReadBool(*execution, "use_kde", &request.execution.use_kde));
+    SURF_RETURN_IF_ERROR(
+        ReadBool(*execution, "validate", &request.execution.validate));
+    SURF_RETURN_IF_ERROR(ReadBool(*execution, "record_evaluations",
+                                  &request.execution.record_evaluations));
+    SURF_RETURN_IF_ERROR(ReadDouble(*execution, "deadline_seconds",
+                                    &request.execution.deadline_seconds));
+  }
+
+  // The shared validation path runs at decode time too, so malformed
+  // documents answer 400 before a job is ever created.
+  SURF_RETURN_IF_ERROR(v2::ValidateAndNormalize(&request));
+  return request;
+}
+
+JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
+                               v2::QueryKind kind) {
+  JsonValue obj = EncodeResponseEnvelope(
+      response.status, response.cache_hit, response.total_seconds,
+      response.provenance, response.result, response.topk,
+      kind == v2::QueryKind::kTopK ? MineRequest::Mode::kTopK
+                                   : MineRequest::Mode::kThreshold);
+  obj.Set("api_version",
+          JsonValue(static_cast<double>(response.api_version)));
+  return obj;
 }
 
 }  // namespace surf

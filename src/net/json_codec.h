@@ -17,6 +17,7 @@
 #include <functional>
 #include <string>
 
+#include "api/api_v2.h"
 #include "geom/region.h"
 #include "serve/mining_service.h"
 #include "util/json.h"
@@ -74,6 +75,29 @@ JsonValue MineResponseToJson(const MineResponse& response,
 /// clients — the load bench and the parity tests). The raw GSO swarm is
 /// not carried over the wire and stays empty.
 StatusOr<MineResponse> MineResponseFromJson(const JsonValue& json);
+
+// ------------------------------------------------------------- v2 schema
+//
+// The v2 wire schema mirrors v2::MineRequest: an explicit `api_version`
+// plus the named sub-recipes `query`, `search`, `training`, `execution`.
+// The v2 decoder is the one entry point surfd routes every mining body
+// through: documents with `api_version: 2` decode natively, documents
+// with no `api_version` (or 1) decode through the legacy flat schema and
+// are lifted — so v1 clients keep working unchanged.
+
+/// Encodes a v2 request in the v2 named-section schema.
+JsonValue MineRequestV2ToJson(const v2::MineRequest& request);
+
+/// Decodes a mining request of either schema version, dispatching on the
+/// document's `api_version` field (absent = v1 flat schema). Column
+/// names resolve through `resolver` as in MineRequestFromJson.
+StatusOr<v2::MineRequest> MineRequestV2FromJson(
+    const JsonValue& json, const ColumnResolver* resolver = nullptr);
+
+/// Encodes a v2 response: the v1 envelope plus `api_version` (the shared
+/// result/topk/report payloads are identical across schema versions).
+JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
+                               v2::QueryKind kind);
 
 }  // namespace surf
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "api/api.h"
 #include "core/workload.h"
 #include "util/stopwatch.h"
 
@@ -21,18 +22,45 @@ HttpResponse StatusResponse(const Status& status) {
                            StatusCodeName(status.code()), status.message());
 }
 
+const char* JobPhaseName(MineJob::Phase phase) {
+  switch (phase) {
+    case MineJob::Phase::kQueued: return "queued";
+    case MineJob::Phase::kTraining: return "training";
+    case MineJob::Phase::kSearching: return "searching";
+    case MineJob::Phase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+JsonValue JobProgressToJson(const MineJob::Progress& progress) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("phase", JsonValue(JobPhaseName(progress.phase)));
+  obj.Set("cancel_requested", JsonValue(progress.cancel_requested));
+  obj.Set("iterations",
+          JsonValue(static_cast<double>(progress.iterations)));
+  obj.Set("max_iterations",
+          JsonValue(static_cast<double>(progress.max_iterations)));
+  obj.Set("valid_particles",
+          JsonValue(static_cast<double>(progress.valid_particles)));
+  return obj;
+}
+
 }  // namespace
 
 SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics)
     : service_(service), metrics_(metrics) {
   routes_ = {
-      {"GET", "/healthz", &SurfHandler::HandleHealthz},
-      {"GET", "/metrics", &SurfHandler::HandleMetrics},
-      {"GET", "/v1/cache/stats", &SurfHandler::HandleCacheStats},
-      {"POST", "/v1/datasets", &SurfHandler::HandleRegisterDataset},
-      {"POST", "/v1/mine", &SurfHandler::HandleMine},
-      {"POST", "/v1/mine:batch", &SurfHandler::HandleMineBatch},
-      {"POST", "/v1/evaluations", &SurfHandler::HandleEvaluations},
+      {"GET", "/healthz", false, &SurfHandler::HandleHealthz},
+      {"GET", "/metrics", false, &SurfHandler::HandleMetrics},
+      {"GET", "/v1/version", false, &SurfHandler::HandleVersion},
+      {"GET", "/v1/cache/stats", false, &SurfHandler::HandleCacheStats},
+      {"POST", "/v1/datasets", false, &SurfHandler::HandleRegisterDataset},
+      {"POST", "/v1/mine", false, &SurfHandler::HandleMine},
+      {"POST", "/v1/mine:batch", false, &SurfHandler::HandleMineBatch},
+      {"POST", "/v1/evaluations", false, &SurfHandler::HandleEvaluations},
+      {"POST", "/v1/jobs", false, &SurfHandler::HandleSubmitJob},
+      {"GET", "/v1/jobs/", true, &SurfHandler::HandleGetJob},
+      {"DELETE", "/v1/jobs/", true, &SurfHandler::HandleCancelJob},
   };
 }
 
@@ -44,12 +72,23 @@ HttpResponse SurfHandler::Handle(const HttpRequest& request) {
   if (query != std::string::npos) path = path.substr(0, query);
 
   const Route* match = nullptr;
+  std::string param;
   bool path_known = false;
   for (const Route& route : routes_) {
-    if (route.path != path) continue;
+    std::string candidate_param;
+    if (route.prefix) {
+      if (path.size() <= route.path.size() ||
+          path.compare(0, route.path.size(), route.path) != 0) {
+        continue;
+      }
+      candidate_param = path.substr(route.path.size());
+    } else if (route.path != path) {
+      continue;
+    }
     path_known = true;
     if (route.method == request.method) {
       match = &route;
+      param = std::move(candidate_param);
       break;
     }
   }
@@ -58,7 +97,7 @@ HttpResponse SurfHandler::Handle(const HttpRequest& request) {
   metrics_->BeginRequest();
   HttpResponse response;
   if (match != nullptr) {
-    response = (this->*(match->fn))(request);
+    response = (this->*(match->fn))(request, param);
   } else if (path_known) {
     response = JsonErrorResponse(405, "method_not_allowed",
                                  request.method + " not supported on " + path);
@@ -80,7 +119,8 @@ ColumnResolver SurfHandler::MakeResolver() const {
   };
 }
 
-HttpResponse SurfHandler::HandleHealthz(const HttpRequest&) {
+HttpResponse SurfHandler::HandleHealthz(const HttpRequest&,
+                                        const std::string&) {
   JsonValue body = JsonValue::Object();
   body.Set("status", JsonValue("ok"));
   body.Set("datasets",
@@ -88,7 +128,8 @@ HttpResponse SurfHandler::HandleHealthz(const HttpRequest&) {
   return JsonResponse(200, body);
 }
 
-HttpResponse SurfHandler::HandleMetrics(const HttpRequest&) {
+HttpResponse SurfHandler::HandleMetrics(const HttpRequest&,
+                                        const std::string&) {
   const SurrogateCache::Stats stats = service_->cache().stats();
   ServerMetrics::CacheFigures cache;
   cache.hits = stats.hits;
@@ -102,7 +143,8 @@ HttpResponse SurfHandler::HandleMetrics(const HttpRequest&) {
   return response;
 }
 
-HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&) {
+HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&,
+                                           const std::string&) {
   const SurrogateCache::Stats stats = service_->cache().stats();
   const uint64_t lookups = stats.hits + stats.misses;
   JsonValue body = JsonValue::Object();
@@ -121,7 +163,8 @@ HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&) {
   return JsonResponse(200, body);
 }
 
-HttpResponse SurfHandler::HandleRegisterDataset(const HttpRequest& request) {
+HttpResponse SurfHandler::HandleRegisterDataset(const HttpRequest& request,
+                                                const std::string&) {
   auto json = ParseJson(request.body);
   if (!json.ok()) return StatusResponse(json.status());
   if (!json->is_object()) {
@@ -201,19 +244,44 @@ HttpResponse SurfHandler::HandleRegisterDataset(const HttpRequest& request) {
   return JsonResponse(201, body);
 }
 
-HttpResponse SurfHandler::HandleMine(const HttpRequest& request) {
+HttpResponse SurfHandler::HandleMine(const HttpRequest& request,
+                                     const std::string&) {
   auto json = ParseJson(request.body);
   if (!json.ok()) return StatusResponse(json.status());
   const ColumnResolver resolver = MakeResolver();
-  auto decoded = MineRequestFromJson(*json, &resolver);
+  auto decoded = MineRequestV2FromJson(*json, &resolver);
   if (!decoded.ok()) return StatusResponse(decoded.status());
 
-  const MineResponse response = service_->Mine(*decoded);
-  if (!response.status.ok()) return StatusResponse(response.status);
-  return JsonResponse(200, MineResponseToJson(response, decoded->mode));
+  // Wire the transport's remaining per-request budget into the job's
+  // cancel token (keeping a client-requested tighter deadline): when it
+  // expires, the search stops within one iteration and the 408 below
+  // carries the partial results — the worker's CPU is reclaimed rather
+  // than burned on an answer nobody is waiting for.
+  const double remaining = request.RemainingSeconds();
+  if (std::isfinite(remaining) &&
+      (decoded->execution.deadline_seconds == 0.0 ||
+       remaining < decoded->execution.deadline_seconds)) {
+    // An already-expired budget must cancel immediately — never collapse
+    // onto the 0.0 = "no deadline" sentinel (which would erase a
+    // client-supplied deadline and run the search unbounded).
+    decoded->execution.deadline_seconds =
+        remaining > 0.0 ? remaining : 1e-9;
+  }
+
+  const v2::MineResponse response = service_->Mine(*decoded);
+  if (!response.status.ok() &&
+      response.status.code() != StatusCode::kCancelled) {
+    return StatusResponse(response.status);
+  }
+  // Cancelled responses keep the full envelope (partial regions +
+  // provenance) under the 408 status.
+  const int http_status = HttpStatusFromStatus(response.status);
+  return JsonResponse(http_status,
+                      MineResponseV2ToJson(response, decoded->query.kind));
 }
 
-HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request) {
+HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request,
+                                          const std::string&) {
   auto json = ParseJson(request.body);
   if (!json.ok()) return StatusResponse(json.status());
   if (!json->is_object()) {
@@ -226,10 +294,11 @@ HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request) {
                              "field 'requests' (non-empty array) is required");
   }
   const ColumnResolver resolver = MakeResolver();
-  std::vector<MineRequest> requests;
+  std::vector<v2::MineRequest> requests;
   requests.reserve(list->size());
   for (size_t i = 0; i < list->array().size(); ++i) {
-    auto decoded = MineRequestFromJson(list->array()[i], &resolver);
+    // Batch entries accept either schema version, like /v1/mine.
+    auto decoded = MineRequestV2FromJson(list->array()[i], &resolver);
     if (!decoded.ok()) {
       return JsonErrorResponse(
           400, "invalid_argument",
@@ -239,12 +308,14 @@ HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request) {
     requests.push_back(std::move(decoded).value());
   }
 
-  const std::vector<MineResponse> responses = service_->MineBatch(requests);
+  // The v2 batch path honours each entry's execution.deadline_seconds.
+  const std::vector<v2::MineResponse> responses =
+      service_->MineBatch(requests);
   size_t failed = 0;
   JsonValue encoded = JsonValue::Array();
   for (size_t i = 0; i < responses.size(); ++i) {
     if (!responses[i].status.ok()) ++failed;
-    encoded.Append(MineResponseToJson(responses[i], requests[i].mode));
+    encoded.Append(MineResponseV2ToJson(responses[i], requests[i].query.kind));
   }
   JsonValue body = JsonValue::Object();
   body.Set("responses", std::move(encoded));
@@ -253,7 +324,8 @@ HttpResponse SurfHandler::HandleMineBatch(const HttpRequest& request) {
   return JsonResponse(200, body);
 }
 
-HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request) {
+HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request,
+                                            const std::string&) {
   auto json = ParseJson(request.body);
   if (!json.ok()) return StatusResponse(json.status());
   if (!json->is_object()) {
@@ -267,8 +339,10 @@ HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request) {
                              "required");
   }
   const ColumnResolver resolver = MakeResolver();
-  auto decoded = MineRequestFromJson(*keyed, &resolver);
-  if (!decoded.ok()) return StatusResponse(decoded.status());
+  auto decoded_v2 = MineRequestV2FromJson(*keyed, &resolver);
+  if (!decoded_v2.ok()) return StatusResponse(decoded_v2.status());
+  const MineRequest legacy_key = v2::ToLegacy(*decoded_v2);
+  const MineRequest* decoded = &legacy_key;
 
   const JsonValue* evaluations = json->Find("evaluations");
   if (evaluations == nullptr || !evaluations->is_array() ||
@@ -325,6 +399,80 @@ HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request) {
       body.Set("provenance", ProvenanceToJson(entry->provenance()));
     }
   }
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleVersion(const HttpRequest&,
+                                        const std::string&) {
+  const BuildInfo info = GetBuildInfo();
+  JsonValue build = JsonValue::Object();
+  build.Set("compiler", JsonValue(info.compiler));
+  build.Set("cxx_standard", JsonValue(info.cxx_standard));
+  JsonValue body = JsonValue::Object();
+  body.Set("api_version", JsonValue(static_cast<double>(info.api_version)));
+  body.Set("api_min_version",
+           JsonValue(static_cast<double>(info.api_min_version)));
+  body.Set("library_version", JsonValue(info.library_version));
+  body.Set("build", std::move(build));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleSubmitJob(const HttpRequest& request,
+                                          const std::string&) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  const ColumnResolver resolver = MakeResolver();
+  auto decoded = MineRequestV2FromJson(*json, &resolver);
+  if (!decoded.ok()) return StatusResponse(decoded.status());
+
+  // Async jobs deliberately ignore the transport deadline: the request
+  // is acknowledged immediately and the mining outlives this HTTP
+  // exchange. Only the client's execution.deadline_seconds applies.
+  auto job = service_->Submit(*decoded);
+  const std::string id = jobs_.Add(job);
+
+  JsonValue body = JsonValue::Object();
+  body.Set("job_id", JsonValue(id));
+  body.Set("progress", JobProgressToJson(job->progress()));
+  body.Set("poll", JsonValue("/v1/jobs/" + id));
+  return JsonResponse(202, body);
+}
+
+HttpResponse SurfHandler::HandleGetJob(const HttpRequest&,
+                                       const std::string& id) {
+  auto job = jobs_.Find(id);
+  if (job == nullptr) {
+    return JsonErrorResponse(404, "not_found", "no job '" + id + "'");
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("job_id", JsonValue(id));
+  body.Set("progress", JobProgressToJson(job->progress()));
+  MineResponse response;
+  if (job->TryGet(&response)) {
+    const v2::QueryKind kind =
+        job->request().mode == MineRequest::Mode::kTopK
+            ? v2::QueryKind::kTopK
+            : v2::QueryKind::kThreshold;
+    body.Set("response",
+             MineResponseV2ToJson(v2::FromLegacyResponse(std::move(response)),
+                                  kind));
+  }
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleCancelJob(const HttpRequest&,
+                                          const std::string& id) {
+  auto job = jobs_.Find(id);
+  if (job == nullptr) {
+    return JsonErrorResponse(404, "not_found", "no job '" + id + "'");
+  }
+  const bool was_done = job->done();
+  job->Cancel();  // harmless no-op when already terminal
+  JsonValue body = JsonValue::Object();
+  body.Set("job_id", JsonValue(id));
+  body.Set("cancelled", JsonValue(!was_done));
+  body.Set("already_done", JsonValue(was_done));
+  body.Set("progress", JobProgressToJson(job->progress()));
   return JsonResponse(200, body);
 }
 

@@ -5,18 +5,28 @@
 /// \brief The HTTP router exposing MiningService as a JSON API (`surfd`).
 ///
 /// Endpoints (see docs/api.md for payload examples):
+///   GET  /v1/version      API/library version + build info (negotiation)
+///   POST /v1/jobs         submit an async mining job (202 + job id)
+///   GET  /v1/jobs/{id}    poll a job: progress, or the final response
+///   DELETE /v1/jobs/{id}  cancel a job (cooperative; no-op when done)
 ///   POST /v1/datasets     register a dataset (CSV path or inline rows)
-///   POST /v1/mine         serve one MineRequest
+///   POST /v1/mine         serve one MineRequest, blocking (v1 or v2 body)
 ///   POST /v1/mine:batch   serve many MineRequests over the worker pool
 ///   POST /v1/evaluations  append observed evaluations (warm-start feed)
 ///   GET  /v1/cache/stats  surrogate-cache counters
 ///   GET  /healthz         liveness probe
 ///   GET  /metrics         Prometheus text exposition
 ///
-/// Library `Status` codes map onto HTTP statuses via
-/// HttpStatusFromStatus (NotFound→404, InvalidArgument→400,
-/// AlreadyExists→409, ...); transport overload is answered 429 by the
-/// HttpServer admission control before a handler ever runs.
+/// Mining bodies may use either request schema: documents with
+/// `api_version: 2` use the named-section v2 form, documents without one
+/// the v1 flat form (deprecated but supported). Library `Status` codes
+/// map onto HTTP statuses via HttpStatusFromStatus (NotFound→404,
+/// InvalidArgument→400, AlreadyExists→409, Cancelled→408, ...);
+/// transport overload is answered 429 by the HttpServer admission
+/// control before a handler ever runs. The blocking /v1/mine threads the
+/// transport's per-request deadline into the job's cancel token, so a
+/// 408 reclaims the worker's CPU within one GSO iteration and carries
+/// the partial results mined so far.
 
 #include <string>
 #include <vector>
@@ -29,8 +39,8 @@
 namespace surf {
 
 /// \brief Routes HTTP requests to MiningService calls. Thread-safe: the
-/// service and metrics registry are both concurrent, and the handler
-/// itself is stateless beyond them.
+/// service, the metrics registry, and the job table are all concurrent;
+/// the handler holds no other mutable state.
 class SurfHandler {
  public:
   /// Binds the handler to a service and a metrics registry (both
@@ -46,27 +56,49 @@ class SurfHandler {
     return [this](const HttpRequest& request) { return Handle(request); };
   }
 
+  /// The job table (exposed for tests).
+  JobTable& jobs() { return jobs_; }
+
  private:
-  /// One route-table entry.
+  /// One route-table entry. `prefix` routes match any target beginning
+  /// with `path`; the remainder is the path parameter (the job id).
   struct Route {
     std::string method;
     std::string path;
-    HttpResponse (SurfHandler::*fn)(const HttpRequest&);
+    bool prefix = false;
+    HttpResponse (SurfHandler::*fn)(const HttpRequest&,
+                                    const std::string& param);
   };
 
-  HttpResponse HandleHealthz(const HttpRequest& request);
-  HttpResponse HandleMetrics(const HttpRequest& request);
-  HttpResponse HandleCacheStats(const HttpRequest& request);
-  HttpResponse HandleRegisterDataset(const HttpRequest& request);
-  HttpResponse HandleMine(const HttpRequest& request);
-  HttpResponse HandleMineBatch(const HttpRequest& request);
-  HttpResponse HandleEvaluations(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request,
+                             const std::string& param);
+  HttpResponse HandleMetrics(const HttpRequest& request,
+                             const std::string& param);
+  HttpResponse HandleVersion(const HttpRequest& request,
+                             const std::string& param);
+  HttpResponse HandleCacheStats(const HttpRequest& request,
+                                const std::string& param);
+  HttpResponse HandleRegisterDataset(const HttpRequest& request,
+                                     const std::string& param);
+  HttpResponse HandleMine(const HttpRequest& request,
+                          const std::string& param);
+  HttpResponse HandleMineBatch(const HttpRequest& request,
+                               const std::string& param);
+  HttpResponse HandleEvaluations(const HttpRequest& request,
+                                 const std::string& param);
+  HttpResponse HandleSubmitJob(const HttpRequest& request,
+                               const std::string& param);
+  HttpResponse HandleGetJob(const HttpRequest& request,
+                            const std::string& param);
+  HttpResponse HandleCancelJob(const HttpRequest& request,
+                               const std::string& param);
 
   /// Column-name → index resolver backed by the service's registry.
   ColumnResolver MakeResolver() const;
 
   MiningService* service_;
   ServerMetrics* metrics_;
+  JobTable jobs_;
   std::vector<Route> routes_;
 };
 

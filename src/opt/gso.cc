@@ -32,14 +32,17 @@ double GsoResult::ValidFraction() const {
 
 GsoResult GlowwormSwarmOptimizer::Optimize(const FitnessFn& fitness,
                                            const RegionSolutionSpace& space,
-                                           const Kde* kde) const {
+                                           const Kde* kde, CancelToken cancel,
+                                           SearchProgress* progress) const {
   assert(fitness != nullptr);
-  return Optimize(ToBatchFitness(fitness), space, kde);
+  return Optimize(ToBatchFitness(fitness), space, kde, std::move(cancel),
+                  progress);
 }
 
 GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
                                            const RegionSolutionSpace& space,
-                                           const Kde* kde) const {
+                                           const Kde* kde, CancelToken cancel,
+                                           SearchProgress* progress) const {
   assert(fitness != nullptr);
   const size_t L = std::max<size_t>(2, params_.num_glowworms);
   const double diagonal = space.FlatDiagonal();
@@ -99,8 +102,16 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
   std::vector<size_t> neighbors;
   std::vector<double> weights;
   size_t quiet_iters = 0;
+  if (progress != nullptr) {
+    progress->max_iterations.store(params_.max_iterations,
+                                   std::memory_order_relaxed);
+  }
 
   for (size_t t = 0; t < params_.max_iterations; ++t) {
+    if (cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // Phase 1 — luciferin update (Eq. 6). Invalid particles decay only:
     // γ·Ĵ is withheld where the objective is undefined, so glowworms in
     // the white (constraint-violating) areas lose attraction.
@@ -209,6 +220,11 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
     const double mean_movement = movement_sum / static_cast<double>(L);
     result.history.mean_movement.push_back(mean_movement);
     result.iterations_run = t + 1;
+    if (progress != nullptr) {
+      progress->iterations.store(result.iterations_run,
+                                 std::memory_order_relaxed);
+      progress->valid_particles.store(valid_count, std::memory_order_relaxed);
+    }
 
     if (params_.convergence_tol_frac > 0.0 && t > 0) {
       if (mean_movement < conv_tol) {

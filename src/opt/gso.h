@@ -7,6 +7,7 @@
 #include "ml/kde.h"
 #include "opt/objective.h"
 #include "opt/solution_space.h"
+#include "util/cancel.h"
 
 namespace surf {
 
@@ -89,6 +90,9 @@ struct GsoResult {
   size_t iterations_run = 0;
   /// True if the movement-based criterion fired before max_iterations.
   bool converged = false;
+  /// True when a CancelToken stopped the swarm early. The partial swarm
+  /// (positions, fitness, validity) is still fully populated and usable.
+  bool cancelled = false;
   /// Total objective evaluations (T · L per the paper's cost model).
   uint64_t objective_evaluations = 0;
   GsoHistory history;
@@ -115,16 +119,22 @@ class GlowwormSwarmOptimizer {
 
   /// Runs the swarm against `fitness` within `space`. If `kde` is
   /// non-null the Eq. 8 region-mass weighting steers neighbour choice.
+  /// `cancel` is polled once per iteration: a fired token (flag or
+  /// deadline) stops the swarm within one iteration, marking the result
+  /// `cancelled` while keeping the partial swarm reportable. `progress`,
+  /// when non-null, is updated every iteration for concurrent observers.
   GsoResult Optimize(const FitnessFn& fitness,
                      const RegionSolutionSpace& space,
-                     const Kde* kde = nullptr) const;
+                     const Kde* kde = nullptr, CancelToken cancel = {},
+                     SearchProgress* progress = nullptr) const;
 
   /// Batched variant: the whole swarm is scored with one `fitness` call
   /// per iteration (one surrogate PredictBatch instead of L tree walks).
   /// Identical trajectory to the scalar overload for the same seed.
   GsoResult Optimize(const BatchFitnessFn& fitness,
                      const RegionSolutionSpace& space,
-                     const Kde* kde = nullptr) const;
+                     const Kde* kde = nullptr, CancelToken cancel = {},
+                     SearchProgress* progress = nullptr) const;
 
   const GsoParams& params() const { return params_; }
 

@@ -7,14 +7,16 @@
 
 namespace surf {
 
-PsoResult ParticleSwarmOptimizer::Optimize(
-    const FitnessFn& fitness, const RegionSolutionSpace& space) const {
+PsoResult ParticleSwarmOptimizer::Optimize(const FitnessFn& fitness,
+                                           const RegionSolutionSpace& space,
+                                           CancelToken cancel) const {
   assert(fitness != nullptr);
-  return Optimize(ToBatchFitness(fitness), space);
+  return Optimize(ToBatchFitness(fitness), space, std::move(cancel));
 }
 
-PsoResult ParticleSwarmOptimizer::Optimize(
-    const BatchFitnessFn& fitness, const RegionSolutionSpace& space) const {
+PsoResult ParticleSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
+                                           const RegionSolutionSpace& space,
+                                           CancelToken cancel) const {
   assert(fitness != nullptr);
   const size_t L = std::max<size_t>(2, params_.num_particles);
   const size_t flat_d = space.flat_dims();
@@ -38,6 +40,10 @@ PsoResult ParticleSwarmOptimizer::Optimize(
   std::vector<Region> regions;
   regions.reserve(L);
   for (size_t t = 0; t < params_.max_iterations; ++t) {
+    if (cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // Clamp every particle, then score the whole swarm in one call.
     regions.clear();
     for (size_t i = 0; i < L; ++i) {

@@ -5,6 +5,7 @@
 
 #include "opt/objective.h"
 #include "opt/solution_space.h"
+#include "util/cancel.h"
 
 namespace surf {
 
@@ -30,6 +31,9 @@ struct PsoResult {
   bool found_valid = false;
   size_t iterations_run = 0;
   uint64_t objective_evaluations = 0;
+  /// True when a CancelToken stopped the swarm early; `best` still holds
+  /// the best-so-far when `found_valid`.
+  bool cancelled = false;
 };
 
 /// \brief Global-best PSO over the region solution space.
@@ -43,13 +47,16 @@ class ParticleSwarmOptimizer {
  public:
   explicit ParticleSwarmOptimizer(PsoParams params) : params_(params) {}
 
-  PsoResult Optimize(const FitnessFn& fitness,
-                     const RegionSolutionSpace& space) const;
+  /// `cancel` is polled once per iteration; a fired token stops the swarm
+  /// within one iteration with `cancelled` set and best-so-far preserved.
+  PsoResult Optimize(const FitnessFn& fitness, const RegionSolutionSpace& space,
+                     CancelToken cancel = {}) const;
 
   /// Batched variant: one `fitness` call scores the whole swarm per
   /// iteration. Identical trajectory to the scalar overload.
   PsoResult Optimize(const BatchFitnessFn& fitness,
-                     const RegionSolutionSpace& space) const;
+                     const RegionSolutionSpace& space,
+                     CancelToken cancel = {}) const;
 
   const PsoParams& params() const { return params_; }
 

@@ -1,0 +1,118 @@
+#include "serve/mine_job.h"
+
+#include "serve/mining_service.h"
+
+namespace surf {
+
+// ----------------------------------------------------------------- MineJob
+
+MineJob::MineJob(MineRequest request, double deadline_seconds)
+    : request_(std::make_unique<MineRequest>(std::move(request))) {
+  if (deadline_seconds > 0.0) cancel_.SetDeadline(deadline_seconds);
+}
+
+MineJob::~MineJob() = default;
+
+void MineJob::Cancel() { cancel_.Cancel(); }
+
+const MineResponse& MineJob::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return response_ != nullptr; });
+  return *response_;
+}
+
+bool MineJob::TryGet(MineResponse* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (response_ == nullptr) return false;
+  if (out != nullptr) *out = *response_;
+  return true;
+}
+
+bool MineJob::done() const {
+  return phase_.load(std::memory_order_acquire) == Phase::kDone;
+}
+
+MineJob::Progress MineJob::progress() const {
+  Progress p;
+  p.phase = phase_.load(std::memory_order_acquire);
+  p.cancel_requested = cancel_.cancelled();
+  p.iterations = search_progress_.iterations.load(std::memory_order_relaxed);
+  p.max_iterations =
+      search_progress_.max_iterations.load(std::memory_order_relaxed);
+  p.valid_particles =
+      search_progress_.valid_particles.load(std::memory_order_relaxed);
+  return p;
+}
+
+const MineRequest& MineJob::request() const { return *request_; }
+
+void MineJob::SetPhase(Phase phase) {
+  phase_.store(phase, std::memory_order_release);
+}
+
+void MineJob::Complete(MineResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    response_ = std::make_unique<MineResponse>(std::move(response));
+  }
+  // Publish the terminal phase only after the response is readable, so
+  // done() == true implies TryGet succeeds.
+  phase_.store(Phase::kDone, std::memory_order_release);
+  cv_.notify_all();
+}
+
+MineResponse MineJob::TakeResponse() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(*response_);
+}
+
+// ---------------------------------------------------------------- JobTable
+
+std::string JobTable::Add(std::shared_ptr<MineJob> job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string id = "job-" + std::to_string(next_id_++);
+  order_.push_back(id);
+  jobs_.emplace(id, std::make_pair(std::move(job), std::prev(order_.end())));
+  EnforceRetention();
+  return id;
+}
+
+std::shared_ptr<MineJob> JobTable::Find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.first;
+}
+
+bool JobTable::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  order_.erase(it->second.second);
+  jobs_.erase(it);
+  return true;
+}
+
+size_t JobTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
+}
+
+void JobTable::EnforceRetention() {
+  // Size-guarded: a table within the cap costs nothing per Add. Past
+  // the cap, walk from the oldest entry evicting finished jobs until
+  // back under it (live jobs are never evicted, so a table dominated by
+  // live jobs simply stays over the cap until they finish).
+  if (jobs_.size() <= max_finished_) return;
+  auto it = order_.begin();
+  while (jobs_.size() > max_finished_ && it != order_.end()) {
+    auto found = jobs_.find(*it);
+    if (found != jobs_.end() && found->second.first->done()) {
+      jobs_.erase(found);
+      it = order_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace surf

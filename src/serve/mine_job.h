@@ -1,0 +1,163 @@
+#ifndef SURF_SERVE_MINE_JOB_H_
+#define SURF_SERVE_MINE_JOB_H_
+
+/// \file
+/// \brief Asynchronous mining jobs: future-style handles with progress,
+/// cooperative cancellation, and the id-keyed table surfd serves them
+/// from.
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/cancel.h"
+
+namespace surf {
+
+class MiningService;
+struct MineRequest;
+struct MineResponse;
+
+/// \brief Handle to one in-flight (or finished) mining request.
+///
+/// Returned by MiningService::Submit. Future-style: `Wait` blocks until
+/// the terminal response, `TryGet` polls, `progress` snapshots the live
+/// search state, and `Cancel` requests cooperative cancellation — the
+/// search stops within one GSO iteration (or one boosting round while
+/// training) and completes with Status::Cancelled plus whatever partial
+/// regions and provenance the search had. Cancel after completion is a
+/// harmless no-op. Handles are shared_ptrs; the job object outlives both
+/// the worker that runs it and any table entry that names it.
+class MineJob {
+ public:
+  /// \brief Lifecycle phase of the job.
+  enum class Phase {
+    /// Accepted, not yet picked up by a worker.
+    kQueued,
+    /// Resolving the surrogate (training on a miss, joining an in-flight
+    /// fit, or hitting the cache).
+    kTraining,
+    /// Running the GSO search against the resolved model.
+    kSearching,
+    /// Terminal: the response (success, cancelled, or failed) is ready.
+    kDone,
+  };
+
+  /// \brief Snapshot of an in-flight job, safe to read concurrently.
+  struct Progress {
+    /// Current lifecycle phase.
+    Phase phase = Phase::kQueued;
+    /// Whether Cancel() has been requested (the job may still be
+    /// unwinding toward kDone).
+    bool cancel_requested = false;
+    /// GSO iterations completed so far (0 while training).
+    uint64_t iterations = 0;
+    /// Iteration budget of the search (0 until the search starts).
+    uint64_t max_iterations = 0;
+    /// Particles currently holding a valid objective — the live proxy
+    /// for regions found so far, before distinct-region extraction.
+    uint64_t valid_particles = 0;
+  };
+
+  /// Out-of-line so the unique_ptr members see complete types.
+  ~MineJob();
+
+  MineJob(const MineJob&) = delete;
+  MineJob& operator=(const MineJob&) = delete;
+
+  /// Requests cooperative cancellation. Idempotent; a no-op once the job
+  /// is done.
+  void Cancel();
+
+  /// Blocks until the job is terminal; returns the response (valid for
+  /// the life of the handle).
+  const MineResponse& Wait() const;
+
+  /// Non-blocking poll: copies the response into `*out` and returns true
+  /// when terminal, returns false (leaving `*out` untouched) otherwise.
+  bool TryGet(MineResponse* out) const;
+
+  /// Whether the job reached its terminal state.
+  bool done() const;
+
+  /// Live progress snapshot.
+  Progress progress() const;
+
+  /// The request this job serves.
+  const MineRequest& request() const;
+
+  /// The token the mining core polls; exposed so tests can assert on it.
+  CancelToken cancel_token() const { return cancel_.token(); }
+
+ private:
+  friend class MiningService;
+
+  /// Jobs are created by MiningService::Submit/Mine only.
+  MineJob(MineRequest request, double deadline_seconds);
+
+  /// Marks the transition into training/searching (worker-side).
+  void SetPhase(Phase phase);
+  /// Publishes the terminal response and wakes waiters.
+  void Complete(MineResponse response);
+  /// Moves the response out (single-owner fast path for blocking Mine).
+  MineResponse TakeResponse();
+
+  std::unique_ptr<MineRequest> request_;
+  CancelSource cancel_;
+  SearchProgress search_progress_;
+  std::atomic<Phase> phase_{Phase::kQueued};
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::unique_ptr<MineResponse> response_;  // set exactly once, at kDone
+};
+
+/// \brief Thread-safe id-keyed registry of jobs (surfd's job table).
+///
+/// Ids are monotonic ("job-1", "job-2", ...). Finished jobs are retained
+/// for polling; once the table grows past the retention cap, the oldest
+/// finished jobs are evicted. Live jobs are never evicted (a table
+/// dominated by live jobs may therefore exceed the cap until they
+/// finish).
+class JobTable {
+ public:
+  /// `max_finished` is the retention cap past which the oldest finished
+  /// jobs are evicted.
+  explicit JobTable(size_t max_finished = 256)
+      : max_finished_(max_finished) {}
+
+  /// Registers a job and returns its new id.
+  std::string Add(std::shared_ptr<MineJob> job);
+
+  /// The job registered under `id`, or null.
+  std::shared_ptr<MineJob> Find(const std::string& id) const;
+
+  /// Drops the table's reference to `id` (outstanding handles stay
+  /// valid). Returns whether the id existed.
+  bool Remove(const std::string& id);
+
+  /// Registered jobs (live + retained finished).
+  size_t size() const;
+
+ private:
+  /// Evicts oldest finished jobs past the cap. Requires mu_ held.
+  void EnforceRetention();
+
+  const size_t max_finished_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  /// Insertion order, oldest first (for retention eviction).
+  std::list<std::string> order_;
+  std::unordered_map<std::string,
+                     std::pair<std::shared_ptr<MineJob>,
+                               std::list<std::string>::iterator>>
+      jobs_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_SERVE_MINE_JOB_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "api/api_v2.h"
 #include "ml/grid_search.h"
 #include "util/stopwatch.h"
 
@@ -15,6 +16,20 @@ MiningService::MiningService(Options options)
                                      : options.num_threads),
       scheduler_(&pool_),
       cache_(options.cache) {}
+
+MiningService::~MiningService() {
+  // Submitted jobs reference the cache and dataset registry; those
+  // members are destroyed before pool_, so the queue must drain first —
+  // and abandoned jobs are cancelled so the drain takes one iteration
+  // per running search, not their full remaining runtime.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    for (const auto& weak : live_jobs_) {
+      if (auto job = weak.lock()) job->Cancel();
+    }
+  }
+  pool_.Wait();
+}
 
 Status MiningService::RegisterDataset(const std::string& name, Dataset data) {
   if (name.empty()) return Status::InvalidArgument("empty dataset name");
@@ -97,12 +112,13 @@ StatusOr<SurrogateKey> MiningService::KeyFor(
 }
 
 StatusOr<TrainedSurrogate> MiningService::TrainEntry(
-    const MineRequest& request, const Dataset* data) {
+    const MineRequest& request, const Dataset* data, CancelToken cancel) {
   std::shared_ptr<const RegionEvaluator> evaluator(
       MakeEvaluator(request.backend, data, request.statistic));
   const Bounds domain = data->ComputeBounds(request.statistic.region_cols);
   const RegionWorkload workload =
-      GenerateWorkload(*evaluator, domain, request.workload);
+      GenerateWorkload(*evaluator, domain, request.workload, cancel);
+  if (cancel.cancelled()) return cancel.ToStatus();
   if (workload.size() == 0) {
     return Status::FailedPrecondition(
         "workload generation produced no defined statistics");
@@ -112,7 +128,8 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
   // pool worker (MineBatch), and ThreadPool::Wait drains the *whole* pool
   // — nesting would deadlock. GBRT-internal threading (params.num_threads)
   // is independent of the service pool and stays available.
-  auto surrogate = Surrogate::Train(workload, request.surrogate, nullptr);
+  auto surrogate = Surrogate::Train(workload, request.surrogate, nullptr,
+                                    cancel);
   if (!surrogate.ok()) return surrogate.status();
 
   TrainedSurrogate trained;
@@ -124,7 +141,8 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
   // regardless of what the entry-creating request asked for.
   trained.kde = std::make_shared<const Kde>(
       FitDataKde(*data, request.statistic.region_cols,
-                 options_.kde_max_samples, request.workload.seed + 1));
+                 options_.kde_max_samples, request.workload.seed + 1, cancel));
+  if (cancel.cancelled()) return cancel.ToStatus();
 
   if (options_.provenance_cv_folds >= 2) {
     trained.cv_rmse = CrossValidatedRmse(
@@ -136,27 +154,47 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
 }
 
 StatusOr<std::shared_ptr<CachedSurrogate>> MiningService::EntryFor(
-    const MineRequest& request, bool* was_hit) {
+    const MineRequest& request, CancelToken cancel, bool* was_hit) {
   auto key = KeyFor(request);
   if (!key.ok()) return key.status();
   const Dataset* data = dataset(request.dataset);
   return cache_.GetOrTrain(
-      *key, [&] { return TrainEntry(request, data); }, was_hit);
+      *key, [&] { return TrainEntry(request, data, cancel); }, was_hit,
+      cancel);
 }
 
-MineResponse MiningService::Mine(const MineRequest& request) {
+std::shared_ptr<MineJob> MiningService::MakeJob(const MineRequest& request,
+                                                double deadline_seconds) {
+  return std::shared_ptr<MineJob>(new MineJob(request, deadline_seconds));
+}
+
+void MiningService::RunJob(const std::shared_ptr<MineJob>& job) {
   Stopwatch timer;
+  const MineRequest& request = job->request();
+  const CancelToken cancel = job->cancel_token();
   MineResponse response;
+
+  // The shared v2 validation path (also rejects record_evaluations
+  // without validate — satellite of the v2 redesign).
+  if (Status valid = v2::ValidateLegacy(request); !valid.ok()) {
+    response.status = std::move(valid);
+    job->Complete(std::move(response));
+    return;
+  }
+
+  job->SetPhase(MineJob::Phase::kTraining);
   bool hit = false;
-  auto entry = EntryFor(request, &hit);
+  auto entry = EntryFor(request, cancel, &hit);
   if (!entry.ok()) {
     response.status = entry.status();
-    return response;
+    job->Complete(std::move(response));
+    return;
   }
   response.cache_hit = hit;
   const SurrogateSnapshot snap = (*entry)->Snapshot();
   response.provenance = snap.provenance;
   const size_t dims = snap.surrogate->dims();
+  job->SetPhase(MineJob::Phase::kSearching);
 
   if (request.mode == MineRequest::Mode::kTopK) {
     TopKConfig config = request.topk;
@@ -170,7 +208,12 @@ MineResponse MiningService::Mine(const MineRequest& request) {
     TopKFinder finder(snap.surrogate->AsStatisticFn(), snap.space, config);
     finder.SetBatchEstimate(snap.surrogate->AsBatchStatisticFn());
     if (request.use_kde && snap.kde != nullptr) finder.SetKde(snap.kde.get());
+    finder.SetCancelToken(cancel);
+    finder.SetProgress(&job->search_progress_);
     response.topk = finder.Find();
+    if (response.topk.cancelled) {
+      response.status = Status::Cancelled("mining cancelled mid-search");
+    }
   } else {
     FinderConfig config = request.finder;
     if (config.auto_scale_gso) {
@@ -184,9 +227,14 @@ MineResponse MiningService::Mine(const MineRequest& request) {
     if (request.validate && snap.evaluator != nullptr) {
       finder.SetValidator(snap.evaluator.get());
     }
+    finder.SetCancelToken(cancel);
+    finder.SetProgress(&job->search_progress_);
     response.result = finder.Find(request.threshold, request.direction);
-
-    if (request.record_evaluations && request.validate) {
+    if (response.result.report.cancelled) {
+      // Partial results and provenance ride along with the Cancelled
+      // status; feedback recording is skipped for cancelled searches.
+      response.status = Status::Cancelled("mining cancelled mid-search");
+    } else if (request.record_evaluations && request.validate) {
       RegionWorkload fresh;
       fresh.space = snap.space;
       fresh.statistic = snap.surrogate->statistic();
@@ -205,7 +253,49 @@ MineResponse MiningService::Mine(const MineRequest& request) {
     }
   }
   response.total_seconds = timer.ElapsedSeconds();
-  return response;
+  job->Complete(std::move(response));
+}
+
+MineResponse MiningService::Mine(const MineRequest& request) {
+  // Blocking form: the same job core, run inline on the calling thread
+  // (never re-queued onto the pool — MineBatch workers call Mine, and a
+  // worker blocking on a job queued behind itself would deadlock).
+  auto job = MakeJob(request, /*deadline_seconds=*/0.0);
+  RunJob(job);
+  return job->TakeResponse();
+}
+
+v2::MineResponse MiningService::Mine(const v2::MineRequest& request) {
+  auto job = MakeJob(v2::ToLegacy(request),
+                     request.execution.deadline_seconds);
+  RunJob(job);
+  return v2::FromLegacyResponse(job->TakeResponse());
+}
+
+std::shared_ptr<MineJob> MiningService::Submit(const MineRequest& request) {
+  return Schedule(MakeJob(request, /*deadline_seconds=*/0.0));
+}
+
+std::shared_ptr<MineJob> MiningService::Submit(const v2::MineRequest& request) {
+  return Schedule(
+      MakeJob(v2::ToLegacy(request), request.execution.deadline_seconds));
+}
+
+std::shared_ptr<MineJob> MiningService::Schedule(
+    std::shared_ptr<MineJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    // Prune handles whose jobs finished and were dropped everywhere.
+    live_jobs_.erase(
+        std::remove_if(live_jobs_.begin(), live_jobs_.end(),
+                       [](const std::weak_ptr<MineJob>& weak) {
+                         return weak.expired();
+                       }),
+        live_jobs_.end());
+    live_jobs_.push_back(job);
+  }
+  pool_.Submit([this, job] { RunJob(job); });
+  return job;
 }
 
 std::vector<MineResponse> MiningService::MineBatch(
@@ -218,10 +308,26 @@ std::vector<MineResponse> MiningService::MineBatch(
   return scheduler_.RunAll<MineResponse>(std::move(jobs));
 }
 
+std::vector<v2::MineResponse> MiningService::MineBatch(
+    const std::vector<v2::MineRequest>& requests) {
+  std::vector<std::shared_ptr<MineJob>> jobs;
+  jobs.reserve(requests.size());
+  for (const v2::MineRequest& request : requests) {
+    jobs.push_back(Submit(request));
+  }
+  std::vector<v2::MineResponse> responses;
+  responses.reserve(jobs.size());
+  for (auto& job : jobs) {
+    job->Wait();
+    responses.push_back(v2::FromLegacyResponse(job->TakeResponse()));
+  }
+  return responses;
+}
+
 Status MiningService::AppendEvaluations(const MineRequest& request,
                                         const RegionWorkload& fresh) {
   bool hit = false;
-  auto entry = EntryFor(request, &hit);
+  auto entry = EntryFor(request, CancelToken(), &hit);
   if (!entry.ok()) return entry.status();
   return (*entry)->Append(fresh);
 }

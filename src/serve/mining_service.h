@@ -12,11 +12,18 @@
 #include "core/finder.h"
 #include "core/surf.h"
 #include "core/topk.h"
+#include "serve/mine_job.h"
 #include "serve/scheduler.h"
 #include "serve/surrogate_cache.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace surf {
+
+namespace v2 {
+struct MineRequest;
+struct MineResponse;
+}  // namespace v2
 
 /// \brief One mining request against a registered dataset.
 ///
@@ -93,6 +100,15 @@ struct MineResponse {
 /// outright. Mining itself (GSO/PSO/top-k search) runs per request
 /// against read-only model snapshots, so any number of requests can be in
 /// flight at once.
+///
+/// Requests are served through one asynchronous job core: Submit returns
+/// a MineJob handle (Wait/TryGet/Cancel/progress) whose cancel token is
+/// threaded cooperatively through surrogate training, KDE fitting, and
+/// the GSO iteration loops — a cancelled or deadline-exceeded request
+/// stops computing within one iteration and completes with
+/// Status::Cancelled plus partial results. The blocking Mine/MineBatch
+/// are thin wrappers that run the same job core inline. Every entry
+/// point funnels through the shared v2 validation path (api/api_v2.h).
 class MiningService {
  public:
   /// \brief Service configuration.
@@ -113,6 +129,11 @@ class MiningService {
   MiningService() : MiningService(Options{}) {}
   /// Service with an explicit configuration.
   explicit MiningService(Options options);
+  /// Cancels every outstanding submitted job, then drains the worker
+  /// pool, so shutdown completes within one search iteration per
+  /// running job rather than their full remaining runtime — and no job
+  /// touches the cache or registry after they die.
+  ~MiningService();
 
   /// Registers a dataset under `name`. Fails with AlreadyExists on reuse.
   Status RegisterDataset(const std::string& name, Dataset data);
@@ -126,13 +147,36 @@ class MiningService {
   /// Registered dataset names, sorted.
   std::vector<std::string> dataset_names() const;
 
-  /// Serves one request synchronously on the calling thread. Thread-safe;
+  /// Serves one request synchronously on the calling thread (a thin
+  /// wrapper over the async job core: the job runs inline rather than on
+  /// the pool, so Mine stays safe to call from pool workers). Thread-safe;
   /// any number of Mine calls may run concurrently.
   MineResponse Mine(const MineRequest& request);
+
+  /// Serves one v2 request synchronously, honouring
+  /// `execution.deadline_seconds` (Cancelled with partial results when it
+  /// expires mid-request).
+  v2::MineResponse Mine(const v2::MineRequest& request);
+
+  /// Submits a request for asynchronous execution on the worker pool and
+  /// returns its job handle (Wait/TryGet/Cancel/progress). The handle
+  /// may be dropped; the job still runs to completion (or cancellation).
+  std::shared_ptr<MineJob> Submit(const MineRequest& request);
+
+  /// v2 Submit: as above, plus the request's deadline arms the job's
+  /// cancel token at submission time (queue wait counts against it).
+  std::shared_ptr<MineJob> Submit(const v2::MineRequest& request);
 
   /// Serves a batch concurrently over the worker pool; responses are in
   /// request order.
   std::vector<MineResponse> MineBatch(const std::vector<MineRequest>& requests);
+
+  /// v2 batch: fans the requests out as deadline-armed jobs (each
+  /// entry's `execution.deadline_seconds` is honoured) and waits for
+  /// all; responses are in request order. Must not be called from a
+  /// pool worker (it blocks on pool-scheduled jobs).
+  std::vector<v2::MineResponse> MineBatch(
+      const std::vector<v2::MineRequest>& requests);
 
   /// Appends externally observed region evaluations to the cache entry
   /// `request` keys to (training it first if absent). Past the configured
@@ -166,18 +210,40 @@ class MiningService {
       const MineRequest& request) const;
 
   /// Trains a cache entry for `request` (runs on a miss, outside the
-  /// cache lock).
+  /// cache lock). `cancel` threads through workload labelling, KDE
+  /// fitting, and GBRT boosting rounds.
   StatusOr<TrainedSurrogate> TrainEntry(const MineRequest& request,
-                                        const Dataset* data);
+                                        const Dataset* data,
+                                        CancelToken cancel);
 
-  /// Fetches (or trains) the cache entry for `request`.
+  /// Fetches (or trains) the cache entry for `request`. A fired `cancel`
+  /// aborts an owned training; waiters whose own token is live take over
+  /// a leader's cancelled training instead of being stranded.
   StatusOr<std::shared_ptr<CachedSurrogate>> EntryFor(
-      const MineRequest& request, bool* was_hit);
+      const MineRequest& request, CancelToken cancel, bool* was_hit);
+
+  /// Creates the job object for a request (not yet scheduled).
+  std::shared_ptr<MineJob> MakeJob(const MineRequest& request,
+                                   double deadline_seconds);
+
+  /// Registers the job for shutdown cancellation and enqueues it on the
+  /// pool.
+  std::shared_ptr<MineJob> Schedule(std::shared_ptr<MineJob> job);
+
+  /// The one mining core every entry point funnels into: shared v2
+  /// validation, surrogate resolution, cancellable search, terminal
+  /// response publication on the job.
+  void RunJob(const std::shared_ptr<MineJob>& job);
 
   Options options_;
   ThreadPool pool_;
   RequestScheduler scheduler_;
   SurrogateCache cache_;
+
+  /// Outstanding Submit handles, so the destructor can cancel
+  /// abandoned jobs. Expired entries are pruned on each Submit.
+  mutable std::mutex jobs_mu_;
+  std::vector<std::weak_ptr<MineJob>> live_jobs_;
 
   mutable std::mutex datasets_mu_;
   /// std::map keeps entry addresses stable across inserts and names

@@ -155,67 +155,92 @@ void SurrogateCache::EnforceCapacity() {
 }
 
 StatusOr<std::shared_ptr<CachedSurrogate>> SurrogateCache::GetOrTrain(
-    const SurrogateKey& key, const Factory& factory, bool* was_hit) {
-  std::shared_ptr<CachedSurrogate> entry;
-  bool train_here = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      bool stale = false;
-      {
-        std::lock_guard<std::mutex> entry_lock(it->second.entry->mu_);
-        if (it->second.entry->state_ != CachedSurrogate::State::kTraining &&
-            std::isfinite(options_.max_age_seconds)) {
-          const double age =
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            it->second.entry->created_)
-                  .count();
-          stale = age > options_.max_age_seconds;
-        }
-      }
-      if (!stale) {
-        Touch(key, &it->second);
-        ++stats_.hits;
-        if (was_hit != nullptr) *was_hit = true;
-        entry = it->second.entry;
-      } else {
-        lru_.erase(it->second.lru_pos);
-        map_.erase(it);
-        ++stats_.stale_evictions;
-      }
-    }
-    if (entry == nullptr) {
-      entry = std::shared_ptr<CachedSurrogate>(new CachedSurrogate(
-          options_.retrain_threshold, options_.warm_start_trees));
-      lru_.push_front(key);
-      map_.emplace(key, Slot{entry, lru_.begin()});
-      ++stats_.misses;
-      if (was_hit != nullptr) *was_hit = false;
-      train_here = true;
-      EnforceCapacity();
-    }
-  }
-
-  if (train_here) {
-    auto trained = factory();
-    if (trained.ok()) {
-      entry->Publish(std::move(trained).value(), key.dataset);
-    } else {
-      entry->Fail(trained.status());
+    const SurrogateKey& key, const Factory& factory, bool* was_hit,
+    CancelToken caller) {
+  for (;;) {
+    std::shared_ptr<CachedSurrogate> entry;
+    bool train_here = false;
+    {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = map_.find(key);
-      // Only drop the slot if it still refers to this failed attempt.
-      if (it != map_.end() && it->second.entry == entry) {
-        lru_.erase(it->second.lru_pos);
-        map_.erase(it);
+      if (it != map_.end()) {
+        bool stale = false;
+        bool failed = false;
+        {
+          std::lock_guard<std::mutex> entry_lock(it->second.entry->mu_);
+          failed =
+              it->second.entry->state_ == CachedSurrogate::State::kFailed;
+          if (!failed &&
+              it->second.entry->state_ != CachedSurrogate::State::kTraining &&
+              std::isfinite(options_.max_age_seconds)) {
+            const double age =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              it->second.entry->created_)
+                    .count();
+            stale = age > options_.max_age_seconds;
+          }
+        }
+        if (failed) {
+          // A failed attempt its leader has not yet erased (the window
+          // between Fail() and the leader re-acquiring mu_). Never a
+          // hit: drop it here so retrying waiters retrain immediately
+          // instead of spinning on the dead entry.
+          lru_.erase(it->second.lru_pos);
+          map_.erase(it);
+        } else if (!stale) {
+          Touch(key, &it->second);
+          ++stats_.hits;
+          if (was_hit != nullptr) *was_hit = true;
+          entry = it->second.entry;
+        } else {
+          lru_.erase(it->second.lru_pos);
+          map_.erase(it);
+          ++stats_.stale_evictions;
+        }
       }
-      return trained.status();
+      if (entry == nullptr) {
+        entry = std::shared_ptr<CachedSurrogate>(new CachedSurrogate(
+            options_.retrain_threshold, options_.warm_start_trees));
+        lru_.push_front(key);
+        map_.emplace(key, Slot{entry, lru_.begin()});
+        ++stats_.misses;
+        if (was_hit != nullptr) *was_hit = false;
+        train_here = true;
+        EnforceCapacity();
+      }
     }
-  }
 
-  SURF_RETURN_IF_ERROR(entry->WaitReady());
-  return entry;
+    if (train_here) {
+      auto trained = factory();
+      if (trained.ok()) {
+        entry->Publish(std::move(trained).value(), key.dataset);
+      } else {
+        entry->Fail(trained.status());
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        // Only drop the slot if it still refers to this failed attempt.
+        if (it != map_.end() && it->second.entry == entry) {
+          lru_.erase(it->second.lru_pos);
+          map_.erase(it);
+        }
+        return trained.status();
+      }
+    }
+
+    const Status ready = entry->WaitReady();
+    if (ready.ok()) return entry;
+    // A cancelled *leader* must not strand its waiters: the failed entry
+    // was already dropped from the map (by the leader), so a waiter whose
+    // own token is still live loops and retrains — one retry wins the new
+    // slot and becomes leader, the rest join its in-flight fit. Waiters
+    // that were themselves cancelled (and leaders, whose own factory
+    // produced the status) propagate Cancelled.
+    if (!train_here && ready.code() == StatusCode::kCancelled &&
+        !caller.cancelled()) {
+      continue;
+    }
+    return ready;
+  }  // for (;;)
 }
 
 std::shared_ptr<CachedSurrogate> SurrogateCache::Peek(

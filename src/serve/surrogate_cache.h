@@ -19,6 +19,7 @@
 #include "ml/kde.h"
 #include "serve/fingerprint.h"
 #include "stats/evaluator.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace surf {
@@ -183,9 +184,15 @@ class SurrogateCache {
   /// stale. `was_hit`, when non-null, reports whether an existing entry
   /// served the call (joining an in-flight training counts as a hit: the
   /// caller did not pay for a fit of its own).
+  ///
+  /// `caller` is the caller's own cancellation token. When an in-flight
+  /// training leader is cancelled, its waiters are not stranded: every
+  /// waiter whose own token is still live retries and one of them takes
+  /// over as the new leader (training with its own factory/token), while
+  /// waiters whose token has fired observe Cancelled.
   StatusOr<std::shared_ptr<CachedSurrogate>> GetOrTrain(
       const SurrogateKey& key, const Factory& factory,
-      bool* was_hit = nullptr);
+      bool* was_hit = nullptr, CancelToken caller = {});
 
   /// Entry lookup without training or LRU touch; null when absent.
   std::shared_ptr<CachedSurrogate> Peek(const SurrogateKey& key) const;

@@ -24,6 +24,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

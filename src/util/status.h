@@ -25,6 +25,7 @@ enum class StatusCode {
   kTimedOut,
   kInternal,
   kAlreadyExists,
+  kCancelled,
 };
 
 /// \brief A lightweight success/error result carrying a code and message.
@@ -59,6 +60,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

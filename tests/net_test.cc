@@ -612,5 +612,197 @@ TEST(HttpServerTest, KeepAliveServesManyRequestsPerConnection) {
   EXPECT_EQ(server.stats().connections_accepted, 1u);
 }
 
+// ------------------------------------------------- ISSUE 4: v2 + jobs
+
+TEST(SurfHandlerTest, VersionEndpointReportsSchemaRange) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  ClientResponse version = client.Request("GET", "/v1/version");
+  ASSERT_EQ(version.status, 200);
+  auto parsed = ParseJson(version.body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("api_version")->number_value(), 2.0);
+  EXPECT_EQ(parsed->Find("api_min_version")->number_value(), 1.0);
+  EXPECT_TRUE(parsed->Find("library_version")->is_string());
+  EXPECT_TRUE(parsed->Find("build")->is_object());
+}
+
+TEST(SurfHandlerTest, V2SchemaMatchesV1BitExactly) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  ASSERT_TRUE(ts.service->RegisterDataset("web", ds.data).ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  const MineRequest legacy = MakeTestRequest("web", ds.region_cols);
+  ClientResponse v1 = client.Request("POST", "/v1/mine",
+                                     WriteJson(MineRequestToJson(legacy)));
+  ASSERT_EQ(v1.status, 200);
+
+  // The same request in the v2 named-section schema must mine the same
+  // regions (and hit the cache entry the v1 request trained).
+  const v2::MineRequest lifted = v2::FromLegacy(legacy);
+  v2::MineRequest as_v2 = lifted;
+  as_v2.api_version = 2;
+  ClientResponse v2_response = client.Request(
+      "POST", "/v1/mine", WriteJson(MineRequestV2ToJson(as_v2)));
+  ASSERT_EQ(v2_response.status, 200);
+
+  auto decoded_v1 = ParseJson(v1.body);
+  auto decoded_v2 = ParseJson(v2_response.body);
+  ASSERT_TRUE(decoded_v1.ok());
+  ASSERT_TRUE(decoded_v2.ok());
+  EXPECT_TRUE(decoded_v2->Find("cache_hit")->bool_value());
+  // Regions are bit-identical; the report matches too except for its
+  // wall-time measurement.
+  EXPECT_EQ(WriteJson(*decoded_v1->Find("result")->Find("regions")),
+            WriteJson(*decoded_v2->Find("result")->Find("regions")));
+  const JsonValue* report_v1 = decoded_v1->Find("result")->Find("report");
+  const JsonValue* report_v2 = decoded_v2->Find("result")->Find("report");
+  EXPECT_EQ(report_v1->Find("iterations")->number_value(),
+            report_v2->Find("iterations")->number_value());
+  EXPECT_EQ(report_v1->Find("objective_evaluations")->number_value(),
+            report_v2->Find("objective_evaluations")->number_value());
+  EXPECT_EQ(decoded_v2->Find("api_version")->number_value(), 2.0);
+
+  // record_evaluations without validate is rejected by the shared
+  // validation path in both schemas.
+  MineRequest bad = legacy;
+  bad.record_evaluations = true;
+  bad.validate = false;
+  EXPECT_EQ(client
+                .Request("POST", "/v1/mine",
+                         WriteJson(MineRequestToJson(bad)))
+                .status,
+            400);
+}
+
+TEST(SurfHandlerTest, JobLifecycleSubmitPollCancel) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  ASSERT_TRUE(ts.service->RegisterDataset("web", ds.data).ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  // Warm the cache so the long job is all search.
+  ASSERT_EQ(client
+                .Request("POST", "/v1/mine",
+                         WriteJson(MineRequestToJson(
+                             MakeTestRequest("web", ds.region_cols))))
+                .status,
+            200);
+
+  MineRequest slow = MakeTestRequest("web", ds.region_cols);
+  slow.finder.gso.max_iterations = 200000;
+  slow.finder.gso.convergence_tol_frac = 0.0;
+  ClientResponse submitted = client.Request(
+      "POST", "/v1/jobs", WriteJson(MineRequestToJson(slow)));
+  ASSERT_EQ(submitted.status, 202);
+  auto submit_body = ParseJson(submitted.body);
+  ASSERT_TRUE(submit_body.ok());
+  const std::string id = submit_body->Find("job_id")->string_value();
+  ASSERT_FALSE(id.empty());
+
+  // Poll until the search is visibly under way.
+  bool searching = false;
+  for (int i = 0; i < 2000 && !searching; ++i) {
+    ClientResponse polled = client.Request("GET", "/v1/jobs/" + id);
+    ASSERT_EQ(polled.status, 200);
+    auto body = ParseJson(polled.body);
+    ASSERT_TRUE(body.ok());
+    const JsonValue* progress = body->Find("progress");
+    searching = progress->Find("iterations")->number_value() >= 3.0;
+    if (!searching) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(searching);
+
+  // Cancel, then poll to the terminal state: the response must arrive
+  // promptly with status cancelled and the partial report flagged.
+  ClientResponse cancelled = client.Request("DELETE", "/v1/jobs/" + id);
+  ASSERT_EQ(cancelled.status, 200);
+  const JsonValue* response_json = nullptr;
+  auto final_body = ParseJson(cancelled.body);
+  for (int i = 0; i < 2000; ++i) {
+    ClientResponse polled = client.Request("GET", "/v1/jobs/" + id);
+    ASSERT_EQ(polled.status, 200);
+    final_body = ParseJson(polled.body);
+    ASSERT_TRUE(final_body.ok());
+    response_json = final_body->Find("response");
+    if (response_json != nullptr) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_NE(response_json, nullptr) << "job never reached a terminal state";
+  EXPECT_EQ(response_json->Find("status")->Find("code")->string_value(),
+            "cancelled");
+  const JsonValue* report =
+      response_json->Find("result")->Find("report");
+  EXPECT_TRUE(report->Find("cancelled")->bool_value());
+  EXPECT_LT(report->Find("iterations")->number_value(), 100000.0);
+
+  // Cancelling a finished job is a harmless no-op.
+  ClientResponse again = client.Request("DELETE", "/v1/jobs/" + id);
+  EXPECT_EQ(again.status, 200);
+  auto again_body = ParseJson(again.body);
+  ASSERT_TRUE(again_body.ok());
+  EXPECT_TRUE(again_body->Find("already_done")->bool_value());
+
+  // Unknown ids 404; the bare collection path still submits only.
+  EXPECT_EQ(client.Request("GET", "/v1/jobs/nope").status, 404);
+  EXPECT_EQ(client.Request("DELETE", "/v1/jobs/nope").status, 404);
+}
+
+TEST(SurfHandlerTest, BlockingMineDeadlineCancelsAndAnswers408) {
+  const SyntheticDataset ds = MakeTestData();
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  ASSERT_TRUE(ts.service->RegisterDataset("web", ds.data).ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  ASSERT_EQ(client
+                .Request("POST", "/v1/mine",
+                         WriteJson(MineRequestToJson(
+                             MakeTestRequest("web", ds.region_cols))))
+                .status,
+            200);
+
+  // A v2 request with a tight execution deadline on an endless search:
+  // the worker must stop and answer 408 with the partial envelope.
+  MineRequest slow = MakeTestRequest("web", ds.region_cols);
+  slow.finder.gso.max_iterations = 200000;
+  slow.finder.gso.convergence_tol_frac = 0.0;
+  v2::MineRequest as_v2 = v2::FromLegacy(slow);
+  as_v2.api_version = 2;
+  as_v2.execution.deadline_seconds = 0.15;
+
+  const auto started = std::chrono::steady_clock::now();
+  ClientResponse response = client.Request(
+      "POST", "/v1/mine", WriteJson(MineRequestV2ToJson(as_v2)));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  EXPECT_EQ(response.status, 408);
+  EXPECT_LT(elapsed, 30.0);  // far below the 200k-iteration budget
+  auto body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok());
+  // The 408 carries the full envelope: cancelled status, partial
+  // report, and the provenance of the model that served it.
+  EXPECT_EQ(body->Find("status")->Find("code")->string_value(),
+            "cancelled");
+  EXPECT_TRUE(body->Find("result")
+                  ->Find("report")
+                  ->Find("cancelled")
+                  ->bool_value());
+  EXPECT_TRUE(body->Find("provenance")->is_object());
+}
+
 }  // namespace
 }  // namespace surf

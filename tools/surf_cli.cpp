@@ -37,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "api/api.h"
 #include "core/surf.h"
 #include "net/http_server.h"
 #include "net/metrics.h"
@@ -58,7 +59,7 @@ int Fail(const std::string& msg) {
 
 void PrintUsage() {
   std::printf(
-      "usage: surf_cli <mine|ecdf|train|batch|serve> [flags]\n"
+      "usage: surf_cli <mine|ecdf|train|batch|serve|version> [flags]\n"
       "  common:  --data FILE.csv      dataset (mine/ecdf/train)\n"
       "           --cols a,b[,c]       region columns\n"
       "           --stat count|avg|sum|median|var|ratio\n"
@@ -88,7 +89,20 @@ void PrintUsage() {
       "           --deadline SECONDS   per-request deadline (default 30)\n"
       "           --data FILE.csv      optional dataset registered as\n"
       "                                'default' at startup\n"
-      "           SIGINT/SIGTERM drain in-flight requests, then exit\n");
+      "           SIGINT/SIGTERM drain in-flight requests, then exit\n"
+      "  version: print API/library version and build info (also\n"
+      "           --version anywhere), for v1-vs-v2 schema negotiation\n");
+}
+
+int RunVersion() {
+  const BuildInfo info = GetBuildInfo();
+  std::printf("%s\n", VersionString().c_str());
+  std::printf("api_version: %d\napi_min_version: %d\nlibrary_version: %s\n"
+              "compiler: %s\ncxx_standard: %s\n",
+              info.api_version, info.api_min_version,
+              info.library_version.c_str(), info.compiler.c_str(),
+              info.cxx_standard.c_str());
+  return 0;
 }
 
 StatusOr<Statistic> ParseStatisticTokens(const Dataset& data,
@@ -530,12 +544,14 @@ int RunServe(const CliFlags& flags) {
 int main(int argc, char** argv) {
   using namespace surf;
   CliFlags flags(argc, argv);
+  if (flags.GetBool("version", false)) return RunVersion();
   if (flags.positional().empty()) {
     PrintUsage();
     return 1;
   }
   const std::string command = flags.positional()[0];
 
+  if (command == "version") return RunVersion();
   if (command == "batch") return RunBatch(flags);
   if (command == "serve") return RunServe(flags);
 
