@@ -47,6 +47,13 @@ Status ValidateAndNormalize(MineRequest* request) {
     return Status::InvalidArgument(
         "deadline_seconds must be >= 0 (0 = no deadline)");
   }
+  if (request->execution.shards == 0) {
+    request->execution.shards = 1;  // normalize "unset" to the v1 default
+  }
+  if (request->execution.shards > kMaxExecutionShards) {
+    return Status::InvalidArgument(
+        "execution.shards must be <= " + std::to_string(kMaxExecutionShards));
+  }
   return Status::OK();
 }
 
@@ -64,6 +71,7 @@ surf::MineRequest ToLegacy(const MineRequest& request) {
   legacy.workload = request.training.workload;
   legacy.surrogate = request.training.surrogate;
   legacy.backend = request.execution.backend;
+  legacy.shards = request.execution.shards;
   legacy.use_kde = request.execution.use_kde;
   legacy.validate = request.execution.validate;
   legacy.record_evaluations = request.execution.record_evaluations;
@@ -85,6 +93,7 @@ MineRequest FromLegacy(const surf::MineRequest& request) {
   v2.training.workload = request.workload;
   v2.training.surrogate = request.surrogate;
   v2.execution.backend = request.backend;
+  v2.execution.shards = request.shards;
   v2.execution.use_kde = request.use_kde;
   v2.execution.validate = request.validate;
   v2.execution.record_evaluations = request.record_evaluations;

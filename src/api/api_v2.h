@@ -26,11 +26,19 @@
 
 #include <string>
 
+#include "data/sharded.h"
 #include "serve/mining_service.h"
 #include "util/status.h"
 
 namespace surf {
 namespace v2 {
+
+/// Upper bound on ExecutionPolicy::shards (beyond this, per-shard
+/// pruning metadata outweighs any realistic scan win). Identical to
+/// the clamp ShardedDataset::Partition enforces at the allocation
+/// site: validation rejects loudly, the data layer stays bounded even
+/// for callers that bypass validation.
+inline constexpr size_t kMaxExecutionShards = ShardingOptions::kMaxShards;
 
 /// \brief Query formulation of the v2 surface.
 enum class QueryKind {
@@ -75,6 +83,14 @@ struct TrainingRecipe {
 struct ExecutionPolicy {
   /// Which exact back-end labels the workload and validates results.
   BackendKind backend = BackendKind::kGridIndex;
+  /// Row-range shards for the exact back-end. The default 1 — which is
+  /// also what every v1 request implies — keeps the single `backend`
+  /// evaluator and its bit-exact legacy behaviour; 2..4096 switches
+  /// workload labelling and validation to the shard-parallel scan
+  /// backend (ShardedScanEvaluator), with per-shard partial statistics
+  /// merged in fixed shard order. 0 normalizes to 1. Like `backend`,
+  /// this is execution policy, not part of the surrogate-cache key.
+  size_t shards = 1;
   /// Fit/use the KDE data prior (Eq. 8 guidance).
   bool use_kde = true;
   /// Validate reported regions against the true statistic.

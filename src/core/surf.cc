@@ -6,6 +6,7 @@
 #include "stats/grid_index.h"
 #include "stats/kd_tree.h"
 #include "stats/rtree.h"
+#include "stats/sharded_evaluator.h"
 
 namespace surf {
 
@@ -23,6 +24,25 @@ std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
       return std::make_unique<RTreeEvaluator>(data, statistic);
   }
   return nullptr;
+}
+
+std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
+                                               const Dataset* data,
+                                               const Statistic& statistic,
+                                               size_t shards) {
+  if (shards <= 1) return MakeEvaluator(kind, data, statistic);
+  ShardingOptions options;
+  options.num_shards = shards;
+  // Range-partition on the first box dimension so shards become
+  // disjoint slabs most queries prune or answer from summaries; only
+  // the columns the statistic touches are materialized.
+  options.order_by = static_cast<int>(statistic.region_cols.front());
+  options.columns = statistic.region_cols;
+  if (statistic.needs_value_column()) {
+    options.columns.push_back(static_cast<size_t>(statistic.value_col));
+  }
+  return std::make_unique<ShardedScanEvaluator>(
+      ShardedDataset::Partition(*data, options), statistic);
 }
 
 Kde FitDataKde(const Dataset& data, const std::vector<size_t>& region_cols,
@@ -65,7 +85,8 @@ StatusOr<Surf> Surf::Build(const Dataset* data, Statistic statistic,
   Surf surf;
   surf.data_ = data;
   surf.options_ = options;
-  surf.evaluator_ = MakeEvaluator(options.backend, data, statistic);
+  surf.evaluator_ =
+      MakeEvaluator(options.backend, data, statistic, options.shards);
 
   const Bounds domain = data->ComputeBounds(statistic.region_cols);
   const RegionWorkload workload =

@@ -38,6 +38,11 @@ struct SurfOptions {
   FinderConfig finder;
   /// Which exact back-end labels the workload and validates results.
   BackendKind backend = BackendKind::kGridIndex;
+  /// Row-range shards for the exact back-end. 1 (the default, and the
+  /// v1 API's implied value) keeps the single `backend` evaluator;
+  /// >= 2 switches to the shard-parallel scan backend partitioned on
+  /// the first region column (see MakeEvaluator).
+  size_t shards = 1;
   /// Fit the KDE data prior for Eq. 8 guidance.
   bool fit_kde = true;
   /// Sample cap for the KDE fit.
@@ -103,6 +108,19 @@ class Surf {
 std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
                                                const Dataset* data,
                                                const Statistic& statistic);
+
+/// Shard-aware overload: `shards` <= 1 defers to the single-evaluator
+/// form above (which, like every classic backend, keeps a raw pointer
+/// into `data` — the dataset must outlive the evaluator); >= 2 builds
+/// a ShardedScanEvaluator over `shards` row-range shards
+/// range-partitioned on the statistic's first region column (`kind`
+/// then only describes what a single-shard request would have used —
+/// the sharded scan is its own exact backend, and it alone owns
+/// materialized shard chunks instead of referencing `data`).
+std::unique_ptr<RegionEvaluator> MakeEvaluator(BackendKind kind,
+                                               const Dataset* data,
+                                               const Statistic& statistic,
+                                               size_t shards);
 
 /// Fits the Eq. 8 KDE data prior over a dataset's region columns on a
 /// bounded subsample (deterministic for a given seed). Shared by

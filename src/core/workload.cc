@@ -46,7 +46,11 @@ RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
                             params.max_length_frac * domain.Extent(i));
     }
     Region region(center, half);
-    const double y = evaluator.Evaluate(region);
+    // The token rides into the evaluator too: sharded scans poll it per
+    // shard batch, so cancellation lands mid-evaluation on huge datasets
+    // instead of waiting for the next per-query poll above.
+    const double y = evaluator.Evaluate(region, cancel);
+    if (cancel.can_cancel() && cancel.cancelled()) break;
     if (params.drop_undefined && std::isnan(y)) continue;
     workload.features.AddRow(RegionFeatures(region));
     workload.targets.push_back(y);

@@ -1,0 +1,88 @@
+#include "data/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace surf {
+
+ShardedDataset ShardedDataset::Partition(const Dataset& data,
+                                         const ShardingOptions& options) {
+  ShardedDataset sharded;
+  sharded.options_ = options;
+  sharded.options_.num_shards = std::clamp<size_t>(
+      options.num_shards, 1, ShardingOptions::kMaxShards);
+  sharded.column_names_ = data.column_names();
+  sharded.num_rows_ = data.num_rows();
+
+  const size_t n = data.num_rows();
+  const size_t num_cols = data.num_cols();
+  const size_t num_shards = sharded.options_.num_shards;
+
+  std::vector<size_t> cols = options.columns;
+  if (cols.empty()) {
+    cols.resize(num_cols);
+    std::iota(cols.begin(), cols.end(), 0);
+  } else {
+    // Dedupe: a value column that is also a region column must only be
+    // materialized (and summarized) once.
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+  for ([[maybe_unused]] size_t c : cols) assert(c < num_cols);
+
+  // Row visit order: natural, or a stable range partition on one column.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.order_by >= 0) {
+    assert(static_cast<size_t>(options.order_by) < num_cols);
+    const std::vector<double>& key =
+        data.column(static_cast<size_t>(options.order_by));
+    // NaN keys sort after everything as one equivalence class — a bare
+    // `a < b` is not a strict weak order once NaN is involved (UB in
+    // stable_sort).
+    std::stable_sort(order.begin(), order.end(),
+                     [&key](uint32_t a, uint32_t b) {
+                       if (std::isnan(key[a])) return false;
+                       if (std::isnan(key[b])) return true;
+                       return key[a] < key[b];
+                     });
+  }
+
+  // Balanced contiguous ranges: the first (n % num_shards) shards take
+  // one extra row. Shards past the row count stay empty.
+  sharded.shards_.resize(num_shards);
+  const size_t base = n / num_shards;
+  const size_t extra = n % num_shards;
+  size_t begin = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t rows = base + (s < extra ? 1 : 0);
+    DatasetShard& shard = sharded.shards_[s];
+    shard.num_rows_ = rows;
+    shard.columns_.resize(num_cols);
+    shard.summaries_.resize(num_cols);
+    for (size_t c : cols) {
+      const std::vector<double>& src = data.column(c);
+      std::vector<double>& dst = shard.columns_[c];
+      ColumnSummary& summary = shard.summaries_[c];
+      dst.reserve(rows);
+      for (size_t i = begin; i < begin + rows; ++i) {
+        const double v = src[order[i]];
+        dst.push_back(v);
+        summary.Observe(v);
+      }
+    }
+    begin += rows;
+  }
+  return sharded;
+}
+
+ColumnSummary ShardedDataset::TotalSummary(size_t c) const {
+  ColumnSummary total;
+  for (const DatasetShard& shard : shards_) {
+    total.Merge(shard.summaries_[c]);
+  }
+  return total;
+}
+
+}  // namespace surf

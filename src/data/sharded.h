@@ -1,0 +1,157 @@
+#ifndef SURF_DATA_SHARDED_H_
+#define SURF_DATA_SHARDED_H_
+
+/// \file
+/// \brief Row-range sharding of a Dataset with per-shard mergeable
+/// column summaries.
+///
+/// A ShardedDataset splits one Dataset into contiguous row-range
+/// DatasetShards, each materialized as its own column-major chunk with a
+/// ColumnSummary (count / min / max / sum / sum²) per column. The
+/// summaries form a mergeable monoid — merging every shard's summary in
+/// shard order reproduces the whole-dataset aggregate — which is what
+/// lets the sharded evaluators (stats/sharded_evaluator.h):
+///
+///  - prune shards whose column range is disjoint from a query box,
+///  - answer fully-covered shards from the pre-aggregated summary in
+///    O(1) for decomposable statistics,
+///  - scan only the boundary shards, in parallel, merging per-shard
+///    partial accumulators at the end.
+///
+/// Sharding can optionally range-partition on one column (`order_by`):
+/// rows are stably sorted by that column before the split, so shards
+/// become disjoint slabs along it and most queries prune or
+/// block-answer the majority of shards. With `order_by` disabled (and
+/// with a single shard in any mode after a stable sort of nothing) the
+/// original row order is preserved, which keeps single-shard evaluation
+/// bit-identical to the legacy contiguous scan.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace surf {
+
+/// \brief Mergeable per-column aggregate: the shard-level "sufficient
+/// statistics" (count, min, max, sum, sum of squares, NaN count).
+///
+/// NaN values are excluded from min/max (they would poison every
+/// comparison) but counted in `nan_count`: the legacy scan's inclusion
+/// test `!(v < lo || v > hi)` treats NaN as inside every box, so a
+/// consumer may only prune on [min, max] when `nan_count == 0`. Sums
+/// fold NaN in and propagate it, exactly like sequential accumulation.
+struct ColumnSummary {
+  size_t count = 0;
+  size_t nan_count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  /// Folds one value in (sequential accumulation order).
+  void Observe(double v) {
+    ++count;
+    if (std::isnan(v)) ++nan_count;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    sum += v;
+    sum_sq += v * v;
+  }
+
+  /// Monoid operation; associative, with the default-constructed
+  /// summary as identity.
+  void Merge(const ColumnSummary& other) {
+    count += other.count;
+    nan_count += other.nan_count;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+  }
+};
+
+/// \brief How to split a dataset into shards.
+struct ShardingOptions {
+  /// Hard ceiling Partition clamps `num_shards` to. Enforced here, at
+  /// the allocation site, so every caller — API-validated or not (CLI
+  /// flags, AppendEvaluations, direct library use) — is bounded; the
+  /// v2 request validation rejects larger values loudly before they
+  /// get this far.
+  static constexpr size_t kMaxShards = 4096;
+
+  /// Number of row-range shards (clamped to [1, kMaxShards]). When it
+  /// exceeds the row count the trailing shards are empty — still
+  /// valid, still merged.
+  size_t num_shards = 1;
+  /// Column to range-partition on (-1 keeps the natural row order).
+  /// Sorting is stable, so ties and the single-shard case preserve the
+  /// original relative order.
+  int order_by = -1;
+  /// Columns to materialize and summarize (empty = all). Shards keep the
+  /// parent's column indexing; unlisted columns stay empty.
+  std::vector<size_t> columns;
+};
+
+/// \brief One contiguous row range of the parent dataset, materialized
+/// column-major with per-column summaries.
+class DatasetShard {
+ public:
+  size_t num_rows() const { return num_rows_; }
+
+  /// Column storage under the parent dataset's index (empty when the
+  /// column was not materialized).
+  const std::vector<double>& column(size_t c) const { return columns_[c]; }
+
+  /// Per-column aggregate (zero-count for unmaterialized columns).
+  const ColumnSummary& summary(size_t c) const { return summaries_[c]; }
+
+ private:
+  friend class ShardedDataset;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;
+  std::vector<ColumnSummary> summaries_;
+};
+
+/// \brief A Dataset split into row-range shards; see file comment.
+///
+/// Owns its shard chunks outright — the parent Dataset may be discarded
+/// after Partition returns.
+class ShardedDataset {
+ public:
+  ShardedDataset() = default;
+
+  /// Splits `data` into `options.num_shards` balanced contiguous row
+  /// ranges (sizes differ by at most one row).
+  static ShardedDataset Partition(const Dataset& data,
+                                  const ShardingOptions& options);
+
+  size_t num_shards() const { return shards_.size(); }
+  const DatasetShard& shard(size_t i) const { return shards_[i]; }
+
+  /// Total rows across shards (the parent's row count).
+  size_t num_rows() const { return num_rows_; }
+  /// Column count of the parent dataset.
+  size_t num_cols() const { return column_names_.size(); }
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  /// The options the split was made with.
+  const ShardingOptions& options() const { return options_; }
+
+  /// Whole-dataset aggregate of one column, recovered by merging the
+  /// shard summaries in shard order (the monoid law the tests pin).
+  ColumnSummary TotalSummary(size_t c) const;
+
+ private:
+  ShardingOptions options_;
+  std::vector<std::string> column_names_;
+  std::vector<DatasetShard> shards_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_DATA_SHARDED_H_

@@ -698,6 +698,7 @@ JsonValue MineRequestToJson(const MineRequest& request) {
   obj.Set("workload", WorkloadToJson(request.workload));
   obj.Set("surrogate", SurrogateOptionsToJson(request.surrogate));
   obj.Set("backend", JsonValue(BackendName(request.backend)));
+  obj.Set("shards", JsonValue(static_cast<double>(request.shards)));
   obj.Set("use_kde", JsonValue(request.use_kde));
   obj.Set("validate", JsonValue(request.validate));
   obj.Set("record_evaluations", JsonValue(request.record_evaluations));
@@ -754,6 +755,7 @@ StatusOr<MineRequest> MineRequestFromJson(const JsonValue& json,
   if (!parsed_backend.ok()) return parsed_backend.status();
   request.backend = *parsed_backend;
 
+  SURF_RETURN_IF_ERROR(ReadSize(json, "shards", &request.shards));
   SURF_RETURN_IF_ERROR(ReadBool(json, "use_kde", &request.use_kde));
   SURF_RETURN_IF_ERROR(ReadBool(json, "validate", &request.validate));
   SURF_RETURN_IF_ERROR(
@@ -931,6 +933,8 @@ JsonValue MineRequestV2ToJson(const v2::MineRequest& request) {
 
   JsonValue execution = JsonValue::Object();
   execution.Set("backend", JsonValue(BackendName(request.execution.backend)));
+  execution.Set("shards",
+                JsonValue(static_cast<double>(request.execution.shards)));
   execution.Set("use_kde", JsonValue(request.execution.use_kde));
   execution.Set("validate", JsonValue(request.execution.validate));
   execution.Set("record_evaluations",
@@ -1020,6 +1024,8 @@ StatusOr<v2::MineRequest> MineRequestV2FromJson(
     auto parsed_backend = BackendFromName(backend);
     if (!parsed_backend.ok()) return parsed_backend.status();
     request.execution.backend = *parsed_backend;
+    SURF_RETURN_IF_ERROR(
+        ReadSize(*execution, "shards", &request.execution.shards));
     SURF_RETURN_IF_ERROR(
         ReadBool(*execution, "use_kde", &request.execution.use_kde));
     SURF_RETURN_IF_ERROR(

@@ -114,7 +114,8 @@ StatusOr<SurrogateKey> MiningService::KeyFor(
 StatusOr<TrainedSurrogate> MiningService::TrainEntry(
     const MineRequest& request, const Dataset* data, CancelToken cancel) {
   std::shared_ptr<const RegionEvaluator> evaluator(
-      MakeEvaluator(request.backend, data, request.statistic));
+      MakeEvaluator(request.backend, data, request.statistic,
+                    request.shards));
   const Bounds domain = data->ComputeBounds(request.statistic.region_cols);
   const RegionWorkload workload =
       GenerateWorkload(*evaluator, domain, request.workload, cancel);
@@ -326,6 +327,10 @@ std::vector<v2::MineResponse> MiningService::MineBatch(
 
 Status MiningService::AppendEvaluations(const MineRequest& request,
                                         const RegionWorkload& fresh) {
+  // Same shared validation the mining entry points run: this path can
+  // train a cache entry too, so an unvalidated request (bad shard
+  // count, empty workload recipe, ...) must be rejected here as well.
+  if (Status valid = v2::ValidateLegacy(request); !valid.ok()) return valid;
   bool hit = false;
   auto entry = EntryFor(request, CancelToken(), &hit);
   if (!entry.ok()) return entry.status();

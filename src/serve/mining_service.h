@@ -62,6 +62,10 @@ struct MineRequest {
   SurrogateTrainOptions surrogate;
   /// Which exact back-end labels the workload and validates results.
   BackendKind backend = BackendKind::kGridIndex;
+  /// Row-range shards for the exact back-end (execution policy, like
+  /// `backend` — not part of the cache key). 1 = the single `backend`
+  /// evaluator; >= 2 = the shard-parallel scan backend.
+  size_t shards = 1;
 
   /// Fit/use the KDE data prior (Eq. 8 guidance).
   bool use_kde = true;

@@ -16,13 +16,13 @@ ScanEvaluator::ScanEvaluator(const Dataset* data, Statistic stat)
   }
 }
 
-double ScanEvaluator::EvaluateImpl(const Region& region) const {
+double ScanEvaluator::EvaluateImpl(const Region& region,
+                                   const CancelToken& cancel) const {
   assert(region.dims() == stat_.dims());
   const size_t n = data_->num_rows();
   const size_t d = stat_.dims();
 
   StatisticAccumulator acc(stat_);
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
   const std::vector<double>* values =
       stat_.needs_value_column()
           ? &data_->column(static_cast<size_t>(stat_.value_col))
@@ -33,6 +33,7 @@ double ScanEvaluator::EvaluateImpl(const Region& region) const {
   // dimension. With column-major storage each inner access is a
   // sequential-ish read of one column.
   for (size_t r = 0; r < n; ++r) {
+    if ((r & 0xFFFF) == 0xFFFF && cancel.cancelled()) break;
     bool inside = true;
     for (size_t j = 0; j < d; ++j) {
       const double v = data_->column(stat_.region_cols[j])[r];
@@ -42,12 +43,7 @@ double ScanEvaluator::EvaluateImpl(const Region& region) const {
       }
     }
     if (!inside) continue;
-    const double v = values ? (*values)[r] : 0.0;
-    if (needs_raw) {
-      acc.AddRaw(v);
-    } else {
-      acc.Add(v);
-    }
+    acc.Add(values ? (*values)[r] : 0.0);
   }
   return acc.Finalize();
 }

@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "geom/region.h"
 #include "stats/statistic.h"
+#include "util/cancel.h"
 
 namespace surf {
 
@@ -25,8 +26,17 @@ class RegionEvaluator {
   /// Computes y = f(x, l). Returns NaN where f is undefined (mean-like
   /// statistics over empty regions).
   double Evaluate(const Region& region) const {
+    return Evaluate(region, CancelToken());
+  }
+
+  /// Cancellable form: long scans poll `cancel` between batches (the
+  /// sharded backend polls per shard, the reference scan every 64Ki
+  /// rows) and unwind early when it fires. The value returned after a
+  /// cancellation is a partial aggregate and must be discarded — callers
+  /// check the token, exactly as GenerateWorkload does.
+  double Evaluate(const Region& region, const CancelToken& cancel) const {
     evaluations_.fetch_add(1, std::memory_order_relaxed);
-    return EvaluateImpl(region);
+    return EvaluateImpl(region, cancel);
   }
 
   /// The statistic this evaluator computes.
@@ -40,7 +50,8 @@ class RegionEvaluator {
   void ResetEvaluationCount() { evaluations_.store(0); }
 
  protected:
-  virtual double EvaluateImpl(const Region& region) const = 0;
+  virtual double EvaluateImpl(const Region& region,
+                              const CancelToken& cancel) const = 0;
 
  private:
   mutable std::atomic<uint64_t> evaluations_{0};
@@ -56,7 +67,8 @@ class ScanEvaluator : public RegionEvaluator {
   const Statistic& statistic() const override { return stat_; }
 
  protected:
-  double EvaluateImpl(const Region& region) const override;
+  double EvaluateImpl(const Region& region,
+                      const CancelToken& cancel) const override;
 
  private:
   const Dataset* data_;

@@ -70,7 +70,8 @@ size_t GridIndexEvaluator::CellIndex(const std::vector<size_t>& coords) const {
   return idx;
 }
 
-double GridIndexEvaluator::EvaluateImpl(const Region& region) const {
+double GridIndexEvaluator::EvaluateImpl(const Region& region,
+                                        const CancelToken& /*cancel*/) const {
   const size_t d = stat_.dims();
   assert(region.dims() == d);
 
@@ -88,7 +89,9 @@ double GridIndexEvaluator::EvaluateImpl(const Region& region) const {
   }
 
   StatisticAccumulator acc(stat_);
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
+  // The median cannot use pre-aggregated cell blocks; every intersecting
+  // cell is scanned so the quantile sketch sees each raw value.
+  const bool block_mergeable = stat_.kind != StatisticKind::kMedian;
   const std::vector<double>* values =
       stat_.needs_value_column()
           ? &data_->column(static_cast<size_t>(stat_.value_col))
@@ -116,12 +119,7 @@ double GridIndexEvaluator::EvaluateImpl(const Region& region) const {
         }
       }
       if (!inside) continue;
-      const double v = values ? (*values)[r] : 0.0;
-      if (needs_raw) {
-        acc.AddRaw(v);
-      } else {
-        acc.Add(v);
-      }
+      acc.Add(values ? (*values)[r] : 0.0);
     }
   };
 
@@ -130,7 +128,7 @@ double GridIndexEvaluator::EvaluateImpl(const Region& region) const {
   for (;;) {
     const Cell& cell = cells_[CellIndex(coords)];
     if (!cell.rows.empty()) {
-      if (!needs_raw && cell_fully_covered(coords)) {
+      if (block_mergeable && cell_fully_covered(coords)) {
         acc.AddBlock(cell.count, cell.sum, cell.sum_sq, cell.matches);
       } else {
         scan_cell(cell);

@@ -13,8 +13,9 @@ namespace surf {
 /// Partitions the domain into `cells_per_dim^d` equal cells. Cells fully
 /// covered by the query box contribute pre-aggregated block statistics
 /// (count, sum, sum of squares, label matches) in O(1); boundary cells
-/// fall back to scanning their point lists. Exact for all statistic kinds
-/// (median collects raw values from every intersecting cell).
+/// fall back to scanning their point lists. Exact for all statistic
+/// kinds (the median scans every intersecting cell so each raw value
+/// reaches the accumulator's quantile sketch).
 ///
 /// This is one of the data-system substrates the true function f is served
 /// from; it turns the O(N) per-query cost of ScanEvaluator into roughly
@@ -32,7 +33,8 @@ class GridIndexEvaluator : public RegionEvaluator {
   size_t num_cells() const { return cells_.size(); }
 
  protected:
-  double EvaluateImpl(const Region& region) const override;
+  double EvaluateImpl(const Region& region,
+                      const CancelToken& cancel) const override;
 
  private:
   struct Cell {

@@ -98,7 +98,6 @@ void KdTreeEvaluator::ScanRange(uint32_t begin, uint32_t end,
                                 const Region& region,
                                 StatisticAccumulator* acc) const {
   const size_t d = stat_.dims();
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
   const std::vector<double>* values =
       stat_.needs_value_column()
           ? &data_->column(static_cast<size_t>(stat_.value_col))
@@ -114,12 +113,7 @@ void KdTreeEvaluator::ScanRange(uint32_t begin, uint32_t end,
       }
     }
     if (!inside) continue;
-    const double v = values ? (*values)[r] : 0.0;
-    if (needs_raw) {
-      acc->AddRaw(v);
-    } else {
-      acc->Add(v);
-    }
+    acc->Add(values ? (*values)[r] : 0.0);
   }
 }
 
@@ -142,8 +136,9 @@ void KdTreeEvaluator::Query(int32_t node_idx, const Region& region,
   }
   if (disjoint) return;
 
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
-  if (contained && !needs_raw) {
+  // Contained subtrees contribute their pre-aggregated block; the median
+  // kind instead descends so the sketch sees each raw value.
+  if (contained && stat_.kind != StatisticKind::kMedian) {
     acc->AddBlock(node.end - node.begin, node.sum, node.sum_sq,
                   node.matches);
     return;
@@ -156,7 +151,8 @@ void KdTreeEvaluator::Query(int32_t node_idx, const Region& region,
   Query(node.right, region, acc);
 }
 
-double KdTreeEvaluator::EvaluateImpl(const Region& region) const {
+double KdTreeEvaluator::EvaluateImpl(const Region& region,
+                                     const CancelToken& /*cancel*/) const {
   assert(region.dims() == stat_.dims());
   StatisticAccumulator acc(stat_);
   if (!nodes_.empty()) Query(0, region, &acc);

@@ -14,8 +14,9 @@ namespace surf {
 /// aggregates (count / sum / sum² / label matches). Queries prune whole
 /// subtrees: nodes fully inside the box contribute their aggregate in
 /// O(1), disjoint nodes are skipped, straddling nodes recurse down to leaf
-/// scans. Exact for every statistic kind; the median kind collects raw
-/// values from intersecting leaves.
+/// scans. Exact for every statistic kind below the quantile sketch's
+/// buffer capacity; the median kind scans intersecting leaves so every
+/// raw value reaches the accumulator's sketch.
 class KdTreeEvaluator : public RegionEvaluator {
  public:
   /// Builds the tree over `data` (must outlive the evaluator).
@@ -27,7 +28,8 @@ class KdTreeEvaluator : public RegionEvaluator {
   size_t num_nodes() const { return nodes_.size(); }
 
  protected:
-  double EvaluateImpl(const Region& region) const override;
+  double EvaluateImpl(const Region& region,
+                      const CancelToken& cancel) const override;
 
  private:
   struct Node {

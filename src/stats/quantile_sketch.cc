@@ -1,0 +1,122 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace surf {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+QuantileSketch::QuantileSketch(size_t capacity)
+    : capacity_(std::max<size_t>(8, capacity)) {}
+
+void QuantileSketch::Add(double value) {
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+    levels_[0].reserve(capacity_);
+  }
+  levels_[0].push_back(value);
+  ++count_;
+  // Strict `>` so the capacity-th insert is still exact, matching the
+  // header's "exact until more than `capacity` values" contract.
+  if (levels_[0].size() > capacity_) Compact(0);
+}
+
+void QuantileSketch::Compact(size_t level) {
+  if (level + 1 >= levels_.size()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  std::vector<double>& items = levels_[level];
+  std::sort(items.begin(), items.end());
+  const size_t offset = parity_[level] & 1;
+  parity_[level] ^= 1;
+  std::vector<double>& up = levels_[level + 1];
+  for (size_t i = offset; i < items.size(); i += 2) {
+    up.push_back(items[i]);
+  }
+  items.clear();
+  ++compactions_;
+  if (up.size() > capacity_) Compact(level + 1);
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  capacity_ = std::max(capacity_, other.capacity_);
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+    parity_.resize(other.levels_.size(), 0);
+  }
+  for (size_t i = 0; i < other.levels_.size(); ++i) {
+    levels_[i].insert(levels_[i].end(), other.levels_[i].begin(),
+                      other.levels_[i].end());
+  }
+  count_ += other.count_;
+  compactions_ += other.compactions_;
+  // Restore the capacity invariant bottom-up so promotions cascade in a
+  // fixed order regardless of which operand overflowed.
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].size() > capacity_) Compact(i);
+  }
+}
+
+size_t QuantileSketch::num_retained() const {
+  size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+std::vector<std::pair<double, uint64_t>> QuantileSketch::GatherSorted()
+    const {
+  std::vector<std::pair<double, uint64_t>> weighted;
+  weighted.reserve(num_retained());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const uint64_t w = uint64_t{1} << i;
+    for (double v : levels_[i]) weighted.emplace_back(v, w);
+  }
+  std::sort(weighted.begin(), weighted.end());
+  return weighted;
+}
+
+double QuantileSketch::WalkRank(
+    const std::vector<std::pair<double, uint64_t>>& weighted,
+    uint64_t rank) {
+  // Walk the cumulative weight to the target rank. Compacting an
+  // even-sized level preserves total weight exactly (m items of weight
+  // w become m/2 of weight 2w); odd sizes drift it by ±w, so a
+  // near-maximal rank can run off the end — the final fall-through
+  // answers with the largest retained value.
+  uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative > rank) return value;
+  }
+  return weighted.empty() ? kNaN : weighted.back().first;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1) + 0.5);
+  return WalkRank(GatherSorted(), rank);
+}
+
+double QuantileSketch::Median() const {
+  if (count_ == 0) return kNaN;
+  // Matches the historical exact-path convention: nth_element at n/2,
+  // averaged with the lower middle for even n. In exact mode (weights
+  // all 1) the rank walk is a plain sorted-order lookup, so the results
+  // coincide bit-for-bit with the old raw-buffer implementation. One
+  // gather+sort serves both middle ranks.
+  const std::vector<std::pair<double, uint64_t>> weighted = GatherSorted();
+  const double upper = WalkRank(weighted, count_ / 2);
+  if ((count_ & 1) == 1) return upper;
+  const double lower = WalkRank(weighted, (count_ - 1) / 2);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace surf

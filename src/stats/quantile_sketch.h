@@ -1,0 +1,106 @@
+#ifndef SURF_STATS_QUANTILE_SKETCH_H_
+#define SURF_STATS_QUANTILE_SKETCH_H_
+
+/// \file
+/// \brief Deterministic mergeable quantile sketch (KLL-style compactor
+/// hierarchy) backing the median statistic.
+///
+/// The sharded evaluation path needs every statistic to be a mergeable
+/// monoid: per-shard partial accumulators are combined in fixed shard
+/// order at the end of a scan. Count/sum/mean/variance merge exactly;
+/// the median does not — so it is served from this sketch, which is
+/// closed under Merge and keeps a provable rank-error bound.
+///
+/// Design points:
+///  - Level i holds items of weight 2^i. Level 0 is the raw insert
+///    buffer; while the total item count stays within the level-0
+///    capacity no compaction ever runs and every quantile is EXACT —
+///    small regions (the common case for box queries) pay nothing for
+///    mergeability.
+///  - Compaction sorts a full level and keeps every other element,
+///    alternating the surviving parity per level between compactions.
+///    The alternation replaces KLL's random coin: the sketch stays fully
+///    deterministic (same insert/merge sequence → bit-identical state)
+///    while the per-compaction rank bias still cancels in aggregate.
+///  - Merge concatenates levels pairwise and re-compacts; it is
+///    deterministic in the operand order, which the sharded scan fixes
+///    (shard 0, 1, 2, ...).
+///
+/// With per-level capacity k and n inserts the worst-case rank error is
+/// O(log(n/k) · n/k) ranks; with the default k = 4096 the observed error
+/// on 10^5..10^7-item streams stays well under 1% of n (the property
+/// suite asserts 2%).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace surf {
+
+/// \brief Deterministic mergeable quantile sketch; see file comment.
+class QuantileSketch {
+ public:
+  /// Default per-level item capacity (also the exactness threshold: all
+  /// queries are exact until more than this many values are inserted).
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Sketch with the given per-level capacity (floored at 8).
+  explicit QuantileSketch(size_t capacity = kDefaultCapacity);
+
+  /// Inserts one value.
+  void Add(double value);
+
+  /// Merges another sketch into this one (deterministic in operand
+  /// order). The capacities need not match; the larger of the two wins.
+  void Merge(const QuantileSketch& other);
+
+  /// Number of values inserted (across merges).
+  uint64_t count() const { return count_; }
+
+  /// True while no compaction has run — every quantile is then exact.
+  bool exact() const { return compactions_ == 0; }
+
+  /// Total compactions performed (each loses at most one unit of rank
+  /// resolution at its level's weight).
+  uint64_t compactions() const { return compactions_; }
+
+  /// Retained items across all levels (memory footprint proxy).
+  size_t num_retained() const;
+
+  /// Value whose rank is approximately `q * (count() - 1)` (lower
+  /// interpolation). NaN on an empty sketch.
+  double Quantile(double q) const;
+
+  /// The median under the same convention the exact path used: for odd
+  /// counts the middle value, for even counts the average of the two
+  /// middle values. Exact whenever exact() holds; otherwise within the
+  /// sketch's rank-error bound. NaN on an empty sketch.
+  double Median() const;
+
+ private:
+  /// Sorts level `level` and promotes every other element to level + 1,
+  /// alternating the surviving parity. Cascades when the next level
+  /// overflows.
+  void Compact(size_t level);
+
+  /// All retained (value, weight) pairs, sorted by value.
+  std::vector<std::pair<double, uint64_t>> GatherSorted() const;
+
+  /// Value at 0-based weighted rank `rank` over a GatherSorted() set.
+  static double WalkRank(
+      const std::vector<std::pair<double, uint64_t>>& weighted,
+      uint64_t rank);
+
+  size_t capacity_;
+  /// levels_[i] holds items of weight 2^i; level 0 is unsorted.
+  std::vector<std::vector<double>> levels_;
+  /// Per-level parity of the next compaction (0: keep even indices).
+  std::vector<uint8_t> parity_;
+  uint64_t count_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace surf
+
+#endif  // SURF_STATS_QUANTILE_SKETCH_H_

@@ -173,8 +173,9 @@ void RTreeEvaluator::Query(uint32_t node_idx, const Region& region,
   }
   if (disjoint || node.count == 0) return;
 
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat_.kind);
-  if (contained && !needs_raw) {
+  // Contained subtrees contribute their pre-aggregated block; the median
+  // kind instead descends so the sketch sees each raw value.
+  if (contained && stat_.kind != StatisticKind::kMedian) {
     acc->AddBlock(node.count, node.sum, node.sum_sq, node.matches);
     return;
   }
@@ -194,12 +195,7 @@ void RTreeEvaluator::Query(uint32_t node_idx, const Region& region,
         }
       }
       if (!inside) continue;
-      const double v = values ? (*values)[r] : 0.0;
-      if (needs_raw) {
-        acc->AddRaw(v);
-      } else {
-        acc->Add(v);
-      }
+      acc->Add(values ? (*values)[r] : 0.0);
     }
     return;
   }
@@ -208,7 +204,8 @@ void RTreeEvaluator::Query(uint32_t node_idx, const Region& region,
   }
 }
 
-double RTreeEvaluator::EvaluateImpl(const Region& region) const {
+double RTreeEvaluator::EvaluateImpl(const Region& region,
+                                    const CancelToken& /*cancel*/) const {
   assert(region.dims() == stat_.dims());
   StatisticAccumulator acc(stat_);
   if (!nodes_.empty()) Query(root_, region, &acc);

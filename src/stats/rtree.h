@@ -31,7 +31,8 @@ class RTreeEvaluator : public RegionEvaluator {
   size_t height() const { return height_; }
 
  protected:
-  double EvaluateImpl(const Region& region) const override;
+  double EvaluateImpl(const Region& region,
+                      const CancelToken& cancel) const override;
 
  private:
   struct Node {

@@ -84,19 +84,13 @@ Statistic Statistic::LabelRatio(std::vector<size_t> region_cols,
 double ReduceStatistic(const Dataset& data, const Statistic& stat,
                        const std::vector<size_t>& rows) {
   StatisticAccumulator acc(stat);
-  const bool needs_raw = StatisticAccumulator::NeedsRawValues(stat.kind);
   const std::vector<double>* values = nullptr;
   if (stat.needs_value_column()) {
     assert(stat.value_col >= 0);
     values = &data.column(static_cast<size_t>(stat.value_col));
   }
   for (size_t r : rows) {
-    const double v = values ? (*values)[r] : 0.0;
-    if (needs_raw) {
-      acc.AddRaw(v);
-    } else {
-      acc.Add(v);
-    }
+    acc.Add(values ? (*values)[r] : 0.0);
   }
   return acc.Finalize();
 }
@@ -109,19 +103,31 @@ void StatisticAccumulator::Add(double value) {
       value == stat_.label_value) {
     ++matches_;
   }
+  if (stat_.kind == StatisticKind::kMedian) sketch_.Add(value);
 }
 
 void StatisticAccumulator::AddBlock(size_t count, double sum, double sum_sq,
                                     size_t matches) {
-  assert(!NeedsRawValues(stat_.kind));
+  // The median cannot be pre-aggregated; block merges stay a
+  // decomposable-kind-only fast path.
+  assert(stat_.kind != StatisticKind::kMedian);
   count_ += count;
   sum_ += sum;
   sum_sq_ += sum_sq;
   matches_ += matches;
 }
 
+void StatisticAccumulator::Merge(const StatisticAccumulator& other) {
+  assert(stat_.kind == other.stat_.kind);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  matches_ += other.matches_;
+  if (stat_.kind == StatisticKind::kMedian) sketch_.Merge(other.sketch_);
+}
+
 double StatisticAccumulator::Finalize() const {
-  const size_t n = count_ + raw_.size();
+  const size_t n = count_;
   switch (stat_.kind) {
     case StatisticKind::kCount:
       return static_cast<double>(n);
@@ -139,20 +145,8 @@ double StatisticAccumulator::Finalize() const {
       return n > 0
                  ? static_cast<double>(matches_) / static_cast<double>(n)
                  : 0.0;
-    case StatisticKind::kMedian: {
-      if (raw_.empty()) return kNaN;
-      std::vector<double> v = raw_;
-      const size_t mid = v.size() / 2;
-      std::nth_element(v.begin(), v.begin() + static_cast<long>(mid),
-                       v.end());
-      double med = v[mid];
-      if (v.size() % 2 == 0) {
-        const double lower =
-            *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
-        med = 0.5 * (med + lower);
-      }
-      return med;
-    }
+    case StatisticKind::kMedian:
+      return sketch_.Median();
   }
   return kNaN;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "stats/quantile_sketch.h"
 
 namespace surf {
 
@@ -73,6 +74,15 @@ double ReduceStatistic(const Dataset& data, const Statistic& stat,
 
 /// Streaming variant used by evaluators that never materialize row lists:
 /// accumulates count / sum / sum-of-squares / matches and finalizes.
+///
+/// The accumulator is a mergeable monoid, which is what lets the sharded
+/// backend evaluate one region as independent per-shard partials combined
+/// at the end: Merge() of partial accumulators in a fixed order equals
+/// (bit-for-bit for the integer statistics, and up to floating-point
+/// reassociation for the summed ones) a single sequential accumulation.
+/// The non-decomposable median rides along through a deterministic
+/// mergeable quantile sketch (stats/quantile_sketch.h), exact until the
+/// sketch's buffer capacity is exceeded.
 class StatisticAccumulator {
  public:
   explicit StatisticAccumulator(const Statistic& stat) : stat_(stat) {}
@@ -85,14 +95,14 @@ class StatisticAccumulator {
   /// label matches). Only valid for decomposable kinds.
   void AddBlock(size_t count, double sum, double sum_sq, size_t matches);
 
-  /// For non-decomposable kinds (median) values must be retained;
-  /// returns true when the evaluator has to collect raw values.
-  static bool NeedsRawValues(StatisticKind kind) {
-    return kind == StatisticKind::kMedian;
-  }
+  /// Merges another accumulator over the same statistic (the monoid
+  /// operation). Valid for every kind, median included; callers that
+  /// need determinism fix the merge order (the sharded scan merges in
+  /// ascending shard index).
+  void Merge(const StatisticAccumulator& other);
 
-  /// Raw value sink for the median path.
-  void AddRaw(double value) { raw_.push_back(value); }
+  /// Rows accumulated so far.
+  size_t count() const { return count_; }
 
   /// Finalizes the statistic.
   double Finalize() const;
@@ -103,7 +113,8 @@ class StatisticAccumulator {
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
   size_t matches_ = 0;
-  std::vector<double> raw_;
+  /// Fed only for kMedian; empty (three pointers) otherwise.
+  QuantileSketch sketch_;
 };
 
 }  // namespace surf

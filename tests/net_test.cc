@@ -758,6 +758,103 @@ TEST(SurfHandlerTest, JobLifecycleSubmitPollCancel) {
   EXPECT_EQ(client.Request("DELETE", "/v1/jobs/nope").status, 404);
 }
 
+TEST(SurfHandlerTest, V2CodecRoundTripsExecutionShards) {
+  const SyntheticDataset ds = MakeTestData();
+  v2::MineRequest request =
+      v2::FromLegacy(MakeTestRequest("web", ds.region_cols));
+  request.api_version = 2;
+  request.execution.shards = 8;
+
+  // Encode → decode: the shard count survives the wire.
+  auto decoded = MineRequestV2FromJson(
+      ParseJson(WriteJson(MineRequestV2ToJson(request))).value(), nullptr);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->execution.shards, 8u);
+
+  // Absent field: the v1-compatible default of one shard.
+  v2::MineRequest plain = request;
+  plain.execution.shards = 1;
+  JsonValue encoded = MineRequestV2ToJson(plain);
+  ASSERT_TRUE(encoded.Find("execution")->Find("shards") != nullptr);
+  auto body = ParseJson(WriteJson(encoded));
+  ASSERT_TRUE(body.ok());
+  auto defaulted = MineRequestV2FromJson(*body, nullptr);
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted->execution.shards, 1u);
+
+  // shards: 0 normalizes to 1 through the shared validation pass...
+  v2::MineRequest zero = request;
+  zero.execution.shards = 0;
+  auto normalized = MineRequestV2FromJson(
+      ParseJson(WriteJson(MineRequestV2ToJson(zero))).value(), nullptr);
+  ASSERT_TRUE(normalized.ok());
+  EXPECT_EQ(normalized->execution.shards, 1u);
+
+  // ...while an absurd shard count is rejected at decode time.
+  v2::MineRequest excessive = request;
+  excessive.execution.shards = 100000;
+  auto rejected = MineRequestV2FromJson(
+      ParseJson(WriteJson(MineRequestV2ToJson(excessive))).value(), nullptr);
+  EXPECT_FALSE(rejected.ok());
+
+  // The legacy flat schema carries the field too (v1 bodies without it
+  // keep the single-evaluator default).
+  MineRequest legacy = MakeTestRequest("web", ds.region_cols);
+  legacy.shards = 4;
+  auto legacy_decoded = MineRequestFromJson(
+      ParseJson(WriteJson(MineRequestToJson(legacy))).value(), nullptr);
+  ASSERT_TRUE(legacy_decoded.ok());
+  EXPECT_EQ(legacy_decoded->shards, 4u);
+}
+
+TEST(SurfHandlerTest, JobsPathShardsOneVsEightIdenticalResponses) {
+  // Two fresh servers, same dataset, same v2 job — one labelled through
+  // the classic single evaluator, one through eight range-partitioned
+  // shards. The mined count statistic is integer-exact under sharding,
+  // so the terminal job responses must agree region for region.
+  const SyntheticDataset ds = MakeTestData();
+
+  auto run_job = [&](size_t shards) -> std::string {
+    TestServer ts;
+    EXPECT_TRUE(ts.start_status.ok());
+    EXPECT_TRUE(ts.service->RegisterDataset("web", ds.data).ok());
+    TestClient client;
+    EXPECT_TRUE(client.Connect(ts.server->port()));
+
+    v2::MineRequest request =
+        v2::FromLegacy(MakeTestRequest("web", ds.region_cols));
+    request.api_version = 2;
+    request.execution.shards = shards;
+    ClientResponse submitted = client.Request(
+        "POST", "/v1/jobs", WriteJson(MineRequestV2ToJson(request)));
+    EXPECT_EQ(submitted.status, 202) << submitted.body;
+    auto submit_body = ParseJson(submitted.body);
+    EXPECT_TRUE(submit_body.ok());
+    const std::string id = submit_body->Find("job_id")->string_value();
+
+    for (int i = 0; i < 30000; ++i) {
+      ClientResponse polled = client.Request("GET", "/v1/jobs/" + id);
+      EXPECT_EQ(polled.status, 200);
+      auto body = ParseJson(polled.body);
+      EXPECT_TRUE(body.ok());
+      if (const JsonValue* response = body->Find("response")) {
+        EXPECT_EQ(response->Find("status")->Find("code")->string_value(),
+                  "ok");
+        return WriteJson(*response->Find("result")->Find("regions"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ADD_FAILURE() << "job with shards=" << shards << " never finished";
+    return "";
+  };
+
+  const std::string regions_one_shard = run_job(1);
+  const std::string regions_eight_shards = run_job(8);
+  ASSERT_FALSE(regions_one_shard.empty());
+  EXPECT_GT(regions_one_shard.size(), 2u);  // mined something, not "[]"
+  EXPECT_EQ(regions_one_shard, regions_eight_shards);
+}
+
 TEST(SurfHandlerTest, BlockingMineDeadlineCancelsAndAnswers408) {
   const SyntheticDataset ds = MakeTestData();
   TestServer ts;

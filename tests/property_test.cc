@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "core/surf.h"
+#include "data/sharded.h"
 #include "data/synthetic.h"
 #include "ml/gbrt.h"
 #include "ml/kde.h"
@@ -17,7 +18,9 @@
 #include "opt/objective.h"
 #include "stats/grid_index.h"
 #include "stats/kd_tree.h"
+#include "stats/quantile_sketch.h"
 #include "stats/rtree.h"
+#include "stats/sharded_evaluator.h"
 #include "util/rng.h"
 #include "util/summary.h"
 
@@ -168,6 +171,141 @@ INSTANTIATE_TEST_SUITE_P(
       return "seed" + std::to_string(std::get<0>(info.param)) + "_d" +
              std::to_string(std::get<1>(info.param));
     });
+
+// --------------------------------------------------- Quantile-sketch laws
+
+class QuantileSketchLawsTest : public ::testing::TestWithParam<int> {};
+
+/// Fraction of `sorted` strictly below `v` — the empirical rank the
+/// sketch's median estimate lands at.
+double EmpiricalRank(const std::vector<double>& sorted, double v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+TEST_P(QuantileSketchLawsTest, ExactBelowBufferCapacity) {
+  // Until the buffer capacity is exceeded no compaction runs and the
+  // median must equal the historical raw-buffer convention bit-for-bit
+  // (odd: middle element; even: mean of the two middle elements).
+  Rng rng(static_cast<uint64_t>(GetParam()) + 900);
+  for (size_t n : {1u, 2u, 7u, 100u, 1001u}) {
+    QuantileSketch sketch;
+    std::vector<double> values;
+    for (size_t i = 0; i < n; ++i) {
+      const double v = rng.Gaussian(0.0, 10.0);
+      sketch.Add(v);
+      values.push_back(v);
+    }
+    ASSERT_TRUE(sketch.exact());
+    std::sort(values.begin(), values.end());
+    const size_t mid = n / 2;
+    const double expected =
+        (n % 2 == 1) ? values[mid] : 0.5 * (values[mid - 1] + values[mid]);
+    EXPECT_EQ(sketch.Median(), expected) << "n=" << n;
+    EXPECT_EQ(sketch.Quantile(0.0), values.front());
+    EXPECT_EQ(sketch.Quantile(1.0), values.back());
+  }
+}
+
+TEST_P(QuantileSketchLawsTest, MedianRankErrorBoundAcrossDistributions) {
+  // Past the buffer capacity the sketch compacts; the reported median
+  // must stay within 2% rank error of the true median for benign and
+  // adversarial (sorted) input orders alike.
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) + 1000;
+  const size_t n = 60000;
+  for (int dist = 0; dist < 5; ++dist) {
+    Rng rng(seed * 13 + static_cast<uint64_t>(dist));
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (dist) {
+        case 0: values.push_back(rng.Uniform()); break;
+        case 1: values.push_back(rng.Gaussian(5.0, 2.0)); break;
+        case 2:  // heavy-tailed: exponential via inverse transform
+          values.push_back(-std::log(1.0 - rng.Uniform(0.0, 0.999999)));
+          break;
+        case 3:  // bimodal
+          values.push_back(rng.Bernoulli(0.5) ? rng.Gaussian(-10.0, 1.0)
+                                              : rng.Gaussian(10.0, 1.0));
+          break;
+        default:  // sorted ascending (adversarial insert order)
+          values.push_back(static_cast<double>(i));
+      }
+    }
+    QuantileSketch sketch;
+    for (double v : values) sketch.Add(v);
+    EXPECT_FALSE(sketch.exact());
+    EXPECT_LT(sketch.num_retained(), n / 4);  // actually sketching
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = EmpiricalRank(sorted, sketch.Median());
+    EXPECT_NEAR(rank, 0.5, 0.02) << "distribution " << dist;
+    for (double q : {0.1, 0.25, 0.75, 0.9}) {
+      EXPECT_NEAR(EmpiricalRank(sorted, sketch.Quantile(q)), q, 0.03)
+          << "distribution " << dist << " q=" << q;
+    }
+  }
+}
+
+TEST_P(QuantileSketchLawsTest, MergeIsDeterministicAndBounded) {
+  // Merging shard-local sketches in fixed order is deterministic
+  // (bit-identical across runs) and stays within the rank bound.
+  const uint64_t seed = static_cast<uint64_t>(GetParam()) + 1100;
+  const size_t n = 40000, chunks = 8;
+  auto build_merged = [&] {
+    Rng rng(seed);
+    std::vector<double> values;
+    for (size_t i = 0; i < n; ++i) values.push_back(rng.Gaussian(0.0, 3.0));
+    QuantileSketch merged;
+    for (size_t c = 0; c < chunks; ++c) {
+      QuantileSketch part;
+      for (size_t i = c * (n / chunks); i < (c + 1) * (n / chunks); ++i) {
+        part.Add(values[i]);
+      }
+      merged.Merge(part);
+    }
+    std::sort(values.begin(), values.end());
+    return std::make_pair(merged.Median(), EmpiricalRank(values,
+                                                         merged.Median()));
+  };
+  const auto [median_a, rank_a] = build_merged();
+  const auto [median_b, rank_b] = build_merged();
+  EXPECT_EQ(median_a, median_b);  // deterministic, no RNG inside
+  EXPECT_EQ(rank_a, rank_b);
+  EXPECT_NEAR(rank_a, 0.5, 0.02);
+}
+
+TEST_P(QuantileSketchLawsTest, ShardedMedianWorkloadIsSeedStable) {
+  // End to end: labelling a median workload through the sharded backend
+  // twice with the same seed must produce identical targets — the
+  // sketch is deterministic, the merge order is fixed, and the query
+  // draw is seeded.
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  const Dataset ds = RandomDataset(8000, 2, seed + 1200);
+  auto label = [&] {
+    ShardingOptions options;
+    options.num_shards = 8;
+    options.order_by = 0;
+    ShardedScanEvaluator sharded(ShardedDataset::Partition(ds, options),
+                                 Statistic::MedianOf({0, 1}, 2), 2);
+    WorkloadParams params;
+    params.num_queries = 300;
+    params.seed = seed;
+    return GenerateWorkload(sharded, ds.ComputeBounds({0, 1}), params)
+        .targets;
+  };
+  const std::vector<double> first = label();
+  const std::vector<double> second = label();
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_GT(first.size(), 0u);
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "target " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileSketchLawsTest,
+                         ::testing::Values(1, 2, 3));
 
 // ----------------------------------------------------- Objective laws
 

@@ -24,6 +24,7 @@
 //   dataset NAME PATH.csv
 //   mine dataset=NAME cols=x,y stat=count threshold=800 [direction=above]
 //        [queries=10000] [c=4] [max-regions=16] [iterations=120] [topk=K]
+//        [shards=N]
 // Requests sharing (dataset, statistic, training recipe) share one cached
 // surrogate — the first request trains it, the rest reuse it.
 
@@ -66,6 +67,10 @@ void PrintUsage() {
       "           --value-col NAME     (avg/sum/median/var/ratio)\n"
       "           --label VALUE        (ratio)\n"
       "           --queries N          past evaluations to learn from\n"
+      "           --shards N           row-range shards for the exact\n"
+      "                                back-end (1 = classic single\n"
+      "                                evaluator; >=2 = shard-parallel\n"
+      "                                scan with summary pruning)\n"
       "           --hypertune          GridSearchCV before the final fit\n"
       "  mine:    --threshold Y  --direction above|below  --c C\n"
       "           --model FILE         mine with a saved surrogate; the\n"
@@ -155,6 +160,7 @@ SurfOptions ParseOptions(const CliFlags& flags) {
       static_cast<size_t>(flags.GetInt("max-regions", 16));
   options.finder.gso.max_iterations =
       static_cast<size_t>(flags.GetInt("iterations", 120));
+  options.shards = static_cast<size_t>(flags.GetInt("shards", 1));
   return options;
 }
 
@@ -362,6 +368,7 @@ StatusOr<MineRequest> ParseMineLine(const MiningService& service,
   }
   request.workload.num_queries =
       static_cast<size_t>(args.GetInt("queries", 10000));
+  request.shards = static_cast<size_t>(args.GetInt("shards", 1));
   return request;
 }
 
