@@ -41,6 +41,7 @@
 #include "net/surf_handler.h"
 #include "serve/mining_service.h"
 #include "util/cli.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/stopwatch.h"
 
@@ -161,6 +162,14 @@ struct HttpBenchReport {
   double cancelled_job_seconds = 0.0;
   double cancel_reclaim_ratio = 0.0;
   bool cancel_clean = false;
+  uint64_t fault_requests = 0;
+  uint64_t fault_ok = 0;
+  double fault_availability = 0.0;
+  double fault_baseline_p99_ms = 0.0;
+  double fault_p99_ms = 0.0;
+  uint64_t fault_degraded_serves = 0;
+  uint64_t fault_training_failures = 0;
+  bool fault_clean = false;
 };
 
 void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
@@ -186,7 +195,15 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                "  \"run_to_completion_seconds\": %.3f,\n"
                "  \"cancelled_job_seconds\": %.3f,\n"
                "  \"cancel_reclaim_ratio\": %.4f,\n"
-               "  \"cancel_clean\": %s\n"
+               "  \"cancel_clean\": %s,\n"
+               "  \"fault_requests\": %llu,\n"
+               "  \"fault_ok\": %llu,\n"
+               "  \"fault_availability\": %.4f,\n"
+               "  \"fault_baseline_p99_ms\": %.3f,\n"
+               "  \"fault_p99_ms\": %.3f,\n"
+               "  \"fault_degraded_serves\": %llu,\n"
+               "  \"fault_training_failures\": %llu,\n"
+               "  \"fault_clean\": %s\n"
                "}\n",
                r.connections, r.duration_seconds,
                static_cast<unsigned long long>(r.requests),
@@ -197,7 +214,13 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                static_cast<unsigned long long>(r.drain_partial),
                r.drain_clean ? "true" : "false",
                r.run_to_completion_seconds, r.cancelled_job_seconds,
-               r.cancel_reclaim_ratio, r.cancel_clean ? "true" : "false");
+               r.cancel_reclaim_ratio, r.cancel_clean ? "true" : "false",
+               static_cast<unsigned long long>(r.fault_requests),
+               static_cast<unsigned long long>(r.fault_ok),
+               r.fault_availability, r.fault_baseline_p99_ms, r.fault_p99_ms,
+               static_cast<unsigned long long>(r.fault_degraded_serves),
+               static_cast<unsigned long long>(r.fault_training_failures),
+               r.fault_clean ? "true" : "false");
   std::fclose(f);
 }
 
@@ -535,6 +558,149 @@ int main(int argc, char** argv) {
     server.Shutdown();
   }
 
+  // ---- phase 4: availability under injected training faults (ISSUE 6
+  // acceptance). A short-TTL cache forces continual revalidation while
+  // the serve.train failpoint fails 5% of trainings; stale-while-
+  // revalidate must keep answering 200 (flagged degraded when a retrain
+  // fails) instead of surfacing 500s. Gates: availability >= 99% and a
+  // fault-phase p99 no worse than 2x the in-phase (fault-free) p99
+  // measured against the same short-TTL retrain cadence.
+  {
+    MiningService::Options service_options;
+    service_options.cache.max_age_seconds = 0.1;  // continual revalidation
+    service_options.cache.stale_while_revalidate = true;
+    MiningService service(service_options);
+    // A lighter recipe than phase 1: retrains complete in tens of
+    // milliseconds, so the run packs in enough training attempts for a
+    // 5% fire rate to actually produce failures worth surviving.
+    MineRequest fault_request = request;
+    fault_request.workload.num_queries = 300;
+    fault_request.surrogate.gbrt.n_estimators = 30;
+    fault_request.finder.gso.max_iterations = 20;
+    const std::string fault_wire =
+        WireRequest("/v1/mine", WriteJson(MineRequestToJson(fault_request)));
+    if (auto st = service.RegisterDataset("bench", ds.data); !st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServerMetrics metrics;
+    SurfHandler handler(&service, &metrics);
+    const size_t fault_connections = std::min<size_t>(connections, 8);
+    HttpServer::Options options;
+    options.max_inflight = fault_connections + 4;
+    options.num_workers = fault_connections + 4;
+    HttpServer server(options, handler.AsHttpHandler());
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    {
+      BenchClient warmer;
+      int status = 0;
+      std::string body;
+      if (!warmer.Connect(server.port()) ||
+          warmer.Request(fault_wire, &status, &body) !=
+              RequestOutcome::kComplete ||
+          status != 200) {
+        std::fprintf(stderr, "fault-phase warmup failed (status %d)\n",
+                     status);
+        return 1;
+      }
+    }
+
+    // One closed-loop sub-phase; latencies and 200-counts per run.
+    const auto run_subphase = [&](double run_seconds,
+                                  std::vector<double>* latencies_out,
+                                  uint64_t* total_out, uint64_t* ok_out) {
+      std::atomic<bool> stop{false};
+      std::vector<std::vector<double>> latencies(fault_connections);
+      std::vector<uint64_t> totals(fault_connections, 0);
+      std::vector<uint64_t> oks(fault_connections, 0);
+      std::vector<std::thread> workers;
+      workers.reserve(fault_connections);
+      const uint16_t port = server.port();
+      for (size_t i = 0; i < fault_connections; ++i) {
+        workers.emplace_back([&, i] {
+          BenchClient client;
+          if (!client.Connect(port)) return;
+          while (!stop.load(std::memory_order_relaxed)) {
+            Stopwatch timer;
+            int status = 0;
+            std::string body;
+            if (client.Request(fault_wire, &status, &body) !=
+                RequestOutcome::kComplete) {
+              break;
+            }
+            ++totals[i];
+            if (status == 200) {
+              ++oks[i];
+              latencies[i].push_back(timer.ElapsedMillis());
+            }
+          }
+        });
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(run_seconds * 1000)));
+      stop.store(true);
+      for (std::thread& t : workers) t.join();
+      for (size_t i = 0; i < fault_connections; ++i) {
+        latencies_out->insert(latencies_out->end(), latencies[i].begin(),
+                              latencies[i].end());
+        *total_out += totals[i];
+        *ok_out += oks[i];
+      }
+    };
+
+    std::printf("== fault injection: %zu connections, 0.1s cache TTL, "
+                "serve.train failing 5%% of retrains ==\n",
+                fault_connections);
+    std::vector<double> baseline_latencies;
+    uint64_t baseline_total = 0, baseline_ok = 0;
+    run_subphase(seconds, &baseline_latencies, &baseline_total,
+                 &baseline_ok);
+    report.fault_baseline_p99_ms = PercentileMs(&baseline_latencies, 0.99);
+
+    const SurrogateCache::Stats before = service.cache().stats();
+    FailpointRegistry::Global().SetSeed(2026);
+    if (auto st =
+            FailpointRegistry::Global().Set("serve.train", "prob:0.05");
+        !st.ok()) {
+      std::fprintf(stderr, "failpoint arm failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::vector<double> fault_latencies;
+    run_subphase(seconds, &fault_latencies, &report.fault_requests,
+                 &report.fault_ok);
+    FailpointRegistry::Global().ClearAll();
+    server.Shutdown();
+
+    const SurrogateCache::Stats after = service.cache().stats();
+    report.fault_p99_ms = PercentileMs(&fault_latencies, 0.99);
+    report.fault_availability =
+        report.fault_requests == 0
+            ? 0.0
+            : static_cast<double>(report.fault_ok) /
+                  static_cast<double>(report.fault_requests);
+    report.fault_degraded_serves =
+        after.degraded_serves - before.degraded_serves;
+    report.fault_training_failures =
+        after.training_failures - before.training_failures;
+    report.fault_clean =
+        report.fault_requests > 0 && report.fault_availability >= 0.99 &&
+        report.fault_p99_ms <= 2.0 * report.fault_baseline_p99_ms;
+    std::printf(
+        "fault phase: %llu requests, availability %.4f, p99 %.2fms vs "
+        "baseline p99 %.2fms, %llu degraded serves, %llu training "
+        "failures -> %s\n",
+        static_cast<unsigned long long>(report.fault_requests),
+        report.fault_availability, report.fault_p99_ms,
+        report.fault_baseline_p99_ms,
+        static_cast<unsigned long long>(report.fault_degraded_serves),
+        static_cast<unsigned long long>(report.fault_training_failures),
+        report.fault_clean ? "clean" : "DEGRADATION GATE FAILED");
+  }
+
   const char* json_env = std::getenv("SURF_BENCH_HTTP_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_http.json";
@@ -557,6 +723,14 @@ int main(int argc, char** argv) {
                  "(%.3fs vs %.3fs run-to-completion)\n",
                  report.cancelled_job_seconds,
                  report.run_to_completion_seconds);
+    return 1;
+  }
+  if (!report.fault_clean) {
+    std::fprintf(stderr,
+                 "FAIL: fault-injection gate (availability %.4f < 0.99 or "
+                 "p99 %.2fms > 2x baseline %.2fms)\n",
+                 report.fault_availability, report.fault_p99_ms,
+                 report.fault_baseline_p99_ms);
     return 1;
   }
   return 0;

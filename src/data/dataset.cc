@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/csv.h"
+#include "util/failpoint.h"
 
 namespace surf {
 
@@ -82,6 +83,7 @@ Status Dataset::SaveCsv(const std::string& path) const {
 }
 
 StatusOr<Dataset> Dataset::LoadCsv(const std::string& path) {
+  SURF_FAILPOINT("data.load_csv");
   auto table = ReadCsv(path);
   if (!table.ok()) return table.status();
   Dataset ds(table->header);

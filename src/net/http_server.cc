@@ -14,7 +14,9 @@
 #include <cstring>
 #include <limits>
 
+#include "util/failpoint.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace surf {
@@ -219,10 +221,10 @@ void HttpServer::AcceptLoop() {
     if (!admit) {
       // Backpressure: answer 429 inline on the acceptor thread (a fixed
       // small write) rather than queueing unbounded work.
-      WriteResponse(fd,
-                    JsonErrorResponse(429, "overloaded",
-                                      "server at max in-flight connections"),
-                    /*keep_alive=*/false);
+      HttpResponse rejected = JsonErrorResponse(
+          429, "overloaded", "server at max in-flight connections");
+      rejected.headers.emplace_back("Retry-After", "1");
+      WriteResponse(fd, rejected, /*keep_alive=*/false);
       // The client may have already sent its request; close() with
       // unread bytes in the receive queue provokes an RST that can
       // discard the 429 before the client reads it. Half-close our
@@ -415,6 +417,32 @@ int HttpServer::ReadRequest(int fd, HttpRequest* request) {
   return 1;
 }
 
+bool SendAll(int fd, const char* data, size_t size, double timeout_seconds) {
+  // A delay action here stalls the write (slow-client simulation); an
+  // error action drops the response as if the peer vanished mid-write.
+  if (!MaybeFailpoint("net.write").ok()) return false;
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  size_t sent = 0;
+  while (sent < size) {
+    if (Expired(deadline)) return false;
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // should not happen; treat as a dead peer
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel buffer full (tiny SO_SNDBUF, slow reader): wait for
+      // writability in bounded slices so the deadline stays live.
+      PollSlice(fd, POLLOUT, deadline);
+      continue;
+    }
+    return false;  // hard send error (ECONNRESET, EPIPE, ...)
+  }
+  return true;
+}
+
 bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
                                bool keep_alive) {
   std::string out;
@@ -429,24 +457,22 @@ bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
   out.append(std::to_string(response.body.size()));
   out.append("\r\nConnection: ");
   out.append(keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : response.headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
   out.append("\r\n\r\n");
   out.append(response.body);
 
-  const auto deadline = DeadlineAfter(options_.request_deadline_seconds);
-  size_t sent = 0;
-  while (sent < out.size()) {
-    if (Expired(deadline)) return false;
-    PollSlice(fd, POLLOUT, deadline);
-    const ssize_t n =
-        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-    } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-               errno != EINTR) {
-      return false;
-    }
+  const bool ok =
+      SendAll(fd, out.data(), out.size(), options_.request_deadline_seconds);
+  if (!ok) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_failures;
   }
-  return true;
+  return ok;
 }
 
 void HttpServer::ServeConnection(int fd) {
@@ -458,8 +484,20 @@ void HttpServer::ServeConnection(int fd) {
     HttpResponse response;
     try {
       response = handler_(request);
-    } catch (...) {
+    } catch (const std::exception& e) {
+      // A handler bug must not kill the worker or vanish silently: log
+      // it, count it, and tell the client something went wrong.
+      SURF_LOG(kError) << "handler threw for " << request.method << " "
+                       << request.target << ": " << e.what();
       response = JsonErrorResponse(500, "internal", "handler threw");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.worker_exceptions;
+    } catch (...) {
+      SURF_LOG(kError) << "handler threw a non-exception type for "
+                       << request.method << " " << request.target;
+      response = JsonErrorResponse(500, "internal", "handler threw");
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.worker_exceptions;
     }
 
     // Close after this response when the client asked to, or when the

@@ -61,6 +61,9 @@ struct HttpResponse {
   int status_code = 200;
   /// Content-Type header value.
   std::string content_type = "application/json";
+  /// Extra response headers (name, value) emitted verbatim after the
+  /// standard ones — e.g. {"Retry-After", "5"} on 429/503 answers.
+  std::vector<std::pair<std::string, std::string>> headers;
   /// Response body.
   std::string body;
 };
@@ -72,6 +75,14 @@ HttpResponse JsonErrorResponse(int status_code, const std::string& code,
 
 /// The standard reason phrase for a status code ("OK", "Not Found", ...).
 const char* HttpReasonPhrase(int status_code);
+
+/// Sends all `size` bytes of `data` on `fd` within `timeout_seconds`,
+/// absorbing partial writes, EINTR, and EAGAIN/EWOULDBLOCK (waiting for
+/// writability in bounded poll slices). Returns false on any hard send
+/// error or when the timeout expires before the last byte is accepted.
+/// Exposed for the transport tests; the server's own response path (and
+/// its 429 fast path) is built on it.
+bool SendAll(int fd, const char* data, size_t size, double timeout_seconds);
 
 /// \brief Application callback: one request in, one response out.
 /// Invoked concurrently from worker threads; must be thread-safe.
@@ -122,6 +133,11 @@ class HttpServer {
     uint64_t request_timeouts = 0;
     /// Requests rejected by the HTTP parser (400/413/501).
     uint64_t parse_errors = 0;
+    /// Handler invocations that threw an exception (answered 500).
+    uint64_t worker_exceptions = 0;
+    /// Responses whose socket write failed (peer gone, injected fault,
+    /// or write deadline expired); the connection is dropped.
+    uint64_t write_failures = 0;
     /// Connections currently being served.
     uint64_t inflight = 0;
   };

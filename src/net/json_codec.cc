@@ -554,6 +554,9 @@ int HttpStatusFromStatus(const Status& status) {
     // Cancellation surfaces as 408: the dominant producer is a deadline
     // (transport or execution.deadline_seconds) firing mid-request.
     case StatusCode::kCancelled: return 408;
+    // Fail-fast refusals (open circuit breaker): the client should back
+    // off and retry later (Retry-After rides along on the response).
+    case StatusCode::kUnavailable: return 503;
   }
   return 500;
 }
@@ -570,6 +573,7 @@ std::string StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "internal";
     case StatusCode::kAlreadyExists: return "already_exists";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "internal";
 }
@@ -587,6 +591,7 @@ StatusOr<StatusCode> StatusCodeFromName(const std::string& name) {
   if (name == "internal") return StatusCode::kInternal;
   if (name == "already_exists") return StatusCode::kAlreadyExists;
   if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "unavailable") return StatusCode::kUnavailable;
   return Status::InvalidArgument("unknown status code '" + name + "'");
 }
 
@@ -658,6 +663,12 @@ JsonValue ProvenanceToJson(const SurrogateProvenance& provenance) {
           JsonValue(static_cast<double>(provenance.warm_starts)));
   obj.Set("pending_examples",
           JsonValue(static_cast<double>(provenance.pending_examples)));
+  // Only emitted when set, so non-degraded payloads stay byte-identical
+  // to the pre-degradation schema (absent ⇒ false on decode).
+  if (provenance.degraded) {
+    obj.Set("degraded", JsonValue(true));
+    obj.Set("degraded_reason", JsonValue(provenance.degraded_reason));
+  }
   return obj;
 }
 
@@ -681,6 +692,10 @@ StatusOr<SurrogateProvenance> ProvenanceFromJson(const JsonValue& json) {
   SURF_RETURN_IF_ERROR(ReadSize(json, "warm_starts", &p.warm_starts));
   SURF_RETURN_IF_ERROR(
       ReadSize(json, "pending_examples", &p.pending_examples));
+  // Optional on the wire (absent in pre-degradation payloads ⇒ false).
+  SURF_RETURN_IF_ERROR(ReadBool(json, "degraded", &p.degraded));
+  SURF_RETURN_IF_ERROR(
+      ReadString(json, "degraded_reason", &p.degraded_reason));
   return p;
 }
 

@@ -56,7 +56,9 @@ double ServerMetrics::LatencyQuantileSeconds(double q) const {
   return kLatencyBucketsSeconds.back();
 }
 
-std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache) const {
+std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
+                                            const ServiceFigures& service)
+    const {
   std::string out;
   out.reserve(2048);
 
@@ -108,6 +110,19 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache) const {
                          std::to_string(cache.hits));
   AppendMetric(&out, "surf_cache_requests_total{outcome=\"miss\"} " +
                          std::to_string(cache.misses));
+  AppendMetric(&out, "surf_cache_requests_total{outcome=\"degraded\"} " +
+                         std::to_string(cache.degraded_serves));
+  AppendMetric(&out, "surf_cache_requests_total{outcome=\"negative\"} " +
+                         std::to_string(cache.negative_hits));
+  AppendMetric(&out, "surf_cache_requests_total{outcome=\"rejected\"} " +
+                         std::to_string(cache.breaker_rejections));
+
+  AppendMetric(&out,
+               "# HELP surf_cache_training_failures_total Surrogate "
+               "training attempts that failed (before any fallback).");
+  AppendMetric(&out, "# TYPE surf_cache_training_failures_total counter");
+  AppendMetric(&out, "surf_cache_training_failures_total " +
+                         std::to_string(cache.training_failures));
 
   AppendMetric(&out,
                "# HELP surf_cache_evictions_total Surrogate-cache "
@@ -132,6 +147,36 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache) const {
                 FormatSeconds(lookups == 0 ? 0.0
                                            : static_cast<double>(cache.hits) /
                                                  static_cast<double>(lookups)));
+
+  AppendMetric(&out,
+               "# HELP surf_jobs_tracked Jobs registered in the job table "
+               "(live + retained finished).");
+  AppendMetric(&out, "# TYPE surf_jobs_tracked gauge");
+  AppendMetric(&out,
+               "surf_jobs_tracked " + std::to_string(service.jobs_tracked));
+
+  AppendMetric(&out,
+               "# HELP surf_jobs_evicted_total Finished jobs evicted from "
+               "the job table by retention (count or age cap).");
+  AppendMetric(&out, "# TYPE surf_jobs_evicted_total counter");
+  AppendMetric(&out, "surf_jobs_evicted_total " +
+                         std::to_string(service.jobs_evicted));
+
+  if (service.has_transport) {
+    AppendMetric(&out,
+                 "# HELP surf_http_worker_exceptions_total Handler "
+                 "invocations that threw (answered 500).");
+    AppendMetric(&out, "# TYPE surf_http_worker_exceptions_total counter");
+    AppendMetric(&out, "surf_http_worker_exceptions_total " +
+                           std::to_string(service.worker_exceptions));
+
+    AppendMetric(&out,
+                 "# HELP surf_http_write_failures_total Responses whose "
+                 "socket write failed (peer gone or write deadline).");
+    AppendMetric(&out, "# TYPE surf_http_write_failures_total counter");
+    AppendMetric(&out, "surf_http_write_failures_total " +
+                           std::to_string(service.write_failures));
+  }
   return out;
 }
 

@@ -56,10 +56,32 @@ class ServerMetrics {
     uint64_t evictions = 0;
     uint64_t stale_evictions = 0;
     uint64_t entries = 0;
+    uint64_t degraded_serves = 0;
+    uint64_t negative_hits = 0;
+    uint64_t breaker_rejections = 0;
+    uint64_t training_failures = 0;
+  };
+
+  /// \brief Service-level figures (job table + transport health) the
+  /// exporter publishes alongside request metrics.
+  struct ServiceFigures {
+    uint64_t jobs_tracked = 0;
+    uint64_t jobs_evicted = 0;
+    /// Whether the transport counters below carry live values (false
+    /// when metrics are rendered outside a running server).
+    bool has_transport = false;
+    uint64_t worker_exceptions = 0;
+    uint64_t write_failures = 0;
   };
 
   /// Renders every metric in Prometheus text format (version 0.0.4).
-  std::string RenderPrometheus(const CacheFigures& cache) const;
+  std::string RenderPrometheus(const CacheFigures& cache,
+                               const ServiceFigures& service) const;
+  /// Convenience overload: no service-level figures (job gauges read 0,
+  /// transport series are omitted).
+  std::string RenderPrometheus(const CacheFigures& cache) const {
+    return RenderPrometheus(cache, ServiceFigures());
+  }
 
  private:
   mutable std::mutex mu_;

@@ -4,6 +4,7 @@
 
 #include "api/api.h"
 #include "core/workload.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace surf {
@@ -47,8 +48,12 @@ JsonValue JobProgressToJson(const MineJob::Progress& progress) {
 
 }  // namespace
 
-SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics)
-    : service_(service), metrics_(metrics) {
+SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics,
+                         Options options)
+    : service_(service),
+      metrics_(metrics),
+      options_(options),
+      jobs_(options.job_retention) {
   routes_ = {
       {"GET", "/healthz", false, &SurfHandler::HandleHealthz},
       {"GET", "/metrics", false, &SurfHandler::HandleMetrics},
@@ -62,6 +67,18 @@ SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics)
       {"GET", "/v1/jobs/", true, &SurfHandler::HandleGetJob},
       {"DELETE", "/v1/jobs/", true, &SurfHandler::HandleCancelJob},
   };
+  // The admin surface exists only when explicitly enabled; a production
+  // handler answers 404 on these paths like any other unknown route.
+  if (options_.enable_failpoint_admin) {
+    routes_.push_back(
+        {"GET", "/v1/failpoints", false, &SurfHandler::HandleListFailpoints});
+    routes_.push_back(
+        {"POST", "/v1/failpoints", false, &SurfHandler::HandleArmFailpoints});
+    routes_.push_back({"DELETE", "/v1/failpoints", false,
+                       &SurfHandler::HandleClearFailpoints});
+    routes_.push_back({"DELETE", "/v1/failpoints/", true,
+                       &SurfHandler::HandleClearOneFailpoint});
+  }
 }
 
 HttpResponse SurfHandler::Handle(const HttpRequest& request) {
@@ -137,9 +154,27 @@ HttpResponse SurfHandler::HandleMetrics(const HttpRequest&,
   cache.evictions = stats.evictions;
   cache.stale_evictions = stats.stale_evictions;
   cache.entries = service_->cache().size();
+  cache.degraded_serves = stats.degraded_serves;
+  cache.negative_hits = stats.negative_hits;
+  cache.breaker_rejections = stats.breaker_rejections;
+  cache.training_failures = stats.training_failures;
+
+  // Scraping /metrics also runs the job table's age sweep, so evictions
+  // advance even on an otherwise idle server.
+  jobs_.Sweep();
+  ServerMetrics::ServiceFigures service;
+  service.jobs_tracked = jobs_.size();
+  service.jobs_evicted = jobs_.evictions();
+  if (transport_stats_) {
+    const HttpServer::Stats transport = transport_stats_();
+    service.has_transport = true;
+    service.worker_exceptions = transport.worker_exceptions;
+    service.write_failures = transport.write_failures;
+  }
+
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
-  response.body = metrics_->RenderPrometheus(cache);
+  response.body = metrics_->RenderPrometheus(cache, service);
   return response;
 }
 
@@ -156,6 +191,14 @@ HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&,
   body.Set("entries", JsonValue(static_cast<double>(service_->cache().size())));
   body.Set("capacity",
            JsonValue(static_cast<double>(service_->cache().options().capacity)));
+  body.Set("degraded_serves",
+           JsonValue(static_cast<double>(stats.degraded_serves)));
+  body.Set("negative_hits",
+           JsonValue(static_cast<double>(stats.negative_hits)));
+  body.Set("breaker_rejections",
+           JsonValue(static_cast<double>(stats.breaker_rejections)));
+  body.Set("training_failures",
+           JsonValue(static_cast<double>(stats.training_failures)));
   body.Set("hit_ratio",
            JsonValue(lookups == 0 ? 0.0
                                   : static_cast<double>(stats.hits) /
@@ -271,7 +314,21 @@ HttpResponse SurfHandler::HandleMine(const HttpRequest& request,
   const v2::MineResponse response = service_->Mine(*decoded);
   if (!response.status.ok() &&
       response.status.code() != StatusCode::kCancelled) {
-    return StatusResponse(response.status);
+    HttpResponse error = StatusResponse(response.status);
+    if (response.status.code() == StatusCode::kUnavailable) {
+      // Circuit-breaker refusals carry a Retry-After hint so well-behaved
+      // clients back off for (at least) the remaining open window.
+      auto key = service_->KeyFor(v2::ToLegacy(*decoded));
+      if (key.ok()) {
+        const int retry_after =
+            service_->cache().RetryAfterSeconds(*key);
+        if (retry_after > 0) {
+          error.headers.emplace_back("Retry-After",
+                                     std::to_string(retry_after));
+        }
+      }
+    }
+    return error;
   }
   // Cancelled responses keep the full envelope (partial regions +
   // provenance) under the 408 status.
@@ -457,6 +514,85 @@ HttpResponse SurfHandler::HandleGetJob(const HttpRequest&,
              MineResponseV2ToJson(v2::FromLegacyResponse(std::move(response)),
                                   kind));
   }
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleListFailpoints(const HttpRequest&,
+                                               const std::string&) {
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  JsonValue armed = JsonValue::Array();
+  for (const FailpointRegistry::Info& info : registry.List()) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("site", JsonValue(info.site));
+    entry.Set("action", JsonValue(info.action));
+    entry.Set("hits", JsonValue(static_cast<double>(info.hits)));
+    entry.Set("fires", JsonValue(static_cast<double>(info.fires)));
+    armed.Append(std::move(entry));
+  }
+  JsonValue known = JsonValue::Array();
+  for (const std::string& site : FailpointRegistry::KnownSites()) {
+    known.Append(JsonValue(site));
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("failpoints", std::move(armed));
+  body.Set("seed", JsonValue(static_cast<double>(registry.seed())));
+  body.Set("known_sites", std::move(known));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleArmFailpoints(const HttpRequest& request,
+                                              const std::string&) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  if (!json->is_object()) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "failpoint body must be a JSON object");
+  }
+  const JsonValue* spec = json->Find("spec");
+  const JsonValue* seed = json->Find("seed");
+  if (spec == nullptr && seed == nullptr) {
+    return JsonErrorResponse(
+        400, "invalid_argument",
+        "provide 'spec' (\"site=action,...\") and/or 'seed' (integer)");
+  }
+  FailpointRegistry& registry = FailpointRegistry::Global();
+  if (seed != nullptr) {
+    if (!seed->is_number() || seed->number_value() < 0) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "field 'seed' must be a non-negative number");
+    }
+    registry.SetSeed(static_cast<uint64_t>(seed->number_value()));
+  }
+  if (spec != nullptr) {
+    if (!spec->is_string()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "field 'spec' must be a string");
+    }
+    const Status configured = registry.Configure(spec->string_value());
+    if (!configured.ok()) return StatusResponse(configured);
+  }
+  // Echo the post-change state so the caller sees what is armed.
+  return HandleListFailpoints(request, "");
+}
+
+HttpResponse SurfHandler::HandleClearFailpoints(const HttpRequest&,
+                                                const std::string&) {
+  FailpointRegistry::Global().ClearAll();
+  JsonValue body = JsonValue::Object();
+  body.Set("cleared", JsonValue(true));
+  return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleClearOneFailpoint(const HttpRequest&,
+                                                  const std::string& site) {
+  const bool was_armed = FailpointRegistry::Global().Clear(site);
+  if (!was_armed) {
+    return JsonErrorResponse(404, "not_found",
+                             "failpoint '" + site + "' is not armed");
+  }
+  JsonValue body = JsonValue::Object();
+  body.Set("site", JsonValue(site));
+  body.Set("cleared", JsonValue(true));
   return JsonResponse(200, body);
 }
 

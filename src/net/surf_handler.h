@@ -17,6 +17,14 @@
 ///   GET  /healthz         liveness probe
 ///   GET  /metrics         Prometheus text exposition
 ///
+/// With Options::enable_failpoint_admin (debug/chaos deployments only —
+/// the routes do not exist otherwise and answer 404):
+///   GET    /v1/failpoints        armed failpoints + seed + known sites
+///   POST   /v1/failpoints        arm from {"spec": "site=action,..."}
+///                                and/or reseed via {"seed": n}
+///   DELETE /v1/failpoints        disarm everything
+///   DELETE /v1/failpoints/{site} disarm one site
+///
 /// Mining bodies may use either request schema: documents with
 /// `api_version: 2` use the named-section v2 form, documents without one
 /// the v1 flat form (deprecated but supported). Library `Status` codes
@@ -28,6 +36,7 @@
 /// 408 reclaims the worker's CPU within one GSO iteration and carries
 /// the partial results mined so far.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -43,9 +52,24 @@ namespace surf {
 /// the handler holds no other mutable state.
 class SurfHandler {
  public:
+  /// \brief Handler configuration.
+  struct Options {
+    /// Registers the /v1/failpoints admin routes. Off by default: a
+    /// production handler has no fault-injection surface at all (the
+    /// paths 404 like any unknown route). Enable only for chaos/debug
+    /// deployments (`surf_cli serve --enable-failpoints`).
+    bool enable_failpoint_admin = false;
+    /// Job-table retention (count cap + age cap for finished jobs).
+    JobTable::Options job_retention;
+  };
+
   /// Binds the handler to a service and a metrics registry (both
   /// non-owning; they must outlive the handler).
-  SurfHandler(MiningService* service, ServerMetrics* metrics);
+  SurfHandler(MiningService* service, ServerMetrics* metrics,
+              Options options);
+  /// Default-configured handler (no failpoint admin surface).
+  SurfHandler(MiningService* service, ServerMetrics* metrics)
+      : SurfHandler(service, metrics, Options()) {}
 
   /// Dispatches one request: route match → JSON decode → service call →
   /// JSON encode, recording per-route metrics on every path.
@@ -58,6 +82,13 @@ class SurfHandler {
 
   /// The job table (exposed for tests).
   JobTable& jobs() { return jobs_; }
+
+  /// Wires live transport counters into /metrics (worker exceptions,
+  /// write failures). Optional; unset, those series are omitted.
+  void set_transport_stats_provider(
+      std::function<HttpServer::Stats()> provider) {
+    transport_stats_ = std::move(provider);
+  }
 
  private:
   /// One route-table entry. `prefix` routes match any target beginning
@@ -92,14 +123,24 @@ class SurfHandler {
                             const std::string& param);
   HttpResponse HandleCancelJob(const HttpRequest& request,
                                const std::string& param);
+  HttpResponse HandleListFailpoints(const HttpRequest& request,
+                                    const std::string& param);
+  HttpResponse HandleArmFailpoints(const HttpRequest& request,
+                                   const std::string& param);
+  HttpResponse HandleClearFailpoints(const HttpRequest& request,
+                                     const std::string& param);
+  HttpResponse HandleClearOneFailpoint(const HttpRequest& request,
+                                       const std::string& param);
 
   /// Column-name → index resolver backed by the service's registry.
   ColumnResolver MakeResolver() const;
 
   MiningService* service_;
   ServerMetrics* metrics_;
+  Options options_;
   JobTable jobs_;
   std::vector<Route> routes_;
+  std::function<HttpServer::Stats()> transport_stats_;
 };
 
 }  // namespace surf

@@ -1,5 +1,7 @@
 #include "serve/mine_job.h"
 
+#include <cmath>
+
 #include "serve/mining_service.h"
 
 namespace surf {
@@ -46,6 +48,11 @@ MineJob::Progress MineJob::progress() const {
 
 const MineRequest& MineJob::request() const { return *request_; }
 
+std::chrono::steady_clock::time_point MineJob::completed_at() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_at_;
+}
+
 void MineJob::SetPhase(Phase phase) {
   phase_.store(phase, std::memory_order_release);
 }
@@ -54,6 +61,7 @@ void MineJob::Complete(MineResponse response) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     response_ = std::make_unique<MineResponse>(std::move(response));
+    completed_at_ = std::chrono::steady_clock::now();
   }
   // Publish the terminal phase only after the response is readable, so
   // done() == true implies TryGet succeeds.
@@ -97,18 +105,55 @@ size_t JobTable::size() const {
   return jobs_.size();
 }
 
+uint64_t JobTable::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t JobTable::Sweep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t before = evictions_;
+  EnforceRetention();
+  return static_cast<size_t>(evictions_ - before);
+}
+
 void JobTable::EnforceRetention() {
-  // Size-guarded: a table within the cap costs nothing per Add. Past
-  // the cap, walk from the oldest entry evicting finished jobs until
-  // back under it (live jobs are never evicted, so a table dominated by
-  // live jobs simply stays over the cap until they finish).
-  if (jobs_.size() <= max_finished_) return;
+  // Age pass first: a finished job older than the age cap is evicted no
+  // matter how full the table is. Completion times are monotone only
+  // per job (insertion order is not completion order), so the whole
+  // list is walked; the pass is skipped entirely when no age cap is
+  // configured.
+  if (std::isfinite(options_.max_age_seconds) && !jobs_.empty()) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto max_age = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(options_.max_age_seconds));
+    for (auto it = order_.begin(); it != order_.end();) {
+      auto found = jobs_.find(*it);
+      if (found != jobs_.end() && found->second.first->done() &&
+          now - found->second.first->completed_at() > max_age) {
+        jobs_.erase(found);
+        it = order_.erase(it);
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Count pass, size-guarded: a table within the cap costs nothing per
+  // Add. Past the cap, walk from the oldest entry evicting finished
+  // jobs until back under it (live jobs are never evicted, so a table
+  // dominated by live jobs simply stays over the cap until they
+  // finish).
+  if (jobs_.size() <= options_.max_finished) return;
   auto it = order_.begin();
-  while (jobs_.size() > max_finished_ && it != order_.end()) {
+  while (jobs_.size() > options_.max_finished && it != order_.end()) {
     auto found = jobs_.find(*it);
     if (found != jobs_.end() && found->second.first->done()) {
       jobs_.erase(found);
       it = order_.erase(it);
+      ++evictions_;
     } else {
       ++it;
     }

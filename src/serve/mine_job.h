@@ -6,8 +6,10 @@
 /// cooperative cancellation, and the id-keyed table surfd serves them
 /// from.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -93,6 +95,10 @@ class MineJob {
   /// The token the mining core polls; exposed so tests can assert on it.
   CancelToken cancel_token() const { return cancel_.token(); }
 
+  /// When the job completed (steady clock); the epoch default while it
+  /// is still running. Drives the job table's age-based retention.
+  std::chrono::steady_clock::time_point completed_at() const;
+
  private:
   friend class MiningService;
 
@@ -114,21 +120,38 @@ class MineJob {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::unique_ptr<MineResponse> response_;  // set exactly once, at kDone
+  /// Completion timestamp (epoch default = not yet done).
+  std::chrono::steady_clock::time_point completed_at_{};
 };
 
 /// \brief Thread-safe id-keyed registry of jobs (surfd's job table).
 ///
 /// Ids are monotonic ("job-1", "job-2", ...). Finished jobs are retained
-/// for polling; once the table grows past the retention cap, the oldest
-/// finished jobs are evicted. Live jobs are never evicted (a table
-/// dominated by live jobs may therefore exceed the cap until they
-/// finish).
+/// for polling, bounded by BOTH a count cap and an age cap: past
+/// `max_finished` registered jobs the oldest finished jobs are evicted,
+/// and any finished job older than `max_age_seconds` is evicted on the
+/// next table mutation (or an explicit Sweep()). Live jobs are never
+/// evicted (a table dominated by live jobs may therefore exceed the
+/// count cap until they finish).
 class JobTable {
  public:
-  /// `max_finished` is the retention cap past which the oldest finished
-  /// jobs are evicted.
+  /// \brief Retention configuration.
+  struct Options {
+    /// Count cap: past this many registered jobs the oldest finished
+    /// jobs are evicted.
+    size_t max_finished = 256;
+    /// Age cap: finished jobs older than this are evicted on the next
+    /// mutation or Sweep() regardless of the count cap (infinity =
+    /// count-only retention, the pre-existing behaviour).
+    double max_age_seconds = std::numeric_limits<double>::infinity();
+  };
+
+  explicit JobTable(Options options) : options_(options) {}
+
+  /// Count-cap-only convenience ctor (legacy signature).
   explicit JobTable(size_t max_finished = 256)
-      : max_finished_(max_finished) {}
+      : JobTable(Options{max_finished,
+                         std::numeric_limits<double>::infinity()}) {}
 
   /// Registers a job and returns its new id.
   std::string Add(std::shared_ptr<MineJob> job);
@@ -143,13 +166,22 @@ class JobTable {
   /// Registered jobs (live + retained finished).
   size_t size() const;
 
+  /// Jobs evicted by retention (count cap or age cap) so far.
+  uint64_t evictions() const;
+
+  /// Runs one retention pass now (age evictions otherwise wait for the
+  /// next mutation). Returns the number of jobs evicted by this call.
+  size_t Sweep();
+
  private:
-  /// Evicts oldest finished jobs past the cap. Requires mu_ held.
+  /// Evicts finished jobs past the age cap, then oldest finished jobs
+  /// past the count cap. Requires mu_ held.
   void EnforceRetention();
 
-  const size_t max_finished_;
+  const Options options_;
   mutable std::mutex mu_;
   uint64_t next_id_ = 1;
+  uint64_t evictions_ = 0;
   /// Insertion order, oldest first (for retention eviction).
   std::list<std::string> order_;
   std::unordered_map<std::string,

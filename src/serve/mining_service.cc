@@ -6,6 +6,8 @@
 
 #include "api/api_v2.h"
 #include "ml/grid_search.h"
+#include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/stopwatch.h"
 
 namespace surf {
@@ -113,6 +115,7 @@ StatusOr<SurrogateKey> MiningService::KeyFor(
 
 StatusOr<TrainedSurrogate> MiningService::TrainEntry(
     const MineRequest& request, const Dataset* data, CancelToken cancel) {
+  SURF_FAILPOINT("serve.train");
   std::shared_ptr<const RegionEvaluator> evaluator(
       MakeEvaluator(request.backend, data, request.statistic,
                     request.shards));
@@ -160,8 +163,24 @@ StatusOr<std::shared_ptr<CachedSurrogate>> MiningService::EntryFor(
   if (!key.ok()) return key.status();
   const Dataset* data = dataset(request.dataset);
   return cache_.GetOrTrain(
-      *key, [&] { return TrainEntry(request, data, cancel); }, was_hit,
-      cancel);
+      *key,
+      [&]() -> StatusOr<TrainedSurrogate> {
+        // The single-flight leader absorbs transient training failures
+        // under the configured retry policy (off by default); waiters
+        // keep waiting on the in-flight entry across retries.
+        StatusOr<TrainedSurrogate> trained =
+            Status::Internal("training not attempted");
+        const Status status = RunWithRetry(
+            options_.training_retry,
+            [&] {
+              trained = TrainEntry(request, data, cancel);
+              return trained.status();
+            },
+            cancel);
+        if (!status.ok()) return status;
+        return trained;
+      },
+      was_hit, cancel);
 }
 
 std::shared_ptr<MineJob> MiningService::MakeJob(const MineRequest& request,

@@ -16,6 +16,7 @@
 #include "serve/scheduler.h"
 #include "serve/surrogate_cache.h"
 #include "util/cancel.h"
+#include "util/retry.h"
 #include "util/thread_pool.h"
 
 namespace surf {
@@ -127,6 +128,11 @@ class MiningService {
     size_t provenance_cv_folds = 0;
     /// Sample cap for the per-entry KDE data prior.
     size_t kde_max_samples = 2000;
+    /// Retry policy for failed surrogate trainings (transient failures
+    /// only; cancellation and invalid requests are never retried). The
+    /// single-flight leader retries while its waiters keep waiting. The
+    /// default policy makes exactly one attempt (retry disabled).
+    RetryPolicy training_retry;
   };
 
   /// Service with default options (all-core pool, default cache policy).

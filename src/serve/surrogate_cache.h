@@ -44,6 +44,14 @@ struct SurrogateProvenance {
   size_t warm_starts = 0;
   /// Evaluations appended but not yet folded in by a warm start.
   size_t pending_examples = 0;
+  /// True when this model was served in a degraded mode — a stale entry
+  /// kept alive because its retrain failed, or served while a
+  /// revalidation was still in flight. Degraded answers are labelled,
+  /// never silently substituted (the SMRS argument).
+  bool degraded = false;
+  /// Why the entry is degraded (e.g. "training failed: ..."), empty
+  /// when `degraded` is false.
+  std::string degraded_reason;
 };
 
 /// \brief Immutable view of a cached surrogate taken at request time.
@@ -113,6 +121,17 @@ class CachedSurrogate {
   /// Publishes the factory result and wakes waiters (single-flight).
   void Publish(TrainedSurrogate trained, uint64_t dataset_fingerprint);
   void Fail(Status status);
+  /// Fails the entry like Fail(), additionally attaching the degraded
+  /// stale entry its waiters should be served instead of the error
+  /// (stale-while-revalidate fallback). `fallback` may be null.
+  void FailWithFallback(Status status, std::shared_ptr<CachedSurrogate> fallback);
+  /// The degraded entry attached by FailWithFallback (null for plain
+  /// failures).
+  std::shared_ptr<CachedSurrogate> fallback() const;
+  /// Labels the entry degraded in its provenance. Idempotent; the most
+  /// recent reason wins (a later training failure overwrites an earlier
+  /// "stale-while-revalidate").
+  void MarkDegraded(const std::string& reason);
   /// Blocks until the entry leaves kTraining; returns the entry status.
   Status WaitReady() const;
 
@@ -133,6 +152,9 @@ class CachedSurrogate {
   RegionWorkload pending_;
   bool has_pending_ = false;
   bool retraining_ = false;
+  /// Degraded entry waiters are served instead of this entry's failure
+  /// status (set by FailWithFallback; null otherwise).
+  std::shared_ptr<CachedSurrogate> fallback_;
   std::chrono::steady_clock::time_point created_ =
       std::chrono::steady_clock::now();
 };
@@ -159,6 +181,26 @@ class SurrogateCache {
     size_t retrain_threshold = 512;
     /// Boosting rounds added per warm start.
     size_t warm_start_trees = 25;
+
+    // --- graceful degradation ---------------------------------------
+
+    /// When a stale entry is being revalidated (retrained in a fresh
+    /// slot), serve the previous model — flagged degraded — to callers
+    /// arriving mid-retrain instead of blocking them on the fit. Should
+    /// revalidation fail, the stale model also becomes the fallback
+    /// answer (again flagged) rather than surfacing the error.
+    bool stale_while_revalidate = true;
+    /// Remember a key's training failure for this long and fail fast
+    /// (with the remembered status) on re-requests inside the window,
+    /// so a poisoned key cannot stampede retrains. 0 disables.
+    double negative_ttl_seconds = 0.0;
+    /// Consecutive training failures of one key that trip its circuit
+    /// breaker; further requests fail fast with Unavailable (HTTP 503 +
+    /// Retry-After) until the breaker closes. 0 disables the breaker.
+    size_t breaker_failure_threshold = 0;
+    /// How long a tripped breaker stays open before the next request is
+    /// allowed to try training again (half-open probe).
+    double breaker_open_seconds = 5.0;
   };
 
   /// \brief Monotonic counters for observability/tests.
@@ -172,6 +214,17 @@ class SurrogateCache {
     uint64_t evictions = 0;
     /// Entries dropped because they exceeded max_age_seconds.
     uint64_t stale_evictions = 0;
+    /// Requests answered by a degraded (stale) model instead of a fresh
+    /// fit or an error.
+    uint64_t degraded_serves = 0;
+    /// Requests failed fast by the negative cache (fresh remembered
+    /// failure, no stale model to degrade to).
+    uint64_t negative_hits = 0;
+    /// Requests rejected Unavailable by an open circuit breaker (no
+    /// stale model to degrade to).
+    uint64_t breaker_rejections = 0;
+    /// Training attempts (leader fits) that failed.
+    uint64_t training_failures = 0;
   };
 
   /// Builds an entry on a miss. Runs outside the cache lock.
@@ -197,6 +250,11 @@ class SurrogateCache {
   /// Entry lookup without training or LRU touch; null when absent.
   std::shared_ptr<CachedSurrogate> Peek(const SurrogateKey& key) const;
 
+  /// Suggested Retry-After (whole seconds, >= 1) for a key that was
+  /// just refused: the remaining breaker-open time, else the remaining
+  /// negative-cache TTL, else 1.
+  int RetryAfterSeconds(const SurrogateKey& key) const;
+
   /// Drops every entry (outstanding snapshots stay valid).
   void Clear();
 
@@ -211,16 +269,36 @@ class SurrogateCache {
   struct Slot {
     std::shared_ptr<CachedSurrogate> entry;
     std::list<SurrogateKey>::iterator lru_pos;
+    /// The previous (stale) model while `entry` is being revalidated:
+    /// served degraded to mid-retrain callers, reinstated as the
+    /// fallback when the revalidation fails, dropped when it succeeds.
+    std::shared_ptr<CachedSurrogate> stale;
+  };
+
+  /// Per-key training-failure bookkeeping (negative cache + breaker).
+  struct FailureState {
+    /// Consecutive failed leader fits since the last success.
+    size_t consecutive = 0;
+    /// When the most recent failure happened (negative-cache clock).
+    std::chrono::steady_clock::time_point last_failure{};
+    /// Breaker-open horizon (epoch = closed).
+    std::chrono::steady_clock::time_point open_until{};
+    /// The remembered failure the negative cache replays.
+    Status last_status = Status::OK();
   };
 
   /// Moves `key` to the front of the LRU list. Requires mu_ held.
   void Touch(const SurrogateKey& key, Slot* slot);
   /// Evicts LRU ready entries until size() <= capacity. Requires mu_ held.
   void EnforceCapacity();
+  /// Records a failed leader fit (negative cache + breaker trip).
+  /// Requires mu_ held.
+  void RecordFailureLocked(const SurrogateKey& key, const Status& status);
 
   const Options options_;
   mutable std::mutex mu_;
   std::unordered_map<SurrogateKey, Slot, SurrogateKeyHash> map_;
+  std::unordered_map<SurrogateKey, FailureState, SurrogateKeyHash> failures_;
   /// Front = most recently used.
   std::list<SurrogateKey> lru_;
   Stats stats_;

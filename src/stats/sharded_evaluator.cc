@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+
+#include "util/failpoint.h"
 
 namespace surf {
 
@@ -125,6 +128,12 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
 double ShardedScanEvaluator::EvaluateImpl(const Region& region,
                                           const CancelToken& cancel) const {
   assert(region.dims() == stat_.dims());
+  // No status channel here: an injected failure becomes an undefined
+  // statistic (NaN), the evaluator's native "could not compute" value;
+  // a delay action just slows the scan down.
+  if (!MaybeFailpoint("shard.evaluate").ok()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const size_t num_shards = data_.num_shards();
 
   // Per-shard partials land in a pre-sized slot vector and merge in

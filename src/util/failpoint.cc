@@ -1,0 +1,226 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace surf {
+
+std::atomic<int> FailpointRegistry::active_count_{0};
+
+namespace {
+
+/// FNV-1a, so a site name contributes a stable stream offset.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// splitmix64: one decision per (seed, site, hit-index) tuple, so the
+/// fire sequence of a site is reproducible under a seed regardless of
+/// what other sites are doing.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UnitDraw(uint64_t seed, uint64_t site_hash, uint64_t index) {
+  const uint64_t bits = Mix(seed ^ Mix(site_hash + index));
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+StatusOr<FailpointSpec> ParseAction(const std::string& action) {
+  FailpointSpec spec;
+  spec.raw = action;
+  if (action == "error") {
+    spec.kind = FailpointSpec::Kind::kError;
+    spec.probability = 1.0;
+    return spec;
+  }
+  const size_t colon = action.find(':');
+  const std::string head =
+      colon == std::string::npos ? action : action.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : action.substr(colon + 1);
+  char* end = nullptr;
+  if (head == "prob") {
+    const double p = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || !(p >= 0.0) ||
+        p > 1.0) {
+      return Status::InvalidArgument("failpoint prob needs p in [0,1], got '" +
+                                     arg + "'");
+    }
+    spec.kind = FailpointSpec::Kind::kError;
+    spec.probability = p;
+    return spec;
+  }
+  if (head == "delay") {
+    const double ms = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || !(ms >= 0.0)) {
+      return Status::InvalidArgument(
+          "failpoint delay needs non-negative ms, got '" + arg + "'");
+    }
+    spec.kind = FailpointSpec::Kind::kDelay;
+    spec.delay_ms = ms;
+    return spec;
+  }
+  return Status::InvalidArgument("unknown failpoint action '" + action +
+                                 "' (want error | prob:p | delay:ms)");
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* seed_env = std::getenv("SURF_FAILPOINTS_SEED")) {
+    seed_ = std::strtoull(seed_env, nullptr, 10);
+  }
+  if (const char* spec_env = std::getenv("SURF_FAILPOINTS")) {
+    // Environment arming is best-effort: a malformed spec must not
+    // abort the process that merely inherited the variable.
+    (void)Configure(spec_env);
+  }
+}
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+Status FailpointRegistry::Configure(const std::string& specs) {
+  // Validate the whole list before arming any of it.
+  std::vector<std::pair<std::string, FailpointSpec>> parsed;
+  for (const std::string& raw : SplitString(specs, ',')) {
+    const std::string entry = TrimString(raw);
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec '" + entry +
+                                     "' is not site=action");
+    }
+    auto spec = ParseAction(TrimString(entry.substr(eq + 1)));
+    if (!spec.ok()) return spec.status();
+    parsed.emplace_back(TrimString(entry.substr(0, eq)),
+                        std::move(spec).value());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [site, spec] : parsed) {
+    auto [it, inserted] = armed_.try_emplace(site);
+    if (inserted) active_count_.fetch_add(1, std::memory_order_relaxed);
+    it->second = Armed{std::move(spec), 0, 0};
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Set(const std::string& site,
+                              const std::string& action) {
+  if (site.empty()) return Status::InvalidArgument("empty failpoint site");
+  auto spec = ParseAction(action);
+  if (!spec.ok()) return spec.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = armed_.try_emplace(site);
+  if (inserted) active_count_.fetch_add(1, std::memory_order_relaxed);
+  it->second = Armed{std::move(spec).value(), 0, 0};
+  return Status::OK();
+}
+
+bool FailpointRegistry::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool erased = armed_.erase(site) > 0;
+  if (erased) active_count_.fetch_sub(1, std::memory_order_relaxed);
+  return erased;
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_count_.fetch_sub(static_cast<int>(armed_.size()),
+                          std::memory_order_relaxed);
+  armed_.clear();
+}
+
+void FailpointRegistry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [site, armed] : armed_) {
+    armed.hits = 0;
+    armed.fires = 0;
+  }
+}
+
+uint64_t FailpointRegistry::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+std::vector<FailpointRegistry::Info> FailpointRegistry::List() const {
+  std::vector<Info> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(armed_.size());
+    for (const auto& [site, armed] : armed_) {
+      out.push_back(Info{site, armed.spec.raw, armed.hits, armed.fires});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Info& a, const Info& b) { return a.site < b.site; });
+  return out;
+}
+
+const std::vector<std::string>& FailpointRegistry::KnownSites() {
+  // The catalogue of sites compiled into the library; keep in sync with
+  // the SURF_FAILPOINT/MaybeFailpoint call sites (chaos_test drives and
+  // asserts coverage of every entry).
+  static const std::vector<std::string>* sites = new std::vector<std::string>{
+      "data.load_csv",   // Dataset::LoadCsv
+      "serve.train",     // MiningService::TrainEntry
+      "cache.insert",    // SurrogateCache publish path
+      "shard.evaluate",  // ShardedScanEvaluator::EvaluateImpl
+      "net.write",       // HttpServer response send path
+  };
+  return *sites;
+}
+
+Status FailpointRegistry::Hit(const char* site) {
+  double sleep_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(site);
+    if (it == armed_.end()) return Status::OK();
+    Armed& armed = it->second;
+    const uint64_t index = armed.hits++;
+    switch (armed.spec.kind) {
+      case FailpointSpec::Kind::kError: {
+        const bool fire =
+            armed.spec.probability >= 1.0 ||
+            UnitDraw(seed_, HashName(it->first), index) <
+                armed.spec.probability;
+        if (!fire) return Status::OK();
+        ++armed.fires;
+        return Status::Internal(std::string("failpoint '") + site +
+                                "' fired");
+      }
+      case FailpointSpec::Kind::kDelay:
+        ++armed.fires;
+        sleep_ms = armed.spec.delay_ms;
+        break;
+    }
+  }
+  // Sleep outside the lock so a delayed site never serializes the
+  // registry for other threads.
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        sleep_ms));
+  }
+  return Status::OK();
+}
+
+}  // namespace surf

@@ -1,0 +1,171 @@
+#ifndef SURF_UTIL_FAILPOINT_H_
+#define SURF_UTIL_FAILPOINT_H_
+
+/// \file
+/// \brief Failpoint-driven fault injection: a registry of named sites at
+/// which deterministic failures or delays can be provoked at runtime.
+///
+/// A *failpoint* is a named hook compiled into a production code path
+/// (dataset load, GBRT training, cache insert, shard evaluation, socket
+/// write). When the registry is idle — the normal state — every hook
+/// costs one relaxed atomic load and a never-taken branch. When armed,
+/// the site either fails (returns an injected `Internal` status),
+/// delays (sleeps a configured duration), or fails probabilistically
+/// with a probability drawn from a counter-based hash that is
+/// deterministic under the registry seed: run N of a given site makes
+/// the same fire/pass decision on every execution with the same seed.
+///
+/// Activation channels:
+///   * `SURF_FAILPOINTS=site=action[,site=action...]` environment
+///     variable, parsed on first registry use (plus
+///     `SURF_FAILPOINTS_SEED=n` for the deterministic seed);
+///   * the debug-gated `POST /v1/failpoints` admin endpoint in surfd;
+///   * direct `FailpointRegistry::Global().Set(...)` calls in tests.
+///
+/// Action grammar (the value after `site=`):
+///   * `error`      — every hit fails;
+///   * `prob:p`     — a hit fails with probability `p` in [0, 1];
+///   * `delay:ms`   — every hit sleeps `ms` milliseconds, then passes.
+///
+/// Sites that return `Status`/`StatusOr` guard with `SURF_FAILPOINT`;
+/// sites with no status channel (the uint8 mask scan, the socket write
+/// loop) call `MaybeFailpoint` and translate a non-OK result into their
+/// native failure mode (NaN statistic, aborted write).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief Parsed action of one armed failpoint.
+struct FailpointSpec {
+  /// \brief What the site does when it fires.
+  enum class Kind {
+    /// Return an injected Internal status (probability-gated).
+    kError,
+    /// Sleep `delay_ms`, then pass.
+    kDelay,
+  };
+  /// The configured behaviour.
+  Kind kind = Kind::kError;
+  /// Fire probability for kError (1.0 = every hit).
+  double probability = 1.0;
+  /// Sleep duration for kDelay, milliseconds.
+  double delay_ms = 0.0;
+  /// The original action text ("error", "prob:0.05", "delay:20").
+  std::string raw;
+};
+
+/// \brief Process-wide registry of armed failpoints.
+///
+/// Thread-safe: arming/clearing and hit evaluation take an internal
+/// mutex; the fast path for an idle registry is one lock-free atomic
+/// load via `active()`. Delay sleeps happen outside the lock.
+class FailpointRegistry {
+ public:
+  /// \brief Observability snapshot of one armed failpoint.
+  struct Info {
+    /// Site name (e.g. "serve.train").
+    std::string site;
+    /// The action text it was armed with.
+    std::string action;
+    /// Times the armed site was reached.
+    uint64_t hits = 0;
+    /// Times it actually fired (failed or slept).
+    uint64_t fires = 0;
+  };
+
+  /// The process-wide registry. First use parses `SURF_FAILPOINTS` /
+  /// `SURF_FAILPOINTS_SEED` from the environment.
+  static FailpointRegistry& Global();
+
+  /// Whether any failpoint is armed anywhere in the process — the
+  /// only check on the hot path. Relaxed: a site may observe a stale
+  /// idle/armed state for a few instructions, never a torn one.
+  static bool active() {
+    return active_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms failpoints from a comma-separated spec list
+  /// (`a=error,b=delay:20`). Whitespace around entries is ignored;
+  /// empty specs are a no-op. Rejects unknown actions and malformed
+  /// numbers without arming anything from the list.
+  Status Configure(const std::string& specs);
+
+  /// Arms one site with `action` ("error", "prob:p", "delay:ms"),
+  /// replacing any previous arming of the same site.
+  Status Set(const std::string& site, const std::string& action);
+
+  /// Disarms one site; returns whether it was armed.
+  bool Clear(const std::string& site);
+
+  /// Disarms everything.
+  void ClearAll();
+
+  /// Seeds the deterministic fire decisions (`prob:` actions). Also
+  /// resets per-site hit counters so decision sequences restart.
+  void SetSeed(uint64_t seed);
+
+  /// The current decision seed.
+  uint64_t seed() const;
+
+  /// Snapshot of every armed failpoint with its counters, sorted by
+  /// site name.
+  std::vector<Info> List() const;
+
+  /// The failpoint sites compiled into this binary (the catalogue the
+  /// chaos suite must cover).
+  static const std::vector<std::string>& KnownSites();
+
+  /// Evaluates one hit of `site`. Returns OK when the site is not
+  /// armed, passes its probability draw, or finishes its delay;
+  /// returns `Internal("failpoint '<site>' fired")` when it fails.
+  /// Callers normally reach this through SURF_FAILPOINT/MaybeFailpoint
+  /// so the idle registry costs only the `active()` load.
+  Status Hit(const char* site);
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  FailpointRegistry();
+
+  /// Number of armed failpoints across the process (the hot-path gate).
+  static std::atomic<int> active_count_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Armed> armed_;
+  uint64_t seed_ = 0;
+};
+
+/// Hit helper for sites without a Status return channel: OK unless the
+/// armed site fails this hit.
+inline Status MaybeFailpoint(const char* site) {
+  if (!FailpointRegistry::active()) return Status::OK();
+  return FailpointRegistry::Global().Hit(site);
+}
+
+/// Guards a Status/StatusOr-returning function: when the named site
+/// fires, the function returns the injected status. Compiles to a
+/// single relaxed load + never-taken branch while the registry is idle.
+#define SURF_FAILPOINT(site)                                   \
+  do {                                                         \
+    if (::surf::FailpointRegistry::active()) {                 \
+      ::surf::Status _surf_fp_status =                         \
+          ::surf::FailpointRegistry::Global().Hit(site);       \
+      if (!_surf_fp_status.ok()) return _surf_fp_status;       \
+    }                                                          \
+  } while (0)
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_FAILPOINT_H_

@@ -1,0 +1,83 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace surf {
+
+namespace {
+
+/// splitmix64 — the same deterministic mixer the failpoint registry
+/// uses, here giving each retry index its own jitter draw.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UnitDraw(uint64_t seed, uint64_t index) {
+  return static_cast<double>(Mix(seed ^ Mix(index)) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool IsRetriableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kIOError:
+    case StatusCode::kTimedOut:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffSeconds(int retry_index) const {
+  if (retry_index < 0) retry_index = 0;
+  double base = initial_backoff_seconds *
+                std::pow(backoff_multiplier, static_cast<double>(retry_index));
+  base = std::min(base, max_backoff_seconds);
+  const double jitter = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (jitter > 0.0) {
+    const double scale =
+        1.0 + jitter * (2.0 * UnitDraw(seed, static_cast<uint64_t>(
+                                                 retry_index)) -
+                        1.0);
+    base *= scale;
+  }
+  return std::max(base, 0.0);
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& attempt,
+                    CancelToken cancel) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  Status last = Status::Internal("retry loop made no attempt");
+  for (int i = 0; i < attempts; ++i) {
+    if (cancel.cancelled()) return cancel.ToStatus();
+    last = attempt();
+    if (last.ok() || !IsRetriableStatus(last)) return last;
+    if (i + 1 >= attempts) break;
+    // Backoff, polling cancellation in short slices so an armed
+    // deadline or explicit Cancel() never waits out a full backoff.
+    const double backoff = policy.BackoffSeconds(i);
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(backoff));
+    while (std::chrono::steady_clock::now() < wake) {
+      if (cancel.cancelled()) return cancel.ToStatus();
+      const auto remaining = wake - std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(
+          std::min<std::chrono::steady_clock::duration>(
+              remaining, std::chrono::milliseconds(5)));
+    }
+  }
+  return last;
+}
+
+}  // namespace surf

@@ -1,0 +1,77 @@
+#ifndef SURF_UTIL_RETRY_H_
+#define SURF_UTIL_RETRY_H_
+
+/// \file
+/// \brief Cancel-token- and deadline-aware retry with capped jittered
+/// exponential backoff.
+///
+/// `RetryPolicy` is the reusable resilience primitive: training retries
+/// in the serving cache today, scatter-gather worker/shard retries in
+/// the distributed mode later. The contract:
+///
+///   * only *retriable* failures are retried (transient codes:
+///     Internal, IOError, TimedOut, Unavailable). InvalidArgument,
+///     FailedPrecondition, NotFound etc. describe the request, not the
+///     attempt, and are returned immediately;
+///   * cancellation wins over backoff: the sleep between attempts polls
+///     the caller's CancelToken in short slices and unwinds with
+///     Cancelled as soon as the token fires or its deadline passes;
+///   * backoff is exponential with a multiplicative cap and symmetric
+///     jitter drawn from a deterministic per-policy sequence, so tests
+///     replay exactly and concurrent retriers decorrelate.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace surf {
+
+/// \brief Whether a failed attempt is worth repeating: true for the
+/// transient codes (Internal, IOError, TimedOut, Unavailable), false
+/// for request-shaped errors (InvalidArgument, FailedPrecondition,
+/// NotFound, OutOfRange, AlreadyExists) and for Cancelled.
+bool IsRetriableStatus(const Status& status);
+
+/// \brief Backoff/attempt configuration for RunWithRetry.
+///
+/// The default policy (`max_attempts = 1`) performs exactly one attempt
+/// and no backoff — retry is opt-in wherever a policy is embedded.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 1;
+  /// Backoff before the first retry, seconds.
+  double initial_backoff_seconds = 0.05;
+  /// Upper bound on any single backoff, seconds.
+  double max_backoff_seconds = 2.0;
+  /// Growth factor between consecutive backoffs.
+  double backoff_multiplier = 2.0;
+  /// Symmetric jitter: each backoff is scaled by a factor drawn
+  /// uniformly from [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.2;
+  /// Seed of the deterministic jitter sequence.
+  uint64_t seed = 0;
+
+  /// Whether this policy ever retries.
+  bool enabled() const { return max_attempts > 1; }
+
+  /// The backoff (seconds) before retry number `retry_index` (0-based),
+  /// after capping and jitter. Deterministic in (policy, retry_index).
+  double BackoffSeconds(int retry_index) const;
+};
+
+/// \brief Runs `attempt` under `policy`.
+///
+/// Returns the first OK result, or the last failure once attempts are
+/// exhausted or a non-retriable failure occurs. Between attempts the
+/// backoff sleep polls `cancel` in ~5 ms slices; if the token fires
+/// (explicitly or via its armed deadline) the function returns
+/// Cancelled without running further attempts.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& attempt,
+                    CancelToken cancel = {});
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_RETRY_H_

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kAlreadyExists,
   kCancelled,
+  kUnavailable,
 };
 
 /// \brief A lightweight success/error result carrying a code and message.
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

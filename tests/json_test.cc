@@ -380,11 +380,23 @@ TEST(ProvenanceCodec, FieldFidelity) {
     p.train_seconds = rng.Uniform(0, 1000);
     p.warm_starts = rng.UniformInt(50);
     p.pending_examples = rng.UniformInt(4096);
+    if (i % 3 == 0) {
+      p.degraded = true;
+      p.degraded_reason = "stale-while-revalidate: retrain in flight";
+    }
 
     auto decoded = ProvenanceFromJson(ProvenanceToJson(p));
     ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
     EXPECT_EQ(decoded->dataset_fingerprint, p.dataset_fingerprint);
     EXPECT_EQ(decoded->training_set_size, p.training_set_size);
+    EXPECT_EQ(decoded->degraded, p.degraded);
+    EXPECT_EQ(decoded->degraded_reason, p.degraded_reason);
+    // Non-degraded provenance stays byte-identical to the pre-failpoint
+    // wire form: the degraded fields only appear once true.
+    if (!p.degraded) {
+      EXPECT_EQ(WriteJson(ProvenanceToJson(p)).find("degraded"),
+                std::string::npos);
+    }
     EXPECT_EQ(decoded->holdout_rmse, p.holdout_rmse);
     EXPECT_EQ(decoded->train_seconds, p.train_seconds);
     EXPECT_EQ(decoded->warm_starts, p.warm_starts);

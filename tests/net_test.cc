@@ -6,6 +6,7 @@
 // second HTTP request must be a cache hit with identical provenance.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -13,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -899,6 +901,110 @@ TEST(SurfHandlerTest, BlockingMineDeadlineCancelsAndAnswers408) {
                   ->Find("cancelled")
                   ->bool_value());
   EXPECT_TRUE(body->Find("provenance")->is_object());
+}
+
+// ------------------------------------------------------- send-path tests
+
+// Regression for the hardened send path: a non-blocking socket with a
+// tiny SO_SNDBUF and a slow reader forces partial writes and
+// EAGAIN/EWOULDBLOCK on nearly every send(2) call; SendAll must still
+// deliver every byte in order.
+TEST(HttpServerTest, SendAllSurvivesTinySendBufferAndSlowReader) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+  // 1 MiB of recognizable bytes through a ~4 KiB pipe.
+  std::string payload(1 << 20, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 23));
+  }
+
+  std::string received;
+  std::thread reader([&] {
+    char chunk[8192];
+    while (received.size() < payload.size()) {
+      const ssize_t n = ::recv(fds[1], chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      received.append(chunk, static_cast<size_t>(n));
+      // Slow drain so the sender keeps filling the tiny buffer.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  EXPECT_TRUE(SendAll(fds[0], payload.data(), payload.size(), 30.0));
+  ::shutdown(fds[0], SHUT_WR);
+  reader.join();
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// A peer that is gone must fail the send, not crash the process
+// (historically SIGPIPE) or spin.
+TEST(HttpServerTest, SendAllFailsCleanlyOnClosedPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  const std::string payload(1 << 16, 'x');
+  EXPECT_FALSE(SendAll(fds[0], payload.data(), payload.size(), 5.0));
+  ::close(fds[0]);
+}
+
+// An expired budget bounds a stalled send: the reader never drains, so
+// SendAll must give up once the deadline passes instead of blocking
+// forever on a full buffer.
+TEST(HttpServerTest, SendAllHonoursDeadlineAgainstStalledReader) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+  const std::string payload(1 << 22, 'x');  // far beyond the buffer
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SendAll(fds[0], payload.data(), payload.size(), 0.3));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// A handler that throws must be answered 500 and counted — never
+// propagate out of the worker (which previously swallowed it silently)
+// and never kill the connection loop.
+TEST(HttpServerTest, ThrowingHandlerAnswers500AndCounts) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options, [](const HttpRequest& request) -> HttpResponse {
+    if (request.target == "/boom") {
+      throw std::runtime_error("handler exploded");
+    }
+    HttpResponse ok;
+    ok.body = "fine";
+    return ok;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ClientResponse boom = client.Request("GET", "/boom");
+  EXPECT_EQ(boom.status, 500);
+  EXPECT_NE(boom.body.find("internal"), std::string::npos);
+
+  // The same connection (keep-alive) still serves the next request.
+  ClientResponse fine = client.Request("GET", "/fine");
+  EXPECT_EQ(fine.status, 200);
+  EXPECT_EQ(fine.body, "fine");
+
+  server.Shutdown();
+  EXPECT_EQ(server.stats().worker_exceptions, 1u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "serve/fingerprint.h"
 #include "serve/mining_service.h"
 #include "serve/surrogate_cache.h"
+#include "util/failpoint.h"
 
 namespace surf {
 namespace {
@@ -379,6 +381,228 @@ TEST_F(ServiceTest, DuplicateDatasetRegistrationFails) {
   EXPECT_EQ(service().RegisterDataset("d", data_.data).code(),
             StatusCode::kAlreadyExists);
   EXPECT_EQ(service().dataset_names(), std::vector<std::string>{"d"});
+}
+
+// ------------------------------------------- training-failure handling
+
+/// Disarms every failpoint on exit so the process-wide registry never
+/// leaks injected faults into other tests.
+struct FailpointGuard {
+  ~FailpointGuard() { FailpointRegistry::Global().ClearAll(); }
+};
+
+TEST(CacheFailureTest, FailurePropagatesToEveryWaiterAndLeavesNoEntry) {
+  const SyntheticDataset ds = DensityData(2, 1);
+  SurrogateCache cache(SurrogateCache::Options{});
+  const SurrogateKey key = MakeSurrogateKey(
+      ds.data, Statistic::Count({0, 1}), WorkloadParams{},
+      SurrogateTrainOptions{});
+
+  std::atomic<int> factory_runs{0};
+  const SurrogateCache::Factory failing =
+      [&]() -> StatusOr<TrainedSurrogate> {
+    ++factory_runs;
+    // Hold the single-flight open long enough for the waiters below to
+    // join the in-flight training before it fails.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return Status::Internal("gbrt training exploded");
+  };
+
+  std::vector<Status> results(5, Status::OK());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < results.size(); ++i) {
+    threads.emplace_back([&, i] {
+      auto entry = cache.GetOrTrain(key, failing);
+      results[i] = entry.status();
+    });
+    if (i == 0) {
+      // Give the first thread time to become the leader.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  // One fit, every caller observes its failure.
+  EXPECT_EQ(factory_runs.load(), 1);
+  for (const Status& s : results) {
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_NE(s.message().find("exploded"), std::string::npos);
+  }
+  // No stranded entry: the failed slot was dropped, so the key retrains
+  // cleanly on the next request (the factory runs again).
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Peek(key), nullptr);
+  auto retry = cache.GetOrTrain(key, failing);
+  EXPECT_EQ(retry.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(factory_runs.load(), 2);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().training_failures, 2u);
+}
+
+TEST_F(ServiceTest, InjectedTrainingFailureThenCleanRetrain) {
+  FailpointGuard guard;
+  const MineRequest request = SmallRequest("d", 500.0);
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  const MineResponse failed = service().Mine(request);
+  EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status.message().find("serve.train"),
+            std::string::npos);
+  EXPECT_EQ(service().cache().size(), 0u);
+
+  FailpointRegistry::Global().ClearAll();
+  const MineResponse retried = service().Mine(request);
+  EXPECT_TRUE(retried.status.ok()) << retried.status.ToString();
+  EXPECT_FALSE(retried.provenance.degraded);
+  EXPECT_EQ(service().cache().size(), 1u);
+}
+
+TEST_F(ServiceTest, TrainingRetryPolicyAbsorbsTransientFailures) {
+  FailpointGuard guard;
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.training_retry.max_attempts = 4;
+  options.training_retry.initial_backoff_seconds = 0.001;
+  options.training_retry.max_backoff_seconds = 0.002;
+  MiningService retrying(options);
+  ASSERT_TRUE(retrying.RegisterDataset("d", data_.data).ok());
+
+  // prob:0.5 under a fixed seed: some attempts fail, and 4 attempts at
+  // p=0.5 survive with probability 15/16 per request — with the pinned
+  // seed below the sequence is deterministic and known to pass.
+  FailpointRegistry::Global().SetSeed(7);
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "prob:0.5").ok());
+  const MineResponse response =
+      retrying.Mine(SmallRequest("d", 500.0));
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+}
+
+TEST(BreakerTest, OpensAfterConsecutiveFailuresAndSuggestsRetryAfter) {
+  FailpointGuard guard;
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.cache.breaker_failure_threshold = 2;
+  options.cache.breaker_open_seconds = 60.0;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  EXPECT_EQ(service.Mine(request).status.code(), StatusCode::kInternal);
+  EXPECT_EQ(service.Mine(request).status.code(), StatusCode::kInternal);
+  // Breaker tripped: the third request is refused without training.
+  const MineResponse refused = service.Mine(request);
+  EXPECT_EQ(refused.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.cache().stats().breaker_rejections, 1u);
+  EXPECT_EQ(service.cache().stats().training_failures, 2u);
+
+  auto key = service.KeyFor(request);
+  ASSERT_TRUE(key.ok());
+  EXPECT_GE(service.cache().RetryAfterSeconds(*key), 1);
+  EXPECT_LE(service.cache().RetryAfterSeconds(*key), 60);
+}
+
+TEST(BreakerTest, HalfOpenProbeRetrainsAfterTheWindow) {
+  FailpointGuard guard;
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.cache.breaker_failure_threshold = 1;
+  options.cache.breaker_open_seconds = 0.2;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  EXPECT_EQ(service.Mine(request).status.code(), StatusCode::kInternal);
+  EXPECT_EQ(service.Mine(request).status.code(),
+            StatusCode::kUnavailable);
+
+  // After the open window the next request probes (trains) again — and
+  // with the fault cleared, succeeds and closes the breaker.
+  FailpointRegistry::Global().ClearAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const MineResponse recovered = service.Mine(request);
+  EXPECT_TRUE(recovered.status.ok()) << recovered.status.ToString();
+  EXPECT_TRUE(service.Mine(request).cache_hit);
+}
+
+TEST(NegativeCacheTest, ReplaysRecentFailureWithoutRetraining) {
+  FailpointGuard guard;
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.cache.negative_ttl_seconds = 60.0;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  EXPECT_EQ(service.Mine(request).status.code(), StatusCode::kInternal);
+  // The fault is gone, but the negative cache replays the remembered
+  // failure instead of retraining inside the TTL.
+  FailpointRegistry::Global().ClearAll();
+  const MineResponse replayed = service.Mine(request);
+  EXPECT_EQ(replayed.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(service.cache().stats().negative_hits, 1u);
+  EXPECT_EQ(service.cache().stats().training_failures, 1u);
+}
+
+TEST(StaleServeTest, DegradedStaleModelServesWhenRevalidationFails) {
+  FailpointGuard guard;
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.cache.max_age_seconds = 0.0;  // stale immediately
+  options.cache.stale_while_revalidate = true;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+
+  const MineResponse first = service.Mine(request);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.provenance.degraded);
+
+  // The entry is stale; its revalidation fails — yet the request is
+  // served from the previous model, labelled degraded, not errored.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  const MineResponse degraded = service.Mine(request);
+  ASSERT_TRUE(degraded.status.ok()) << degraded.status.ToString();
+  EXPECT_TRUE(degraded.provenance.degraded);
+  EXPECT_FALSE(degraded.provenance.degraded_reason.empty());
+  EXPECT_GE(service.cache().stats().degraded_serves, 1u);
+
+  // Fault cleared: the next revalidation succeeds and the degraded flag
+  // comes off.
+  FailpointRegistry::Global().ClearAll();
+  const MineResponse fresh = service.Mine(request);
+  ASSERT_TRUE(fresh.status.ok()) << fresh.status.ToString();
+  EXPECT_FALSE(fresh.provenance.degraded);
+}
+
+TEST(StaleServeTest, DisablingStaleWhileRevalidateSurfacesTheError) {
+  FailpointGuard guard;
+  const SyntheticDataset ds = DensityData(2, 1);
+  MiningService::Options options;
+  options.num_threads = 2;
+  options.cache.max_age_seconds = 0.0;
+  options.cache.stale_while_revalidate = false;
+  MiningService service(options);
+  ASSERT_TRUE(service.RegisterDataset("d", ds.data).ok());
+  const MineRequest request = SmallRequest("d", 500.0);
+
+  ASSERT_TRUE(service.Mine(request).status.ok());
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("serve.train", "error").ok());
+  // Without SWR the old model was evicted outright; the failed retrain
+  // surfaces as an error, exactly the pre-degradation behaviour.
+  EXPECT_EQ(service.Mine(request).status.code(), StatusCode::kInternal);
 }
 
 }  // namespace

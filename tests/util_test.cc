@@ -3,14 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <vector>
 
+#include "util/cancel.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -47,6 +52,7 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::TimedOut("x").code(), StatusCode::kTimedOut);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusOrTest, HoldsValue) {
@@ -433,6 +439,191 @@ TEST(StopwatchTest, MeasuresElapsed) {
   EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1000.0 * 0.99);
   sw.Reset();
   EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+// ------------------------------------------------------------ failpoints
+
+// Each test disarms everything on exit so the process-wide registry
+// never leaks state into other tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+};
+
+TEST_F(FailpointTest, IdleRegistryIsFreeAndPasses) {
+  EXPECT_FALSE(FailpointRegistry::active());
+  EXPECT_TRUE(MaybeFailpoint("serve.train").ok());
+  EXPECT_TRUE(FailpointRegistry::Global().List().empty());
+}
+
+TEST_F(FailpointTest, ErrorActionFiresEveryHit) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Set("serve.train", "error").ok());
+  EXPECT_TRUE(FailpointRegistry::active());
+  const Status fired = MaybeFailpoint("serve.train");
+  EXPECT_EQ(fired.code(), StatusCode::kInternal);
+  EXPECT_NE(fired.message().find("serve.train"), std::string::npos);
+  // Other sites stay dark.
+  EXPECT_TRUE(MaybeFailpoint("cache.insert").ok());
+
+  const auto infos = reg.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].site, "serve.train");
+  EXPECT_EQ(infos[0].hits, 1u);
+  EXPECT_EQ(infos[0].fires, 1u);
+
+  EXPECT_TRUE(reg.Clear("serve.train"));
+  EXPECT_FALSE(FailpointRegistry::active());
+  EXPECT_TRUE(MaybeFailpoint("serve.train").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityDrawsAreDeterministicUnderSeed) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  reg.SetSeed(1234);
+  ASSERT_TRUE(reg.Set("serve.train", "prob:0.5").ok());
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(!MaybeFailpoint("serve.train").ok());
+  }
+  // Reseeding with the same seed resets the counters: the decision
+  // sequence replays exactly.
+  reg.SetSeed(1234);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(!MaybeFailpoint("serve.train").ok(), first[i]) << "hit " << i;
+  }
+  // A 0.5 probability over 64 draws fires somewhere strictly between
+  // never and always (deterministic given the seed).
+  const size_t fires = static_cast<size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FailpointTest, ConfigureParsesListsAndRejectsBadSpecsAtomically) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(
+      reg.Configure("serve.train=error, cache.insert=prob:0.25").ok());
+  EXPECT_EQ(reg.List().size(), 2u);
+  // One malformed entry arms nothing from the list.
+  reg.ClearAll();
+  EXPECT_FALSE(
+      reg.Configure("serve.train=error,cache.insert=prob:nope").ok());
+  EXPECT_FALSE(reg.Configure("serve.train=explode").ok());
+  EXPECT_FALSE(reg.Configure("serve.train=prob:1.5").ok());
+  EXPECT_TRUE(reg.List().empty());
+  EXPECT_FALSE(FailpointRegistry::active());
+  // The empty spec is a no-op, not an error.
+  EXPECT_TRUE(reg.Configure("").ok());
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenPasses) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Set("net.write", "delay:30").ok());
+  Stopwatch sw;
+  EXPECT_TRUE(MaybeFailpoint("net.write").ok());
+  EXPECT_GE(sw.ElapsedSeconds(), 0.025);
+}
+
+TEST_F(FailpointTest, KnownSitesCatalogueListsEveryCompiledSite) {
+  const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
+  const std::set<std::string> unique(sites.begin(), sites.end());
+  EXPECT_EQ(unique.size(), sites.size());
+  EXPECT_TRUE(unique.count("data.load_csv"));
+  EXPECT_TRUE(unique.count("serve.train"));
+  EXPECT_TRUE(unique.count("cache.insert"));
+  EXPECT_TRUE(unique.count("shard.evaluate"));
+  EXPECT_TRUE(unique.count("net.write"));
+}
+
+// ----------------------------------------------------------------- retry
+
+TEST(RetryTest, DefaultPolicyMakesExactlyOneAttempt) {
+  RetryPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  int attempts = 0;
+  const Status status = RunWithRetry(policy, [&] {
+    ++attempts;
+    return Status::Internal("transient");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, RetriesTransientFailuresUntilSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_seconds = 0.001;
+  policy.max_backoff_seconds = 0.002;
+  int attempts = 0;
+  const Status status = RunWithRetry(policy, [&] {
+    return ++attempts < 3 ? Status::Internal("transient") : Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryTest, NonRetriableStatusReturnsImmediately) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_seconds = 0.001;
+  int attempts = 0;
+  const Status status = RunWithRetry(policy, [&] {
+    ++attempts;
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_FALSE(IsRetriableStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::Cancelled("x")));
+  EXPECT_FALSE(IsRetriableStatus(Status::NotFound("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::Internal("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::IOError("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::TimedOut("x")));
+  EXPECT_TRUE(IsRetriableStatus(Status::Unavailable("x")));
+}
+
+TEST(RetryTest, CancelledTokenStopsTheLoop) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_seconds = 0.005;
+  policy.max_backoff_seconds = 0.005;
+  CancelSource source;
+  int attempts = 0;
+  const Status status = RunWithRetry(
+      policy,
+      [&] {
+        if (++attempts == 2) source.Cancel();
+        return Status::Internal("transient");
+      },
+      source.token());
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts, 2);
+}
+
+TEST(RetryTest, BackoffGrowsAndIsCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.5;
+  policy.jitter_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(0), 0.1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1), 0.2);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2), 0.4);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(10), 0.5);
+  // Jitter stays inside the configured band and is deterministic for a
+  // given (seed, retry index).
+  policy.jitter_fraction = 0.2;
+  for (int i = 0; i < 5; ++i) {
+    const double base = policy.BackoffSeconds(i);
+    RetryPolicy same = policy;
+    EXPECT_DOUBLE_EQ(same.BackoffSeconds(i), base);
+    const double nominal = std::min(
+        policy.initial_backoff_seconds * std::pow(2.0, i),
+        policy.max_backoff_seconds);
+    EXPECT_GE(base, nominal * 0.8 - 1e-12);
+    EXPECT_LE(base, nominal * 1.2 + 1e-12);
+  }
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -94,6 +95,25 @@ void PrintUsage() {
       "           --deadline SECONDS   per-request deadline (default 30)\n"
       "           --data FILE.csv      optional dataset registered as\n"
       "                                'default' at startup\n"
+      "           --cache-max-age S    surrogate staleness horizon\n"
+      "                                (default: never stale)\n"
+      "           --train-retries N    extra training attempts on\n"
+      "                                transient failure (default 0)\n"
+      "           --breaker-threshold N consecutive training failures\n"
+      "                                that open a key's circuit breaker\n"
+      "                                (503 + Retry-After; 0 = off)\n"
+      "           --breaker-open S     seconds an open breaker refuses\n"
+      "                                retrains (default 5)\n"
+      "           --negative-ttl S     seconds a training failure is\n"
+      "                                replayed without retraining\n"
+      "                                (default 0 = off)\n"
+      "           --job-retention N    finished jobs kept for polling\n"
+      "                                (default 256)\n"
+      "           --job-max-age S      finished jobs older than this are\n"
+      "                                evicted (default: never)\n"
+      "           --enable-failpoints  expose the /v1/failpoints fault-\n"
+      "                                injection admin API (chaos/debug\n"
+      "                                deployments only)\n"
       "           SIGINT/SIGTERM drain in-flight requests, then exit\n"
       "  version: print API/library version and build info (also\n"
       "           --version anywhere), for v1-vs-v2 schema negotiation\n");
@@ -494,6 +514,18 @@ int RunServe(const CliFlags& flags) {
   MiningService::Options service_options;
   service_options.num_threads =
       static_cast<size_t>(flags.GetInt("threads", 0));
+  service_options.cache.max_age_seconds =
+      flags.GetDouble("cache-max-age",
+                      std::numeric_limits<double>::infinity());
+  service_options.cache.breaker_failure_threshold =
+      static_cast<size_t>(flags.GetInt("breaker-threshold", 0));
+  service_options.cache.breaker_open_seconds =
+      flags.GetDouble("breaker-open", 5.0);
+  service_options.cache.negative_ttl_seconds =
+      flags.GetDouble("negative-ttl", 0.0);
+  // --train-retries counts *extra* attempts; the policy counts total.
+  service_options.training_retry.max_attempts =
+      flags.GetInt("train-retries", 0) + 1;
   MiningService service(service_options);
 
   const std::string data_path = flags.GetString("data", "");
@@ -508,7 +540,15 @@ int RunServe(const CliFlags& flags) {
   }
 
   ServerMetrics metrics;
-  SurfHandler handler(&service, &metrics);
+  SurfHandler::Options handler_options;
+  handler_options.enable_failpoint_admin =
+      flags.GetBool("enable-failpoints", false);
+  handler_options.job_retention.max_finished =
+      static_cast<size_t>(flags.GetInt("job-retention", 256));
+  handler_options.job_retention.max_age_seconds =
+      flags.GetDouble("job-max-age",
+                      std::numeric_limits<double>::infinity());
+  SurfHandler handler(&service, &metrics, handler_options);
 
   HttpServer::Options options;
   options.bind_address = flags.GetString("bind", "127.0.0.1");
@@ -519,6 +559,8 @@ int RunServe(const CliFlags& flags) {
       static_cast<size_t>(flags.GetInt("max-inflight", 64));
   options.request_deadline_seconds = flags.GetDouble("deadline", 30.0);
   HttpServer server(options, handler.AsHttpHandler());
+  handler.set_transport_stats_provider(
+      [&server] { return server.stats(); });
   if (auto st = server.Start(); !st.ok()) return Fail(st.ToString());
 
   std::signal(SIGINT, HandleStopSignal);
