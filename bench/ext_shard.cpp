@@ -19,12 +19,14 @@
 //
 // Writes BENCH_shard.json (override with SURF_BENCH_SHARD_JSON).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "accel/accel.h"
 #include "core/workload.h"
 #include "data/sharded.h"
 #include "stats/evaluator.h"
@@ -87,7 +89,47 @@ int main(int argc, char** argv) {
 
   std::printf("== sharded exact-backend scaling (%zu rows, %zu queries) ==\n",
               rows, queries);
+
+  // Accel backend feeding the mask scans. A SURF_ACCEL override naming an
+  // unavailable backend is a hard error, not a silent fallback.
+  const AccelSelection selection = CurrentAccelSelection();
+  std::printf("accel backend: %s%s\n", AccelBackendName(selection.active),
+              selection.override_requested ? " (SURF_ACCEL override)" : "");
+  if (selection.override_requested && !selection.override_honored) {
+    std::fprintf(stderr,
+                 "error: SURF_ACCEL=%s requested but unavailable on this "
+                 "host/build\n",
+                 selection.requested.c_str());
+    return 1;
+  }
+
   const Dataset ds = MakeData(rows, 2026);
+
+  // --- kernel-level mask-scan timing: the accel layer's membership mask
+  // over one real data column, generic versus the active backend.
+  double mask_generic_ms = 0.0, mask_active_ms = 0.0;
+  {
+    const std::vector<double>& col = ds.column(0);
+    std::vector<uint8_t> mask(col.size());
+    const auto time_ms = [&](const AccelOps& ops) {
+      double best = 1e300;
+      for (int rep = 0; rep < 5; ++rep) {
+        std::fill(mask.begin(), mask.end(), 1);
+        Stopwatch timer;
+        ops.mask_range_and(col.data(), col.size(), 2.0, 8.0, mask.data());
+        if (ops.mask_count(mask.data(), mask.size()) > col.size()) {
+          std::abort();  // keeps the kernel calls observable
+        }
+        best = std::min(best, 1e3 * timer.ElapsedSeconds());
+      }
+      return best;
+    };
+    mask_generic_ms = time_ms(AccelOpsFor(AccelBackend::kGeneric));
+    mask_active_ms = time_ms(Accel());
+    std::printf("mask scan : generic %.2f ms | %s %.2f ms (%.2fx)\n",
+                mask_generic_ms, AccelBackendName(selection.active),
+                mask_active_ms, mask_generic_ms / mask_active_ms);
+  }
   const Statistic count_stat = Statistic::Count({0, 1});
   const Bounds domain = ds.ComputeBounds(count_stat.region_cols);
   WorkloadParams params;
@@ -172,10 +214,16 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"rows\": %zu,\n"
                  "  \"queries\": %zu,\n"
+                 "  \"accel_backend\": \"%s\",\n"
+                 "  \"mask_scan_generic_ms\": %.4f,\n"
+                 "  \"mask_scan_active_ms\": %.4f,\n"
+                 "  \"mask_scan_speedup\": %.2f,\n"
                  "  \"scan_seconds\": %.4f,\n"
                  "  \"one_shard_bit_identical\": %s,\n"
                  "  \"arms\": [\n",
-                 rows, queries, baseline_seconds,
+                 rows, queries, AccelBackendName(selection.active),
+                 mask_generic_ms, mask_active_ms,
+                 mask_generic_ms / mask_active_ms, baseline_seconds,
                  one_shard_identical ? "true" : "false");
     for (size_t i = 0; i < arms.size(); ++i) {
       const ShardArm& a = arms[i];

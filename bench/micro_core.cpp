@@ -19,6 +19,7 @@
 #include <fstream>
 #include <string>
 
+#include "accel/accel.h"
 #include "bench_common.h"
 #include "legacy_gbrt.h"
 #include "ml/kde.h"
@@ -355,11 +356,119 @@ SpeedupReport RunSpeedupReport() {
   return report;
 }
 
-void WriteReportJson(const SpeedupReport& report, const std::string& path) {
+// ===================================================================
+// Accel kernel-level speedup section (the "accel" object in the JSON)
+// ===================================================================
+
+constexpr size_t kKernelRows = 1u << 21;  // 2M rows per kernel rep
+constexpr uint32_t kKernelBins = 64;
+
+struct AccelKernelTimes {
+  std::string backend;
+  double mask_range_ms = 0.0;
+  double mask_count_ms = 0.0;
+  double hist_ms = 0.0;
+};
+
+struct AccelReport {
+  AccelSelection selection;
+  double legacy_mask_range_ms = 0.0;
+  double legacy_mask_count_ms = 0.0;
+  double legacy_hist_ms = 0.0;
+  std::vector<AccelKernelTimes> backends;
+};
+
+AccelReport RunAccelKernelReport() {
+  AccelReport report;
+  report.selection = CurrentAccelSelection();
+
+  Rng rng(93);
+  std::vector<double> col(kKernelRows);
+  std::vector<uint8_t> mask(kKernelRows, 1), scratch_mask(kKernelRows);
+  std::vector<uint8_t> bins(kKernelRows);
+  std::vector<double> grad(kKernelRows);
+  for (size_t i = 0; i < kKernelRows; ++i) {
+    col[i] = rng.Uniform(-10.0, 10.0);
+    bins[i] = static_cast<uint8_t>(
+        static_cast<uint32_t>(rng.Uniform() * kKernelBins) % kKernelBins);
+    grad[i] = rng.Uniform(-1.0, 1.0);
+  }
+  std::vector<double> g(kKernelBins);
+  std::vector<uint32_t> cnt(kKernelBins);
+  uint64_t sink = 0;
+
+  report.legacy_mask_range_ms = 1e3 * BestOfSeconds(5, [&] {
+    std::copy(mask.begin(), mask.end(), scratch_mask.begin());
+    bench::LegacyMaskScan(col.data(), kKernelRows, -3.0, 3.0,
+                          scratch_mask.data());
+  });
+  report.legacy_mask_count_ms = 1e3 * BestOfSeconds(5, [&] {
+    sink += bench::LegacyMaskCount(scratch_mask.data(), kKernelRows);
+  });
+  report.legacy_hist_ms = 1e3 * BestOfSeconds(5, [&] {
+    std::fill(g.begin(), g.end(), 0.0);
+    std::fill(cnt.begin(), cnt.end(), 0u);
+    bench::LegacyHistU8Unit(bins.data(), nullptr, grad.data(), kKernelRows,
+                            g.data(), cnt.data());
+  });
+
+  for (int b = 0; b < kNumAccelBackends; ++b) {
+    const AccelBackend backend = static_cast<AccelBackend>(b);
+    if (!AccelSupported(backend)) continue;
+    const AccelOps& ops = AccelOpsFor(backend);
+    AccelKernelTimes times;
+    times.backend = ops.name;
+    times.mask_range_ms = 1e3 * BestOfSeconds(5, [&] {
+      std::copy(mask.begin(), mask.end(), scratch_mask.begin());
+      ops.mask_range_and(col.data(), kKernelRows, -3.0, 3.0,
+                         scratch_mask.data());
+    });
+    times.mask_count_ms = 1e3 * BestOfSeconds(5, [&] {
+      sink += ops.mask_count(scratch_mask.data(), kKernelRows);
+    });
+    times.hist_ms = 1e3 * BestOfSeconds(5, [&] {
+      std::fill(g.begin(), g.end(), 0.0);
+      std::fill(cnt.begin(), cnt.end(), 0u);
+      ops.hist_u8_unit(bins.data(), nullptr, grad.data(), kKernelRows,
+                       kKernelBins, g.data(), cnt.data());
+    });
+    report.backends.push_back(times);
+  }
+  if (sink == 0xdeadbeef) std::printf("\n");  // keep `sink` observable
+  return report;
+}
+
+void WriteReportJson(const SpeedupReport& report, const AccelReport& accel,
+                     const std::string& path) {
   std::ofstream os(path);
   os.precision(6);
   os << "{\n";
   os << "  \"threads\": " << kReportThreads << ",\n";
+  os << "  \"accel_backend\": \""
+     << AccelBackendName(accel.selection.active) << "\",\n";
+  os << "  \"accel\": {\n";
+  os << "    \"rows\": " << kKernelRows << ",\n";
+  os << "    \"hist_bins\": " << kKernelBins << ",\n";
+  os << "    \"legacy\": { \"mask_range_ms\": " << accel.legacy_mask_range_ms
+     << ", \"mask_count_ms\": " << accel.legacy_mask_count_ms
+     << ", \"hist_ms\": " << accel.legacy_hist_ms << " },\n";
+  os << "    \"backends\": [\n";
+  for (size_t i = 0; i < accel.backends.size(); ++i) {
+    const AccelKernelTimes& t = accel.backends[i];
+    os << "      { \"name\": \"" << t.backend
+       << "\", \"mask_range_ms\": " << t.mask_range_ms
+       << ", \"mask_count_ms\": " << t.mask_count_ms
+       << ", \"hist_ms\": " << t.hist_ms
+       << ", \"mask_range_speedup_vs_legacy\": "
+       << accel.legacy_mask_range_ms / t.mask_range_ms
+       << ", \"mask_count_speedup_vs_legacy\": "
+       << accel.legacy_mask_count_ms / t.mask_count_ms
+       << ", \"hist_speedup_vs_legacy\": "
+       << accel.legacy_hist_ms / t.hist_ms << " }"
+       << (i + 1 < accel.backends.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  },\n";
   os << "  \"train\": {\n";
   os << "    \"rows\": " << kTrainRows << ",\n";
   os << "    \"features\": " << kTrainFeatures << ",\n";
@@ -413,7 +522,40 @@ int main(int argc, char** argv) {
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_gbrt.json";
 
-  std::printf("== GBRT engine speedup report (vs legacy single-thread "
+  // Accel backend selection — reported up front, and a hard error when a
+  // SURF_ACCEL override asked for a backend this host cannot deliver
+  // (silently benchmarking the wrong kernels would poison the numbers).
+  const surf::AccelSelection selection = surf::CurrentAccelSelection();
+  std::printf("accel backend: %s%s\n",
+              surf::AccelBackendName(selection.active),
+              selection.override_requested ? " (SURF_ACCEL override)" : "");
+  if (selection.override_requested && !selection.override_honored) {
+    std::fprintf(stderr,
+                 "error: SURF_ACCEL=%s requested but unavailable on this "
+                 "host/build\n",
+                 selection.requested.c_str());
+    return 1;
+  }
+
+  std::printf("== accel kernel speedups (vs legacy scalar loops, %zu "
+              "rows) ==\n",
+              surf::kKernelRows);
+  const surf::AccelReport accel = surf::RunAccelKernelReport();
+  std::printf("legacy  : mask_range %.2f ms | mask_count %.2f ms | "
+              "hist %.2f ms\n",
+              accel.legacy_mask_range_ms, accel.legacy_mask_count_ms,
+              accel.legacy_hist_ms);
+  for (const surf::AccelKernelTimes& t : accel.backends) {
+    std::printf("%-8s: mask_range %.2f ms (%.2fx) | mask_count %.2f ms "
+                "(%.2fx) | hist %.2f ms (%.2fx)\n",
+                t.backend.c_str(), t.mask_range_ms,
+                accel.legacy_mask_range_ms / t.mask_range_ms,
+                t.mask_count_ms,
+                accel.legacy_mask_count_ms / t.mask_count_ms, t.hist_ms,
+                accel.legacy_hist_ms / t.hist_ms);
+  }
+
+  std::printf("\n== GBRT engine speedup report (vs legacy single-thread "
               "baseline) ==\n");
   const surf::SpeedupReport report = surf::RunSpeedupReport();
   std::printf("train   : baseline %.1f ms | engine 1t %.1f ms (%.2fx) | "
@@ -432,7 +574,7 @@ int main(int argc, char** argv) {
               "baseline: %.3g\n",
               report.deterministic_across_threads ? "yes" : "NO",
               report.predict_max_abs_diff_vs_baseline);
-  surf::WriteReportJson(report, json_path);
+  surf::WriteReportJson(report, accel, json_path);
   std::printf("wrote %s\n\n", json_path.c_str());
   if (speedup_only) return 0;
 

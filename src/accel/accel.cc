@@ -1,0 +1,186 @@
+#include "accel/accel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace surf {
+namespace {
+
+bool HostHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx512() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  // Everything the avx512 TU is compiled with must be present.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
+/// The published table. Selection writes it under `SelectionMutex()`;
+/// Accel() reads it with one relaxed atomic load (the table objects are
+/// immutable globals, so any published pointer is safe to use).
+std::atomic<const AccelOps*> g_active{nullptr};
+
+std::mutex& SelectionMutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Last selection result, guarded by SelectionMutex().
+AccelSelection& SelectionState() {
+  static AccelSelection state;
+  return state;
+}
+
+/// Computes a selection from SURF_ACCEL + host support. Pure (no
+/// publishing).
+AccelSelection ComputeSelection() {
+  AccelSelection sel;
+  sel.active = BestSupportedAccelBackend();
+  const char* env = std::getenv("SURF_ACCEL");
+  if (env != nullptr && env[0] != '\0') {
+    sel.override_requested = true;
+    sel.requested = env;
+    AccelBackend requested;
+    if (ParseAccelBackend(sel.requested, &requested) &&
+        AccelSupported(requested)) {
+      sel.active = requested;
+    } else {
+      // Do not silently honor-by-fallback: record the miss so benches
+      // and tests can fail loudly instead of measuring the wrong
+      // backend.
+      sel.override_honored = false;
+    }
+  }
+  return sel;
+}
+
+/// Publishes `sel` (mutex already held by caller).
+void PublishLocked(const AccelSelection& sel) {
+  SelectionState() = sel;
+  g_active.store(&AccelOpsFor(sel.active), std::memory_order_release);
+}
+
+void EnsureSelected() {
+  if (g_active.load(std::memory_order_acquire) != nullptr) return;
+  std::lock_guard<std::mutex> lock(SelectionMutex());
+  if (g_active.load(std::memory_order_relaxed) != nullptr) return;
+  PublishLocked(ComputeSelection());
+}
+
+}  // namespace
+
+const char* AccelBackendName(AccelBackend backend) {
+  switch (backend) {
+    case AccelBackend::kGeneric:
+      return "generic";
+    case AccelBackend::kAvx2:
+      return "avx2";
+    case AccelBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseAccelBackend(const std::string& name, AccelBackend* out) {
+  if (name == "generic") {
+    *out = AccelBackend::kGeneric;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = AccelBackend::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    *out = AccelBackend::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+bool AccelCompiled(AccelBackend backend) {
+  switch (backend) {
+    case AccelBackend::kGeneric:
+      return true;
+    case AccelBackend::kAvx2:
+      return kAccelAvx2Compiled;
+    case AccelBackend::kAvx512:
+      return kAccelAvx512Compiled;
+  }
+  return false;
+}
+
+bool AccelSupported(AccelBackend backend) {
+  if (!AccelCompiled(backend)) return false;
+  switch (backend) {
+    case AccelBackend::kGeneric:
+      return true;
+    case AccelBackend::kAvx2:
+      return HostHasAvx2();
+    case AccelBackend::kAvx512:
+      return HostHasAvx512();
+  }
+  return false;
+}
+
+AccelBackend BestSupportedAccelBackend() {
+  if (AccelSupported(AccelBackend::kAvx512)) return AccelBackend::kAvx512;
+  if (AccelSupported(AccelBackend::kAvx2)) return AccelBackend::kAvx2;
+  return AccelBackend::kGeneric;
+}
+
+const AccelOps& AccelOpsFor(AccelBackend backend) {
+  switch (backend) {
+    case AccelBackend::kGeneric:
+      return kAccelGenericOps;
+    case AccelBackend::kAvx2:
+      return kAccelAvx2Compiled ? kAccelAvx2Ops : kAccelGenericOps;
+    case AccelBackend::kAvx512:
+      return kAccelAvx512Compiled ? kAccelAvx512Ops : kAccelGenericOps;
+  }
+  return kAccelGenericOps;
+}
+
+const AccelOps& Accel() {
+  EnsureSelected();
+  return *g_active.load(std::memory_order_acquire);
+}
+
+AccelBackend ActiveAccelBackend() {
+  return static_cast<AccelBackend>(Accel().backend);
+}
+
+AccelSelection CurrentAccelSelection() {
+  EnsureSelected();
+  std::lock_guard<std::mutex> lock(SelectionMutex());
+  return SelectionState();
+}
+
+AccelSelection ReselectAccelFromEnv() {
+  std::lock_guard<std::mutex> lock(SelectionMutex());
+  const AccelSelection sel = ComputeSelection();
+  PublishLocked(sel);
+  return sel;
+}
+
+bool SetActiveAccelBackend(AccelBackend backend) {
+  if (!AccelSupported(backend)) return false;
+  std::lock_guard<std::mutex> lock(SelectionMutex());
+  AccelSelection sel;
+  sel.active = backend;
+  PublishLocked(sel);
+  return true;
+}
+
+}  // namespace surf

@@ -1,8 +1,11 @@
 #include "ml/tree.h"
 
+#include "accel/accel.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstring>
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -165,6 +168,15 @@ struct RegressionTree::TrainState {
       const uint32_t base = binned->bin_offset(f);
       double* g = hist.g.data() + base;
       uint32_t* cnt = hist.cnt.data() + base;
+      // The GBRT training path (unit hessians + byte-wide bins) runs
+      // through the dispatched kernel table; wide-bin and weighted-
+      // hessian builds keep the scalar loop below.
+      if (unit_hess && binned->has_packed8()) {
+        Accel().hist_u8_unit(binned->col8(f),
+                             sequential ? nullptr : row_ids, gsrc, n, nb, g,
+                             cnt);
+        return;
+      }
       auto accumulate = [&](const auto* col) {
         if (unit_hess) {
           for (size_t i = 0; i < n; ++i) {
@@ -193,7 +205,8 @@ struct RegressionTree::TrainState {
     // Serial unit-hessian builds process feature pairs per row pass so
     // the row-id load amortizes over two histograms (the parallel path
     // keeps one feature per task — same per-feature accumulation order,
-    // bit-identical result).
+    // bit-identical result). The accel histogram kernel shares that
+    // exact per-feature order, so the two paths stay interchangeable.
     auto build_feature_pair = [&](size_t fa, size_t fb) {
       const uint32_t f0 = features[fa];
       const uint32_t f1 = features[fb];
@@ -630,49 +643,15 @@ void RegressionTree::AddPredictions(const double* const* cols, size_t begin,
                                     size_t end, double scale,
                                     double* out) const {
   assert(!nodes_.empty());
-  const Node* nodes = nodes_.data();
-
-  // Interleave 8 rows through the tree at once: each level is one
-  // dependent load-compare-select per row, so eight independent chains
-  // overlap instead of serializing. Leaves self-select, letting every
-  // row run the same fixed number of levels branch-free.
-  constexpr size_t kGroup = 8;
+  // The packed node is the kernel layer's AccelTreeNode by construction;
+  // the asserts pin the reinterpret below to the actual layout.
+  static_assert(sizeof(Node) == sizeof(AccelTreeNode));
+  static_assert(offsetof(Node, tv) == offsetof(AccelTreeNode, tv));
+  static_assert(offsetof(Node, right) == offsetof(AccelTreeNode, right));
+  static_assert(offsetof(Node, feature) == offsetof(AccelTreeNode, feature));
   const size_t levels = depth_ > 1 ? depth_ - 1 : 0;
-  const double* values = values_.data();
-  size_t r = begin;
-  if (levels > 0) {
-    for (; r + kGroup <= end; r += kGroup) {
-      int32_t idx[kGroup] = {0};
-      for (size_t lvl = 0; lvl < levels; ++lvl) {
-        for (size_t k = 0; k < kGroup; ++k) {
-          const Node& node = nodes[static_cast<size_t>(idx[k])];
-          // Branch-free masked select (a ternary here compiles to a
-          // data-dependent branch that mispredicts ~50% of the time at
-          // deep levels); leaves self-loop via the always-false NaN
-          // compare.
-          const int32_t mask =
-              -static_cast<int32_t>(cols[node.feature][r + k] <= node.tv);
-          idx[k] = (node.right & ~mask) | ((idx[k] + 1) & mask);
-        }
-      }
-      for (size_t k = 0; k < kGroup; ++k) {
-        out[r + k - begin] += scale * values[idx[k]];
-      }
-    }
-  }
-  for (; r < end; ++r) {
-    int32_t idx = 0;
-    for (;;) {
-      const Node& node = nodes[static_cast<size_t>(idx)];
-      const int32_t next =
-          cols[node.feature][r] <= node.tv ? idx + 1 : node.right;
-      if (next == idx) {
-        out[r - begin] += scale * values[idx];
-        break;
-      }
-      idx = next;
-    }
-  }
+  Accel().tree_predict(reinterpret_cast<const AccelTreeNode*>(nodes_.data()),
+                       values_.data(), levels, cols, begin, end, scale, out);
 }
 
 size_t RegressionTree::num_leaves() const {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "accel/accel.h"
 #include "util/failpoint.h"
 
 namespace surf {
@@ -90,10 +91,12 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
 
   scanned_.fetch_add(1, std::memory_order_relaxed);
 
-  // Branchless membership mask, one pass per still-undecided column.
-  // uint8_t arithmetic keeps the loop auto-vectorizable. The negated
-  // form `!(v < lo || v > hi)` — NOT `v >= lo && v <= hi` — reproduces
-  // the legacy scan's row test exactly, NaN-keeps-the-row included.
+  // Branchless membership mask, one pass per still-undecided column,
+  // via the dispatched SIMD kernel table. The kernel's inclusion test is
+  // the negated form `!(v < lo || v > hi)` — NOT `v >= lo && v <= hi` —
+  // reproducing the legacy scan's row test exactly, NaN-keeps-the-row
+  // included; being integer-valued it is bit-identical on every backend.
+  const AccelOps& ops = Accel();
   std::vector<uint8_t> mask(rows, 1);
   for (size_t j = 0; j < d; ++j) {
     const ColumnSummary& s = shard.summary(stat_.region_cols[j]);
@@ -101,20 +104,14 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
     const double hi = region.hi(j);
     if (s.min >= lo && s.max <= hi) continue;  // shard inside on this dim
     const std::vector<double>& col = shard.column(stat_.region_cols[j]);
-    uint8_t* m = mask.data();
-    for (size_t r = 0; r < rows; ++r) {
-      m[r] &= static_cast<uint8_t>(!(col[r] < lo)) &
-              static_cast<uint8_t>(!(col[r] > hi));
-    }
+    ops.mask_range_and(col.data(), rows, lo, hi, mask.data());
   }
 
   if (!stat_.needs_value_column()) {
     // Count-style statistics reduce the mask directly; integer
     // accumulation is order-independent, so this stays bit-identical to
     // per-row Add() calls.
-    size_t inside = 0;
-    for (size_t r = 0; r < rows; ++r) inside += mask[r];
-    acc->AddBlock(inside, 0.0, 0.0, 0);
+    acc->AddBlock(ops.mask_count(mask.data(), rows), 0.0, 0.0, 0);
     return;
   }
 

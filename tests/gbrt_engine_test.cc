@@ -7,9 +7,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "accel/accel.h"
 #include "core/surrogate.h"
 #include "core/workload.h"
 #include "geom/bounds.h"
@@ -24,6 +27,43 @@
 
 namespace surf {
 namespace {
+
+/// Selects an accel backend via the SURF_ACCEL environment override (the
+/// same path a user would take) and restores the previous state on exit.
+class ScopedAccelEnv {
+ public:
+  explicit ScopedAccelEnv(AccelBackend backend)
+      : active_(ActiveAccelBackend()) {
+    const char* env = std::getenv("SURF_ACCEL");
+    had_env_ = env != nullptr;
+    if (had_env_) env_ = env;
+    setenv("SURF_ACCEL", AccelBackendName(backend), 1);
+    ReselectAccelFromEnv();
+  }
+  ~ScopedAccelEnv() {
+    if (had_env_) {
+      setenv("SURF_ACCEL", env_.c_str(), 1);
+    } else {
+      unsetenv("SURF_ACCEL");
+    }
+    SetActiveAccelBackend(active_);
+  }
+
+ private:
+  AccelBackend active_;
+  bool had_env_ = false;
+  std::string env_;
+};
+
+/// Every backend the host can actually run, generic first.
+std::vector<AccelBackend> SupportedBackends() {
+  std::vector<AccelBackend> out;
+  for (int b = 0; b < kNumAccelBackends; ++b) {
+    const AccelBackend backend = static_cast<AccelBackend>(b);
+    if (AccelSupported(backend)) out.push_back(backend);
+  }
+  return out;
+}
 
 double BumpyFn(const std::vector<double>& x) {
   double out = std::sin(5.0 * x[0]) + 0.5 * x[1];
@@ -184,7 +224,7 @@ TEST(TreeTest, SubtractionAndDirectSplitsAgree) {
 
 // ------------------------------------------------- thread-count determinism
 
-TEST(GbrtEngineTest, BitIdenticalAcrossThreadCounts) {
+TEST(GbrtEngineTest, BitIdenticalAcrossThreadCountsAndBackends) {
   FeatureMatrix x;
   std::vector<double> y;
   // Large enough that both the parallel histogram path (≥ 16384 rows per
@@ -193,23 +233,35 @@ TEST(GbrtEngineTest, BitIdenticalAcrossThreadCounts) {
   // serial path against itself.
   MakeProblem(20000, 5, 46, &x, &y);
 
+  // Thread-count determinism must hold under every accel backend, and —
+  // because the kernel layer is specified bit-identical — the outputs
+  // must ALSO agree across backends, so everything compares against one
+  // baseline.
   std::vector<std::vector<double>> outputs;
-  for (const size_t threads : {1u, 2u, 8u}) {
-    GbrtParams params;
-    params.n_estimators = 30;
-    params.max_depth = 6;
-    params.num_threads = threads;
-    params.seed = 7;
-    GradientBoostedTrees model(params);
-    ASSERT_TRUE(model.Fit(x, y).ok());
-    outputs.push_back(model.PredictBatch(x));
+  std::vector<std::string> labels;
+  for (const AccelBackend backend : SupportedBackends()) {
+    ScopedAccelEnv accel(backend);
+    for (const size_t threads : {1u, 2u, 8u}) {
+      GbrtParams params;
+      params.n_estimators = 30;
+      params.max_depth = 6;
+      params.num_threads = threads;
+      params.seed = 7;
+      GradientBoostedTrees model(params);
+      ASSERT_TRUE(model.Fit(x, y).ok());
+      outputs.push_back(model.PredictBatch(x));
+      labels.push_back(std::string(AccelBackendName(backend)) + "/" +
+                       std::to_string(threads) + "t");
+    }
   }
   for (size_t t = 1; t < outputs.size(); ++t) {
     ASSERT_EQ(outputs[0].size(), outputs[t].size());
     for (size_t r = 0; r < outputs[0].size(); ++r) {
       // Bitwise equality, not tolerance: the parallel engine partitions
-      // work without changing any reduction order.
-      EXPECT_EQ(outputs[0][r], outputs[t][r]) << "row " << r;
+      // work without changing any reduction order, and the accel kernels
+      // reproduce the canonical order on every backend.
+      EXPECT_EQ(outputs[0][r], outputs[t][r])
+          << labels[0] << " vs " << labels[t] << " row " << r;
     }
   }
 }
@@ -221,20 +273,29 @@ TEST(GbrtEngineTest, SubsampledTrainingDeterministicAcrossThreads) {
   // subsample, so the threaded build really runs.
   MakeProblem(24000, 3, 47, &x, &y);
   std::vector<std::vector<double>> outputs;
-  for (const size_t threads : {1u, 8u}) {
-    GbrtParams params;
-    params.n_estimators = 25;
-    params.subsample = 0.8;
-    params.colsample = 0.7;
-    params.early_stopping_rounds = 10;
-    params.validation_fraction = 0.2;
-    params.num_threads = threads;
-    GradientBoostedTrees model(params);
-    ASSERT_TRUE(model.Fit(x, y).ok());
-    outputs.push_back(model.PredictBatch(x));
+  std::vector<std::string> labels;
+  for (const AccelBackend backend : SupportedBackends()) {
+    ScopedAccelEnv accel(backend);
+    for (const size_t threads : {1u, 8u}) {
+      GbrtParams params;
+      params.n_estimators = 25;
+      params.subsample = 0.8;
+      params.colsample = 0.7;
+      params.early_stopping_rounds = 10;
+      params.validation_fraction = 0.2;
+      params.num_threads = threads;
+      GradientBoostedTrees model(params);
+      ASSERT_TRUE(model.Fit(x, y).ok());
+      outputs.push_back(model.PredictBatch(x));
+      labels.push_back(std::string(AccelBackendName(backend)) + "/" +
+                       std::to_string(threads) + "t");
+    }
   }
-  for (size_t r = 0; r < outputs[0].size(); ++r) {
-    EXPECT_EQ(outputs[0][r], outputs[1][r]) << "row " << r;
+  for (size_t t = 1; t < outputs.size(); ++t) {
+    for (size_t r = 0; r < outputs[0].size(); ++r) {
+      EXPECT_EQ(outputs[0][r], outputs[t][r])
+          << labels[0] << " vs " << labels[t] << " row " << r;
+    }
   }
 }
 

@@ -10,9 +10,12 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <tuple>
 
+#include "accel/accel.h"
 #include "core/workload.h"
 #include "data/sharded.h"
 #include "stats/evaluator.h"
@@ -321,31 +324,54 @@ TEST(ShardedEvaluatorTest, ManyShardsRealDataAgreeToRounding) {
 TEST(ShardedEvaluatorTest, MergeOrderDeterminismAcrossThreadCounts) {
   // The per-shard partials merge in ascending shard index no matter
   // which worker finishes first: 1, 2, and 8 threads must produce
-  // bit-identical results — floating-point data, median included.
+  // bit-identical results — floating-point data, median included. The
+  // whole sweep repeats under every supported SURF_ACCEL backend (the
+  // mask kernels feeding the scan are specified bit-identical), and the
+  // single-thread result under each backend must also match the generic
+  // baseline bitwise.
   const size_t d = 2;
   const Dataset ds = MakeData(4000, d, 44, false);
   ShardingOptions options;
   options.num_shards = 8;
   options.order_by = 0;
-  for (int kind : {0, 1, 2, 3, 4, 5}) {
-    const Statistic stat = MakeStatistic(kind, d);
-    ShardedScanEvaluator one(ShardedDataset::Partition(ds, options), stat, 1);
-    ShardedScanEvaluator two(ShardedDataset::Partition(ds, options), stat, 2);
-    ShardedScanEvaluator eight(ShardedDataset::Partition(ds, options), stat,
-                               8);
-    EXPECT_EQ(one.num_threads(), 1u);
-    EXPECT_EQ(two.num_threads(), 2u);
-    EXPECT_EQ(eight.num_threads(), 8u);
-    Rng rng(11);
-    for (int q = 0; q < 30; ++q) {
-      const Region region = RandomRegion(d, &rng);
-      const double a = one.Evaluate(region);
-      const double b = two.Evaluate(region);
-      const double c = eight.Evaluate(region);
-      ExpectSameDouble(a, b, "1 vs 2 threads");
-      ExpectSameDouble(a, c, "1 vs 8 threads");
+  const AccelBackend saved = ActiveAccelBackend();
+  for (int backend = 0; backend < kNumAccelBackends; ++backend) {
+    const AccelBackend b = static_cast<AccelBackend>(backend);
+    if (!AccelSupported(b)) continue;
+    setenv("SURF_ACCEL", AccelBackendName(b), 1);
+    ReselectAccelFromEnv();
+    ASSERT_EQ(ActiveAccelBackend(), b);
+    for (int kind : {0, 1, 2, 3, 4, 5}) {
+      const Statistic stat = MakeStatistic(kind, d);
+      ShardedScanEvaluator one(ShardedDataset::Partition(ds, options), stat,
+                               1);
+      ShardedScanEvaluator two(ShardedDataset::Partition(ds, options), stat,
+                               2);
+      ShardedScanEvaluator eight(ShardedDataset::Partition(ds, options), stat,
+                                 8);
+      EXPECT_EQ(one.num_threads(), 1u);
+      EXPECT_EQ(two.num_threads(), 2u);
+      EXPECT_EQ(eight.num_threads(), 8u);
+      Rng rng(11);
+      for (int q = 0; q < 30; ++q) {
+        const Region region = RandomRegion(d, &rng);
+        const double a = one.Evaluate(region);
+        const double b2 = two.Evaluate(region);
+        const double c = eight.Evaluate(region);
+        const std::string label =
+            std::string(AccelBackendName(b)) + " kind " + std::to_string(kind);
+        ExpectSameDouble(a, b2, (label + ": 1 vs 2 threads").c_str());
+        ExpectSameDouble(a, c, (label + ": 1 vs 8 threads").c_str());
+        // Cross-backend: generic runs first, so compare against it.
+        SetActiveAccelBackend(AccelBackend::kGeneric);
+        const double g = one.Evaluate(region);
+        SetActiveAccelBackend(b);
+        ExpectSameDouble(g, a, (label + ": generic vs backend").c_str());
+      }
     }
   }
+  unsetenv("SURF_ACCEL");
+  SetActiveAccelBackend(saved);
 }
 
 TEST(ShardedEvaluatorTest, CountsOneEvaluationPerQueryNotPerShard) {
