@@ -26,6 +26,7 @@
 #include "stats/grid_index.h"
 #include "stats/kd_tree.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace surf {
 namespace {
@@ -438,7 +439,80 @@ AccelReport RunAccelKernelReport() {
   return report;
 }
 
+// ===================================================================
+// Disabled-tracing overhead gate (the "trace_overhead" object)
+// ===================================================================
+
+// The disabled-mode cost contract: a TraceSpan with a null context is
+// one branch in and one branch out, so instrumenting a hot loop at
+// span-per-call granularity must stay within 2% of the uninstrumented
+// loop. Span-per-call is far finer than any real site (the pipeline
+// spans whole stages and batches), which makes this a sensitive canary:
+// a regression that sneaks an allocation, a lock, or attr formatting
+// into the disabled path fails the gate by an order of magnitude.
+constexpr double kTraceOverheadMaxRatio = 1.02;
+constexpr size_t kTraceOverheadIters = 50000;
+constexpr size_t kTraceOverheadReps = 9;
+
+struct TraceOverheadReport {
+  double baseline_ms = 0.0;
+  double disabled_ms = 0.0;
+  double ratio = 0.0;
+};
+
+TraceOverheadReport RunTraceOverheadReport() {
+  MicroFixture& f = MicroFixture::Get();
+  TraceContext* const no_trace = nullptr;
+  double sink = 0.0;
+
+  const auto plain_rep = [&] {
+    double acc = 0.0;
+    size_t i = 0;
+    for (size_t it = 0; it < kTraceOverheadIters; ++it) {
+      acc += f.surrogate.Predict(f.probes[i++ & 255]);
+    }
+    sink += acc;
+  };
+  const auto traced_rep = [&] {
+    double acc = 0.0;
+    size_t i = 0;
+    for (size_t it = 0; it < kTraceOverheadIters; ++it) {
+      TraceSpan span(no_trace, "predict", TraceStage::kSearch);
+      acc += f.surrogate.Predict(f.probes[i++ & 255]);
+      span.Attr("iter", static_cast<uint64_t>(it));
+      span.Attr("value", acc);
+    }
+    sink += acc;
+  };
+
+  // Interleave the paired reps so clock drift and thermal state hit
+  // both sides equally; min-of-reps drops the (one-sided) noise.
+  TraceOverheadReport report;
+  double best_plain = std::numeric_limits<double>::infinity();
+  double best_traced = std::numeric_limits<double>::infinity();
+  plain_rep();   // warm caches before the first timed rep
+  traced_rep();
+  for (size_t rep = 0; rep < kTraceOverheadReps; ++rep) {
+    {
+      Stopwatch timer;
+      plain_rep();
+      best_plain = std::min(best_plain, timer.ElapsedSeconds());
+    }
+    {
+      Stopwatch timer;
+      traced_rep();
+      best_traced = std::min(best_traced, timer.ElapsedSeconds());
+    }
+  }
+  if (sink == 0.5) std::printf("\n");  // keep `sink` observable
+  report.baseline_ms = 1e3 * best_plain;
+  report.disabled_ms = 1e3 * best_traced;
+  report.ratio = report.disabled_ms / report.baseline_ms;
+  return report;
+}
+
 void WriteReportJson(const SpeedupReport& report, const AccelReport& accel,
+                     const TraceOverheadReport& trace,
                      const std::string& path) {
   std::ofstream os(path);
   os.precision(6);
@@ -482,6 +556,13 @@ void WriteReportJson(const SpeedupReport& report, const AccelReport& accel,
      << report.train_baseline_ms / report.train_engine_1t_ms << ",\n";
   os << "    \"speedup_" << kReportThreads << "t\": "
      << report.train_baseline_ms / report.train_engine_mt_ms << "\n";
+  os << "  },\n";
+  os << "  \"trace_overhead\": {\n";
+  os << "    \"iterations\": " << kTraceOverheadIters << ",\n";
+  os << "    \"baseline_ms\": " << trace.baseline_ms << ",\n";
+  os << "    \"disabled_tracing_ms\": " << trace.disabled_ms << ",\n";
+  os << "    \"ratio\": " << trace.ratio << ",\n";
+  os << "    \"max_ratio\": " << kTraceOverheadMaxRatio << "\n";
   os << "  },\n";
   os << "  \"predict\": {\n";
   os << "    \"rows\": " << kPredictRows << ",\n";
@@ -574,8 +655,25 @@ int main(int argc, char** argv) {
               "baseline: %.3g\n",
               report.deterministic_across_threads ? "yes" : "NO",
               report.predict_max_abs_diff_vs_baseline);
-  surf::WriteReportJson(report, accel, json_path);
+
+  std::printf("\n== disabled-tracing overhead gate (span per call) ==\n");
+  const surf::TraceOverheadReport trace = surf::RunTraceOverheadReport();
+  std::printf("plain %.2f ms | instrumented %.2f ms | ratio %.4f "
+              "(max %.2f)\n",
+              trace.baseline_ms, trace.disabled_ms, trace.ratio,
+              surf::kTraceOverheadMaxRatio);
+
+  surf::WriteReportJson(report, accel, trace, json_path);
   std::printf("wrote %s\n\n", json_path.c_str());
+  if (trace.ratio > surf::kTraceOverheadMaxRatio) {
+    std::fprintf(stderr,
+                 "error: disabled tracing costs %.2f%% on a span-per-call "
+                 "hot loop (budget %.0f%%) — the null-context TraceSpan "
+                 "path must stay branch-only\n",
+                 100.0 * (trace.ratio - 1.0),
+                 100.0 * (surf::kTraceOverheadMaxRatio - 1.0));
+    return 1;
+  }
   if (speedup_only) return 0;
 
   int bench_argc = static_cast<int>(args.size());

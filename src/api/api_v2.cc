@@ -75,6 +75,7 @@ surf::MineRequest ToLegacy(const MineRequest& request) {
   legacy.use_kde = request.execution.use_kde;
   legacy.validate = request.execution.validate;
   legacy.record_evaluations = request.execution.record_evaluations;
+  legacy.trace = request.execution.trace;
   return legacy;
 }
 
@@ -97,6 +98,7 @@ MineRequest FromLegacy(const surf::MineRequest& request) {
   v2.execution.use_kde = request.use_kde;
   v2.execution.validate = request.validate;
   v2.execution.record_evaluations = request.record_evaluations;
+  v2.execution.trace = request.trace;
   return v2;
 }
 
@@ -113,6 +115,7 @@ MineResponse FromLegacyResponse(surf::MineResponse response) {
   v2.cache_hit = response.cache_hit;
   v2.provenance = response.provenance;
   v2.total_seconds = response.total_seconds;
+  v2.trace = std::move(response.trace);
   return v2;
 }
 

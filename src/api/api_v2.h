@@ -24,11 +24,13 @@
 /// `ToLegacy`/`FromLegacy` convert losslessly, so v1 callers keep working
 /// bit-identically.
 
+#include <memory>
 #include <string>
 
 #include "data/sharded.h"
 #include "serve/mining_service.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace surf {
 namespace v2 {
@@ -104,6 +106,11 @@ struct ExecutionPolicy {
   /// one GSO iteration / boosting round and returns Cancelled with
   /// whatever partial results the search had.
   double deadline_seconds = 0.0;
+  /// Record a hierarchical span trace of this request's pipeline stages
+  /// and return it in the response (and via `GET /v1/trace/{id}` as
+  /// Chrome trace-event JSON). Off by default; tracing never changes
+  /// mining results, only observability output.
+  bool trace = false;
 };
 
 /// \brief One v2 mining request.
@@ -138,6 +145,9 @@ struct MineResponse {
   SurrogateProvenance provenance;
   /// End-to-end request wall-time (training share included on misses).
   double total_seconds = 0.0;
+  /// Span trace of the request's pipeline stages; non-null only when the
+  /// request asked for tracing (ExecutionPolicy::trace).
+  std::shared_ptr<const TraceContext> trace;
 };
 
 /// \brief The one validation/normalization pass every front-end routes a

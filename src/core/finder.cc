@@ -35,11 +35,17 @@ FindResult SurfFinder::Find(double threshold,
       (config_.use_kde_guidance || config_.use_kde_seeding) ? kde_ : nullptr;
 
   FindResult result;
-  // The batched fitness scores each swarm iteration with a single
-  // surrogate PredictBatch call (EvaluateMany) instead of L tree walks.
-  result.gso =
-      gso.Optimize(objective.AsBatchFitnessFn(), space_, kde, cancel_,
-                   progress_);
+  {
+    // The batched fitness scores each swarm iteration with a single
+    // surrogate PredictBatch call (EvaluateMany) instead of L tree walks.
+    TraceSpan span(trace_, "search", TraceStage::kSearch);
+    result.gso =
+        gso.Optimize(objective.AsBatchFitnessFn(), space_, kde, cancel_,
+                     progress_, trace_);
+    span.Attr("iterations",
+              static_cast<uint64_t>(result.gso.iterations_run));
+  }
+  TraceSpan extraction_span(trace_, "extraction", TraceStage::kExtraction);
 
   // Collect valid particles and reduce to distinct regions; their
   // statistic estimates come from one batched call.
@@ -89,6 +95,8 @@ FindResult SurfFinder::Find(double threshold,
           ? static_cast<double>(complying) /
                 static_cast<double>(result.regions.size())
           : 0.0;
+  extraction_span.Attr("regions",
+                       static_cast<uint64_t>(result.regions.size()));
   return result;
 }
 

@@ -132,6 +132,11 @@ class SurfFinder {
   /// iteration. Optional.
   void SetProgress(SearchProgress* progress) { progress_ = progress; }
 
+  /// Attaches a trace context (non-owning, nullable): Find then records
+  /// "search" and "extraction" stage spans plus per-block GSO iteration
+  /// children. Tracing never changes the mined regions.
+  void SetTrace(TraceContext* trace) { trace_ = trace; }
+
   /// Mines regions whose statistic is above/below `threshold`.
   FindResult Find(double threshold, ThresholdDirection direction) const;
 
@@ -149,6 +154,7 @@ class SurfFinder {
   const RegionEvaluator* validator_ = nullptr;
   CancelToken cancel_;
   SearchProgress* progress_ = nullptr;
+  TraceContext* trace_ = nullptr;
 };
 
 }  // namespace surf

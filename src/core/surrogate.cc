@@ -25,16 +25,21 @@ void GatherFold(const RegionWorkload& workload,
 
 StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
                                      const SurrogateTrainOptions& options,
-                                     ThreadPool* pool, CancelToken cancel) {
+                                     ThreadPool* pool, CancelToken cancel,
+                                     TraceContext* trace) {
   if (workload.size() == 0) {
     return Status::InvalidArgument("empty workload");
   }
   if (cancel.cancelled()) return cancel.ToStatus();
+  // The training stage span lives here, not in the serving layer, so
+  // library callers get the same stage accounting as surfd requests.
+  TraceSpan training_span(trace, "training", TraceStage::kTraining);
   Stopwatch timer;
 
   GbrtParams params = options.gbrt;
   bool hypertuned = false;
   if (options.hypertune) {
+    TraceSpan span(trace, "hypertune");
     const GridSearchResult grid =
         GridSearchCV(workload.features, workload.targets, options.grid,
                      options.gbrt, options.cv_folds, options.seed, pool);
@@ -45,6 +50,7 @@ StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
   Surrogate surrogate;
   auto model = std::make_unique<GradientBoostedTrees>(params);
   model->SetCancelToken(cancel);
+  model->SetTrace(trace);
 
   // Holdout split for out-of-sample RMSE reporting.
   Rng rng(options.seed);
@@ -57,9 +63,10 @@ StatusOr<Surrogate> Surrogate::Train(const RegionWorkload& workload,
   std::vector<double> train_y;
   GatherFold(workload, split.train, &train_x, &train_y);
   SURF_RETURN_IF_ERROR(model->Fit(train_x, train_y));
-  // The token is per-request state; a later warm-start continuation of
-  // this model must not observe it.
+  // The token and trace are per-request state; a later warm-start
+  // continuation of this model must not observe them.
   model->SetCancelToken(CancelToken());
+  model->SetTrace(nullptr);
 
   SurrogateMetrics metrics;
   metrics.hypertuned = hypertuned;

@@ -65,11 +65,13 @@ class Surrogate {
   /// `options.hypertune` is set, runs GridSearchCV first (parallelized
   /// over `pool` if provided). `cancel` is polled between boosting
   /// rounds: a fired token aborts the fit and returns Cancelled within
-  /// one round.
+  /// one round. A non-null `trace` records hypertune/boosting spans;
+  /// tracing never changes the fitted model.
   static StatusOr<Surrogate> Train(const RegionWorkload& workload,
                                    const SurrogateTrainOptions& options,
                                    ThreadPool* pool = nullptr,
-                                   CancelToken cancel = {});
+                                   CancelToken cancel = {},
+                                   TraceContext* trace = nullptr);
 
   /// Trains a caller-supplied regressor instead (ablation path). The
   /// model must be unfitted; ownership transfers.

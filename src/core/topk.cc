@@ -40,38 +40,44 @@ TopKResult TopKFinder::Find() const {
   const GlowwormSwarmOptimizer gso(config_.gso);
 
   GsoResult swarm;
-  if (batch_estimate_ != nullptr) {
-    // One batched model call scores the whole swarm per iteration.
-    const BatchStatisticFn batch_estimate = batch_estimate_;
-    const BatchFitnessFn fitness =
-        [&batch_estimate, c](const std::vector<Region>& regions) {
-          std::vector<FitnessValue> out(regions.size());
-          if (regions.empty()) return out;
-          // Degenerate regions never reach the model (mirrors the
-          // scalar path's short-circuit).
-          std::vector<Region> live;
-          std::vector<size_t> live_idx;
-          live.reserve(regions.size());
-          for (size_t i = 0; i < regions.size(); ++i) {
-            if (regions[i].Degenerate()) continue;
-            live.push_back(regions[i]);
-            live_idx.push_back(i);
-          }
-          const std::vector<double> ys = batch_estimate(live);
-          for (size_t k = 0; k < live.size(); ++k) {
-            out[live_idx[k]] = TopKFitness(live[k], ys[k], c);
-          }
-          return out;
-        };
-    swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_);
-  } else {
-    const StatisticFn estimate = estimate_;
-    const FitnessFn fitness = [&estimate, c](const Region& region) {
-      if (region.Degenerate()) return FitnessValue{};
-      return TopKFitness(region, estimate(region), c);
-    };
-    swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_);
+  {
+    TraceSpan search_span(trace_, "search", TraceStage::kSearch);
+    if (batch_estimate_ != nullptr) {
+      // One batched model call scores the whole swarm per iteration.
+      const BatchStatisticFn batch_estimate = batch_estimate_;
+      const BatchFitnessFn fitness =
+          [&batch_estimate, c](const std::vector<Region>& regions) {
+            std::vector<FitnessValue> out(regions.size());
+            if (regions.empty()) return out;
+            // Degenerate regions never reach the model (mirrors the
+            // scalar path's short-circuit).
+            std::vector<Region> live;
+            std::vector<size_t> live_idx;
+            live.reserve(regions.size());
+            for (size_t i = 0; i < regions.size(); ++i) {
+              if (regions[i].Degenerate()) continue;
+              live.push_back(regions[i]);
+              live_idx.push_back(i);
+            }
+            const std::vector<double> ys = batch_estimate(live);
+            for (size_t k = 0; k < live.size(); ++k) {
+              out[live_idx[k]] = TopKFitness(live[k], ys[k], c);
+            }
+            return out;
+          };
+      swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_, trace_);
+    } else {
+      const StatisticFn estimate = estimate_;
+      const FitnessFn fitness = [&estimate, c](const Region& region) {
+        if (region.Degenerate()) return FitnessValue{};
+        return TopKFitness(region, estimate(region), c);
+      };
+      swarm = gso.Optimize(fitness, space_, kde_, cancel_, progress_, trace_);
+    }
+    search_span.Attr("iterations",
+                     static_cast<uint64_t>(swarm.iterations_run));
   }
+  TraceSpan extraction_span(trace_, "extraction", TraceStage::kExtraction);
 
   // Score the surviving valid particles with one batched call.
   std::vector<Region> valid_regions;
@@ -97,6 +103,8 @@ TopKResult TopKFinder::Find() const {
   result.iterations = swarm.iterations_run;
   result.objective_evaluations = swarm.objective_evaluations;
   result.cancelled = swarm.cancelled;
+  extraction_span.Attr("regions",
+                       static_cast<uint64_t>(result.regions.size()));
   return result;
 }
 

@@ -76,6 +76,10 @@ class TopKFinder {
   /// Attaches a live progress observer (non-owning), as in SurfFinder.
   void SetProgress(SearchProgress* progress) { progress_ = progress; }
 
+  /// Attaches a trace context (non-owning, nullable), as in SurfFinder:
+  /// Find records "search" and "extraction" stage spans.
+  void SetTrace(TraceContext* trace) { trace_ = trace; }
+
   /// Mines the k highest-statistic regions.
   TopKResult Find() const;
 
@@ -90,6 +94,7 @@ class TopKFinder {
   const Kde* kde_ = nullptr;
   CancelToken cancel_;
   SearchProgress* progress_ = nullptr;
+  TraceContext* trace_ = nullptr;
 };
 
 }  // namespace surf

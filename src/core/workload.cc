@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "stats/sharded_evaluator.h"
+
 namespace surf {
 
 Region RegionWorkload::RegionAt(size_t i) const {
@@ -19,7 +21,7 @@ std::vector<double> RegionFeatures(const Region& region) {
 RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
                                 const Bounds& domain,
                                 const WorkloadParams& params,
-                                CancelToken cancel) {
+                                CancelToken cancel, TraceContext* trace) {
   assert(params.min_length_frac > 0.0 &&
          params.min_length_frac < params.max_length_frac);
   const size_t d = domain.dims();
@@ -33,12 +35,49 @@ RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
   workload.features.Reserve(params.num_queries);
   workload.targets.reserve(params.num_queries);
 
+  TraceSpan gen_span(trace, "workload_gen", TraceStage::kWorkloadGen);
+  // Labelling children: one span per 256-query batch (aligned with the
+  // cancellation poll below) rather than per query, so the trace stays
+  // bounded. On the sharded backend each batch span also carries the
+  // evaluator's prune/block/scan counter deltas for that batch.
+  const ShardedScanEvaluator* sharded =
+      trace == nullptr
+          ? nullptr
+          : dynamic_cast<const ShardedScanEvaluator*>(&evaluator);
+  int32_t batch = -1;
+  uint64_t pruned0 = 0, merged0 = 0, scanned0 = 0;
+  auto close_batch = [&] {
+    if (batch < 0) return;
+    if (sharded != nullptr) {
+      trace->AddAttr(batch, "shards_pruned",
+                     std::to_string(sharded->shards_pruned() - pruned0));
+      trace->AddAttr(
+          batch, "shards_block_merged",
+          std::to_string(sharded->shards_block_merged() - merged0));
+      trace->AddAttr(batch, "shards_scanned",
+                     std::to_string(sharded->shards_scanned() - scanned0));
+    }
+    trace->EndSpan(batch);
+    batch = -1;
+  };
+
   std::vector<double> center(d), half(d);
   for (size_t q = 0; q < params.num_queries; ++q) {
     // Labelling dominates generation cost; poll the token every few
     // hundred queries so cancellation lands promptly without a per-query
     // clock read.
-    if ((q & 0xFF) == 0 && cancel.cancelled()) break;
+    if ((q & 0xFF) == 0) {
+      if (cancel.cancelled()) break;
+      if (trace != nullptr) {
+        close_batch();
+        batch = trace->BeginSpan("label_batch", TraceStage::kLabelling);
+        if (sharded != nullptr) {
+          pruned0 = sharded->shards_pruned();
+          merged0 = sharded->shards_block_merged();
+          scanned0 = sharded->shards_scanned();
+        }
+      }
+    }
     for (size_t i = 0; i < d; ++i) {
       center[i] = rng.Uniform(domain.lo(i), domain.hi(i));
       // Per-dimension extent scaling (the paper's % of data domain).
@@ -55,6 +94,8 @@ RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
     workload.features.AddRow(RegionFeatures(region));
     workload.targets.push_back(y);
   }
+  close_batch();
+  gen_span.Attr("labelled", static_cast<uint64_t>(workload.size()));
   return workload;
 }
 

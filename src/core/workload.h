@@ -11,6 +11,7 @@
 #include "opt/solution_space.h"
 #include "stats/evaluator.h"
 #include "util/cancel.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -60,11 +61,15 @@ std::vector<double> RegionFeatures(const Region& region);
 /// "past queries issued by analysts/applications" SuRF learns from.
 /// `cancel` is polled periodically during labelling; a fired token stops
 /// the draw early and returns the (incomplete) workload so far — callers
-/// that care check the token afterwards.
+/// that care check the token afterwards. A non-null `trace` records a
+/// workload_gen span with per-batch labelling children (and, on the
+/// sharded backend, per-batch prune/block/scan counter attributes);
+/// tracing never changes the generated workload.
 RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
                                 const Bounds& domain,
                                 const WorkloadParams& params,
-                                CancelToken cancel = {});
+                                CancelToken cancel = {},
+                                TraceContext* trace = nullptr);
 
 /// Persists a workload as CSV (columns x1..xd, l1..ld, y) so real past
 /// query logs can be replayed into surrogate training. The solution-space

@@ -153,12 +153,33 @@ Status GradientBoostedTrees::Fit(const FeatureMatrix& x,
   size_t rounds_since_best = 0;
   size_t best_round = 0;
 
+  // One trace span per block of boosting rounds (not per round — a
+  // 300-estimator fit would flood the trace). Stage kNone: the parent
+  // "training" span already accounts this time in the stage histograms.
+  constexpr size_t kRoundsPerSpan = 25;
+  int32_t rounds_span = -1;
+  size_t rounds_span_start = 0;
+  auto close_rounds_span = [&](size_t next_round) {
+    if (rounds_span < 0) return;
+    trace_->AddAttr(rounds_span, "rounds",
+                    std::to_string(rounds_span_start) + ".." +
+                        std::to_string(next_round - 1));
+    trace_->EndSpan(rounds_span);
+    rounds_span = -1;
+  };
+
   std::vector<uint32_t> tree_rows;
   for (size_t round = 0; round < params_.n_estimators; ++round) {
     if (cancel_.cancelled()) {
+      close_rounds_span(round);
       trees_.clear();
       train_curve_.clear();
       return Status::Cancelled("surrogate training cancelled");
+    }
+    if (trace_ != nullptr && round % kRoundsPerSpan == 0) {
+      close_rounds_span(round);
+      rounds_span = trace_->BeginSpan("boost_rounds", TraceStage::kNone);
+      rounds_span_start = round;
     }
     // Squared loss: g = pred − y, h = 1.
     for (uint32_t r : train_rows) grad[r] = pred[r] - y[r];
@@ -205,6 +226,7 @@ Status GradientBoostedTrees::Fit(const FeatureMatrix& x,
       }
     }
   }
+  close_rounds_span(trees_.size());
 
   trained_ = true;
   return Status::OK();

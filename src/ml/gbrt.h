@@ -8,6 +8,7 @@
 #include "ml/tree.h"
 #include "util/cancel.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -101,6 +102,12 @@ class GradientBoostedTrees : public Regressor {
   /// object for an unrelated fit.
   void SetCancelToken(CancelToken cancel) { cancel_ = std::move(cancel); }
 
+  /// Attaches a trace context recording one "boost_rounds" span per
+  /// block of boosting rounds during Fit. Like the cancel token this is
+  /// runtime-only, per-request state (tracing never changes the fitted
+  /// ensemble); reset it (nullptr) before reusing the model object.
+  void SetTrace(TraceContext* trace) { trace_ = trace; }
+
   const GbrtParams& params() const { return params_; }
   /// Prediction-time parallelism is a runtime choice: retargeting the
   /// thread count never changes results (blocks reduce in a fixed order).
@@ -118,6 +125,7 @@ class GradientBoostedTrees : public Regressor {
  private:
   GbrtParams params_;
   CancelToken cancel_;
+  TraceContext* trace_ = nullptr;
   double base_score_ = 0.0;
   std::vector<RegressionTree> trees_;
   std::vector<double> train_curve_;

@@ -717,6 +717,7 @@ JsonValue MineRequestToJson(const MineRequest& request) {
   obj.Set("use_kde", JsonValue(request.use_kde));
   obj.Set("validate", JsonValue(request.validate));
   obj.Set("record_evaluations", JsonValue(request.record_evaluations));
+  obj.Set("trace", JsonValue(request.trace));
   return obj;
 }
 
@@ -775,6 +776,7 @@ StatusOr<MineRequest> MineRequestFromJson(const JsonValue& json,
   SURF_RETURN_IF_ERROR(ReadBool(json, "validate", &request.validate));
   SURF_RETURN_IF_ERROR(
       ReadBool(json, "record_evaluations", &request.record_evaluations));
+  SURF_RETURN_IF_ERROR(ReadBool(json, "trace", &request.trace));
   return request;
 }
 
@@ -783,13 +785,16 @@ StatusOr<MineRequest> MineRequestFromJson(const JsonValue& json,
 namespace {
 
 /// Shared response envelope: the v1 and v2 encoders differ only in the
-/// version stamp the caller adds on top.
+/// version stamp the caller adds on top. `trace` is nullable — the
+/// `trace` key is emitted only for traced requests, so untraced
+/// responses stay byte-identical to the pre-tracing schema.
 JsonValue EncodeResponseEnvelope(const Status& status, bool cache_hit,
                                  double total_seconds,
                                  const SurrogateProvenance& provenance,
                                  const FindResult& result,
                                  const TopKResult& topk_result,
-                                 MineRequest::Mode mode);
+                                 MineRequest::Mode mode,
+                                 const TraceContext* trace);
 
 }  // namespace
 
@@ -797,7 +802,8 @@ JsonValue MineResponseToJson(const MineResponse& response,
                              MineRequest::Mode mode) {
   return EncodeResponseEnvelope(response.status, response.cache_hit,
                                 response.total_seconds, response.provenance,
-                                response.result, response.topk, mode);
+                                response.result, response.topk, mode,
+                                response.trace.get());
 }
 
 namespace {
@@ -807,7 +813,8 @@ JsonValue EncodeResponseEnvelope(const Status& status, bool cache_hit,
                                  const SurrogateProvenance& provenance,
                                  const FindResult& result,
                                  const TopKResult& topk_result,
-                                 MineRequest::Mode mode) {
+                                 MineRequest::Mode mode,
+                                 const TraceContext* trace) {
   JsonValue obj = JsonValue::Object();
   obj.Set("status", StatusToJson(status));
   obj.Set("cache_hit", JsonValue(cache_hit));
@@ -842,6 +849,7 @@ JsonValue EncodeResponseEnvelope(const Status& status, bool cache_hit,
     encoded.Set("report", ReportToJson(result.report));
     obj.Set("result", std::move(encoded));
   }
+  if (trace != nullptr) obj.Set("trace", TraceSummaryToJson(*trace));
   return obj;
 }
 
@@ -956,6 +964,7 @@ JsonValue MineRequestV2ToJson(const v2::MineRequest& request) {
                 JsonValue(request.execution.record_evaluations));
   execution.Set("deadline_seconds",
                 JsonValue(request.execution.deadline_seconds));
+  execution.Set("trace", JsonValue(request.execution.trace));
   obj.Set("execution", std::move(execution));
   return obj;
 }
@@ -1049,6 +1058,8 @@ StatusOr<v2::MineRequest> MineRequestV2FromJson(
                                   &request.execution.record_evaluations));
     SURF_RETURN_IF_ERROR(ReadDouble(*execution, "deadline_seconds",
                                     &request.execution.deadline_seconds));
+    SURF_RETURN_IF_ERROR(
+        ReadBool(*execution, "trace", &request.execution.trace));
   }
 
   // The shared validation path runs at decode time too, so malformed
@@ -1063,9 +1074,88 @@ JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
       response.status, response.cache_hit, response.total_seconds,
       response.provenance, response.result, response.topk,
       kind == v2::QueryKind::kTopK ? MineRequest::Mode::kTopK
-                                   : MineRequest::Mode::kThreshold);
+                                   : MineRequest::Mode::kThreshold,
+      response.trace.get());
   obj.Set("api_version",
           JsonValue(static_cast<double>(response.api_version)));
+  return obj;
+}
+
+// ------------------------------------------------------------------ traces
+
+namespace {
+
+JsonValue SpanAttrsToJson(const TraceContext::Span& span) {
+  JsonValue attrs = JsonValue::Object();
+  for (const auto& [key, value] : span.attrs) {
+    attrs.Set(key, JsonValue(value));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+JsonValue TraceSummaryToJson(const TraceContext& trace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue(trace.id()));
+  obj.Set("dropped_spans",
+          JsonValue(static_cast<double>(trace.dropped())));
+
+  const std::array<double, kNumTraceStages> stages = trace.StageSeconds();
+  JsonValue stage_seconds = JsonValue::Object();
+  for (int s = 1; s < kNumTraceStages; ++s) {
+    stage_seconds.Set(TraceStageName(static_cast<TraceStage>(s)),
+                      JsonValue(stages[s]));
+  }
+  obj.Set("stage_seconds", std::move(stage_seconds));
+
+  JsonValue spans = JsonValue::Array();
+  for (const TraceContext::Span& span : trace.Snapshot()) {
+    JsonValue encoded = JsonValue::Object();
+    encoded.Set("name", JsonValue(span.name));
+    if (span.stage != TraceStage::kNone) {
+      encoded.Set("stage", JsonValue(TraceStageName(span.stage)));
+    }
+    encoded.Set("parent", JsonValue(static_cast<double>(span.parent)));
+    encoded.Set("start_us", JsonValue(span.start_ns * 1e-3));
+    encoded.Set("dur_us", JsonValue(span.dur_ns * 1e-3));
+    encoded.Set("tid", JsonValue(static_cast<double>(span.tid)));
+    if (!span.attrs.empty()) encoded.Set("attrs", SpanAttrsToJson(span));
+    spans.Append(std::move(encoded));
+  }
+  obj.Set("spans", std::move(spans));
+  return obj;
+}
+
+JsonValue TraceToChromeJson(const TraceContext& trace) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("displayTimeUnit", JsonValue("ms"));
+
+  JsonValue other = JsonValue::Object();
+  other.Set("trace_id", JsonValue(trace.id()));
+  other.Set("dropped_spans",
+            JsonValue(static_cast<double>(trace.dropped())));
+  obj.Set("otherData", std::move(other));
+
+  // One complete-duration ("ph": "X") event per span; timestamps are
+  // microseconds, the unit the trace-event format mandates. Open spans
+  // (dur 0) still emit — Perfetto renders them as instant-like slivers.
+  JsonValue events = JsonValue::Array();
+  for (const TraceContext::Span& span : trace.Snapshot()) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", JsonValue(span.name));
+    event.Set("cat", JsonValue(span.stage == TraceStage::kNone
+                                   ? "pipeline"
+                                   : TraceStageName(span.stage)));
+    event.Set("ph", JsonValue("X"));
+    event.Set("ts", JsonValue(span.start_ns * 1e-3));
+    event.Set("dur", JsonValue(span.dur_ns * 1e-3));
+    event.Set("pid", JsonValue(1.0));
+    event.Set("tid", JsonValue(static_cast<double>(span.tid)));
+    event.Set("args", SpanAttrsToJson(span));
+    events.Append(std::move(event));
+  }
+  obj.Set("traceEvents", std::move(events));
   return obj;
 }
 

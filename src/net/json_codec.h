@@ -22,6 +22,7 @@
 #include "serve/mining_service.h"
 #include "util/json.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -98,6 +99,18 @@ StatusOr<v2::MineRequest> MineRequestV2FromJson(
 /// result/topk/report payloads are identical across schema versions).
 JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
                                v2::QueryKind kind);
+
+// ------------------------------------------------------------------ traces
+
+/// Encodes a completed trace as the response-envelope `trace` block:
+/// id, dropped-span count, per-stage wall seconds, and the span tree
+/// (start/duration in microseconds relative to the trace epoch).
+JsonValue TraceSummaryToJson(const TraceContext& trace);
+
+/// Renders a completed trace in the Chrome trace-event JSON format
+/// (the `{"traceEvents": [...]}` object form) — loadable directly in
+/// Perfetto or chrome://tracing. Backs `GET /v1/trace/{id}`.
+JsonValue TraceToChromeJson(const TraceContext& trace);
 
 }  // namespace surf
 

@@ -1,6 +1,10 @@
 #include "net/metrics.h"
 
+#include <cmath>
 #include <cstdio>
+#include <mutex>
+
+#include "util/trace.h"
 
 namespace surf {
 
@@ -19,10 +23,29 @@ std::string FormatSeconds(double v) {
 
 }  // namespace
 
+void ServerMetrics::BumpRouteCounter(const std::string& route,
+                                     int status_code) {
+  const std::pair<std::string, int> key{route, status_code};
+  {
+    // Fast path: the pair has been seen before (every request after the
+    // first per route/status), so a shared lock suffices and recorders
+    // never serialize on each other.
+    std::shared_lock<std::shared_mutex> lock(routes_mu_);
+    auto it = requests_.find(key);
+    if (it != requests_.end()) {
+      it->second->value.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(routes_mu_);
+  auto [it, inserted] = requests_.try_emplace(key);
+  if (inserted) it->second = std::make_unique<Counter>();
+  it->second->value.fetch_add(1, std::memory_order_relaxed);
+}
+
 void ServerMetrics::RecordRequest(const std::string& route, int status_code,
                                   double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++requests_[{route, status_code}];
+  BumpRouteCounter(route, status_code);
   size_t bucket = kLatencyBucketsSeconds.size();  // +Inf slot
   for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
     if (seconds <= kLatencyBucketsSeconds[i]) {
@@ -30,24 +53,22 @@ void ServerMetrics::RecordRequest(const std::string& route, int status_code,
       break;
     }
   }
-  ++buckets_[bucket];
-  latency_sum_seconds_ += seconds;
-  ++latency_count_;
-}
-
-uint64_t ServerMetrics::total_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return latency_count_;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const double ns = seconds * 1e9;
+  latency_sum_ns_.fetch_add(
+      ns > 0.0 ? static_cast<uint64_t>(std::llround(ns)) : 0,
+      std::memory_order_relaxed);
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double ServerMetrics::LatencyQuantileSeconds(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (latency_count_ == 0) return 0.0;
+  const uint64_t count = latency_count_.load(std::memory_order_relaxed);
+  if (count == 0) return 0.0;
   const uint64_t rank =
-      static_cast<uint64_t>(q * static_cast<double>(latency_count_ - 1)) + 1;
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= rank) {
       return i < kLatencyBucketsSeconds.size() ? kLatencyBucketsSeconds[i]
                                                : kLatencyBucketsSeconds.back();
@@ -60,40 +81,49 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
                                             const ServiceFigures& service)
     const {
   std::string out;
-  out.reserve(2048);
+  out.reserve(4096);
 
+  AppendMetric(&out,
+               "# HELP surf_http_requests_total Requests served, by route "
+               "and status code.");
+  AppendMetric(&out, "# TYPE surf_http_requests_total counter");
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    AppendMetric(&out,
-                 "# HELP surf_http_requests_total Requests served, by route "
-                 "and status code.");
-    AppendMetric(&out, "# TYPE surf_http_requests_total counter");
-    for (const auto& [key, count] : requests_) {
-      AppendMetric(&out, "surf_http_requests_total{route=\"" + key.first +
-                             "\",code=\"" + std::to_string(key.second) +
-                             "\"} " + std::to_string(count));
+    std::unique_lock<std::shared_mutex> lock(routes_mu_);
+    for (const auto& [key, counter] : requests_) {
+      AppendMetric(
+          &out,
+          "surf_http_requests_total{route=\"" + key.first + "\",code=\"" +
+              std::to_string(key.second) + "\"} " +
+              std::to_string(counter->value.load(std::memory_order_relaxed)));
     }
-
-    AppendMetric(&out,
-                 "# HELP surf_http_request_duration_seconds End-to-end "
-                 "handler latency.");
-    AppendMetric(&out, "# TYPE surf_http_request_duration_seconds histogram");
-    uint64_t cumulative = 0;
-    for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
-      cumulative += buckets_[i];
-      AppendMetric(&out, "surf_http_request_duration_seconds_bucket{le=\"" +
-                             FormatSeconds(kLatencyBucketsSeconds[i]) +
-                             "\"} " + std::to_string(cumulative));
-    }
-    cumulative += buckets_.back();
-    AppendMetric(&out,
-                 "surf_http_request_duration_seconds_bucket{le=\"+Inf\"} " +
-                     std::to_string(cumulative));
-    AppendMetric(&out, "surf_http_request_duration_seconds_sum " +
-                           FormatSeconds(latency_sum_seconds_));
-    AppendMetric(&out, "surf_http_request_duration_seconds_count " +
-                           std::to_string(latency_count_));
   }
+
+  AppendMetric(&out,
+               "# HELP surf_http_request_duration_seconds End-to-end "
+               "handler latency.");
+  AppendMetric(&out, "# TYPE surf_http_request_duration_seconds histogram");
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    AppendMetric(&out, "surf_http_request_duration_seconds_bucket{le=\"" +
+                           FormatSeconds(kLatencyBucketsSeconds[i]) + "\"} " +
+                           std::to_string(cumulative));
+  }
+  cumulative += buckets_.back().load(std::memory_order_relaxed);
+  AppendMetric(&out,
+               "surf_http_request_duration_seconds_bucket{le=\"+Inf\"} " +
+                   std::to_string(cumulative));
+  AppendMetric(
+      &out,
+      "surf_http_request_duration_seconds_sum " +
+          FormatSeconds(
+              static_cast<double>(
+                  latency_sum_ns_.load(std::memory_order_relaxed)) *
+              1e-9));
+  AppendMetric(&out,
+               "surf_http_request_duration_seconds_count " +
+                   std::to_string(
+                       latency_count_.load(std::memory_order_relaxed)));
 
   AppendMetric(&out,
                "# HELP surf_http_inflight_requests Requests currently "
@@ -101,6 +131,37 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
   AppendMetric(&out, "# TYPE surf_http_inflight_requests gauge");
   AppendMetric(&out, "surf_http_inflight_requests " +
                          std::to_string(inflight_.load()));
+
+  // Per-stage pipeline latency, fed by the trace layer: one histogram
+  // per mining stage, same buckets as the request histogram above so
+  // the two decompositions line up.
+  AppendMetric(&out,
+               "# HELP surf_stage_seconds Mining pipeline stage latency "
+               "(spans recorded by traced requests), by stage.");
+  AppendMetric(&out, "# TYPE surf_stage_seconds histogram");
+  const StageStats& stages = StageStats::Instance();
+  for (int s = 1; s < kNumTraceStages; ++s) {
+    const TraceStage stage = static_cast<TraceStage>(s);
+    const StageStats::Snapshot snap = stages.Get(stage);
+    const std::string label(TraceStageName(stage));
+    uint64_t stage_cumulative = 0;
+    for (size_t i = 0; i < StageStats::kBucketBoundsSeconds.size(); ++i) {
+      stage_cumulative += snap.buckets[i];
+      AppendMetric(
+          &out,
+          "surf_stage_seconds_bucket{stage=\"" + label + "\",le=\"" +
+              FormatSeconds(StageStats::kBucketBoundsSeconds[i]) + "\"} " +
+              std::to_string(stage_cumulative));
+    }
+    stage_cumulative += snap.buckets.back();
+    AppendMetric(&out, "surf_stage_seconds_bucket{stage=\"" + label +
+                           "\",le=\"+Inf\"} " +
+                           std::to_string(stage_cumulative));
+    AppendMetric(&out, "surf_stage_seconds_sum{stage=\"" + label + "\"} " +
+                           FormatSeconds(snap.sum_seconds));
+    AppendMetric(&out, "surf_stage_seconds_count{stage=\"" + label + "\"} " +
+                           std::to_string(snap.count));
+  }
 
   AppendMetric(&out,
                "# HELP surf_cache_requests_total Surrogate-cache lookups, "
@@ -147,6 +208,28 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
                 FormatSeconds(lookups == 0 ? 0.0
                                            : static_cast<double>(cache.hits) /
                                                  static_cast<double>(lookups)));
+
+  AppendMetric(&out,
+               "# HELP surf_shard_scan_total Sharded-evaluator shard "
+               "classifications, by action (pruned = disjoint skip, "
+               "block_merged = answered from summaries, scanned = full "
+               "mask scan).");
+  AppendMetric(&out, "# TYPE surf_shard_scan_total counter");
+  AppendMetric(&out, "surf_shard_scan_total{action=\"pruned\"} " +
+                         std::to_string(service.shard_evals_pruned));
+  AppendMetric(&out, "surf_shard_scan_total{action=\"block_merged\"} " +
+                         std::to_string(service.shard_evals_block_merged));
+  AppendMetric(&out, "surf_shard_scan_total{action=\"scanned\"} " +
+                         std::to_string(service.shard_evals_scanned));
+
+  if (!service.accel_backend.empty()) {
+    AppendMetric(&out,
+                 "# HELP surf_accel_backend Active SIMD kernel backend "
+                 "(info-style gauge: the selected backend reads 1).");
+    AppendMetric(&out, "# TYPE surf_accel_backend gauge");
+    AppendMetric(&out, "surf_accel_backend{backend=\"" +
+                           service.accel_backend + "\"} 1");
+  }
 
   AppendMetric(&out,
                "# HELP surf_jobs_tracked Jobs registered in the job table "

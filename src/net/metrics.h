@@ -9,7 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,14 @@ namespace surf {
 
 /// \brief Thread-safe counters behind `GET /metrics`: per-route request
 /// counts by status code, a latency histogram, and an in-flight gauge.
+///
+/// The hot path (RecordRequest, once per completed request on every
+/// worker) is lock-free in steady state: the histogram and latency
+/// accumulators are plain relaxed atomics, and per-(route, status)
+/// counters live behind a reader/writer registry — recording an
+/// already-seen pair takes the shared lock only (no worker serializes on
+/// another), and the exclusive lock is paid once per *new* pair (a
+/// handful per process lifetime) plus at render time.
 class ServerMetrics {
  public:
   /// Upper bounds (seconds) of the latency histogram buckets; the
@@ -41,7 +50,9 @@ class ServerMetrics {
   }
 
   /// Total requests recorded (across routes and status codes).
-  uint64_t total_requests() const;
+  uint64_t total_requests() const {
+    return latency_count_.load(std::memory_order_relaxed);
+  }
 
   /// Latency quantile (e.g. 0.5, 0.99) estimated from the histogram:
   /// the upper bound of the bucket containing the quantile. Returns 0
@@ -62,8 +73,9 @@ class ServerMetrics {
     uint64_t training_failures = 0;
   };
 
-  /// \brief Service-level figures (job table + transport health) the
-  /// exporter publishes alongside request metrics.
+  /// \brief Service-level figures (job table + transport health +
+  /// backend/evaluator telemetry) the exporter publishes alongside
+  /// request metrics.
   struct ServiceFigures {
     uint64_t jobs_tracked = 0;
     uint64_t jobs_evicted = 0;
@@ -72,26 +84,50 @@ class ServerMetrics {
     bool has_transport = false;
     uint64_t worker_exceptions = 0;
     uint64_t write_failures = 0;
+    /// Sharded-evaluator shard classifications (process totals; see
+    /// ShardedScanEvaluator::global_telemetry()).
+    uint64_t shard_evals_pruned = 0;
+    uint64_t shard_evals_block_merged = 0;
+    uint64_t shard_evals_scanned = 0;
+    /// Active SIMD kernel backend ("generic", "avx2", "avx512");
+    /// empty omits the surf_accel_backend info gauge.
+    std::string accel_backend;
   };
 
-  /// Renders every metric in Prometheus text format (version 0.0.4).
+  /// Renders every metric in Prometheus text format (version 0.0.4),
+  /// including the per-stage pipeline histograms fed by the trace layer
+  /// (surf_stage_seconds, from StageStats).
   std::string RenderPrometheus(const CacheFigures& cache,
                                const ServiceFigures& service) const;
   /// Convenience overload: no service-level figures (job gauges read 0,
-  /// transport series are omitted).
+  /// transport series and the accel gauge are omitted).
   std::string RenderPrometheus(const CacheFigures& cache) const {
     return RenderPrometheus(cache, ServiceFigures());
   }
 
  private:
-  mutable std::mutex mu_;
-  /// (route, status code) → request count.
-  std::map<std::pair<std::string, int>, uint64_t> requests_;
+  /// Stable-address atomic counter (registry values are pointers so a
+  /// rehash never moves a counter under a concurrent increment).
+  struct Counter {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Bumps the counter for (route, status), creating it on first sight.
+  void BumpRouteCounter(const std::string& route, int status_code);
+
+  /// (route, status code) → request count. shared lock to find+bump,
+  /// exclusive lock to insert/render.
+  mutable std::shared_mutex routes_mu_;
+  std::map<std::pair<std::string, int>, std::unique_ptr<Counter>> requests_;
+
   /// Cumulative bucket counts; index i = bucket kLatencyBucketsSeconds[i],
   /// last slot = +Inf.
-  std::array<uint64_t, kLatencyBucketsSeconds.size() + 1> buckets_{};
-  double latency_sum_seconds_ = 0.0;
-  uint64_t latency_count_ = 0;
+  std::array<std::atomic<uint64_t>, kLatencyBucketsSeconds.size() + 1>
+      buckets_{};
+  /// Total latency in nanoseconds (integer so the hot add is one relaxed
+  /// fetch_add; rendered as seconds).
+  std::atomic<uint64_t> latency_sum_ns_{0};
+  std::atomic<uint64_t> latency_count_{0};
   std::atomic<uint64_t> inflight_{0};
 };
 

@@ -2,8 +2,10 @@
 
 #include <cmath>
 
+#include "accel/accel.h"
 #include "api/api.h"
 #include "core/workload.h"
+#include "stats/sharded_evaluator.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 
@@ -43,6 +45,11 @@ JsonValue JobProgressToJson(const MineJob::Progress& progress) {
           JsonValue(static_cast<double>(progress.max_iterations)));
   obj.Set("valid_particles",
           JsonValue(static_cast<double>(progress.valid_particles)));
+  // Per-phase wall time (always recorded, tracing or not): a running
+  // phase reads its elapsed-so-far, so pollers watch the split move.
+  obj.Set("queued_seconds", JsonValue(progress.queued_seconds));
+  obj.Set("training_seconds", JsonValue(progress.training_seconds));
+  obj.Set("searching_seconds", JsonValue(progress.searching_seconds));
   return obj;
 }
 
@@ -59,6 +66,7 @@ SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics,
       {"GET", "/metrics", false, &SurfHandler::HandleMetrics},
       {"GET", "/v1/version", false, &SurfHandler::HandleVersion},
       {"GET", "/v1/cache/stats", false, &SurfHandler::HandleCacheStats},
+      {"GET", "/v1/trace/", true, &SurfHandler::HandleGetTrace},
       {"POST", "/v1/datasets", false, &SurfHandler::HandleRegisterDataset},
       {"POST", "/v1/mine", false, &SurfHandler::HandleMine},
       {"POST", "/v1/mine:batch", false, &SurfHandler::HandleMineBatch},
@@ -165,6 +173,12 @@ HttpResponse SurfHandler::HandleMetrics(const HttpRequest&,
   ServerMetrics::ServiceFigures service;
   service.jobs_tracked = jobs_.size();
   service.jobs_evicted = jobs_.evictions();
+  const ShardedScanEvaluator::GlobalTelemetry shard_telemetry =
+      ShardedScanEvaluator::global_telemetry();
+  service.shard_evals_pruned = shard_telemetry.pruned;
+  service.shard_evals_block_merged = shard_telemetry.block_merged;
+  service.shard_evals_scanned = shard_telemetry.scanned;
+  service.accel_backend = AccelBackendName(ActiveAccelBackend());
   if (transport_stats_) {
     const HttpServer::Stats transport = transport_stats_();
     service.has_transport = true;
@@ -203,7 +217,34 @@ HttpResponse SurfHandler::HandleCacheStats(const HttpRequest&,
            JsonValue(lookups == 0 ? 0.0
                                   : static_cast<double>(stats.hits) /
                                         static_cast<double>(lookups)));
+  // Evaluator/backend telemetry rides along so one endpoint answers
+  // "why was labelling slow" without a Prometheus scrape.
+  const ShardedScanEvaluator::GlobalTelemetry shard_telemetry =
+      ShardedScanEvaluator::global_telemetry();
+  JsonValue shards = JsonValue::Object();
+  shards.Set("pruned",
+             JsonValue(static_cast<double>(shard_telemetry.pruned)));
+  shards.Set("block_merged",
+             JsonValue(static_cast<double>(shard_telemetry.block_merged)));
+  shards.Set("scanned",
+             JsonValue(static_cast<double>(shard_telemetry.scanned)));
+  body.Set("shard_evals", std::move(shards));
+  body.Set("accel_backend", JsonValue(AccelBackendName(ActiveAccelBackend())));
   return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleGetTrace(const HttpRequest&,
+                                         const std::string& id) {
+  const std::shared_ptr<const TraceContext> trace =
+      service_->traces().Find(id);
+  if (trace == nullptr) {
+    return JsonErrorResponse(
+        404, "not_found",
+        "no retained trace '" + id +
+            "' (traces come from requests with execution.trace "
+            "set, and only the most recent are kept)");
+  }
+  return JsonResponse(200, TraceToChromeJson(*trace));
 }
 
 HttpResponse SurfHandler::HandleRegisterDataset(const HttpRequest& request,

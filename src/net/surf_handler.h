@@ -14,6 +14,8 @@
 ///   POST /v1/mine:batch   serve many MineRequests over the worker pool
 ///   POST /v1/evaluations  append observed evaluations (warm-start feed)
 ///   GET  /v1/cache/stats  surrogate-cache counters
+///   GET  /v1/trace/{id}   a retained request trace (Chrome trace-event
+///                         JSON — load in Perfetto or chrome://tracing)
 ///   GET  /healthz         liveness probe
 ///   GET  /metrics         Prometheus text exposition
 ///
@@ -109,6 +111,8 @@ class SurfHandler {
                              const std::string& param);
   HttpResponse HandleCacheStats(const HttpRequest& request,
                                 const std::string& param);
+  HttpResponse HandleGetTrace(const HttpRequest& request,
+                              const std::string& param);
   HttpResponse HandleRegisterDataset(const HttpRequest& request,
                                      const std::string& param);
   HttpResponse HandleMine(const HttpRequest& request,

@@ -33,16 +33,18 @@ double GsoResult::ValidFraction() const {
 GsoResult GlowwormSwarmOptimizer::Optimize(const FitnessFn& fitness,
                                            const RegionSolutionSpace& space,
                                            const Kde* kde, CancelToken cancel,
-                                           SearchProgress* progress) const {
+                                           SearchProgress* progress,
+                                           TraceContext* trace) const {
   assert(fitness != nullptr);
   return Optimize(ToBatchFitness(fitness), space, kde, std::move(cancel),
-                  progress);
+                  progress, trace);
 }
 
 GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
                                            const RegionSolutionSpace& space,
                                            const Kde* kde, CancelToken cancel,
-                                           SearchProgress* progress) const {
+                                           SearchProgress* progress,
+                                           TraceContext* trace) const {
   assert(fitness != nullptr);
   const size_t L = std::max<size_t>(2, params_.num_glowworms);
   const double diagonal = space.FlatDiagonal();
@@ -107,10 +109,30 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
                                    std::memory_order_relaxed);
   }
 
+  // One trace span per block of iterations (not per iteration — a long
+  // swarm would flood the trace). Stage kNone: the finder's "search"
+  // span already accounts this time in the stage histograms.
+  constexpr size_t kItersPerSpan = 10;
+  int32_t iters_span = -1;
+  size_t iters_span_start = 0;
+  auto close_iters_span = [&](size_t next_t) {
+    if (iters_span < 0) return;
+    trace->AddAttr(iters_span, "iterations",
+                   std::to_string(iters_span_start) + ".." +
+                       std::to_string(next_t == 0 ? 0 : next_t - 1));
+    trace->EndSpan(iters_span);
+    iters_span = -1;
+  };
+
   for (size_t t = 0; t < params_.max_iterations; ++t) {
     if (cancel.cancelled()) {
       result.cancelled = true;
       break;
+    }
+    if (trace != nullptr && t % kItersPerSpan == 0) {
+      close_iters_span(t);
+      iters_span = trace->BeginSpan("gso_iterations", TraceStage::kNone);
+      iters_span_start = t;
     }
     // Phase 1 — luciferin update (Eq. 6). Invalid particles decay only:
     // γ·Ĵ is withheld where the objective is undefined, so glowworms in
@@ -237,6 +259,8 @@ GsoResult GlowwormSwarmOptimizer::Optimize(const BatchFitnessFn& fitness,
       }
     }
   }
+
+  close_iters_span(result.iterations_run);
 
   // Final fitness refresh so reported values match final positions.
   const std::vector<FitnessValue> final_evals = fitness(result.particles);

@@ -8,6 +8,7 @@
 #include "opt/objective.h"
 #include "opt/solution_space.h"
 #include "util/cancel.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -123,10 +124,13 @@ class GlowwormSwarmOptimizer {
   /// deadline) stops the swarm within one iteration, marking the result
   /// `cancelled` while keeping the partial swarm reportable. `progress`,
   /// when non-null, is updated every iteration for concurrent observers.
+  /// A non-null `trace` records one "gso_iterations" span per block of
+  /// iterations; tracing never changes the swarm trajectory.
   GsoResult Optimize(const FitnessFn& fitness,
                      const RegionSolutionSpace& space,
                      const Kde* kde = nullptr, CancelToken cancel = {},
-                     SearchProgress* progress = nullptr) const;
+                     SearchProgress* progress = nullptr,
+                     TraceContext* trace = nullptr) const;
 
   /// Batched variant: the whole swarm is scored with one `fitness` call
   /// per iteration (one surrogate PredictBatch instead of L tree walks).
@@ -134,7 +138,8 @@ class GlowwormSwarmOptimizer {
   GsoResult Optimize(const BatchFitnessFn& fitness,
                      const RegionSolutionSpace& space,
                      const Kde* kde = nullptr, CancelToken cancel = {},
-                     SearchProgress* progress = nullptr) const;
+                     SearchProgress* progress = nullptr,
+                     TraceContext* trace = nullptr) const;
 
   const GsoParams& params() const { return params_; }
 

@@ -11,6 +11,13 @@ namespace surf {
 MineJob::MineJob(MineRequest request, double deadline_seconds)
     : request_(std::make_unique<MineRequest>(std::move(request))) {
   if (deadline_seconds > 0.0) cancel_.SetDeadline(deadline_seconds);
+  if (request_->trace) trace_ = std::make_shared<TraceContext>();
+}
+
+int64_t MineJob::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - created_at_)
+      .count();
 }
 
 MineJob::~MineJob() = default;
@@ -43,6 +50,19 @@ MineJob::Progress MineJob::progress() const {
       search_progress_.max_iterations.load(std::memory_order_relaxed);
   p.valid_particles =
       search_progress_.valid_particles.load(std::memory_order_relaxed);
+  // Per-phase elapsed times from the stamped offsets: a phase not yet
+  // entered reads 0, the running phase reads elapsed-so-far, a finished
+  // job reads final durations.
+  const int64_t finished = finished_ns_.load(std::memory_order_relaxed);
+  const int64_t now = finished >= 0 ? finished : NowNs();
+  const int64_t training = training_started_ns_.load(std::memory_order_relaxed);
+  const int64_t searching =
+      searching_started_ns_.load(std::memory_order_relaxed);
+  p.queued_seconds = (training >= 0 ? training : now) * 1e-9;
+  if (training >= 0) {
+    p.training_seconds = ((searching >= 0 ? searching : now) - training) * 1e-9;
+  }
+  if (searching >= 0) p.searching_seconds = (now - searching) * 1e-9;
   return p;
 }
 
@@ -54,10 +74,17 @@ std::chrono::steady_clock::time_point MineJob::completed_at() const {
 }
 
 void MineJob::SetPhase(Phase phase) {
+  const int64_t ns = NowNs();
+  if (phase == Phase::kTraining) {
+    training_started_ns_.store(ns, std::memory_order_relaxed);
+  } else if (phase == Phase::kSearching) {
+    searching_started_ns_.store(ns, std::memory_order_relaxed);
+  }
   phase_.store(phase, std::memory_order_release);
 }
 
 void MineJob::Complete(MineResponse response) {
+  finished_ns_.store(NowNs(), std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     response_ = std::make_unique<MineResponse>(std::move(response));

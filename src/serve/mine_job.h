@@ -6,6 +6,7 @@
 /// cooperative cancellation, and the id-keyed table surfd serves them
 /// from.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -17,6 +18,7 @@
 #include <unordered_map>
 
 #include "util/cancel.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -63,6 +65,14 @@ class MineJob {
     /// Particles currently holding a valid objective — the live proxy
     /// for regions found so far, before distinct-region extraction.
     uint64_t valid_particles = 0;
+    /// Live per-phase elapsed times (seconds): time spent queued before
+    /// a worker picked the job up, resolving/training the surrogate, and
+    /// searching. A phase not yet entered reads 0; the phase currently
+    /// running reads its elapsed-so-far; once the job is done all three
+    /// are final. Always recorded (independent of request tracing).
+    double queued_seconds = 0.0;
+    double training_seconds = 0.0;
+    double searching_seconds = 0.0;
   };
 
   /// Out-of-line so the unique_ptr members see complete types.
@@ -112,10 +122,26 @@ class MineJob {
   /// Moves the response out (single-owner fast path for blocking Mine).
   MineResponse TakeResponse();
 
+  /// Nanoseconds since created_at_ (monotonic offset for the phase
+  /// timestamps below).
+  int64_t NowNs() const;
+
   std::unique_ptr<MineRequest> request_;
   CancelSource cancel_;
   SearchProgress search_progress_;
   std::atomic<Phase> phase_{Phase::kQueued};
+  /// Span trace for this request; null unless the request asked for
+  /// tracing. The worker records into it, RunJob publishes it.
+  std::shared_ptr<TraceContext> trace_;
+  /// Phase-transition timestamps as nanosecond offsets from creation
+  /// (-1 = phase not entered yet). Always stamped — they back the live
+  /// per-phase elapsed times in progress() whether or not the request
+  /// is traced.
+  const std::chrono::steady_clock::time_point created_at_{
+      std::chrono::steady_clock::now()};
+  std::atomic<int64_t> training_started_ns_{-1};
+  std::atomic<int64_t> searching_started_ns_{-1};
+  std::atomic<int64_t> finished_ns_{-1};
 
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;

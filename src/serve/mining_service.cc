@@ -17,7 +17,8 @@ MiningService::MiningService(Options options)
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                      : options.num_threads),
       scheduler_(&pool_),
-      cache_(options.cache) {}
+      cache_(options.cache),
+      traces_(options.trace_ring_capacity) {}
 
 MiningService::~MiningService() {
   // Submitted jobs reference the cache and dataset registry; those
@@ -114,14 +115,15 @@ StatusOr<SurrogateKey> MiningService::KeyFor(
 }
 
 StatusOr<TrainedSurrogate> MiningService::TrainEntry(
-    const MineRequest& request, const Dataset* data, CancelToken cancel) {
+    const MineRequest& request, const Dataset* data, CancelToken cancel,
+    TraceContext* trace) {
   SURF_FAILPOINT("serve.train");
   std::shared_ptr<const RegionEvaluator> evaluator(
       MakeEvaluator(request.backend, data, request.statistic,
                     request.shards));
   const Bounds domain = data->ComputeBounds(request.statistic.region_cols);
   const RegionWorkload workload =
-      GenerateWorkload(*evaluator, domain, request.workload, cancel);
+      GenerateWorkload(*evaluator, domain, request.workload, cancel, trace);
   if (cancel.cancelled()) return cancel.ToStatus();
   if (workload.size() == 0) {
     return Status::FailedPrecondition(
@@ -132,8 +134,10 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
   // pool worker (MineBatch), and ThreadPool::Wait drains the *whole* pool
   // — nesting would deadlock. GBRT-internal threading (params.num_threads)
   // is independent of the service pool and stays available.
-  auto surrogate = Surrogate::Train(workload, request.surrogate, nullptr,
-                                    cancel);
+  // Surrogate::Train records its own kTraining stage span, so the
+  // service adds none here (nesting two would double-count the stage).
+  auto surrogate =
+      Surrogate::Train(workload, request.surrogate, nullptr, cancel, trace);
   if (!surrogate.ok()) return surrogate.status();
 
   TrainedSurrogate trained;
@@ -143,12 +147,16 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
   // The KDE prior is always fitted with the entry (cheap — a bounded
   // subsample) so every later request can opt into Eq. 8 guidance
   // regardless of what the entry-creating request asked for.
-  trained.kde = std::make_shared<const Kde>(
-      FitDataKde(*data, request.statistic.region_cols,
-                 options_.kde_max_samples, request.workload.seed + 1, cancel));
+  trained.kde = [&] {
+    TraceSpan span(trace, "kde_fit", TraceStage::kTraining);
+    return std::make_shared<const Kde>(FitDataKde(
+        *data, request.statistic.region_cols, options_.kde_max_samples,
+        request.workload.seed + 1, cancel));
+  }();
   if (cancel.cancelled()) return cancel.ToStatus();
 
   if (options_.provenance_cv_folds >= 2) {
+    TraceSpan span(trace, "cross_validation", TraceStage::kTraining);
     trained.cv_rmse = CrossValidatedRmse(
         workload.features, workload.targets,
         trained.surrogate.metrics().chosen_params,
@@ -158,7 +166,8 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
 }
 
 StatusOr<std::shared_ptr<CachedSurrogate>> MiningService::EntryFor(
-    const MineRequest& request, CancelToken cancel, bool* was_hit) {
+    const MineRequest& request, CancelToken cancel, bool* was_hit,
+    TraceContext* trace) {
   auto key = KeyFor(request);
   if (!key.ok()) return key.status();
   const Dataset* data = dataset(request.dataset);
@@ -173,7 +182,7 @@ StatusOr<std::shared_ptr<CachedSurrogate>> MiningService::EntryFor(
         const Status status = RunWithRetry(
             options_.training_retry,
             [&] {
-              trained = TrainEntry(request, data, cancel);
+              trained = TrainEntry(request, data, cancel, trace);
               return trained.status();
             },
             cancel);
@@ -189,25 +198,40 @@ std::shared_ptr<MineJob> MiningService::MakeJob(const MineRequest& request,
 }
 
 void MiningService::RunJob(const std::shared_ptr<MineJob>& job) {
+  MineResponse response;
+  TraceContext* trace = job->trace_.get();
+  {
+    // The root span must close on every return path before the trace is
+    // published, so the body lives in ExecuteJob.
+    TraceSpan root(trace, "request");
+    ExecuteJob(job, trace, &response);
+  }
+  if (job->trace_ != nullptr) {
+    response.trace = job->trace_;
+    traces_.Add(job->trace_);
+  }
+  job->Complete(std::move(response));
+}
+
+void MiningService::ExecuteJob(const std::shared_ptr<MineJob>& job,
+                               TraceContext* trace, MineResponse* out) {
   Stopwatch timer;
   const MineRequest& request = job->request();
   const CancelToken cancel = job->cancel_token();
-  MineResponse response;
+  MineResponse& response = *out;
 
   // The shared v2 validation path (also rejects record_evaluations
   // without validate — satellite of the v2 redesign).
   if (Status valid = v2::ValidateLegacy(request); !valid.ok()) {
     response.status = std::move(valid);
-    job->Complete(std::move(response));
     return;
   }
 
   job->SetPhase(MineJob::Phase::kTraining);
   bool hit = false;
-  auto entry = EntryFor(request, cancel, &hit);
+  auto entry = EntryFor(request, cancel, &hit, trace);
   if (!entry.ok()) {
     response.status = entry.status();
-    job->Complete(std::move(response));
     return;
   }
   response.cache_hit = hit;
@@ -230,6 +254,7 @@ void MiningService::RunJob(const std::shared_ptr<MineJob>& job) {
     if (request.use_kde && snap.kde != nullptr) finder.SetKde(snap.kde.get());
     finder.SetCancelToken(cancel);
     finder.SetProgress(&job->search_progress_);
+    finder.SetTrace(trace);
     response.topk = finder.Find();
     if (response.topk.cancelled) {
       response.status = Status::Cancelled("mining cancelled mid-search");
@@ -249,6 +274,7 @@ void MiningService::RunJob(const std::shared_ptr<MineJob>& job) {
     }
     finder.SetCancelToken(cancel);
     finder.SetProgress(&job->search_progress_);
+    finder.SetTrace(trace);
     response.result = finder.Find(request.threshold, request.direction);
     if (response.result.report.cancelled) {
       // Partial results and provenance ride along with the Cancelled
@@ -273,7 +299,6 @@ void MiningService::RunJob(const std::shared_ptr<MineJob>& job) {
     }
   }
   response.total_seconds = timer.ElapsedSeconds();
-  job->Complete(std::move(response));
 }
 
 MineResponse MiningService::Mine(const MineRequest& request) {
@@ -351,7 +376,7 @@ Status MiningService::AppendEvaluations(const MineRequest& request,
   // count, empty workload recipe, ...) must be rejected here as well.
   if (Status valid = v2::ValidateLegacy(request); !valid.ok()) return valid;
   bool hit = false;
-  auto entry = EntryFor(request, CancelToken(), &hit);
+  auto entry = EntryFor(request, CancelToken(), &hit, /*trace=*/nullptr);
   if (!entry.ok()) return entry.status();
   return (*entry)->Append(fresh);
 }

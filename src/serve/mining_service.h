@@ -18,6 +18,7 @@
 #include "util/cancel.h"
 #include "util/retry.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace surf {
 
@@ -76,6 +77,10 @@ struct MineRequest {
   /// entry's pending workload, so repeated traffic warms the next
   /// incremental retrain. Requires `validate`.
   bool record_evaluations = false;
+  /// Record a hierarchical span trace of the request's pipeline stages
+  /// and attach it to the response (also retained for `/v1/trace/{id}`
+  /// export). Tracing never changes mining results.
+  bool trace = false;
 };
 
 /// \brief One mining response.
@@ -92,6 +97,10 @@ struct MineResponse {
   SurrogateProvenance provenance;
   /// End-to-end request wall-time (training share included on misses).
   double total_seconds = 0.0;
+  /// Span trace of the request's pipeline stages; non-null only when
+  /// the request asked for tracing (MineRequest::trace). Shared with the
+  /// service's trace ring, so the response copy stays cheap.
+  std::shared_ptr<const TraceContext> trace;
 };
 
 /// \brief Persistent multi-query region-mining service (the deployment
@@ -133,6 +142,9 @@ class MiningService {
     /// single-flight leader retries while its waiters keep waiting. The
     /// default policy makes exactly one attempt (retry disabled).
     RetryPolicy training_retry;
+    /// Completed traces retained for `GET /v1/trace/{id}` (oldest fall
+    /// off past the cap).
+    size_t trace_ring_capacity = 64;
   };
 
   /// Service with default options (all-core pool, default cache policy).
@@ -205,6 +217,8 @@ class MiningService {
   ThreadPool& pool() { return pool_; }
   /// Worker-thread count of the pool.
   size_t num_threads() const { return pool_.num_threads(); }
+  /// Completed traces of recent traced requests (backs `/v1/trace/{id}`).
+  const TraceRing& traces() const { return traces_; }
 
  private:
   /// A registered dataset plus its content fingerprint, computed once at
@@ -221,16 +235,21 @@ class MiningService {
 
   /// Trains a cache entry for `request` (runs on a miss, outside the
   /// cache lock). `cancel` threads through workload labelling, KDE
-  /// fitting, and GBRT boosting rounds.
+  /// fitting, and GBRT boosting rounds; `trace` (nullable) records
+  /// workload_gen/labelling/training spans.
   StatusOr<TrainedSurrogate> TrainEntry(const MineRequest& request,
                                         const Dataset* data,
-                                        CancelToken cancel);
+                                        CancelToken cancel,
+                                        TraceContext* trace);
 
   /// Fetches (or trains) the cache entry for `request`. A fired `cancel`
   /// aborts an owned training; waiters whose own token is live take over
-  /// a leader's cancelled training instead of being stranded.
+  /// a leader's cancelled training instead of being stranded. Training
+  /// spans land in `trace` only when this call becomes the single-flight
+  /// leader (waiters' traces simply lack them).
   StatusOr<std::shared_ptr<CachedSurrogate>> EntryFor(
-      const MineRequest& request, CancelToken cancel, bool* was_hit);
+      const MineRequest& request, CancelToken cancel, bool* was_hit,
+      TraceContext* trace);
 
   /// Creates the job object for a request (not yet scheduled).
   std::shared_ptr<MineJob> MakeJob(const MineRequest& request,
@@ -245,10 +264,17 @@ class MiningService {
   /// response publication on the job.
   void RunJob(const std::shared_ptr<MineJob>& job);
 
+  /// RunJob's body under the root trace span: fills `*response`
+  /// (without completing the job) so every return path closes the span
+  /// before the trace is published.
+  void ExecuteJob(const std::shared_ptr<MineJob>& job, TraceContext* trace,
+                  MineResponse* response);
+
   Options options_;
   ThreadPool pool_;
   RequestScheduler scheduler_;
   SurrogateCache cache_;
+  TraceRing traces_;
 
   /// Outstanding Submit handles, so the destructor can cancel
   /// abandoned jobs. Expired entries are pruned on each Submit.

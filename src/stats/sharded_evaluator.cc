@@ -9,6 +9,24 @@
 
 namespace surf {
 
+namespace {
+
+/// Process-wide shard-classification totals (see global_telemetry()).
+std::atomic<uint64_t> g_pruned{0};
+std::atomic<uint64_t> g_block_merged{0};
+std::atomic<uint64_t> g_scanned{0};
+
+}  // namespace
+
+ShardedScanEvaluator::GlobalTelemetry
+ShardedScanEvaluator::global_telemetry() {
+  GlobalTelemetry out;
+  out.pruned = g_pruned.load(std::memory_order_relaxed);
+  out.block_merged = g_block_merged.load(std::memory_order_relaxed);
+  out.scanned = g_scanned.load(std::memory_order_relaxed);
+  return out;
+}
+
 ShardedScanEvaluator::ShardedScanEvaluator(ShardedDataset data,
                                            Statistic stat,
                                            size_t num_threads)
@@ -70,6 +88,7 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
   }
   if (disjoint) {
     pruned_.fetch_add(1, std::memory_order_relaxed);
+    g_pruned.fetch_add(1, std::memory_order_relaxed);
     return;
   }
 
@@ -78,6 +97,7 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
     // partial accumulator. Summary sums were folded in shard row order,
     // so this path is bit-identical to scanning the shard row by row.
     block_merged_.fetch_add(1, std::memory_order_relaxed);
+    g_block_merged.fetch_add(1, std::memory_order_relaxed);
     if (stat_.needs_value_column()) {
       const ColumnSummary& v =
           shard.summary(static_cast<size_t>(stat_.value_col));
@@ -90,6 +110,7 @@ void ShardedScanEvaluator::EvalShard(size_t shard_index,
   }
 
   scanned_.fetch_add(1, std::memory_order_relaxed);
+  g_scanned.fetch_add(1, std::memory_order_relaxed);
 
   // Branchless membership mask, one pass per still-undecided column,
   // via the dispatched SIMD kernel table. The kernel's inclusion test is

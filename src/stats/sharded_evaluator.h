@@ -69,6 +69,16 @@ class ShardedScanEvaluator : public RegionEvaluator {
   uint64_t shards_block_merged() const { return block_merged_.load(); }
   uint64_t shards_scanned() const { return scanned_.load(); }
 
+  /// \brief Process-wide totals across every evaluator instance (live or
+  /// destroyed), so /metrics and /v1/cache/stats can export the
+  /// prune/block/scan split without walking the surrogate cache.
+  struct GlobalTelemetry {
+    uint64_t pruned = 0;
+    uint64_t block_merged = 0;
+    uint64_t scanned = 0;
+  };
+  static GlobalTelemetry global_telemetry();
+
  protected:
   double EvaluateImpl(const Region& region,
                       const CancelToken& cancel) const override;

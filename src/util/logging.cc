@@ -1,14 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+
+#include "util/trace.h"
 
 namespace surf {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mu;
 
 const char* LevelName(LogLevel level) {
@@ -27,15 +32,79 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+bool ParseLogLevel(const char* name, LogLevel* out) {
+  if (name == nullptr) return false;
+  std::string lower;
+  for (const char* p = name; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "quiet" || lower == "off" || lower == "none") {
+    *out = LogLevel::kQuiet;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Default threshold: SURF_LOG_LEVEL when set and parseable (operators
+/// can raise verbosity without a rebuild), else kWarn so library
+/// internals stay silent in tests and benches unless asked.
+LogLevel InitialLevel() {
+  LogLevel level = LogLevel::kWarn;
+  ParseLogLevel(std::getenv("SURF_LOG_LEVEL"), &level);
+  return level;
+}
+
+std::atomic<LogLevel>& Level() {
+  static std::atomic<LogLevel> level{InitialLevel()};
+  return level;
+}
+
+/// ISO-8601 UTC with milliseconds, e.g. "2026-08-08T12:34:56.789Z".
+void FormatTimestamp(char* buf, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buf, size, "%s.%03dZ", date, static_cast<int>(ms));
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) { Level().store(level); }
+LogLevel GetLogLevel() { return Level().load(); }
 
 void LogMessage(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(Level().load())) return;
+  char stamp[32];
+  FormatTimestamp(stamp, sizeof(stamp));
+  const uint32_t tid = CurrentThreadIndex();
+  // The active request's trace id, when a span is open on this thread —
+  // lets operators join a log line to its trace and /v1/trace export.
+  const std::string* trace_id = CurrentTraceId();
   std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[surf %s] %s\n", LevelName(level), msg.c_str());
+  if (trace_id != nullptr) {
+    std::fprintf(stderr, "[surf %s %s tid=%u %s] %s\n", stamp,
+                 LevelName(level), tid, trace_id->c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[surf %s %s tid=%u] %s\n", stamp, LevelName(level),
+                 tid, msg.c_str());
+  }
 }
 
 }  // namespace surf

@@ -1,0 +1,252 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace surf {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint32_t> g_next_thread_index{0};
+
+uint32_t AssignThreadIndex() {
+  thread_local const uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kNone:
+      return "";
+    case TraceStage::kWorkloadGen:
+      return "workload_gen";
+    case TraceStage::kLabelling:
+      return "labelling";
+    case TraceStage::kTraining:
+      return "training";
+    case TraceStage::kSearch:
+      return "search";
+    case TraceStage::kExtraction:
+      return "extraction";
+  }
+  return "";
+}
+
+uint32_t CurrentThreadIndex() { return AssignThreadIndex(); }
+
+// ------------------------------------------------------------ TraceContext
+
+TraceContext::TraceContext()
+    : id_("trace-" + std::to_string(
+                         g_next_trace_id.fetch_add(1,
+                                                   std::memory_order_relaxed))),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceContext::ElapsedNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+int32_t TraceContext::BeginSpan(const char* name, TraceStage stage) {
+  const internal::TraceCursor& cursor = internal::CurrentTraceCursor();
+  return BeginSpan(name, stage, cursor.ctx == this ? cursor.span : -1);
+}
+
+int32_t TraceContext::BeginSpan(const char* name, TraceStage stage,
+                                int32_t parent) {
+  const uint64_t start = ElapsedNs();
+  const uint32_t tid = AssignThreadIndex();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return -1;
+  }
+  Span span;
+  span.name = name;
+  span.parent =
+      (parent >= 0 && static_cast<size_t>(parent) < spans_.size()) ? parent
+                                                                   : -1;
+  span.stage = stage;
+  span.start_ns = start;
+  span.tid = tid;
+  spans_.push_back(std::move(span));
+  return static_cast<int32_t>(spans_.size() - 1);
+}
+
+void TraceContext::EndSpan(int32_t index) {
+  if (index < 0) return;
+  const uint64_t now = ElapsedNs();
+  TraceStage stage = TraceStage::kNone;
+  uint64_t dur = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<size_t>(index) >= spans_.size()) return;
+    Span& span = spans_[static_cast<size_t>(index)];
+    if (span.dur_ns != 0) return;  // already closed
+    dur = now > span.start_ns ? now - span.start_ns : 1;
+    span.dur_ns = dur;
+    stage = span.stage;
+  }
+  if (stage != TraceStage::kNone) StageStats::Instance().Record(stage, dur);
+}
+
+void TraceContext::AddAttr(int32_t index, const char* key,
+                           std::string value) {
+  if (index < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(index) >= spans_.size()) return;
+  spans_[static_cast<size_t>(index)].attrs.emplace_back(key,
+                                                        std::move(value));
+}
+
+std::vector<TraceContext::Span> TraceContext::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t TraceContext::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::array<double, kNumTraceStages> TraceContext::StageSeconds() const {
+  std::array<double, kNumTraceStages> out{};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Span& span : spans_) {
+    if (span.stage == TraceStage::kNone || span.dur_ns == 0) continue;
+    out[static_cast<int>(span.stage)] +=
+        static_cast<double>(span.dur_ns) * 1e-9;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- TraceSpan
+
+namespace internal {
+
+TraceCursor& CurrentTraceCursor() {
+  thread_local TraceCursor cursor;
+  return cursor;
+}
+
+}  // namespace internal
+
+const std::string* CurrentTraceId() {
+  const internal::TraceCursor& cursor = internal::CurrentTraceCursor();
+  return cursor.ctx == nullptr ? nullptr : &cursor.ctx->id();
+}
+
+void TraceSpan::Open(TraceContext* ctx, const char* name, TraceStage stage,
+                     bool use_cursor_parent, int32_t parent) {
+  ctx_ = ctx;
+  internal::TraceCursor& cursor = internal::CurrentTraceCursor();
+  if (use_cursor_parent) {
+    parent = cursor.ctx == ctx ? cursor.span : -1;
+  }
+  span_ = ctx->BeginSpan(name, stage, parent);
+  // Install as the thread's innermost span even when the span itself was
+  // dropped by the cap — children then chain to this span's parent.
+  saved_ = cursor;
+  cursor.ctx = ctx;
+  cursor.span = span_ >= 0 ? span_ : parent;
+  installed_ = true;
+}
+
+void TraceSpan::Close() {
+  ctx_->EndSpan(span_);
+  if (installed_) internal::CurrentTraceCursor() = saved_;
+}
+
+void TraceSpan::Attr(const char* key, uint64_t value) {
+  if (ctx_ != nullptr) ctx_->AddAttr(span_, key, std::to_string(value));
+}
+
+void TraceSpan::Attr(const char* key, double value) {
+  if (ctx_ == nullptr) return;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  ctx_->AddAttr(span_, key, buf);
+}
+
+// --------------------------------------------------------------- StageStats
+
+StageStats& StageStats::Instance() {
+  static StageStats* instance = new StageStats();  // never destroyed
+  return *instance;
+}
+
+void StageStats::Record(TraceStage stage, uint64_t dur_ns) {
+  const int s = static_cast<int>(stage);
+  if (s <= 0 || s >= kNumTraceStages) return;
+  PerStage& per = stages_[static_cast<size_t>(s)];
+  const double seconds = static_cast<double>(dur_ns) * 1e-9;
+  size_t bucket = kBucketBoundsSeconds.size();  // +Inf slot
+  for (size_t i = 0; i < kBucketBoundsSeconds.size(); ++i) {
+    if (seconds <= kBucketBoundsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  per.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  per.count.fetch_add(1, std::memory_order_relaxed);
+  per.sum_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+}
+
+StageStats::Snapshot StageStats::Get(TraceStage stage) const {
+  Snapshot out;
+  const int s = static_cast<int>(stage);
+  if (s <= 0 || s >= kNumTraceStages) return out;
+  const PerStage& per = stages_[static_cast<size_t>(s)];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = per.buckets[i].load(std::memory_order_relaxed);
+  }
+  out.count = per.count.load(std::memory_order_relaxed);
+  out.sum_seconds =
+      static_cast<double>(per.sum_ns.load(std::memory_order_relaxed)) * 1e-9;
+  return out;
+}
+
+void StageStats::Reset() {
+  for (PerStage& per : stages_) {
+    for (auto& bucket : per.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    per.count.store(0, std::memory_order_relaxed);
+    per.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------- TraceRing
+
+void TraceRing::Add(std::shared_ptr<const TraceContext> trace) {
+  if (trace == nullptr || capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+  if (traces_.size() > capacity_) {
+    traces_.erase(traces_.begin(),
+                  traces_.begin() +
+                      static_cast<long>(traces_.size() - capacity_));
+  }
+}
+
+std::shared_ptr<const TraceContext> TraceRing::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& trace : traces_) {
+    if (trace->id() == id) return trace;
+  }
+  return nullptr;
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+}  // namespace surf

@@ -1,0 +1,280 @@
+#ifndef SURF_UTIL_TRACE_H_
+#define SURF_UTIL_TRACE_H_
+
+/// \file
+/// \brief Low-overhead hierarchical span recorder for the mining
+/// pipeline.
+///
+/// A `TraceContext` is one request's span tree: monotonic-clock timings,
+/// thread-safe recording from pool workers, and a hard span cap so a
+/// runaway loop can grow a trace but never the process. The pipeline
+/// threads a `TraceContext*` alongside the existing `CancelToken`;
+/// `nullptr` means tracing is off, and every instrumentation site then
+/// costs exactly one predictable branch — the same cost discipline as
+/// the failpoint registry (util/failpoint.h). Spans observe, never
+/// branch: a traced request computes bit-identical results to an
+/// untraced one.
+///
+/// `TraceSpan` is the RAII front door. It parents itself to the
+/// innermost open span on the current thread (a thread-local stack), so
+/// nesting falls out of scoping; workers that start spans off-thread
+/// pass an explicit parent index instead. Long loops that want one span
+/// per batch without per-iteration RAII churn use the manual
+/// `BeginSpan`/`EndSpan` pair on the context.
+///
+/// Every span closed with a non-kNone stage also feeds the process-wide
+/// `StageStats` histograms, rendered as `surf_stage_seconds{stage=...}`
+/// in /metrics — so aggregate per-stage latency is visible even when
+/// nobody keeps the individual traces.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace surf {
+
+/// \brief Pipeline stage a span accounts to in the aggregate
+/// histograms. The four top-level stages (workload_gen, training,
+/// search, extraction) partition a cache-miss request's wall-time;
+/// labelling spans are children *inside* workload_gen and are exported
+/// as their own histogram without being part of the partition.
+enum class TraceStage : int {
+  kNone = 0,
+  kWorkloadGen,
+  kLabelling,
+  kTraining,
+  kSearch,
+  kExtraction,
+};
+
+/// Number of stages, kNone included (for enumeration loops).
+inline constexpr int kNumTraceStages = 6;
+
+/// Canonical stage label ("workload_gen", ...); "" for kNone.
+const char* TraceStageName(TraceStage stage);
+
+/// Small dense per-thread index (0, 1, 2, ... in first-use order),
+/// shared by trace spans and log lines so the two are correlatable.
+uint32_t CurrentThreadIndex();
+
+/// \brief One request's hierarchical span recording.
+class TraceContext {
+ public:
+  /// \brief One recorded span. Timestamps are nanoseconds since the
+  /// context's construction (its monotonic epoch).
+  struct Span {
+    /// Site name ("request", "training", "gso_iterations", ...).
+    const char* name = "";
+    /// Index of the parent span; -1 for roots.
+    int32_t parent = -1;
+    /// Stage the span accounts to in StageStats (kNone = tree-only).
+    TraceStage stage = TraceStage::kNone;
+    /// Start offset from the context epoch, nanoseconds.
+    uint64_t start_ns = 0;
+    /// Duration, nanoseconds; 0 while the span is still open.
+    uint64_t dur_ns = 0;
+    /// Dense index of the recording thread (CurrentThreadIndex()).
+    uint32_t tid = 0;
+    /// Free-form key/value annotations (counters, ranges, backends).
+    std::vector<std::pair<std::string, std::string>> attrs;
+  };
+
+  /// Span cap per context: spans past the cap are counted in
+  /// `dropped()` instead of recorded, so a pathological loop cannot
+  /// grow a trace without bound.
+  static constexpr size_t kMaxSpans = 8192;
+
+  /// Assigns a process-unique id ("trace-1", "trace-2", ...) and pins
+  /// the monotonic epoch.
+  TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// The process-unique trace id.
+  const std::string& id() const { return id_; }
+
+  /// Nanoseconds since construction (monotonic).
+  uint64_t ElapsedNs() const;
+
+  /// Opens a span parented to the innermost open TraceSpan on the
+  /// calling thread (or a root when there is none). Returns the span
+  /// index, or -1 when the cap is hit (then counted as dropped).
+  int32_t BeginSpan(const char* name, TraceStage stage);
+
+  /// Opens a span with an explicit parent (for work handed to another
+  /// thread; pass -1 for a root).
+  int32_t BeginSpan(const char* name, TraceStage stage, int32_t parent);
+
+  /// Closes span `index` (no-op for -1), stamping its duration and
+  /// feeding StageStats when the span carries a stage.
+  void EndSpan(int32_t index);
+
+  /// Attaches a key/value annotation to span `index` (no-op for -1).
+  void AddAttr(int32_t index, const char* key, std::string value);
+
+  /// Consistent copy of every span recorded so far.
+  std::vector<Span> Snapshot() const;
+
+  /// Spans rejected by the kMaxSpans cap.
+  uint64_t dropped() const;
+
+  /// Total seconds of *closed* spans per stage (kNone excluded by
+  /// returning 0 at index 0). Nested spans of the same stage are summed
+  /// as-is; the pipeline only assigns stages so they never self-nest.
+  std::array<double, kNumTraceStages> StageSeconds() const;
+
+ private:
+  friend class TraceSpan;
+
+  std::string id_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  uint64_t dropped_ = 0;
+};
+
+namespace internal {
+
+/// Thread-local innermost-open-span cursor; TraceSpan saves/restores it
+/// LIFO so nesting works across call depth without plumbing indices.
+struct TraceCursor {
+  TraceContext* ctx = nullptr;
+  int32_t span = -1;
+};
+
+TraceCursor& CurrentTraceCursor();
+
+}  // namespace internal
+
+/// The id of the trace the innermost open TraceSpan on this thread
+/// belongs to, or nullptr when no span is open (used by the logger to
+/// prefix lines with the request's trace id).
+const std::string* CurrentTraceId();
+
+/// \brief RAII span. With a null context the constructor and destructor
+/// are each a single branch — no allocation, no clock read, no atomics.
+class TraceSpan {
+ public:
+  /// Opens a span parented to the thread's innermost open span.
+  TraceSpan(TraceContext* ctx, const char* name,
+            TraceStage stage = TraceStage::kNone) {
+    if (ctx == nullptr) return;  // tracing off: the one-branch fast path
+    Open(ctx, name, stage, /*use_cursor_parent=*/true, -1);
+  }
+
+  /// Opens a span with an explicit parent (for spans recorded on a
+  /// different thread than their parent).
+  TraceSpan(TraceContext* ctx, const char* name, TraceStage stage,
+            int32_t parent) {
+    if (ctx == nullptr) return;
+    Open(ctx, name, stage, /*use_cursor_parent=*/false, parent);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (ctx_ == nullptr) return;
+    Close();
+  }
+
+  /// Annotates the span (no-ops when tracing is off).
+  void Attr(const char* key, std::string value) {
+    if (ctx_ != nullptr) ctx_->AddAttr(span_, key, std::move(value));
+  }
+  void Attr(const char* key, uint64_t value);
+  void Attr(const char* key, double value);
+
+  /// The underlying span index (-1 when tracing is off or the span was
+  /// dropped) — pass as the explicit parent for off-thread children.
+  int32_t index() const { return span_; }
+
+ private:
+  void Open(TraceContext* ctx, const char* name, TraceStage stage,
+            bool use_cursor_parent, int32_t parent);
+  void Close();
+
+  TraceContext* ctx_ = nullptr;
+  int32_t span_ = -1;
+  /// Saved cursor, restored on close (LIFO nesting).
+  internal::TraceCursor saved_;
+  /// Whether this span installed itself as the thread's cursor.
+  bool installed_ = false;
+};
+
+/// \brief Process-wide per-stage latency histograms, fed by every
+/// closed span that carries a stage. Lock-free recording (relaxed
+/// atomics); rendering reads are monotonic-but-unsynchronized, which is
+/// the usual Prometheus contract.
+class StageStats {
+ public:
+  /// Upper bounds (seconds) of the histogram buckets; the implicit
+  /// final bucket is +Inf. Matches ServerMetrics' request histogram so
+  /// stage and request latencies line up in dashboards.
+  static constexpr std::array<double, 14> kBucketBoundsSeconds = {
+      0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+      0.1,    0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+  static constexpr size_t kNumBuckets = kBucketBoundsSeconds.size() + 1;
+
+  /// The process-wide instance.
+  static StageStats& Instance();
+
+  /// Records one closed span of `stage` (kNone is ignored).
+  void Record(TraceStage stage, uint64_t dur_ns);
+
+  /// \brief Point-in-time copy of one stage's histogram.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    double sum_seconds = 0.0;
+  };
+  Snapshot Get(TraceStage stage) const;
+
+  /// Zeroes every histogram (tests only; concurrent Record calls may
+  /// survive the wipe).
+  void Reset();
+
+ private:
+  struct PerStage {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_ns{0};
+  };
+  std::array<PerStage, kNumTraceStages> stages_;
+};
+
+/// \brief Bounded ring of recently completed traces, keyed by trace id
+/// (backs `GET /v1/trace/{id}`). Oldest traces fall off the end.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts a completed trace (evicting the oldest past capacity).
+  void Add(std::shared_ptr<const TraceContext> trace);
+
+  /// The retained trace with `id`, or null.
+  std::shared_ptr<const TraceContext> Find(const std::string& id) const;
+
+  /// Retained traces.
+  size_t size() const;
+
+  /// The configured capacity.
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Insertion order, oldest first.
+  std::vector<std::shared_ptr<const TraceContext>> traces_;
+};
+
+}  // namespace surf
+
+#endif  // SURF_UTIL_TRACE_H_

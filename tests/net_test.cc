@@ -12,11 +12,17 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -453,6 +459,354 @@ TEST(SurfHandlerTest, MetricsExposeTransportAndCache) {
             std::string::npos)
       << "the /metrics request itself is in flight";
   EXPECT_NE(metrics.body.find("surf_cache_hit_ratio"), std::string::npos);
+}
+
+// One decoded sample line of the Prometheus text exposition format.
+struct PromSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Parses `name{label="v",...} value`; returns false with `*error` set
+/// on any syntax violation of the exposition format.
+bool ParsePromSample(const std::string& line, PromSample* out,
+                     std::string* error) {
+  const auto name_char = [](char c, bool first) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    return std::isalpha(u) != 0 || c == '_' || c == ':' ||
+           (!first && std::isdigit(u) != 0);
+  };
+  size_t i = 0;
+  while (i < line.size() && name_char(line[i], i == 0)) ++i;
+  if (i == 0) {
+    *error = "missing metric name";
+    return false;
+  }
+  out->name = line.substr(0, i);
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const size_t label_start = i;
+      while (i < line.size() &&
+             (name_char(line[i], false) || std::isdigit(
+                  static_cast<unsigned char>(line[i])) != 0)) {
+        ++i;
+      }
+      if (i == label_start || i >= line.size() || line[i] != '=') {
+        *error = "malformed label name";
+        return false;
+      }
+      const std::string label_name = line.substr(label_start, i - label_start);
+      ++i;
+      if (i >= line.size() || line[i] != '"') {
+        *error = "label value must be quoted";
+        return false;
+      }
+      ++i;
+      std::string label_value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          ++i;
+          if (i >= line.size()) {
+            *error = "dangling escape in label value";
+            return false;
+          }
+        }
+        label_value.push_back(line[i]);
+        ++i;
+      }
+      if (i >= line.size()) {
+        *error = "unterminated label value";
+        return false;
+      }
+      ++i;  // closing quote
+      out->labels.emplace_back(label_name, label_value);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+      } else if (i >= line.size() || line[i] != '}') {
+        *error = "expected ',' or '}' after label";
+        return false;
+      }
+    }
+    if (i >= line.size()) {
+      *error = "unterminated label set";
+      return false;
+    }
+    ++i;  // '}'
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *error = "expected single space before value";
+    return false;
+  }
+  ++i;
+  char* end = nullptr;
+  out->value = std::strtod(line.c_str() + i, &end);
+  if (end == line.c_str() + i || end != line.c_str() + line.size()) {
+    *error = "unparseable sample value";
+    return false;
+  }
+  return true;
+}
+
+// Lints the full /metrics body against the exposition format: every
+// sample belongs to a declared family (HELP before TYPE, TYPE before
+// samples), series are unique, histogram buckets are cumulative with
+// le="+Inf" equal to _count — and the series added by the tracing /
+// shard-telemetry work are present.
+TEST(SurfHandlerTest, MetricsPassPrometheusExpositionLint) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+  client.Request("GET", "/healthz");
+  client.Request("GET", "/nope");
+
+  const std::string body = client.Request("GET", "/metrics").body;
+  ASSERT_FALSE(body.empty());
+
+  std::set<std::string> helped;
+  std::map<std::string, std::string> family_type;
+  std::set<std::string> series_seen;
+  // Histogram bookkeeping, keyed by family + labels-without-le.
+  std::map<std::string, std::vector<double>> hist_buckets;
+  std::map<std::string, double> hist_counts;
+  std::set<std::string> hist_inf_seen;
+
+  std::istringstream lines(body);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    SCOPED_TRACE("line " + std::to_string(lineno) + ": " + line);
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << "HELP without text";
+      helped.insert(rest.substr(0, space));
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const size_t space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << "TYPE without a type";
+      const std::string name = rest.substr(0, space);
+      const std::string type = rest.substr(space + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram")
+          << "unknown metric type '" << type << "'";
+      EXPECT_EQ(helped.count(name), 1u) << "TYPE without preceding HELP";
+      EXPECT_EQ(family_type.count(name), 0u) << "duplicate TYPE";
+      family_type[name] = type;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment form";
+
+    PromSample sample;
+    std::string error;
+    ASSERT_TRUE(ParsePromSample(line, &sample, &error)) << error;
+
+    // Histogram samples attach to their base family.
+    std::string family = sample.name;
+    std::string hist_suffix;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0) {
+        const std::string base = family.substr(0, family.size() - n);
+        const auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+          hist_suffix = suffix;
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(family_type.count(family), 1u) << "sample without # TYPE";
+
+    const std::string series = line.substr(0, line.rfind(' '));
+    EXPECT_TRUE(series_seen.insert(series).second) << "duplicate series";
+
+    if (family != sample.name) {
+      std::string key = family;
+      std::string le;
+      for (const auto& [label, value] : sample.labels) {
+        if (label == "le") {
+          le = value;
+        } else {
+          key += "|" + label + "=" + value;
+        }
+      }
+      if (hist_suffix == "_bucket") {
+        EXPECT_FALSE(le.empty()) << "_bucket sample without an le label";
+        hist_buckets[key].push_back(sample.value);
+        if (le == "+Inf") hist_inf_seen.insert(key);
+      } else if (hist_suffix == "_count") {
+        hist_counts[key] = sample.value;
+      }
+    }
+  }
+
+  for (const auto& [key, buckets] : hist_buckets) {
+    SCOPED_TRACE("histogram " + key);
+    for (size_t i = 1; i < buckets.size(); ++i) {
+      EXPECT_LE(buckets[i - 1], buckets[i]) << "buckets not cumulative";
+    }
+    EXPECT_EQ(hist_inf_seen.count(key), 1u) << "missing le=\"+Inf\" bucket";
+    ASSERT_EQ(hist_counts.count(key), 1u) << "missing _count sample";
+    EXPECT_EQ(buckets.back(), hist_counts[key])
+        << "le=\"+Inf\" must equal _count";
+  }
+
+  // The series introduced by the tracing + shard-telemetry layer.
+  EXPECT_NE(
+      body.find("surf_stage_seconds_bucket{stage=\"training\",le=\"+Inf\"}"),
+      std::string::npos);
+  EXPECT_NE(body.find("surf_shard_scan_total{action=\"pruned\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("surf_shard_scan_total{action=\"block_merged\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("surf_shard_scan_total{action=\"scanned\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("surf_accel_backend{backend=\""), std::string::npos);
+}
+
+// A traced mine request carries the summary block in its response, is
+// retained for GET /v1/trace/{id} as Chrome trace-event JSON, and feeds
+// the per-stage histograms — while untraced requests stay trace-free.
+TEST(SurfHandlerTest, TraceRoundTripOverHttp) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  const SyntheticDataset ds = MakeTestData();
+  ASSERT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         InlineDatasetBody("traced", ds.data))
+                .status,
+            201);
+
+  MineRequest request = MakeTestRequest("traced", {0, 1});
+  request.trace = true;
+  ClientResponse mined =
+      client.Request("POST", "/v1/mine", WriteJson(MineRequestToJson(request)));
+  ASSERT_EQ(mined.status, 200) << mined.body;
+  auto mined_json = ParseJson(mined.body);
+  ASSERT_TRUE(mined_json.ok());
+  const JsonValue* trace = mined_json->Find("trace");
+  ASSERT_NE(trace, nullptr) << "traced request must carry a trace block";
+  const JsonValue* trace_id = trace->Find("id");
+  ASSERT_NE(trace_id, nullptr);
+  const JsonValue* stage_seconds = trace->Find("stage_seconds");
+  ASSERT_NE(stage_seconds, nullptr);
+  ASSERT_NE(stage_seconds->Find("training"), nullptr);
+  EXPECT_GT(stage_seconds->Find("training")->number_value(), 0.0);
+  ASSERT_NE(trace->Find("spans"), nullptr);
+  EXPECT_FALSE(trace->Find("spans")->array().empty());
+
+  // The retained trace replays in the Chrome trace-event format.
+  ClientResponse exported =
+      client.Request("GET", "/v1/trace/" + trace_id->string_value());
+  ASSERT_EQ(exported.status, 200) << exported.body;
+  auto chrome = ParseJson(exported.body);
+  ASSERT_TRUE(chrome.ok());
+  const JsonValue* events = chrome->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array().empty());
+  const JsonValue& first = events->array().front();
+  EXPECT_NE(first.Find("name"), nullptr);
+  ASSERT_NE(first.Find("ph"), nullptr);
+  EXPECT_EQ(first.Find("ph")->string_value(), "X");
+
+  // Unknown ids answer 404 with a JSON error.
+  EXPECT_EQ(client.Request("GET", "/v1/trace/trace-999999").status, 404);
+
+  // An untraced request stays byte-compatible: no trace key at all.
+  ClientResponse plain = client.Request(
+      "POST", "/v1/mine",
+      WriteJson(MineRequestToJson(MakeTestRequest("traced", {0, 1}))));
+  ASSERT_EQ(plain.status, 200);
+  auto plain_json = ParseJson(plain.body);
+  ASSERT_TRUE(plain_json.ok());
+  EXPECT_EQ(plain_json->Find("trace"), nullptr);
+
+  // The traced run fed the per-stage histograms (process-global, so at
+  // least the training stage must have a nonzero count by now).
+  const std::string metrics = client.Request("GET", "/metrics").body;
+  const size_t count_pos =
+      metrics.find("surf_stage_seconds_count{stage=\"training\"} ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_NE(metrics.compare(count_pos,
+                            std::strlen(
+                                "surf_stage_seconds_count{stage=\"training\"} "
+                                "0\n"),
+                            "surf_stage_seconds_count{stage=\"training\"} 0\n"),
+            0)
+      << "traced request must record stage observations";
+
+  // Shard-scan telemetry and the accel backend ride /v1/cache/stats too.
+  ClientResponse stats = client.Request("GET", "/v1/cache/stats");
+  ASSERT_EQ(stats.status, 200);
+  auto stats_json = ParseJson(stats.body);
+  ASSERT_TRUE(stats_json.ok());
+  EXPECT_NE(stats_json->Find("shard_evals"), nullptr);
+  const JsonValue* backend = stats_json->Find("accel_backend");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_FALSE(backend->string_value().empty());
+}
+
+// Async job submissions expose per-phase wall time from the first poll.
+TEST(SurfHandlerTest, JobProgressCarriesPhaseSeconds) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+
+  const SyntheticDataset ds = MakeTestData();
+  ASSERT_EQ(client
+                .Request("POST", "/v1/datasets",
+                         InlineDatasetBody("phased", ds.data))
+                .status,
+            201);
+
+  ClientResponse submitted = client.Request(
+      "POST", "/v1/jobs",
+      WriteJson(MineRequestToJson(MakeTestRequest("phased", {0, 1}))));
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  auto submitted_json = ParseJson(submitted.body);
+  ASSERT_TRUE(submitted_json.ok());
+  const JsonValue* progress = submitted_json->Find("progress");
+  ASSERT_NE(progress, nullptr);
+  EXPECT_NE(progress->Find("queued_seconds"), nullptr);
+  EXPECT_NE(progress->Find("training_seconds"), nullptr);
+  EXPECT_NE(progress->Find("searching_seconds"), nullptr);
+  const std::string job_id =
+      submitted_json->Find("job_id")->string_value();
+
+  // Poll to completion; the final progress must account for the work:
+  // training + searching both saw wall time.
+  const JsonValue* final_progress = nullptr;
+  JsonValue last_poll;
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    ClientResponse polled = client.Request("GET", "/v1/jobs/" + job_id);
+    ASSERT_EQ(polled.status, 200) << polled.body;
+    auto poll_json = ParseJson(polled.body);
+    ASSERT_TRUE(poll_json.ok());
+    last_poll = std::move(*poll_json);
+    const JsonValue* p = last_poll.Find("progress");
+    ASSERT_NE(p, nullptr);
+    if (p->Find("phase")->string_value() == "done") {
+      final_progress = p;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_NE(final_progress, nullptr) << "job never finished";
+  EXPECT_GT(final_progress->Find("training_seconds")->number_value(), 0.0);
+  EXPECT_GT(final_progress->Find("searching_seconds")->number_value(), 0.0);
 }
 
 // ------------------------------------------------- transport behaviour

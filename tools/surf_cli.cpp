@@ -46,6 +46,7 @@
 #include "net/surf_handler.h"
 #include "serve/mining_service.h"
 #include "util/cli.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -111,10 +112,14 @@ void PrintUsage() {
       "                                (default 256)\n"
       "           --job-max-age S      finished jobs older than this are\n"
       "                                evicted (default: never)\n"
+      "           --trace-ring N       completed request traces kept for\n"
+      "                                GET /v1/trace/{id} (default 64)\n"
       "           --enable-failpoints  expose the /v1/failpoints fault-\n"
       "                                injection admin API (chaos/debug\n"
       "                                deployments only)\n"
       "           SIGINT/SIGTERM drain in-flight requests, then exit\n"
+      "           SURF_LOG_LEVEL=debug|info|warn|error filters the\n"
+      "                                structured log (default info)\n"
       "  version: print API/library version and build info (also\n"
       "           --version anywhere), for v1-vs-v2 schema negotiation\n");
 }
@@ -511,6 +516,11 @@ volatile std::sig_atomic_t g_shutdown_requested = 0;
 void HandleStopSignal(int) { g_shutdown_requested = 1; }
 
 int RunServe(const CliFlags& flags) {
+  // A server wants its lifecycle in the log; the library default (warn)
+  // suits embedders and tests. SURF_LOG_LEVEL still wins when set.
+  if (std::getenv("SURF_LOG_LEVEL") == nullptr) {
+    SetLogLevel(LogLevel::kInfo);
+  }
   MiningService::Options service_options;
   service_options.num_threads =
       static_cast<size_t>(flags.GetInt("threads", 0));
@@ -526,6 +536,8 @@ int RunServe(const CliFlags& flags) {
   // --train-retries counts *extra* attempts; the policy counts total.
   service_options.training_retry.max_attempts =
       flags.GetInt("train-retries", 0) + 1;
+  service_options.trace_ring_capacity =
+      static_cast<size_t>(flags.GetInt("trace-ring", 64));
   MiningService service(service_options);
 
   const std::string data_path = flags.GetString("data", "");
