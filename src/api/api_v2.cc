@@ -72,6 +72,7 @@ surf::MineRequest ToLegacy(const MineRequest& request) {
   legacy.surrogate = request.training.surrogate;
   legacy.backend = request.execution.backend;
   legacy.shards = request.execution.shards;
+  legacy.cluster = request.execution.cluster;
   legacy.use_kde = request.execution.use_kde;
   legacy.validate = request.execution.validate;
   legacy.record_evaluations = request.execution.record_evaluations;
@@ -95,6 +96,7 @@ MineRequest FromLegacy(const surf::MineRequest& request) {
   v2.training.surrogate = request.surrogate;
   v2.execution.backend = request.backend;
   v2.execution.shards = request.shards;
+  v2.execution.cluster = request.cluster;
   v2.execution.use_kde = request.use_kde;
   v2.execution.validate = request.validate;
   v2.execution.record_evaluations = request.record_evaluations;

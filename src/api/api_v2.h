@@ -93,6 +93,14 @@ struct ExecutionPolicy {
   /// merged in fixed shard order. 0 normalizes to 1. Like `backend`,
   /// this is execution policy, not part of the surrogate-cache key.
   size_t shards = 1;
+  /// Distributed scatter-gather execution: workload labelling and
+  /// validation run on the coordinator's configured remote workers
+  /// (dist::ClusterEvaluator) instead of in process. The effective
+  /// shard count is `shards` when >= 2, else one shard per worker.
+  /// Rejected with FailedPrecondition when the service has no
+  /// `--workers` configured. Execution policy, like `backend`/`shards`
+  /// — not part of the surrogate-cache key.
+  bool cluster = false;
   /// Fit/use the KDE data prior (Eq. 8 guidance).
   bool use_kde = true;
   /// Validate reported regions against the true statistic.

@@ -1,5 +1,6 @@
 #include "core/workload.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
@@ -61,38 +62,54 @@ RegionWorkload GenerateWorkload(const RegionEvaluator& evaluator,
     batch = -1;
   };
 
+  // Draw every region up front. The RNG sequence is label-independent
+  // (center then half per dimension, exactly as the historical
+  // draw-then-label loop interleaved them), so the generated regions are
+  // draw-for-draw identical — only the labelling below changed shape.
+  std::vector<Region> regions;
+  regions.reserve(params.num_queries);
   std::vector<double> center(d), half(d);
   for (size_t q = 0; q < params.num_queries; ++q) {
-    // Labelling dominates generation cost; poll the token every few
-    // hundred queries so cancellation lands promptly without a per-query
-    // clock read.
-    if ((q & 0xFF) == 0) {
-      if (cancel.cancelled()) break;
-      if (trace != nullptr) {
-        close_batch();
-        batch = trace->BeginSpan("label_batch", TraceStage::kLabelling);
-        if (sharded != nullptr) {
-          pruned0 = sharded->shards_pruned();
-          merged0 = sharded->shards_block_merged();
-          scanned0 = sharded->shards_scanned();
-        }
-      }
-    }
     for (size_t i = 0; i < d; ++i) {
       center[i] = rng.Uniform(domain.lo(i), domain.hi(i));
       // Per-dimension extent scaling (the paper's % of data domain).
       half[i] = rng.Uniform(params.min_length_frac * domain.Extent(i),
                             params.max_length_frac * domain.Extent(i));
     }
-    Region region(center, half);
-    // The token rides into the evaluator too: sharded scans poll it per
-    // shard batch, so cancellation lands mid-evaluation on huge datasets
-    // instead of waiting for the next per-query poll above.
-    const double y = evaluator.Evaluate(region, cancel);
-    if (cancel.can_cancel() && cancel.cancelled()) break;
-    if (params.drop_undefined && std::isnan(y)) continue;
-    workload.features.AddRow(RegionFeatures(region));
-    workload.targets.push_back(y);
+    regions.emplace_back(center, half);
+  }
+
+  // Label in 256-query batches through EvaluateBatch — the seam that
+  // lets the distributed backend ship one RPC per batch instead of one
+  // per region; the default implementation loops Evaluate, so in-process
+  // backends label the same regions in the same order as ever. The token
+  // is polled per batch here and rides into the evaluator too (sharded
+  // scans poll it per shard, so cancellation lands mid-evaluation on
+  // huge datasets instead of waiting for the batch boundary).
+  constexpr size_t kLabelBatch = 256;
+  for (size_t start = 0; start < regions.size(); start += kLabelBatch) {
+    if (cancel.cancelled()) break;
+    const size_t count = std::min(kLabelBatch, regions.size() - start);
+    if (trace != nullptr) {
+      close_batch();
+      batch = trace->BeginSpan("label_batch", TraceStage::kLabelling);
+      if (sharded != nullptr) {
+        pruned0 = sharded->shards_pruned();
+        merged0 = sharded->shards_block_merged();
+        scanned0 = sharded->shards_scanned();
+      }
+    }
+    const std::vector<Region> chunk(regions.begin() + start,
+                                    regions.begin() + start + count);
+    const std::vector<double> labels = evaluator.EvaluateBatch(chunk, cancel);
+    for (size_t k = 0; k < labels.size(); ++k) {
+      if (params.drop_undefined && std::isnan(labels[k])) continue;
+      workload.features.AddRow(RegionFeatures(chunk[k]));
+      workload.targets.push_back(labels[k]);
+    }
+    // A short batch is the cancellation signature: every returned label
+    // is complete (and kept), the rest were never computed.
+    if (labels.size() < count) break;
   }
   close_batch();
   gen_span.Attr("labelled", static_cast<uint64_t>(workload.size()));

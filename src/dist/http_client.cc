@@ -1,0 +1,231 @@
+#include "dist/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace surf {
+namespace dist {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One poll slice: short enough that cancellation lands promptly,
+/// long enough that an idle wait costs nothing measurable.
+constexpr int kPollSliceMs = 10;
+
+/// RAII socket: closed on every exit path, including cancellation —
+/// which is what "cancellation releases the worker connection" means at
+/// the transport level (the peer sees EOF/RST and unwinds its handler).
+struct ScopedFd {
+  int fd = -1;
+  ~ScopedFd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Waits for `events` on `fd` in cancel-checking slices until
+/// `deadline`. OK when the fd is ready; Cancelled/TimedOut otherwise.
+Status AwaitReady(int fd, short events, Clock::time_point deadline,
+                  const CancelToken& cancel) {
+  while (true) {
+    if (cancel.cancelled()) return Status::Cancelled("rpc cancelled");
+    if (Clock::now() >= deadline) return Status::TimedOut("rpc timed out");
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, kPollSliceMs);
+    if (n < 0 && errno != EINTR) {
+      return Status::IOError("poll failed: " + std::string(strerror(errno)));
+    }
+    if (n > 0) return Status::OK();
+  }
+}
+
+Status ConnectWithin(int fd, const sockaddr_in& addr,
+                     Clock::time_point deadline, const CancelToken& cancel) {
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    return Status::OK();
+  }
+  if (errno != EINPROGRESS) {
+    return Status::IOError("connect failed: " + std::string(strerror(errno)));
+  }
+  SURF_RETURN_IF_ERROR(AwaitReady(fd, POLLOUT, deadline, cancel));
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    return Status::IOError("connect failed: " +
+                           std::string(strerror(err != 0 ? err : errno)));
+  }
+  return Status::OK();
+}
+
+Status SendWithin(int fd, const std::string& data, Clock::time_point deadline,
+                  const CancelToken& cancel) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SURF_RETURN_IF_ERROR(AwaitReady(fd, POLLOUT, deadline, cancel));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send failed: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Parses the status line and the Content-Length header out of a
+/// complete header section (everything before the blank line).
+bool ParseHead(const std::string& head, int* status_code,
+               size_t* content_length, bool* has_length) {
+  // "HTTP/1.1 200 OK"
+  if (head.size() < 12 || head.compare(0, 5, "HTTP/") != 0) return false;
+  *status_code = std::atoi(head.substr(9, 3).c_str());
+  if (*status_code < 100) return false;
+  *has_length = false;
+  *content_length = 0;
+  size_t line_start = head.find("\r\n");
+  while (line_start != std::string::npos && line_start + 2 < head.size()) {
+    line_start += 2;
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    std::string line = head.substr(line_start, line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      if (name == "content-length") {
+        size_t vs = colon + 1;
+        while (vs < line.size() && line[vs] == ' ') ++vs;
+        *content_length = static_cast<size_t>(std::atoll(line.c_str() + vs));
+        *has_length = true;
+      }
+    }
+    line_start = line_end;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("worker endpoint '" + endpoint +
+                                   "' is not host:port");
+  }
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(endpoint.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || p == 0 || p > 65535) {
+    return Status::InvalidArgument("worker endpoint '" + endpoint +
+                                   "' has a bad port");
+  }
+  *host = endpoint.substr(0, colon);
+  if (*host == "localhost") *host = "127.0.0.1";
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+StatusOr<HttpReply> HttpCall(const std::string& host, uint16_t port,
+                             const std::string& method,
+                             const std::string& target,
+                             const std::string& body, double timeout_seconds,
+                             const CancelToken& cancel) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad worker address '" + host + "'");
+  }
+
+  ScopedFd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) {
+    return Status::IOError("socket failed: " + std::string(strerror(errno)));
+  }
+  const int flags = ::fcntl(sock.fd, F_GETFL, 0);
+  ::fcntl(sock.fd, F_SETFL, flags | O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(sock.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  SURF_RETURN_IF_ERROR(ConnectWithin(sock.fd, addr, deadline, cancel));
+
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host + "\r\n";
+  request += "Connection: close\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  request += body;
+  SURF_RETURN_IF_ERROR(SendWithin(sock.fd, request, deadline, cancel));
+
+  std::string buffer;
+  size_t head_end = std::string::npos;
+  int status_code = 0;
+  size_t content_length = 0;
+  bool has_length = false;
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer.append(chunk, static_cast<size_t>(n));
+      if (head_end == std::string::npos) {
+        head_end = buffer.find("\r\n\r\n");
+        if (head_end != std::string::npos &&
+            !ParseHead(buffer.substr(0, head_end), &status_code,
+                       &content_length, &has_length)) {
+          return Status::IOError("malformed response from worker");
+        }
+      }
+      if (head_end != std::string::npos && has_length &&
+          buffer.size() >= head_end + 4 + content_length) {
+        break;  // full framed body in hand
+      }
+      continue;
+    }
+    if (n == 0) break;  // peer closed — Connection: close framing
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SURF_RETURN_IF_ERROR(AwaitReady(sock.fd, POLLIN, deadline, cancel));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError("recv failed: " + std::string(strerror(errno)));
+  }
+
+  if (head_end == std::string::npos) {
+    return Status::IOError("connection closed before response headers");
+  }
+  HttpReply reply;
+  reply.status_code = status_code;
+  reply.body = buffer.substr(head_end + 4);
+  if (has_length) {
+    if (reply.body.size() < content_length) {
+      return Status::IOError("connection closed mid-body");
+    }
+    reply.body.resize(content_length);
+  }
+  return reply;
+}
+
+}  // namespace dist
+}  // namespace surf

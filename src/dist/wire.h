@@ -1,0 +1,68 @@
+#ifndef SURF_DIST_WIRE_H_
+#define SURF_DIST_WIRE_H_
+
+/// \file
+/// \brief Wire types of the coordinator/worker scatter-gather protocol.
+///
+/// One scatter ships a `ShardEvaluateRequest` per worker: the dataset
+/// reference (name + optional content fingerprint), the statistic, the
+/// full partition spec (so both ends construct byte-identical
+/// `ShardedDataset::Partition` layouts), the ascending list of shard
+/// indices assigned to that worker, and the query batch. The worker
+/// answers with a `ShardEvaluateResponse` carrying one UNMERGED
+/// `StatisticAccumulator` per (query, assigned shard) — merging happens
+/// only on the coordinator, in ascending shard order, so the fold (and
+/// therefore every floating-point rounding) is identical to the
+/// in-process `ShardedScanEvaluator` fold regardless of how shards were
+/// spread across workers. The JSON codecs live in net/json_codec.h; the
+/// structs themselves stay transport-free so the stats and serve layers
+/// can use them without a net dependency.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/region.h"
+#include "stats/statistic.h"
+
+namespace surf {
+namespace dist {
+
+/// \brief One worker's share of a scatter: evaluate `queries` over the
+/// assigned `shards` of the named dataset's partition.
+struct ShardEvaluateRequest {
+  /// Name the dataset is registered under on the worker.
+  std::string dataset;
+  /// Whether `fingerprint` is set (guards against a worker holding a
+  /// same-named but different dataset).
+  bool has_fingerprint = false;
+  /// Content fingerprint the coordinator expects (FingerprintDataset).
+  uint64_t fingerprint = 0;
+  /// The statistic whose per-shard partials are requested.
+  Statistic statistic;
+  /// Total shard count of the partition (not just this worker's share).
+  size_t num_shards = 1;
+  /// Range-partition column (-1 = natural row order) — mirrors
+  /// ShardingOptions::order_by.
+  int order_by = -1;
+  /// Columns to materialize — mirrors ShardingOptions::columns.
+  std::vector<size_t> columns;
+  /// Shard indices assigned to this worker, ascending.
+  std::vector<size_t> shards;
+  /// The query batch (every query is evaluated over every assigned
+  /// shard).
+  std::vector<Region> queries;
+  /// Cooperative deadline for the whole call, seconds; 0 = none.
+  double deadline_seconds = 0.0;
+};
+
+/// \brief The worker's answer: `partials[q][s]` is the accumulator of
+/// `queries[q]` over `shards[s]` (request index order — ascending).
+struct ShardEvaluateResponse {
+  std::vector<std::vector<StatisticAccumulator>> partials;
+};
+
+}  // namespace dist
+}  // namespace surf
+
+#endif  // SURF_DIST_WIRE_H_

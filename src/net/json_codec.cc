@@ -714,6 +714,7 @@ JsonValue MineRequestToJson(const MineRequest& request) {
   obj.Set("surrogate", SurrogateOptionsToJson(request.surrogate));
   obj.Set("backend", JsonValue(BackendName(request.backend)));
   obj.Set("shards", JsonValue(static_cast<double>(request.shards)));
+  obj.Set("cluster", JsonValue(request.cluster));
   obj.Set("use_kde", JsonValue(request.use_kde));
   obj.Set("validate", JsonValue(request.validate));
   obj.Set("record_evaluations", JsonValue(request.record_evaluations));
@@ -772,6 +773,7 @@ StatusOr<MineRequest> MineRequestFromJson(const JsonValue& json,
   request.backend = *parsed_backend;
 
   SURF_RETURN_IF_ERROR(ReadSize(json, "shards", &request.shards));
+  SURF_RETURN_IF_ERROR(ReadBool(json, "cluster", &request.cluster));
   SURF_RETURN_IF_ERROR(ReadBool(json, "use_kde", &request.use_kde));
   SURF_RETURN_IF_ERROR(ReadBool(json, "validate", &request.validate));
   SURF_RETURN_IF_ERROR(
@@ -958,6 +960,7 @@ JsonValue MineRequestV2ToJson(const v2::MineRequest& request) {
   execution.Set("backend", JsonValue(BackendName(request.execution.backend)));
   execution.Set("shards",
                 JsonValue(static_cast<double>(request.execution.shards)));
+  execution.Set("cluster", JsonValue(request.execution.cluster));
   execution.Set("use_kde", JsonValue(request.execution.use_kde));
   execution.Set("validate", JsonValue(request.execution.validate));
   execution.Set("record_evaluations",
@@ -1051,6 +1054,8 @@ StatusOr<v2::MineRequest> MineRequestV2FromJson(
     SURF_RETURN_IF_ERROR(
         ReadSize(*execution, "shards", &request.execution.shards));
     SURF_RETURN_IF_ERROR(
+        ReadBool(*execution, "cluster", &request.execution.cluster));
+    SURF_RETURN_IF_ERROR(
         ReadBool(*execution, "use_kde", &request.execution.use_kde));
     SURF_RETURN_IF_ERROR(
         ReadBool(*execution, "validate", &request.execution.validate));
@@ -1079,6 +1084,145 @@ JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
   obj.Set("api_version",
           JsonValue(static_cast<double>(response.api_version)));
   return obj;
+}
+
+// ------------------------------------------------- distributed evaluation
+
+JsonValue ShardEvaluateRequestToJson(
+    const dist::ShardEvaluateRequest& request) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("dataset", JsonValue(request.dataset));
+  if (request.has_fingerprint) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "0x%016" PRIx64, request.fingerprint);
+    obj.Set("fingerprint", JsonValue(std::string(hex)));
+  }
+  obj.Set("statistic", StatisticToJson(request.statistic));
+  obj.Set("num_shards", JsonValue(static_cast<double>(request.num_shards)));
+  obj.Set("order_by", JsonValue(static_cast<double>(request.order_by)));
+  obj.Set("columns", SizeArray(request.columns));
+  obj.Set("shards", SizeArray(request.shards));
+  JsonValue queries = JsonValue::Array();
+  for (const Region& q : request.queries) queries.Append(RegionToJson(q));
+  obj.Set("queries", std::move(queries));
+  obj.Set("deadline_seconds", JsonValue(request.deadline_seconds));
+  return obj;
+}
+
+StatusOr<dist::ShardEvaluateRequest> ShardEvaluateRequestFromJson(
+    const JsonValue& json, const ColumnResolver* resolver) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument(
+        "shard-evaluate request must be a JSON object");
+  }
+  dist::ShardEvaluateRequest request;
+  SURF_RETURN_IF_ERROR(ReadString(json, "dataset", &request.dataset));
+  if (request.dataset.empty()) {
+    return Status::InvalidArgument("field 'dataset' is required");
+  }
+  if (const JsonValue* fp = json.Find("fingerprint")) {
+    if (!fp->is_string()) return TypeError("fingerprint", "a hex string");
+    const std::string text = fp->string_value();
+    char* end = nullptr;
+    request.fingerprint = std::strtoull(text.c_str(), &end, 16);
+    if (end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("invalid fingerprint '" + text + "'");
+    }
+    request.has_fingerprint = true;
+  }
+  if (const JsonValue* stat = json.Find("statistic")) {
+    SURF_RETURN_IF_ERROR(StatisticFromJson(*stat, request.dataset, resolver,
+                                           &request.statistic));
+  }
+  if (request.statistic.region_cols.empty()) {
+    return Status::InvalidArgument(
+        "statistic.region_cols must name at least one column");
+  }
+  SURF_RETURN_IF_ERROR(ReadSize(json, "num_shards", &request.num_shards));
+  if (request.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  double order_by = static_cast<double>(request.order_by);
+  SURF_RETURN_IF_ERROR(ReadDouble(json, "order_by", &order_by));
+  if (order_by != std::floor(order_by) || order_by < -1.0 ||
+      order_by > 2147483647.0) {
+    return TypeError("order_by", "a column index or -1");
+  }
+  request.order_by = static_cast<int>(order_by);
+  SURF_RETURN_IF_ERROR(ReadSizeArray(json, "columns", &request.columns));
+  SURF_RETURN_IF_ERROR(ReadSizeArray(json, "shards", &request.shards));
+  if (request.shards.empty()) {
+    return Status::InvalidArgument("field 'shards' must name >= 1 shard");
+  }
+  // Ascending order is part of the contract: the coordinator's gather
+  // fold relies on per-group shard order matching the in-process walk.
+  for (size_t i = 0; i < request.shards.size(); ++i) {
+    if (request.shards[i] >= request.num_shards) {
+      return Status::InvalidArgument("shard index out of range");
+    }
+    if (i > 0 && request.shards[i] <= request.shards[i - 1]) {
+      return Status::InvalidArgument(
+          "shard indices must be strictly ascending");
+    }
+  }
+  if (const JsonValue* queries = json.Find("queries")) {
+    if (!queries->is_array()) return TypeError("queries", "an array");
+    request.queries.reserve(queries->array().size());
+    for (const JsonValue& q : queries->array()) {
+      auto region = RegionFromJson(q);
+      if (!region.ok()) return region.status();
+      request.queries.push_back(std::move(region).value());
+    }
+  }
+  SURF_RETURN_IF_ERROR(
+      ReadDouble(json, "deadline_seconds", &request.deadline_seconds));
+  if (std::isnan(request.deadline_seconds) ||
+      request.deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "deadline_seconds must be >= 0 (0 = no deadline)");
+  }
+  return request;
+}
+
+JsonValue ShardEvaluateResponseToJson(
+    const dist::ShardEvaluateResponse& response) {
+  JsonValue obj = JsonValue::Object();
+  JsonValue partials = JsonValue::Array();
+  for (const auto& per_query : response.partials) {
+    JsonValue row = JsonValue::Array();
+    for (const StatisticAccumulator& acc : per_query) {
+      row.Append(acc.ToJson());
+    }
+    partials.Append(std::move(row));
+  }
+  obj.Set("partials", std::move(partials));
+  return obj;
+}
+
+StatusOr<dist::ShardEvaluateResponse> ShardEvaluateResponseFromJson(
+    const JsonValue& json, const Statistic& stat) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument(
+        "shard-evaluate response must be a JSON object");
+  }
+  const JsonValue* partials = json.Find("partials");
+  if (partials == nullptr || !partials->is_array()) {
+    return TypeError("partials", "an array of arrays");
+  }
+  dist::ShardEvaluateResponse response;
+  response.partials.reserve(partials->array().size());
+  for (const JsonValue& row : partials->array()) {
+    if (!row.is_array()) return TypeError("partials[]", "an array");
+    std::vector<StatisticAccumulator> per_query;
+    per_query.reserve(row.array().size());
+    for (const JsonValue& acc : row.array()) {
+      auto parsed = StatisticAccumulator::FromJson(acc, stat);
+      if (!parsed.ok()) return parsed.status();
+      per_query.push_back(std::move(parsed).value());
+    }
+    response.partials.push_back(std::move(per_query));
+  }
+  return response;
 }
 
 // ------------------------------------------------------------------ traces

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "api/api_v2.h"
+#include "dist/wire.h"
 #include "geom/region.h"
 #include "serve/mining_service.h"
 #include "util/json.h"
@@ -99,6 +100,35 @@ StatusOr<v2::MineRequest> MineRequestV2FromJson(
 /// result/topk/report payloads are identical across schema versions).
 JsonValue MineResponseV2ToJson(const v2::MineResponse& response,
                                v2::QueryKind kind);
+
+// ------------------------------------------------- distributed evaluation
+//
+// Wire forms of the coordinator/worker shard-evaluate exchange
+// (`POST /v1/shards:evaluate`). Accumulator state travels in the exact
+// hex-double form (StatisticAccumulator::ToJson), so a partial decoded
+// on the coordinator merges bit-identically to the in-process fold.
+
+/// Encodes a shard-evaluate request: dataset, optional fingerprint (hex
+/// string), statistic, partition spec, ascending shard indices, query
+/// regions, and the RPC deadline.
+JsonValue ShardEvaluateRequestToJson(const dist::ShardEvaluateRequest& request);
+
+/// Decodes a shard-evaluate request. The statistic resolves column names
+/// through `resolver` like MineRequestFromJson; rejects non-ascending or
+/// out-of-range shard indices.
+StatusOr<dist::ShardEvaluateRequest> ShardEvaluateRequestFromJson(
+    const JsonValue& json, const ColumnResolver* resolver = nullptr);
+
+/// Encodes a shard-evaluate response: `partials[query][shard]` in the
+/// request's query and shard order.
+JsonValue ShardEvaluateResponseToJson(
+    const dist::ShardEvaluateResponse& response);
+
+/// Decodes a shard-evaluate response; `stat` selects the accumulator
+/// wire form (median carries its quantile sketch, the moment kinds their
+/// counters).
+StatusOr<dist::ShardEvaluateResponse> ShardEvaluateResponseFromJson(
+    const JsonValue& json, const Statistic& stat);
 
 // ------------------------------------------------------------------ traces
 

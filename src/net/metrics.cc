@@ -245,6 +245,51 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
   AppendMetric(&out, "surf_jobs_evicted_total " +
                          std::to_string(service.jobs_evicted));
 
+  if (service.has_dist) {
+    AppendMetric(&out,
+                 "# HELP surf_dist_shard_retries_total Shard groups "
+                 "re-homed onto another worker after an RPC failure.");
+    AppendMetric(&out, "# TYPE surf_dist_shard_retries_total counter");
+    AppendMetric(&out, "surf_dist_shard_retries_total " +
+                           std::to_string(service.dist_shard_retries));
+
+    AppendMetric(&out,
+                 "# HELP surf_dist_worker_unhealthy Whether a configured "
+                 "worker is currently marked unhealthy (1 = failing, "
+                 "awaiting /healthz readmission).");
+    AppendMetric(&out, "# TYPE surf_dist_worker_unhealthy gauge");
+    for (const auto& worker : service.dist_workers) {
+      AppendMetric(&out, "surf_dist_worker_unhealthy{worker=\"" +
+                             worker.endpoint + "\"} " +
+                             std::string(worker.healthy ? "0" : "1"));
+    }
+
+    AppendMetric(&out,
+                 "# HELP surf_dist_worker_request_seconds Coordinator-"
+                 "observed shard-evaluate RPC latency, by worker.");
+    AppendMetric(&out, "# TYPE surf_dist_worker_request_seconds histogram");
+    for (const auto& worker : service.dist_workers) {
+      const std::string label = "worker=\"" + worker.endpoint + "\"";
+      uint64_t worker_cumulative = 0;
+      for (size_t i = 0; i < kLatencyBucketsSeconds.size(); ++i) {
+        worker_cumulative += worker.buckets[i];
+        AppendMetric(&out,
+                     "surf_dist_worker_request_seconds_bucket{" + label +
+                         ",le=\"" + FormatSeconds(kLatencyBucketsSeconds[i]) +
+                         "\"} " + std::to_string(worker_cumulative));
+      }
+      worker_cumulative += worker.buckets.back();
+      AppendMetric(&out, "surf_dist_worker_request_seconds_bucket{" + label +
+                             ",le=\"+Inf\"} " +
+                             std::to_string(worker_cumulative));
+      AppendMetric(&out, "surf_dist_worker_request_seconds_sum{" + label +
+                             "} " +
+                             FormatSeconds(worker.latency_sum_seconds));
+      AppendMetric(&out, "surf_dist_worker_request_seconds_count{" + label +
+                             "} " + std::to_string(worker.latency_count));
+    }
+  }
+
   if (service.has_transport) {
     AppendMetric(&out,
                  "# HELP surf_http_worker_exceptions_total Handler "

@@ -92,6 +92,26 @@ class ServerMetrics {
     /// Active SIMD kernel backend ("generic", "avx2", "avx512");
     /// empty omits the surf_accel_backend info gauge.
     std::string accel_backend;
+    /// \brief One distributed worker's figures (filled from
+    /// dist::WorkerPool::Snapshot()).
+    struct DistWorkerFigures {
+      std::string endpoint;
+      bool healthy = true;
+      /// Raw (non-cumulative) RPC latency bucket counts; bounds are
+      /// kLatencyBucketsSeconds (the pool uses identical bounds), last
+      /// slot = +Inf.
+      std::array<uint64_t, 15> buckets{};
+      double latency_sum_seconds = 0.0;
+      uint64_t latency_count = 0;
+    };
+    /// Whether the cluster figures below carry live values (false on
+    /// non-coordinator deployments; every surf_dist_* series is then
+    /// omitted).
+    bool has_dist = false;
+    /// Shard groups re-homed onto another worker after an RPC failure.
+    uint64_t dist_shard_retries = 0;
+    /// Per-worker health + request-latency figures.
+    std::vector<DistWorkerFigures> dist_workers;
   };
 
   /// Renders every metric in Prometheus text format (version 0.0.4),

@@ -1,10 +1,13 @@
 #include "net/surf_handler.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "accel/accel.h"
 #include "api/api.h"
 #include "core/workload.h"
+#include "dist/worker_pool.h"
+#include "serve/fingerprint.h"
 #include "stats/sharded_evaluator.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -71,6 +74,8 @@ SurfHandler::SurfHandler(MiningService* service, ServerMetrics* metrics,
       {"POST", "/v1/mine", false, &SurfHandler::HandleMine},
       {"POST", "/v1/mine:batch", false, &SurfHandler::HandleMineBatch},
       {"POST", "/v1/evaluations", false, &SurfHandler::HandleEvaluations},
+      {"POST", "/v1/shards:evaluate", false,
+       &SurfHandler::HandleShardEvaluate},
       {"POST", "/v1/jobs", false, &SurfHandler::HandleSubmitJob},
       {"GET", "/v1/jobs/", true, &SurfHandler::HandleGetJob},
       {"DELETE", "/v1/jobs/", true, &SurfHandler::HandleCancelJob},
@@ -179,6 +184,21 @@ HttpResponse SurfHandler::HandleMetrics(const HttpRequest&,
   service.shard_evals_block_merged = shard_telemetry.block_merged;
   service.shard_evals_scanned = shard_telemetry.scanned;
   service.accel_backend = AccelBackendName(ActiveAccelBackend());
+  if (const dist::WorkerPool* pool = service_->cluster_pool()) {
+    const dist::WorkerPool::Figures figures = pool->Snapshot();
+    service.has_dist = true;
+    service.dist_shard_retries = figures.shard_retries;
+    service.dist_workers.reserve(figures.workers.size());
+    for (const dist::WorkerPool::WorkerFigures& worker : figures.workers) {
+      ServerMetrics::ServiceFigures::DistWorkerFigures out;
+      out.endpoint = worker.endpoint;
+      out.healthy = worker.healthy;
+      out.buckets = worker.buckets;
+      out.latency_sum_seconds = worker.latency_sum_seconds;
+      out.latency_count = worker.latency_count;
+      service.dist_workers.push_back(std::move(out));
+    }
+  }
   if (transport_stats_) {
     const HttpServer::Stats transport = transport_stats_();
     service.has_transport = true;
@@ -498,6 +518,145 @@ HttpResponse SurfHandler::HandleEvaluations(const HttpRequest& request,
     }
   }
   return JsonResponse(200, body);
+}
+
+HttpResponse SurfHandler::HandleShardEvaluate(const HttpRequest& request,
+                                              const std::string&) {
+  auto json = ParseJson(request.body);
+  if (!json.ok()) return StatusResponse(json.status());
+  const ColumnResolver resolver = MakeResolver();
+  auto decoded = ShardEvaluateRequestFromJson(*json, &resolver);
+  if (!decoded.ok()) return StatusResponse(decoded.status());
+
+  const Dataset* data = service_->dataset(decoded->dataset);
+  if (data == nullptr) {
+    return JsonErrorResponse(
+        404, "not_found",
+        "dataset '" + decoded->dataset + "' not registered on this worker");
+  }
+  // The coordinator's fingerprint pins the exact data the partials must
+  // come from: a worker holding anything else must refuse, not answer
+  // with bits from a different dataset.
+  if (decoded->has_fingerprint &&
+      service_->dataset_fingerprint(decoded->dataset) !=
+          decoded->fingerprint) {
+    return JsonErrorResponse(
+        412, "failed_precondition",
+        "dataset '" + decoded->dataset +
+            "' fingerprint mismatch: this worker holds different data "
+            "than the coordinator expects");
+  }
+  if (decoded->num_shards > ShardingOptions::kMaxShards) {
+    return JsonErrorResponse(
+        400, "invalid_argument",
+        "num_shards must be <= " +
+            std::to_string(ShardingOptions::kMaxShards));
+  }
+  // order_by -1 keeps natural row order; anything else must name a
+  // column.
+  if (decoded->order_by < -1 ||
+      (decoded->order_by >= 0 &&
+       static_cast<size_t>(decoded->order_by) >= data->num_cols())) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "order_by column out of range");
+  }
+  for (size_t c : decoded->columns) {
+    if (c >= data->num_cols()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "partition column out of range");
+    }
+  }
+  for (size_t c : decoded->statistic.region_cols) {
+    if (c >= data->num_cols()) {
+      return JsonErrorResponse(400, "invalid_argument",
+                               "region column out of range");
+    }
+  }
+  if (decoded->statistic.needs_value_column() &&
+      (decoded->statistic.value_col < 0 ||
+       static_cast<size_t>(decoded->statistic.value_col) >=
+           data->num_cols())) {
+    return JsonErrorResponse(400, "invalid_argument",
+                             "value column out of range");
+  }
+  const size_t dims = decoded->statistic.region_cols.size();
+  for (const Region& q : decoded->queries) {
+    if (q.dims() != dims) {
+      return JsonErrorResponse(
+          400, "invalid_argument",
+          "query region dims do not match statistic.region_cols");
+    }
+  }
+
+  // One partition per (dataset, statistic, partition spec) — repeated
+  // scatter batches of a workload reuse it instead of re-sharding.
+  std::string key = decoded->dataset + "|";
+  {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(
+                      FingerprintStatistic(decoded->statistic)));
+    key += hex;
+  }
+  key += "|" + std::to_string(decoded->num_shards) + "|" +
+         std::to_string(decoded->order_by) + "|";
+  for (size_t c : decoded->columns) key += std::to_string(c) + ",";
+  std::shared_ptr<const ShardedScanEvaluator> evaluator;
+  {
+    std::lock_guard<std::mutex> lock(shard_evaluators_mu_);
+    auto it = shard_evaluators_.find(key);
+    if (it != shard_evaluators_.end()) evaluator = it->second;
+  }
+  if (evaluator == nullptr) {
+    ShardingOptions options;
+    options.num_shards = decoded->num_shards;
+    options.order_by = decoded->order_by;
+    options.columns = decoded->columns;
+    auto built = std::make_shared<const ShardedScanEvaluator>(
+        ShardedDataset::Partition(*data, options), decoded->statistic,
+        /*num_threads=*/1);
+    std::lock_guard<std::mutex> lock(shard_evaluators_mu_);
+    auto [it, inserted] = shard_evaluators_.emplace(key, std::move(built));
+    evaluator = it->second;  // a concurrent loser shares the winner's
+    (void)inserted;
+  }
+  // Partition may clamp the shard count (tiny datasets); assignments
+  // beyond what actually exists are a spec mismatch, not retriable.
+  if (decoded->shards.back() >= evaluator->num_shards()) {
+    return JsonErrorResponse(
+        400, "invalid_argument",
+        "shard index " + std::to_string(decoded->shards.back()) +
+            " out of range: partition has " +
+            std::to_string(evaluator->num_shards()) + " shards");
+  }
+
+  // Deadline: the tighter of the transport budget and the wire field,
+  // polled between every (query, shard) cell so an expired coordinator
+  // deadline releases this worker within one shard evaluation.
+  CancelSource cancel_source;
+  double budget = decoded->deadline_seconds;
+  const double remaining = request.RemainingSeconds();
+  if (std::isfinite(remaining) && (budget == 0.0 || remaining < budget)) {
+    budget = remaining > 0.0 ? remaining : 1e-9;
+  }
+  if (budget > 0.0) cancel_source.SetDeadline(budget);
+  const CancelToken cancel = cancel_source.token();
+
+  dist::ShardEvaluateResponse partials;
+  partials.partials.resize(decoded->queries.size());
+  for (size_t q = 0; q < decoded->queries.size(); ++q) {
+    partials.partials[q].reserve(decoded->shards.size());
+    for (size_t s : decoded->shards) {
+      if (cancel.cancelled()) {
+        return JsonErrorResponse(408, "timed_out",
+                                 "shard evaluation deadline exceeded");
+      }
+      StatisticAccumulator acc(decoded->statistic);
+      evaluator->EvalShardPartial(s, decoded->queries[q], &acc);
+      partials.partials[q].push_back(std::move(acc));
+    }
+  }
+  return JsonResponse(200, ShardEvaluateResponseToJson(partials));
 }
 
 HttpResponse SurfHandler::HandleVersion(const HttpRequest&,

@@ -39,6 +39,9 @@
 /// the partial results mined so far.
 
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +49,7 @@
 #include "net/json_codec.h"
 #include "net/metrics.h"
 #include "serve/mining_service.h"
+#include "stats/sharded_evaluator.h"
 
 namespace surf {
 
@@ -121,6 +125,8 @@ class SurfHandler {
                                const std::string& param);
   HttpResponse HandleEvaluations(const HttpRequest& request,
                                  const std::string& param);
+  HttpResponse HandleShardEvaluate(const HttpRequest& request,
+                                   const std::string& param);
   HttpResponse HandleSubmitJob(const HttpRequest& request,
                                const std::string& param);
   HttpResponse HandleGetJob(const HttpRequest& request,
@@ -145,6 +151,15 @@ class SurfHandler {
   JobTable jobs_;
   std::vector<Route> routes_;
   std::function<HttpServer::Stats()> transport_stats_;
+
+  /// Worker-side cache of partitioned shard evaluators, keyed by
+  /// (dataset | statistic fingerprint | partition spec) so repeated
+  /// scatter batches from the same coordinator reuse one partition.
+  /// Evaluators run single-threaded (num_threads = 1): determinism with
+  /// no nested pools — scale-out comes from multiple worker processes.
+  mutable std::mutex shard_evaluators_mu_;
+  std::map<std::string, std::shared_ptr<const ShardedScanEvaluator>>
+      shard_evaluators_;
 };
 
 }  // namespace surf

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "api/api_v2.h"
+#include "dist/cluster_evaluator.h"
+#include "dist/worker_pool.h"
 #include "ml/grid_search.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
@@ -18,7 +20,12 @@ MiningService::MiningService(Options options)
                                      : options.num_threads),
       scheduler_(&pool_),
       cache_(options.cache),
-      traces_(options.trace_ring_capacity) {}
+      traces_(options.trace_ring_capacity) {
+  if (!options_.cluster_workers.empty()) {
+    cluster_pool_ =
+        std::make_unique<dist::WorkerPool>(options_.cluster_workers);
+  }
+}
 
 MiningService::~MiningService() {
   // Submitted jobs reference the cache and dataset registry; those
@@ -62,6 +69,12 @@ const Dataset* MiningService::dataset(const std::string& name) const {
   std::lock_guard<std::mutex> lock(datasets_mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second.data.get();
+}
+
+uint64_t MiningService::dataset_fingerprint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? 0 : it->second.fingerprint;
 }
 
 std::vector<std::string> MiningService::dataset_names() const {
@@ -118,9 +131,25 @@ StatusOr<TrainedSurrogate> MiningService::TrainEntry(
     const MineRequest& request, const Dataset* data, CancelToken cancel,
     TraceContext* trace) {
   SURF_FAILPOINT("serve.train");
-  std::shared_ptr<const RegionEvaluator> evaluator(
-      MakeEvaluator(request.backend, data, request.statistic,
-                    request.shards));
+  std::shared_ptr<const RegionEvaluator> evaluator;
+  if (request.cluster) {
+    // Cluster mode swaps only the exact back-end: labelling and
+    // validation scatter to the remote workers, everything downstream
+    // (training, cache, search) is byte-for-byte the in-process path.
+    if (cluster_pool_ == nullptr) {
+      return Status::FailedPrecondition(
+          "cluster execution requested but no workers configured");
+    }
+    dist::ClusterEvaluator::Options cluster_options;
+    cluster_options.dataset = request.dataset;
+    cluster_options.fingerprint = dataset_fingerprint(request.dataset);
+    cluster_options.num_shards = request.shards >= 2 ? request.shards : 0;
+    evaluator = std::make_shared<const dist::ClusterEvaluator>(
+        cluster_pool_.get(), request.statistic, std::move(cluster_options));
+  } else {
+    evaluator = MakeEvaluator(request.backend, data, request.statistic,
+                              request.shards);
+  }
   const Bounds domain = data->ComputeBounds(request.statistic.region_cols);
   const RegionWorkload workload =
       GenerateWorkload(*evaluator, domain, request.workload, cancel, trace);
@@ -297,6 +326,15 @@ void MiningService::ExecuteJob(const std::shared_ptr<MineJob>& job,
         response.provenance = (*entry)->provenance();
       }
     }
+  }
+  // Cluster-mode degradation (a shard group re-homed after a worker
+  // failure, or a batch abandoned) is declared pedigree: overlay it on
+  // whatever provenance the paths above settled on.
+  if (const auto* cluster = dynamic_cast<const dist::ClusterEvaluator*>(
+          snap.evaluator.get());
+      cluster != nullptr && cluster->degraded()) {
+    response.provenance.degraded = true;
+    response.provenance.degraded_reason = cluster->degraded_reason();
   }
   response.total_seconds = timer.ElapsedSeconds();
 }

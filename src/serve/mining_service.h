@@ -27,6 +27,10 @@ struct MineRequest;
 struct MineResponse;
 }  // namespace v2
 
+namespace dist {
+class WorkerPool;
+}  // namespace dist
+
 /// \brief One mining request against a registered dataset.
 ///
 /// The tuple (dataset, statistic, workload, surrogate) forms the
@@ -68,6 +72,11 @@ struct MineRequest {
   /// `backend` — not part of the cache key). 1 = the single `backend`
   /// evaluator; >= 2 = the shard-parallel scan backend.
   size_t shards = 1;
+  /// Distributed execution: scatter workload labelling and validation
+  /// to the service's configured remote workers (`shards` when >= 2
+  /// sets the partition's shard count, else one shard per worker).
+  /// FailedPrecondition when the service has no cluster workers.
+  bool cluster = false;
 
   /// Fit/use the KDE data prior (Eq. 8 guidance).
   bool use_kde = true;
@@ -145,6 +154,11 @@ class MiningService {
     /// Completed traces retained for `GET /v1/trace/{id}` (oldest fall
     /// off past the cap).
     size_t trace_ring_capacity = 64;
+    /// Remote worker endpoints ("host:port") for the distributed
+    /// scatter-gather execution mode. Empty (the default) disables the
+    /// cluster path: requests with `execution.cluster` then fail with
+    /// FailedPrecondition instead of silently running locally.
+    std::vector<std::string> cluster_workers;
   };
 
   /// Service with default options (all-core pool, default cache policy).
@@ -165,6 +179,17 @@ class MiningService {
 
   /// The registered dataset, or null.
   const Dataset* dataset(const std::string& name) const;
+
+  /// Content fingerprint of a registered dataset (0 when unknown) —
+  /// computed once at registration. The distributed shard-evaluate
+  /// endpoint uses it to verify a worker holds the coordinator's data.
+  uint64_t dataset_fingerprint(const std::string& name) const;
+
+  /// The distributed worker pool (null unless Options::cluster_workers
+  /// was non-empty). Exposed for /metrics export.
+  const dist::WorkerPool* cluster_pool() const {
+    return cluster_pool_.get();
+  }
 
   /// Registered dataset names, sorted.
   std::vector<std::string> dataset_names() const;
@@ -275,6 +300,10 @@ class MiningService {
   RequestScheduler scheduler_;
   SurrogateCache cache_;
   TraceRing traces_;
+  /// Remote workers for cluster-mode requests; null when
+  /// Options::cluster_workers is empty (incomplete type here — the
+  /// out-of-line destructor sees the full definition).
+  std::unique_ptr<dist::WorkerPool> cluster_pool_;
 
   /// Outstanding Submit handles, so the destructor can cancel
   /// abandoned jobs. Expired entries are pruned on each Submit.

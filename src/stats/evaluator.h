@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "data/dataset.h"
 #include "geom/region.h"
@@ -39,6 +40,19 @@ class RegionEvaluator {
     return EvaluateImpl(region, cancel);
   }
 
+  /// Labels a batch of regions. Returns one value per region in order;
+  /// a fired `cancel` yields a *prefix* (possibly empty) — every
+  /// returned label is complete, the rest were never computed. The
+  /// default implementation loops Evaluate; backends that amortize
+  /// per-call overhead across a batch (the distributed scatter-gather
+  /// evaluator ships one RPC per batch) override EvaluateBatchImpl.
+  std::vector<double> EvaluateBatch(const std::vector<Region>& regions,
+                                    const CancelToken& cancel) const {
+    std::vector<double> labels = EvaluateBatchImpl(regions, cancel);
+    evaluations_.fetch_add(labels.size(), std::memory_order_relaxed);
+    return labels;
+  }
+
   /// The statistic this evaluator computes.
   virtual const Statistic& statistic() const = 0;
 
@@ -52,6 +66,24 @@ class RegionEvaluator {
  protected:
   virtual double EvaluateImpl(const Region& region,
                               const CancelToken& cancel) const = 0;
+
+  /// Batch body behind EvaluateBatch (which does the evaluation-count
+  /// bookkeeping — implementations must not touch the counter). The
+  /// default loops EvaluateImpl with the same discard-partial-on-cancel
+  /// contract as the scalar path: poll before each region, drop the
+  /// in-flight label if the token fired during it.
+  virtual std::vector<double> EvaluateBatchImpl(
+      const std::vector<Region>& regions, const CancelToken& cancel) const {
+    std::vector<double> labels;
+    labels.reserve(regions.size());
+    for (const Region& region : regions) {
+      if (cancel.cancelled()) break;
+      const double y = EvaluateImpl(region, cancel);
+      if (cancel.cancelled()) break;
+      labels.push_back(y);
+    }
+    return labels;
+  }
 
  private:
   mutable std::atomic<uint64_t> evaluations_{0};

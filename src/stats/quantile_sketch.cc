@@ -4,11 +4,26 @@
 #include <cmath>
 #include <limits>
 
+#include "util/string_util.h"
+
 namespace surf {
 
 namespace {
+
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Reads a non-negative integer (< 2^53, so JSON doubles carry it
+/// exactly) from `obj[key]`.
+bool ReadCount(const JsonValue& obj, const char* key, uint64_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  const double d = v->number_value();
+  if (d < 0 || d != std::floor(d) || d > 9007199254740992.0) return false;
+  *out = static_cast<uint64_t>(d);
+  return true;
 }
+
+}  // namespace
 
 QuantileSketch::QuantileSketch(size_t capacity)
     : capacity_(std::max<size_t>(8, capacity)) {}
@@ -103,6 +118,77 @@ double QuantileSketch::Quantile(double q) const {
   const uint64_t rank =
       static_cast<uint64_t>(q * static_cast<double>(count_ - 1) + 0.5);
   return WalkRank(GatherSorted(), rank);
+}
+
+JsonValue QuantileSketch::ToJson() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("capacity", JsonValue(static_cast<double>(capacity_)));
+  obj.Set("count", JsonValue(static_cast<double>(count_)));
+  obj.Set("compactions", JsonValue(static_cast<double>(compactions_)));
+  JsonValue levels = JsonValue::Array();
+  for (const std::vector<double>& level : levels_) {
+    JsonValue items = JsonValue::Array();
+    for (double v : level) items.Append(JsonValue(DoubleToHex(v)));
+    levels.Append(std::move(items));
+  }
+  obj.Set("levels", std::move(levels));
+  JsonValue parity = JsonValue::Array();
+  for (uint8_t p : parity_) {
+    parity.Append(JsonValue(static_cast<double>(p)));
+  }
+  obj.Set("parity", std::move(parity));
+  return obj;
+}
+
+StatusOr<QuantileSketch> QuantileSketch::FromJson(const JsonValue& json) {
+  const auto malformed = [](const char* what) {
+    return Status::InvalidArgument(std::string("quantile sketch: ") + what);
+  };
+  if (!json.is_object()) return malformed("expected an object");
+  uint64_t capacity = 0, count = 0, compactions = 0;
+  if (!ReadCount(json, "capacity", &capacity) || capacity == 0) {
+    return malformed("bad 'capacity'");
+  }
+  if (!ReadCount(json, "count", &count)) return malformed("bad 'count'");
+  if (!ReadCount(json, "compactions", &compactions)) {
+    return malformed("bad 'compactions'");
+  }
+  const JsonValue* levels = json.Find("levels");
+  const JsonValue* parity = json.Find("parity");
+  if (levels == nullptr || !levels->is_array() || parity == nullptr ||
+      !parity->is_array() ||
+      parity->array().size() != levels->array().size()) {
+    return malformed("'levels' and 'parity' must be equal-length arrays");
+  }
+  QuantileSketch sketch(static_cast<size_t>(capacity));
+  // The constructor floors capacity at 8; a wire value below that could
+  // not have come from ToJson.
+  if (sketch.capacity_ != static_cast<size_t>(capacity)) {
+    return malformed("bad 'capacity'");
+  }
+  sketch.count_ = count;
+  sketch.compactions_ = compactions;
+  sketch.levels_.resize(levels->array().size());
+  sketch.parity_.resize(levels->array().size());
+  for (size_t i = 0; i < levels->array().size(); ++i) {
+    const JsonValue& items = levels->array()[i];
+    if (!items.is_array()) return malformed("level is not an array");
+    sketch.levels_[i].reserve(items.array().size());
+    for (const JsonValue& item : items.array()) {
+      double v = 0.0;
+      if (!item.is_string() || !DoubleFromHex(item.string_value(), &v)) {
+        return malformed("level value is not a hex double");
+      }
+      sketch.levels_[i].push_back(v);
+    }
+    const JsonValue& p = parity->array()[i];
+    if (!p.is_number() ||
+        (p.number_value() != 0.0 && p.number_value() != 1.0)) {
+      return malformed("parity entries must be 0 or 1");
+    }
+    sketch.parity_[i] = static_cast<uint8_t>(p.number_value());
+  }
+  return sketch;
 }
 
 double QuantileSketch::Median() const {

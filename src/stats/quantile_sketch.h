@@ -36,6 +36,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.h"
+#include "util/status.h"
+
 namespace surf {
 
 /// \brief Deterministic mergeable quantile sketch; see file comment.
@@ -77,6 +80,16 @@ class QuantileSketch {
   /// middle values. Exact whenever exact() holds; otherwise within the
   /// sketch's rank-error bound. NaN on an empty sketch.
   double Median() const;
+
+  /// Exact wire form of the full sketch state (capacity, levels, parity,
+  /// counters). Values are hex-encoded IEEE-754 bit patterns
+  /// (util/string_util.h DoubleToHex), so NaN/Inf survive and
+  /// FromJson(ToJson(s)) reproduces `s` bit for bit — merging
+  /// deserialized sketches equals merging the originals.
+  JsonValue ToJson() const;
+
+  /// Inverse of ToJson. InvalidArgument on schema violations.
+  static StatusOr<QuantileSketch> FromJson(const JsonValue& json);
 
  private:
   /// Sorts level `level` and promotes every other element to level + 1,

@@ -69,6 +69,17 @@ class ShardedScanEvaluator : public RegionEvaluator {
   uint64_t shards_block_merged() const { return block_merged_.load(); }
   uint64_t shards_scanned() const { return scanned_.load(); }
 
+  /// \brief Evaluates one shard of one region into `acc` (a fresh
+  /// accumulator over statistic()). This is the distributed worker's
+  /// entry point: a remote worker computes the per-shard partials it was
+  /// assigned and ships the raw accumulator state back, so the
+  /// coordinator's ascending-shard Merge fold replays exactly the fold
+  /// EvaluateImpl performs in process — bit for bit.
+  void EvalShardPartial(size_t shard_index, const Region& region,
+                        StatisticAccumulator* acc) const {
+    EvalShard(shard_index, region, acc);
+  }
+
   /// \brief Process-wide totals across every evaluator instance (live or
   /// destroyed), so /metrics and /v1/cache/stats can export the
   /// prune/block/scan split without walking the surrogate cache.

@@ -5,11 +5,32 @@
 #include <cmath>
 #include <limits>
 
+#include "util/string_util.h"
+
 namespace surf {
 
 namespace {
+
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Reads a non-negative integral JSON number (< 2^53, exact in a double).
+bool ReadCountField(const JsonValue& obj, const char* key, size_t* out) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  const double d = v->number_value();
+  if (d < 0 || d != std::floor(d) || d > 9007199254740992.0) return false;
+  *out = static_cast<size_t>(d);
+  return true;
 }
+
+/// Reads a hex-encoded double ("0x...") written by DoubleToHex.
+bool ReadHexField(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() &&
+         DoubleFromHex(v->string_value(), out);
+}
+
+}  // namespace
 
 std::string StatisticKindName(StatisticKind kind) {
   switch (kind) {
@@ -124,6 +145,45 @@ void StatisticAccumulator::Merge(const StatisticAccumulator& other) {
   sum_sq_ += other.sum_sq_;
   matches_ += other.matches_;
   if (stat_.kind == StatisticKind::kMedian) sketch_.Merge(other.sketch_);
+}
+
+JsonValue StatisticAccumulator::ToJson() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("count", JsonValue(static_cast<double>(count_)));
+  obj.Set("sum", JsonValue(DoubleToHex(sum_)));
+  obj.Set("sum_sq", JsonValue(DoubleToHex(sum_sq_)));
+  obj.Set("matches", JsonValue(static_cast<double>(matches_)));
+  if (stat_.kind == StatisticKind::kMedian) {
+    obj.Set("sketch", sketch_.ToJson());
+  }
+  return obj;
+}
+
+StatusOr<StatisticAccumulator> StatisticAccumulator::FromJson(
+    const JsonValue& json, const Statistic& stat) {
+  const auto malformed = [](const char* what) {
+    return Status::InvalidArgument(std::string("accumulator: ") + what);
+  };
+  if (!json.is_object()) return malformed("expected an object");
+  StatisticAccumulator acc(stat);
+  if (!ReadCountField(json, "count", &acc.count_)) {
+    return malformed("bad 'count'");
+  }
+  if (!ReadHexField(json, "sum", &acc.sum_)) return malformed("bad 'sum'");
+  if (!ReadHexField(json, "sum_sq", &acc.sum_sq_)) {
+    return malformed("bad 'sum_sq'");
+  }
+  if (!ReadCountField(json, "matches", &acc.matches_)) {
+    return malformed("bad 'matches'");
+  }
+  if (stat.kind == StatisticKind::kMedian) {
+    const JsonValue* sketch = json.Find("sketch");
+    if (sketch == nullptr) return malformed("median without 'sketch'");
+    auto decoded = QuantileSketch::FromJson(*sketch);
+    if (!decoded.ok()) return decoded.status();
+    acc.sketch_ = std::move(decoded).value();
+  }
+  return acc;
 }
 
 double StatisticAccumulator::Finalize() const {

@@ -107,6 +107,19 @@ class StatisticAccumulator {
   /// Finalizes the statistic.
   double Finalize() const;
 
+  /// Exact wire form of the partial state: counts as JSON numbers
+  /// (always < 2^53 here), the floating sums as hex-encoded IEEE-754
+  /// bit patterns, plus the embedded sketch for kMedian. This is what a
+  /// remote worker ships back per (shard, query) so the coordinator's
+  /// FromJson→Merge fold is bit-identical to the in-process one.
+  JsonValue ToJson() const;
+
+  /// Inverse of ToJson. The statistic is not on the wire (both ends
+  /// already agree on it through the request); it is re-attached here.
+  /// InvalidArgument on schema violations.
+  static StatusOr<StatisticAccumulator> FromJson(const JsonValue& json,
+                                                 const Statistic& stat);
+
  private:
   Statistic stat_;
   size_t count_ = 0;

@@ -185,6 +185,7 @@ const std::vector<std::string>& FailpointRegistry::KnownSites() {
       "cache.insert",    // SurrogateCache publish path
       "shard.evaluate",  // ShardedScanEvaluator::EvaluateImpl
       "net.write",       // HttpServer response send path
+      "dist.shard_rpc",  // ClusterEvaluator worker RPC (re-home path)
   };
   return *sites;
 }

@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
 
 namespace surf {
 
@@ -52,6 +54,34 @@ std::string JoinStrings(const std::vector<std::string>& parts,
 bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() &&
          s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string DoubleToHex(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+bool DoubleFromHex(const std::string& s, double* out) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return false;
+  uint64_t bits = 0;
+  for (size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | nibble;
+  }
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
 }
 
 }  // namespace surf

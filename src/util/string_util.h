@@ -23,6 +23,16 @@ std::string JoinStrings(const std::vector<std::string>& parts,
 /// True if `s` starts with `prefix`.
 bool StartsWith(const std::string& s, const std::string& prefix);
 
+/// Encodes a double as its IEEE-754 bit pattern in fixed-width lowercase
+/// hex ("0x3ff0000000000000"). Total (NaN/Inf included) and exact — the
+/// distributed wire format uses this where JSON numbers would lose
+/// non-finite values or round.
+std::string DoubleToHex(double v);
+
+/// Inverse of DoubleToHex. Returns false on anything but a
+/// "0x" + 16-hex-digit string.
+bool DoubleFromHex(const std::string& s, double* out);
+
 }  // namespace surf
 
 #endif  // SURF_UTIL_STRING_UTIL_H_

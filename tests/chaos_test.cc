@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -25,6 +26,8 @@
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
+#include "dist/cluster_evaluator.h"
+#include "dist/worker_pool.h"
 #include "net/http_server.h"
 #include "net/json_codec.h"
 #include "net/metrics.h"
@@ -626,6 +629,146 @@ TEST(ChaosContractTest, DrainStaysIntactUnderInjectedFaults) {
   EXPECT_GE(cache_stats.hits + cache_stats.misses, 1u);
   EXPECT_LE(cs.service->cache().size(),
             static_cast<size_t>(kClients));
+}
+
+// ------------------------------------------------- distributed scatter
+
+/// One in-process worker surfd for the cluster chaos tests: service +
+/// handler + server on an ephemeral loopback port, dataset pre-registered.
+struct ChaosWorker {
+  explicit ChaosWorker(const Dataset& data) {
+    service = std::make_unique<MiningService>();
+    EXPECT_TRUE(service->RegisterDataset("synth", data).ok());
+    metrics = std::make_unique<ServerMetrics>();
+    handler = std::make_unique<SurfHandler>(service.get(), metrics.get());
+    HttpServer::Options options;
+    options.port = 0;
+    server = std::make_unique<HttpServer>(options, handler->AsHttpHandler());
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+
+  std::unique_ptr<MiningService> service;
+  std::unique_ptr<ServerMetrics> metrics;
+  std::unique_ptr<SurfHandler> handler;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(ChaosSiteTest, DistShardRpcFailureReHomesOntoAnotherWorker) {
+  // The dist.shard_rpc site fires inside the coordinator's per-attempt
+  // RPC loop. Pick a seed (deterministically, by probing the registry's
+  // reproducible fire sequence) where exactly one of the two first-
+  // attempt hits fires and the next several do not: one shard group then
+  // fails its first worker, re-homes onto the other, and succeeds — all
+  // over real worker HTTP.
+  const SyntheticDataset ds = MakeChaosData();
+  ChaosWorker w0(ds.data);
+  ChaosWorker w1(ds.data);
+  dist::WorkerPool pool({w0.endpoint(), w1.endpoint()},
+                        /*rpc_timeout_seconds=*/30.0);
+  ASSERT_TRUE(pool.status().ok());
+
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Set("dist.shard_rpc", "prob:0.35").ok());
+  uint64_t chosen = 0;
+  for (uint64_t seed = 1; seed < 20000 && chosen == 0; ++seed) {
+    FailpointRegistry::Global().SetSeed(seed);  // resets the hit counter
+    bool fired[12];
+    for (bool& f : fired) f = !MaybeFailpoint("dist.shard_rpc").ok();
+    const int early = (fired[0] ? 1 : 0) + (fired[1] ? 1 : 0);
+    bool later = false;
+    for (int i = 2; i < 12; ++i) later = later || fired[i];
+    if (early == 1 && !later) chosen = seed;
+  }
+  ASSERT_NE(chosen, 0u) << "no seed gives the fail-once pattern";
+  FailpointRegistry::Global().SetSeed(chosen);  // rewind for the real run
+
+  const Statistic stat = Statistic::Count({0, 1});
+  dist::ClusterEvaluator::Options options;
+  options.dataset = "synth";
+  options.num_shards = 2;
+  dist::ClusterEvaluator cluster(&pool, stat, options);
+  std::vector<Region> queries;
+  queries.emplace_back(std::vector<double>{0.5, 0.5},
+                       std::vector<double>{0.3, 0.3});
+  queries.emplace_back(std::vector<double>{0.25, 0.75},
+                       std::vector<double>{0.2, 0.1});
+  const std::vector<double> labels =
+      cluster.EvaluateBatch(queries, CancelToken());
+  FailpointRegistry::Global().ClearAll();
+
+  // The failed group re-homed and the batch still labelled everything —
+  // degraded, but with real values, not NaN.
+  ASSERT_EQ(labels.size(), queries.size());
+  for (double label : labels) EXPECT_FALSE(std::isnan(label));
+  EXPECT_TRUE(cluster.degraded());
+  EXPECT_NE(cluster.degraded_reason().find("re-homed"), std::string::npos)
+      << cluster.degraded_reason();
+  EXPECT_EQ(pool.shard_retries(), 1u);
+  CoveredSites().insert("dist.shard_rpc");
+}
+
+TEST(ChaosContractTest, ClusterSurvivesWorkerDeathWithOneWorkerLeft) {
+  // Full-stack single-worker-left path: a coordinator surfd configured
+  // with two workers loses one mid-deployment. A cluster-mode /v1/mine
+  // over real HTTP must still answer 200, labelled from the surviving
+  // worker, with degraded provenance and the dist metrics exported.
+  const SyntheticDataset ds = MakeChaosData();
+  ChaosWorker w0(ds.data);
+  ChaosWorker w1(ds.data);
+
+  MiningService::Options coordinator_options;
+  coordinator_options.num_threads = 2;
+  coordinator_options.cluster_workers = {w0.endpoint(), w1.endpoint()};
+  ChaosServer cs(coordinator_options);
+  ASSERT_TRUE(cs.start_status.ok());
+  ChaosClient client;
+  ASSERT_TRUE(client.Connect(cs.server->port()));
+  ASSERT_TRUE(cs.RegisterData(&client, ds.data));
+
+  // Kill worker 1: its port now refuses connections.
+  w1.server->Shutdown();
+
+  const std::string body =
+      R"({"api_version": 2, "dataset": "synth",
+          "query": {"kind": "threshold",
+                    "statistic": {"kind": "count", "region_cols": [0, 1]},
+                    "threshold": 800.0},
+          "search": {"finder": {"gso": {"max_iterations": 15},
+                                "use_kde_guidance": false}},
+          "training": {"workload": {"num_queries": 200},
+                       "surrogate": {"gbrt": {"n_estimators": 20}}},
+          "execution": {"shards": 2, "cluster": true, "use_kde": false}})";
+  ChaosResponse response = client.Request("POST", "/v1/mine", body);
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* provenance = parsed->Find("provenance");
+  ASSERT_NE(provenance, nullptr);
+  ASSERT_NE(provenance->Find("degraded"), nullptr);
+  EXPECT_TRUE(provenance->Find("degraded")->bool_value());
+  EXPECT_NE(provenance->Find("degraded_reason")->string_value().find(
+                "re-homed"),
+            std::string::npos)
+      << provenance->Find("degraded_reason")->string_value();
+
+  // The coordinator's /metrics carries the cluster series: the re-home
+  // counter moved and the dead worker reads unhealthy.
+  ChaosResponse metrics = client.Request("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("surf_dist_shard_retries_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("surf_dist_worker_unhealthy{worker=\"" +
+                              w1.endpoint() + "\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("surf_dist_worker_unhealthy{worker=\"" +
+                              w0.endpoint() + "\"} 0"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("surf_dist_worker_request_seconds_bucket"),
+            std::string::npos);
 }
 
 // Must run last in file order (gtest runs tests in declaration order

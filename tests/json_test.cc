@@ -8,14 +8,19 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "api/api_v2.h"
+#include "dist/wire.h"
 #include "net/json_codec.h"
 #include "serve/fingerprint.h"
+#include "stats/quantile_sketch.h"
+#include "stats/statistic.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -487,6 +492,317 @@ TEST(StatusMapping, LibraryCodesMapOntoHttp) {
   EXPECT_EQ(HttpStatusFromStatus(Status::Internal("")), 500);
   EXPECT_EQ(HttpStatusFromStatus(Status::IOError("")), 500);
   EXPECT_EQ(HttpStatusFromStatus(Status::OutOfRange("")), 400);
+}
+
+// ------------------------------------------- accumulator / sketch wire
+
+/// Every statistic kind, with a value column where one is needed.
+std::vector<Statistic> AllStatisticKinds() {
+  return {Statistic::Count({0, 1}),
+          Statistic::Average({0, 1}, 2),
+          Statistic::Sum({0, 1}, 2),
+          Statistic::MedianOf({0, 1}, 2),
+          Statistic::VarianceOf({0, 1}, 2),
+          Statistic::LabelRatio({0, 1}, 2, 1.0)};
+}
+
+/// Bitwise double equality (NaN == NaN, -0.0 != +0.0): the merge-law
+/// contract is bit identity, not numeric closeness.
+bool BitEqual(double a, double b) {
+  uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+TEST(AccumulatorCodec, SerializeDeserializeMergeIsBitIdentical) {
+  // The distributed merge law: deserialize each per-shard partial from
+  // its wire form, fold in ascending shard order, and the finalized
+  // value is bit-identical to folding the in-process originals. Checked
+  // for every statistic kind over many random splits — this is the
+  // property the coordinator's correctness rests on.
+  for (const Statistic& stat : AllStatisticKinds()) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed * 1000 + static_cast<uint64_t>(stat.kind));
+      const size_t num_shards = 1 + rng.UniformInt(6);
+      std::vector<StatisticAccumulator> partials(num_shards,
+                                                 StatisticAccumulator(stat));
+      for (size_t s = 0; s < num_shards; ++s) {
+        const size_t rows = rng.UniformInt(200);
+        for (size_t i = 0; i < rows; ++i) {
+          // Mix magnitudes so summation order matters: any reassociation
+          // in the codec path would show up as a bit difference.
+          partials[s].Add(rng.Bernoulli(0.2)
+                              ? rng.Gaussian() * 1e12
+                              : (rng.Bernoulli(0.3) ? 1.0 : rng.Gaussian()));
+        }
+      }
+
+      // In-process fold: seed with shard 0, merge 1..N-1 ascending.
+      StatisticAccumulator direct = partials[0];
+      for (size_t s = 1; s < num_shards; ++s) direct.Merge(partials[s]);
+
+      // Wire fold: same shape, but every operand went through
+      // JSON text and back.
+      std::vector<StatisticAccumulator> decoded;
+      for (const StatisticAccumulator& p : partials) {
+        auto parsed = ParseJson(WriteJson(p.ToJson()));
+        ASSERT_TRUE(parsed.ok());
+        auto back = StatisticAccumulator::FromJson(*parsed, stat);
+        ASSERT_TRUE(back.ok()) << back.status().ToString();
+        decoded.push_back(std::move(back).value());
+      }
+      StatisticAccumulator wire = decoded[0];
+      for (size_t s = 1; s < num_shards; ++s) wire.Merge(decoded[s]);
+
+      EXPECT_EQ(wire.count(), direct.count())
+          << StatisticKindName(stat.kind) << " seed " << seed;
+      EXPECT_TRUE(BitEqual(wire.Finalize(), direct.Finalize()))
+          << StatisticKindName(stat.kind) << " seed " << seed << ": "
+          << wire.Finalize() << " vs " << direct.Finalize();
+    }
+  }
+}
+
+TEST(AccumulatorCodec, WireFormIsStableUnderRoundTrip) {
+  // ToJson∘FromJson∘ToJson is the identity on documents: no field is
+  // dropped, re-defaulted, or re-rounded by a decode/encode cycle.
+  for (const Statistic& stat : AllStatisticKinds()) {
+    Rng rng(7 + static_cast<uint64_t>(stat.kind));
+    StatisticAccumulator acc(stat);
+    for (int i = 0; i < 300; ++i) acc.Add(rng.Gaussian(3.0, 10.0));
+    const std::string wire = WriteJson(acc.ToJson());
+    auto parsed = ParseJson(wire);
+    ASSERT_TRUE(parsed.ok());
+    auto decoded = StatisticAccumulator::FromJson(*parsed, stat);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(WriteJson(decoded->ToJson()), wire)
+        << StatisticKindName(stat.kind);
+  }
+}
+
+TEST(AccumulatorCodec, NonFiniteSumsSurviveTheWire) {
+  // Hex-encoded IEEE-754 bit patterns carry NaN/Inf states that JSON
+  // numbers cannot; an overflowed sum must not decode as null/0.
+  const Statistic stat = Statistic::Sum({0}, 1);
+  StatisticAccumulator acc(stat);
+  acc.Add(std::numeric_limits<double>::infinity());
+  acc.Add(-std::numeric_limits<double>::infinity());  // sum is now NaN
+  auto parsed = ParseJson(WriteJson(acc.ToJson()));
+  ASSERT_TRUE(parsed.ok());
+  auto decoded = StatisticAccumulator::FromJson(*parsed, stat);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(BitEqual(decoded->Finalize(), acc.Finalize()));
+}
+
+TEST(AccumulatorCodec, RejectsMalformedDocuments) {
+  const Statistic stat = Statistic::MedianOf({0}, 1);
+  const char* cases[] = {
+      R"([1])",                                  // not an object
+      R"({"count": -1, "sum": "0x0"})",          // negative count
+      R"({"count": 1.5, "sum": "0x0"})",         // fractional count
+      R"({"count": 1, "sum": "zebra"})",         // unparseable hex
+      R"({"count": 1, "sum": 12})",              // sum must be hex string
+      R"({"count": 1, "sum": "0x0", "sketch": [1]})",  // sketch not object
+  };
+  for (const char* text : cases) {
+    auto json = ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    auto decoded = StatisticAccumulator::FromJson(*json, stat);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << text;
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(QuantileSketchCodec, RoundTripIsBitExactEvenAfterCompaction) {
+  // Push far past capacity so the compactor hierarchy, parities, and
+  // counters all carry state, then require the document and the median
+  // to survive a round trip bit for bit.
+  QuantileSketch sketch(64);
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) sketch.Add(rng.Gaussian() * 100.0);
+  ASSERT_FALSE(sketch.exact());  // compactions really happened
+  const std::string wire = WriteJson(sketch.ToJson());
+  auto parsed = ParseJson(wire);
+  ASSERT_TRUE(parsed.ok());
+  auto decoded = QuantileSketch::FromJson(*parsed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(WriteJson(decoded->ToJson()), wire);
+  EXPECT_EQ(decoded->count(), sketch.count());
+  EXPECT_EQ(decoded->compactions(), sketch.compactions());
+  EXPECT_TRUE(BitEqual(decoded->Median(), sketch.Median()));
+
+  // Merging deserialized sketches equals merging the originals.
+  QuantileSketch other(64);
+  for (int i = 0; i < 3000; ++i) other.Add(rng.Gaussian(50, 10));
+  auto other_back = QuantileSketch::FromJson(*ParseJson(
+      WriteJson(other.ToJson())));
+  ASSERT_TRUE(other_back.ok());
+  QuantileSketch merged_direct = sketch;
+  merged_direct.Merge(other);
+  decoded->Merge(*other_back);
+  EXPECT_EQ(WriteJson(decoded->ToJson()), WriteJson(merged_direct.ToJson()));
+}
+
+// ------------------------------------------ shard-evaluate wire codecs
+
+dist::ShardEvaluateRequest SampleShardRequest() {
+  dist::ShardEvaluateRequest r;
+  r.dataset = "trips";
+  r.has_fingerprint = true;
+  r.fingerprint = 0xDEADBEEFCAFEF00Dull;
+  r.statistic = Statistic::Average({0, 1}, 2);
+  r.num_shards = 8;
+  r.order_by = 0;
+  r.columns = {0, 1, 2};
+  r.shards = {2, 3, 5};
+  r.queries = {Region({0.0, 0.0}, {1.0, 1.0}),
+               Region({-3.5, 2.25}, {0.5, 4.0})};
+  r.deadline_seconds = 12.5;
+  return r;
+}
+
+TEST(ShardEvaluateCodec, RequestRoundTripIsLossless) {
+  const dist::ShardEvaluateRequest original = SampleShardRequest();
+  const JsonValue encoded = ShardEvaluateRequestToJson(original);
+  auto decoded = ShardEvaluateRequestFromJson(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(WriteJson(ShardEvaluateRequestToJson(*decoded)),
+            WriteJson(encoded));
+  EXPECT_EQ(decoded->dataset, original.dataset);
+  EXPECT_TRUE(decoded->has_fingerprint);
+  // The fingerprint uses the full 64-bit range — a JSON number would
+  // round it above 2^53; the hex-string wire form must not.
+  EXPECT_EQ(decoded->fingerprint, original.fingerprint);
+  EXPECT_EQ(decoded->num_shards, original.num_shards);
+  EXPECT_EQ(decoded->order_by, original.order_by);
+  EXPECT_EQ(decoded->columns, original.columns);
+  EXPECT_EQ(decoded->shards, original.shards);
+  ASSERT_EQ(decoded->queries.size(), original.queries.size());
+  for (size_t i = 0; i < original.queries.size(); ++i) {
+    EXPECT_EQ(decoded->queries[i], original.queries[i]);
+  }
+  EXPECT_EQ(decoded->deadline_seconds, original.deadline_seconds);
+
+  // Without a fingerprint the key is absent, and decodes as "unchecked".
+  dist::ShardEvaluateRequest bare = original;
+  bare.has_fingerprint = false;
+  bare.fingerprint = 0;
+  const std::string bare_wire = WriteJson(ShardEvaluateRequestToJson(bare));
+  EXPECT_EQ(bare_wire.find("fingerprint"), std::string::npos);
+  auto bare_back = ShardEvaluateRequestFromJson(*ParseJson(bare_wire));
+  ASSERT_TRUE(bare_back.ok());
+  EXPECT_FALSE(bare_back->has_fingerprint);
+}
+
+TEST(ShardEvaluateCodec, RequestRejectsBadDocuments) {
+  const std::string valid =
+      WriteJson(ShardEvaluateRequestToJson(SampleShardRequest()));
+  // Mutate one field at a time off a valid document.
+  auto mutate = [&](const std::string& key, const std::string& value) {
+    auto json = ParseJson(valid);
+    EXPECT_TRUE(json.ok());
+    json->Set(key, *ParseJson(value));
+    return WriteJson(*json);
+  };
+  const std::string cases[] = {
+      mutate("dataset", "17"),            // wrong type
+      mutate("num_shards", "0"),          // must be >= 1
+      mutate("shards", "[]"),             // empty assignment
+      mutate("shards", "[3, 2, 5]"),      // not ascending
+      mutate("shards", "[2, 2, 5]"),      // duplicate (not strict)
+      mutate("shards", "[2, 3, 8]"),      // index >= num_shards
+      mutate("order_by", "1.5"),          // fractional
+      mutate("deadline_seconds", "-1"),   // negative
+      mutate("fingerprint", "\"xyz\""),   // unparseable hex
+      R"({"statistic": {"region_cols": [0]}, "num_shards": 1,
+          "shards": [0], "queries": []})",  // missing dataset
+  };
+  for (const std::string& text : cases) {
+    auto json = ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    auto decoded = ShardEvaluateRequestFromJson(*json);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << text;
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(ShardEvaluateCodec, ResponsePartialsSurviveBitExactly) {
+  // partials[q][s] round-trips with merge-law fidelity: finalizing a
+  // fold of decoded partials equals finalizing a fold of the originals.
+  const Statistic stat = Statistic::VarianceOf({0}, 1);
+  Rng rng(314);
+  dist::ShardEvaluateResponse response;
+  for (int q = 0; q < 3; ++q) {
+    std::vector<StatisticAccumulator> row;
+    for (int s = 0; s < 4; ++s) {
+      StatisticAccumulator acc(stat);
+      const size_t rows = rng.UniformInt(50);
+      for (size_t i = 0; i < rows; ++i) acc.Add(rng.Gaussian() * 1e6);
+      row.push_back(std::move(acc));
+    }
+    response.partials.push_back(std::move(row));
+  }
+  auto parsed = ParseJson(WriteJson(ShardEvaluateResponseToJson(response)));
+  ASSERT_TRUE(parsed.ok());
+  auto decoded = ShardEvaluateResponseFromJson(*parsed, stat);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->partials.size(), response.partials.size());
+  for (size_t q = 0; q < response.partials.size(); ++q) {
+    ASSERT_EQ(decoded->partials[q].size(), response.partials[q].size());
+    StatisticAccumulator direct = response.partials[q][0];
+    StatisticAccumulator wire = decoded->partials[q][0];
+    for (size_t s = 1; s < response.partials[q].size(); ++s) {
+      direct.Merge(response.partials[q][s]);
+      wire.Merge(decoded->partials[q][s]);
+    }
+    EXPECT_EQ(wire.count(), direct.count()) << "query " << q;
+    EXPECT_TRUE(BitEqual(wire.Finalize(), direct.Finalize())) << "query " << q;
+  }
+}
+
+TEST(ShardEvaluateCodec, ResponseRejectsBadDocuments) {
+  const Statistic stat = Statistic::Count({0});
+  for (const char* text :
+       {R"({"partials": 3})", R"({"partials": [7]})",
+        R"({"partials": [[{"count": -2}]]})", R"([1, 2])"}) {
+    auto json = ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    auto decoded = ShardEvaluateResponseFromJson(*json, stat);
+    EXPECT_FALSE(decoded.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(MineRequestCodec, ClusterFlagRoundTripsInBothSchemas) {
+  // v1 flat form.
+  MineRequest v1;
+  v1.dataset = "d";
+  v1.statistic = Statistic::Count({0, 1});
+  v1.cluster = true;
+  auto v1_back = MineRequestFromJson(*ParseJson(
+      WriteJson(MineRequestToJson(v1))));
+  ASSERT_TRUE(v1_back.ok());
+  EXPECT_TRUE(v1_back->cluster);
+  // Default stays false when the key is absent.
+  auto v1_default = MineRequestFromJson(*ParseJson(
+      R"({"dataset": "d", "statistic": {"region_cols": [0]}})"));
+  ASSERT_TRUE(v1_default.ok());
+  EXPECT_FALSE(v1_default->cluster);
+
+  // v2 named-section form: execution.cluster, surviving both the codec
+  // and the v2 ↔ legacy bridge.
+  v2::MineRequest v2req = v2::FromLegacy(v1);
+  v2req.api_version = 2;
+  EXPECT_TRUE(v2req.execution.cluster);
+  auto v2_back = MineRequestV2FromJson(*ParseJson(
+      WriteJson(MineRequestV2ToJson(v2req))));
+  ASSERT_TRUE(v2_back.ok()) << v2_back.status().ToString();
+  EXPECT_TRUE(v2_back->execution.cluster);
+  EXPECT_TRUE(v2::ToLegacy(*v2_back).cluster);
 }
 
 TEST(MineRequestCodec, FuzzedDocumentsNeverCrash) {

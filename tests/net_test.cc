@@ -549,22 +549,13 @@ bool ParsePromSample(const std::string& line, PromSample* out,
   return true;
 }
 
-// Lints the full /metrics body against the exposition format: every
-// sample belongs to a declared family (HELP before TYPE, TYPE before
-// samples), series are unique, histogram buckets are cumulative with
-// le="+Inf" equal to _count — and the series added by the tracing /
-// shard-telemetry work are present.
-TEST(SurfHandlerTest, MetricsPassPrometheusExpositionLint) {
-  TestServer ts;
-  ASSERT_TRUE(ts.start_status.ok());
-  TestClient client;
-  ASSERT_TRUE(client.Connect(ts.server->port()));
-  client.Request("GET", "/healthz");
-  client.Request("GET", "/nope");
-
-  const std::string body = client.Request("GET", "/metrics").body;
-  ASSERT_FALSE(body.empty());
-
+/// Lints a /metrics body against the exposition format: every sample
+/// belongs to a declared family (HELP before TYPE, TYPE before samples),
+/// series are unique, and histogram buckets are cumulative with
+/// le="+Inf" equal to _count — per label set, so labeled histograms
+/// (e.g. the per-worker dist latency series) are checked worker by
+/// worker.
+void LintPrometheusExposition(const std::string& body) {
   std::set<std::string> helped;
   std::map<std::string, std::string> family_type;
   std::set<std::string> series_seen;
@@ -658,6 +649,21 @@ TEST(SurfHandlerTest, MetricsPassPrometheusExpositionLint) {
     EXPECT_EQ(buckets.back(), hist_counts[key])
         << "le=\"+Inf\" must equal _count";
   }
+}
+
+// The live /metrics endpoint passes the lint, and the series added by
+// the tracing / shard-telemetry work are present.
+TEST(SurfHandlerTest, MetricsPassPrometheusExpositionLint) {
+  TestServer ts;
+  ASSERT_TRUE(ts.start_status.ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.server->port()));
+  client.Request("GET", "/healthz");
+  client.Request("GET", "/nope");
+
+  const std::string body = client.Request("GET", "/metrics").body;
+  ASSERT_FALSE(body.empty());
+  LintPrometheusExposition(body);
 
   // The series introduced by the tracing + shard-telemetry layer.
   EXPECT_NE(
@@ -670,6 +676,61 @@ TEST(SurfHandlerTest, MetricsPassPrometheusExpositionLint) {
   EXPECT_NE(body.find("surf_shard_scan_total{action=\"scanned\"}"),
             std::string::npos);
   EXPECT_NE(body.find("surf_accel_backend{backend=\""), std::string::npos);
+}
+
+// The cluster-coordinator series (surf_dist_*) pass the same lint: the
+// per-worker latency histograms must be cumulative with a per-label-set
+// le="+Inf" equal to that worker's _count, and health gauges emit one
+// 0/1 sample per configured worker.
+TEST(SurfHandlerTest, DistClusterMetricsPassExpositionLint) {
+  ServerMetrics metrics;
+  metrics.RecordRequest("/metrics", 200, 0.001);
+
+  ServerMetrics::CacheFigures cache;
+  ServerMetrics::ServiceFigures service;
+  service.has_dist = true;
+  service.dist_shard_retries = 3;
+
+  ServerMetrics::ServiceFigures::DistWorkerFigures healthy;
+  healthy.endpoint = "127.0.0.1:9001";
+  healthy.healthy = true;
+  healthy.buckets[2] = 5;   // raw counts; the renderer accumulates
+  healthy.buckets[7] = 2;
+  healthy.buckets[14] = 1;  // +Inf slot: one slow outlier
+  healthy.latency_sum_seconds = 0.75;
+  healthy.latency_count = 8;
+  service.dist_workers.push_back(healthy);
+
+  ServerMetrics::ServiceFigures::DistWorkerFigures down;
+  down.endpoint = "127.0.0.1:9002";
+  down.healthy = false;  // zero RPCs recorded: empty histogram is legal
+  service.dist_workers.push_back(down);
+
+  const std::string body = metrics.RenderPrometheus(cache, service);
+  LintPrometheusExposition(body);
+
+  EXPECT_NE(body.find("surf_dist_shard_retries_total 3"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("surf_dist_worker_unhealthy{worker=\"127.0.0.1:9001\"} 0"),
+      std::string::npos);
+  EXPECT_NE(
+      body.find("surf_dist_worker_unhealthy{worker=\"127.0.0.1:9002\"} 1"),
+      std::string::npos);
+  EXPECT_NE(body.find("surf_dist_worker_request_seconds_bucket{worker="
+                      "\"127.0.0.1:9001\",le=\"+Inf\"} 8"),
+            std::string::npos);
+  EXPECT_NE(body.find("surf_dist_worker_request_seconds_count{worker="
+                      "\"127.0.0.1:9001\"} 8"),
+            std::string::npos);
+  EXPECT_NE(body.find("surf_dist_worker_request_seconds_sum{worker="
+                      "\"127.0.0.1:9001\"}"),
+            std::string::npos);
+
+  // Non-coordinator rendering stays byte-free of dist series.
+  service.has_dist = false;
+  EXPECT_EQ(metrics.RenderPrometheus(cache, service).find("surf_dist_"),
+            std::string::npos);
 }
 
 // A traced mine request carries the summary block in its response, is

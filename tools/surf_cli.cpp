@@ -112,6 +112,8 @@ void PrintUsage() {
       "                                (default 256)\n"
       "           --job-max-age S      finished jobs older than this are\n"
       "                                evicted (default: never)\n"
+      "           --workers H:P,...    remote surfd workers; enables\n"
+      "                                distributed (cluster) execution\n"
       "           --trace-ring N       completed request traces kept for\n"
       "                                GET /v1/trace/{id} (default 64)\n"
       "           --enable-failpoints  expose the /v1/failpoints fault-\n"
@@ -538,6 +540,15 @@ int RunServe(const CliFlags& flags) {
       flags.GetInt("train-retries", 0) + 1;
   service_options.trace_ring_capacity =
       static_cast<size_t>(flags.GetInt("trace-ring", 64));
+  // --workers turns this instance into a cluster coordinator: requests
+  // with execution.cluster scatter shard groups to these endpoints.
+  const std::string workers = flags.GetString("workers", "");
+  for (const std::string& endpoint : SplitString(workers, ',')) {
+    const std::string trimmed = TrimString(endpoint);
+    if (!trimmed.empty()) {
+      service_options.cluster_workers.push_back(trimmed);
+    }
+  }
   MiningService service(service_options);
 
   const std::string data_path = flags.GetString("data", "");
