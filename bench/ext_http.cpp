@@ -137,6 +137,19 @@ std::string WireRequest(const std::string& path, const std::string& body) {
          std::to_string(body.size()) + "\r\n\r\n" + body;
 }
 
+/// A wire request carrying QoS headers (tenant / scheduling class).
+std::string WireRequestWithHeaders(
+    const std::string& path, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire = "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [name, value] : headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  wire += body;
+  return wire;
+}
+
 double PercentileMs(std::vector<double>* latencies_ms, double q) {
   if (latencies_ms->empty()) return 0.0;
   std::sort(latencies_ms->begin(), latencies_ms->end());
@@ -170,7 +183,24 @@ struct HttpBenchReport {
   uint64_t fault_degraded_serves = 0;
   uint64_t fault_training_failures = 0;
   bool fault_clean = false;
+  bool throughput_clean = false;
+  double mixed_interactive_baseline_p99_ms = 0.0;
+  double mixed_interactive_p99_ms = 0.0;
+  double mixed_batch_qps = 0.0;
+  uint64_t mixed_batch_completed = 0;
+  double inversion_ratio = 0.0;
+  bool priority_clean = false;
 };
+
+/// The pre-event-loop thread-per-connection transport measured ~193 qps
+/// at 361ms p99 on this recipe (committed BENCH_http.json baseline).
+/// The event-loop + coalescing transport must at least double the
+/// throughput without giving back latency.
+constexpr double kBaselineQps = 193.0;
+constexpr double kBaselineP99Ms = 361.0;
+/// Interactive p99 under a batch flood may degrade at most 20% over
+/// interactive-alone p99 on the same server (priority-inversion gate).
+constexpr double kMaxInversionRatio = 1.2;
 
 void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -203,7 +233,14 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                "  \"fault_p99_ms\": %.3f,\n"
                "  \"fault_degraded_serves\": %llu,\n"
                "  \"fault_training_failures\": %llu,\n"
-               "  \"fault_clean\": %s\n"
+               "  \"fault_clean\": %s,\n"
+               "  \"throughput_clean\": %s,\n"
+               "  \"mixed_interactive_baseline_p99_ms\": %.3f,\n"
+               "  \"mixed_interactive_p99_ms\": %.3f,\n"
+               "  \"mixed_batch_qps\": %.2f,\n"
+               "  \"mixed_batch_completed\": %llu,\n"
+               "  \"inversion_ratio\": %.4f,\n"
+               "  \"priority_clean\": %s\n"
                "}\n",
                r.connections, r.duration_seconds,
                static_cast<unsigned long long>(r.requests),
@@ -220,7 +257,12 @@ void WriteJsonReport(const HttpBenchReport& r, const std::string& path) {
                r.fault_availability, r.fault_baseline_p99_ms, r.fault_p99_ms,
                static_cast<unsigned long long>(r.fault_degraded_serves),
                static_cast<unsigned long long>(r.fault_training_failures),
-               r.fault_clean ? "true" : "false");
+               r.fault_clean ? "true" : "false",
+               r.throughput_clean ? "true" : "false",
+               r.mixed_interactive_baseline_p99_ms, r.mixed_interactive_p99_ms,
+               r.mixed_batch_qps,
+               static_cast<unsigned long long>(r.mixed_batch_completed),
+               r.inversion_ratio, r.priority_clean ? "true" : "false");
   std::fclose(f);
 }
 
@@ -348,11 +390,16 @@ int main(int argc, char** argv) {
             ? 0.0
             : static_cast<double>(cache.hits) /
                   static_cast<double>(cache.hits + cache.misses);
+    report.throughput_clean =
+        report.qps >= 2.0 * kBaselineQps && report.p99_ms <= kBaselineP99Ms;
     std::printf("served %llu requests (%.1f qps), p50 %.2fms, p99 %.2fms, "
-                "cache hit ratio %.3f, %llu errors\n",
+                "cache hit ratio %.3f, %llu errors -> %s (gate: >= %.0f qps "
+                "at p99 <= %.0fms)\n",
                 static_cast<unsigned long long>(report.requests), report.qps,
                 report.p50_ms, report.p99_ms, report.cache_hit_ratio,
-                static_cast<unsigned long long>(report.errors));
+                static_cast<unsigned long long>(report.errors),
+                report.throughput_clean ? "clean" : "THROUGHPUT GATE FAILED",
+                2.0 * kBaselineQps, kBaselineP99Ms);
   }
 
   // ---- phase 2: graceful drain under load. Clients blast requests with
@@ -701,6 +748,157 @@ int main(int argc, char** argv) {
         report.fault_clean ? "clean" : "DEGRADATION GATE FAILED");
   }
 
+  // ---- phase 5: per-tenant QoS + priority scheduling (ISSUE 10
+  // acceptance). Interactive clients serve warm-cache mines while an
+  // "analytics" tenant floods batch-class requests with distinct
+  // thresholds (each a fresh training — real CPU work). The batch
+  // workers run niced and strictly separated from the interactive pool,
+  // so interactive p99 under the flood must stay within 20% of the
+  // interactive-alone p99 measured on the same server, while the batch
+  // flood still makes progress.
+  {
+    MiningService service;
+    if (auto st = service.RegisterDataset("bench", ds.data); !st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    ServerMetrics metrics;
+    SurfHandler handler(&service, &metrics);
+    const size_t interactive_conns = std::min<size_t>(connections, 8);
+    const size_t batch_conns = 4;
+    HttpServer::Options options;
+    options.max_inflight = interactive_conns + batch_conns + 4;
+    options.num_workers = interactive_conns + 4;
+    options.batch_workers = 2;
+    // The analytics tenant is quota-bounded to its flood size: the QoS
+    // path is exercised on every batch admission without rejections.
+    options.qos.per_tenant["analytics"].max_inflight = batch_conns;
+    HttpServer server(options, handler.AsHttpHandler());
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "start failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    {
+      BenchClient warmer;
+      int status = 0;
+      std::string body;
+      if (!warmer.Connect(server.port()) ||
+          warmer.Request(mine_wire, &status, &body) !=
+              RequestOutcome::kComplete ||
+          status != 200) {
+        std::fprintf(stderr, "mixed-phase warmup failed (status %d)\n",
+                     status);
+        return 1;
+      }
+    }
+    const uint16_t port = server.port();
+
+    // Closed-loop interactive load for `run_seconds`; returns latencies.
+    const auto run_interactive = [&](double run_seconds,
+                                     std::vector<double>* latencies_out) {
+      std::atomic<bool> stop{false};
+      std::vector<std::vector<double>> latencies(interactive_conns);
+      std::vector<std::thread> workers;
+      workers.reserve(interactive_conns);
+      for (size_t i = 0; i < interactive_conns; ++i) {
+        workers.emplace_back([&, i] {
+          BenchClient client;
+          if (!client.Connect(port)) return;
+          while (!stop.load(std::memory_order_relaxed)) {
+            Stopwatch timer;
+            int status = 0;
+            std::string body;
+            if (client.Request(mine_wire, &status, &body) !=
+                    RequestOutcome::kComplete ||
+                status != 200) {
+              break;
+            }
+            latencies[i].push_back(timer.ElapsedMillis());
+          }
+        });
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(run_seconds * 1000)));
+      stop.store(true);
+      for (std::thread& t : workers) t.join();
+      for (auto& per_conn : latencies) {
+        latencies_out->insert(latencies_out->end(), per_conn.begin(),
+                              per_conn.end());
+      }
+    };
+
+    std::printf("== mixed QoS: %zu interactive + %zu batch (tenant "
+                "\"analytics\") connections ==\n",
+                interactive_conns, batch_conns);
+    // Sub-phase A: interactive alone.
+    std::vector<double> alone;
+    run_interactive(seconds, &alone);
+    report.mixed_interactive_baseline_p99_ms = PercentileMs(&alone, 0.99);
+
+    // Sub-phase B: the same interactive load with a batch flood under
+    // it. Every batch request carries a distinct threshold, so each one
+    // is a fresh training — sustained CPU pressure, no cache shortcut.
+    std::atomic<bool> batch_stop{false};
+    std::atomic<uint64_t> batch_done{0};
+    std::atomic<int> batch_seq{0};
+    std::vector<std::thread> batch_workers;
+    batch_workers.reserve(batch_conns);
+    for (size_t i = 0; i < batch_conns; ++i) {
+      batch_workers.emplace_back([&] {
+        BenchClient client;
+        if (!client.Connect(port)) return;
+        while (!batch_stop.load(std::memory_order_relaxed)) {
+          MineRequest batch_request = request;
+          batch_request.workload.num_queries = 300;
+          batch_request.surrogate.gbrt.n_estimators = 30;
+          batch_request.finder.gso.max_iterations = 20;
+          batch_request.threshold = 900.0 + batch_seq.fetch_add(1);
+          const std::string wire = WireRequestWithHeaders(
+              "/v1/mine", WriteJson(MineRequestToJson(batch_request)),
+              {{"x-surf-priority", "batch"}, {"x-surf-tenant", "analytics"}});
+          int status = 0;
+          std::string body;
+          if (client.Request(wire, &status, &body) !=
+              RequestOutcome::kComplete) {
+            break;
+          }
+          if (status == 200) batch_done.fetch_add(1);
+        }
+      });
+    }
+    std::vector<double> flooded;
+    Stopwatch flood_timer;
+    run_interactive(seconds, &flooded);
+    const double flood_seconds = flood_timer.ElapsedSeconds();
+    batch_stop.store(true);
+    for (std::thread& t : batch_workers) t.join();
+    server.Shutdown();
+
+    report.mixed_interactive_p99_ms = PercentileMs(&flooded, 0.99);
+    report.mixed_batch_completed = batch_done.load();
+    report.mixed_batch_qps =
+        flood_seconds > 0.0
+            ? static_cast<double>(report.mixed_batch_completed) /
+                  flood_seconds
+            : 0.0;
+    // Guard the ratio against sub-millisecond baselines: at that scale
+    // scheduler jitter dominates and the ratio measures noise.
+    const double floor_ms =
+        std::max(report.mixed_interactive_baseline_p99_ms, 1.0);
+    report.inversion_ratio = report.mixed_interactive_p99_ms / floor_ms;
+    report.priority_clean =
+        !flooded.empty() && report.mixed_batch_completed > 0 &&
+        report.inversion_ratio <= kMaxInversionRatio;
+    std::printf("interactive p99 %.2fms alone vs %.2fms under batch flood "
+                "(inversion ratio %.3f, gate <= %.2f), batch %.1f qps "
+                "(%llu completed) -> %s\n",
+                report.mixed_interactive_baseline_p99_ms,
+                report.mixed_interactive_p99_ms, report.inversion_ratio,
+                kMaxInversionRatio, report.mixed_batch_qps,
+                static_cast<unsigned long long>(report.mixed_batch_completed),
+                report.priority_clean ? "clean" : "PRIORITY GATE FAILED");
+  }
+
   const char* json_env = std::getenv("SURF_BENCH_HTTP_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_http.json";
@@ -711,6 +909,25 @@ int main(int argc, char** argv) {
   // and a drain that drops nothing.
   if (report.requests == 0 || report.errors > 0) {
     std::fprintf(stderr, "FAIL: closed loop had errors\n");
+    return 1;
+  }
+  if (!report.throughput_clean) {
+    std::fprintf(stderr,
+                 "FAIL: throughput gate (%.1f qps at p99 %.2fms; need >= "
+                 "%.0f qps at p99 <= %.0fms)\n",
+                 report.qps, report.p99_ms, 2.0 * kBaselineQps,
+                 kBaselineP99Ms);
+    return 1;
+  }
+  if (!report.priority_clean) {
+    std::fprintf(stderr,
+                 "FAIL: priority-inversion gate (interactive p99 %.2fms "
+                 "under flood vs %.2fms alone, ratio %.3f > %.2f, or no "
+                 "batch progress: %llu completed)\n",
+                 report.mixed_interactive_p99_ms,
+                 report.mixed_interactive_baseline_p99_ms,
+                 report.inversion_ratio, kMaxInversionRatio,
+                 static_cast<unsigned long long>(report.mixed_batch_completed));
     return 1;
   }
   if (!report.drain_clean) {

@@ -5,6 +5,8 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -18,6 +20,7 @@
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace surf {
 
@@ -25,9 +28,21 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Polling granularity: the unit at which blocked reads/writes re-check
-/// the drain flag and their deadline.
+/// Polling granularity for the blocking SendAll() helper: the unit at
+/// which a blocked write re-checks its deadline.
 constexpr int kPollSliceMs = 20;
+
+/// epoll user-data ids for the two non-connection fds the loop owns.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+
+/// Upper bound on one epoll_wait when no timer is armed sooner.
+constexpr int kMaxEpollWaitMs = 100;
+
+/// How long an error-closed connection lingers half-closed, draining
+/// the peer's unread bytes so the error response survives (close() with
+/// unread input provokes an RST that can discard it).
+constexpr double kLingerSeconds = 0.25;
 
 Clock::time_point DeadlineAfter(double seconds) {
   return Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -55,6 +70,65 @@ std::string LowerAscii(const std::string& s) {
     if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
   }
   return out;
+}
+
+/// Serializes a response into the exact wire bytes the server has
+/// always produced (status line, the three standard headers, extras,
+/// blank line, body).
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status_code));
+  out.push_back(' ');
+  out.append(HttpReasonPhrase(response.status_code));
+  out.append("\r\nContent-Type: ");
+  out.append(response.content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(response.body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  for (const auto& [name, value] : response.headers) {
+    out.append("\r\n");
+    out.append(name);
+    out.append(": ");
+    out.append(value);
+  }
+  out.append("\r\n\r\n");
+  out.append(response.body);
+  return out;
+}
+
+/// Parses the header section (request line + fields, no trailing CRLF
+/// CRLF). Returns an HTTP status code: 0 on success, else the error code
+/// to answer with.
+int ParseRequestHead(const std::string& head, HttpRequest* request) {
+  size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::vector<std::string> parts = SplitString(request_line, ' ');
+  if (parts.size() != 3) return 400;
+  request->method = parts[0];
+  request->target = parts[1];
+  if (!StartsWith(parts[2], "HTTP/1.")) return 400;
+
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string line = head.substr(pos, next - pos);
+    pos = next + 2;
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) return 400;
+    std::string name = TrimString(line.substr(0, colon));
+    // A field line with an empty name (": value") is malformed; older
+    // versions quietly accepted it as a header named "".
+    if (name.empty()) return 400;
+    request->headers.emplace_back(LowerAscii(name),
+                                  TrimString(line.substr(colon + 1)));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -109,6 +183,62 @@ HttpResponse JsonErrorResponse(int status_code, const std::string& code,
   return response;
 }
 
+bool SendAll(int fd, const char* data, size_t size, double timeout_seconds) {
+  // A delay action here stalls the write (slow-client simulation); an
+  // error action drops the response as if the peer vanished mid-write.
+  if (!MaybeFailpoint("net.write").ok()) return false;
+  const auto deadline = DeadlineAfter(timeout_seconds);
+  size_t sent = 0;
+  while (sent < size) {
+    if (Expired(deadline)) return false;
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // should not happen; treat as a dead peer
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Kernel buffer full (tiny SO_SNDBUF, slow reader): wait for
+      // writability in bounded slices so the deadline stays live.
+      PollSlice(fd, POLLOUT, deadline);
+      continue;
+    }
+    return false;  // hard send error (ECONNRESET, EPIPE, ...)
+  }
+  return true;
+}
+
+/// \brief Per-connection state owned exclusively by the event loop.
+struct HttpServer::Connection {
+  enum class State {
+    kReading,     ///< Accumulating request bytes (or idle keep-alive).
+    kDispatched,  ///< A request is with the scheduler; socket parked.
+    kWriting,     ///< Flushing a response; EPOLLOUT on backpressure.
+    kLingering,   ///< Half-closed after an error; draining peer bytes.
+  };
+
+  int fd = -1;
+  uint64_t id = 0;
+  State state = State::kReading;
+  std::string in;   ///< Unconsumed request bytes (pipelining carries over).
+  std::string out;  ///< Response bytes being flushed.
+  size_t out_off = 0;
+  uint32_t events = 0;      ///< Currently registered epoll interest.
+  bool registered = false;  ///< fd present in the epoll set.
+  bool saw_request_byte = false;  ///< Mid-request (deadline running).
+  bool peer_eof = false;
+  bool head_parsed = false;
+  size_t head_end = 0;        ///< Offset of "\r\n\r\n" once head parsed.
+  size_t content_length = 0;  ///< Declared body size once head parsed.
+  bool close_after_write = false;
+  bool linger_on_close = false;  ///< Error path: drain before closing.
+  bool count_served_on_flush = false;
+  bool batch_on_flush = false;
+  HttpRequest request;  ///< Request being parsed (head fields so far).
+  Clock::time_point request_deadline{};
+};
+
 HttpServer::HttpServer(Options options, HttpHandler handler)
     : options_(std::move(options)), handler_(std::move(handler)) {}
 
@@ -154,42 +284,67 @@ Status HttpServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  // The acceptor polls with a timeout so Shutdown() can stop it without
-  // racy cross-thread close() tricks.
   const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
   ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
 
-  // Thread-per-connection: an admitted keep-alive connection holds its
-  // worker until it closes, so the pool must cover max_inflight or
-  // admitted connections would starve in the queue behind long-lived
-  // ones.
-  const size_t workers =
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("epoll/eventfd: " + err);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  // Workers must cover max_inflight admitted requests (admission
+  // control, not worker starvation, should bound concurrency); batch
+  // capacity defaults to a small slice of that.
+  const size_t interactive =
       options_.num_workers > 0
           ? options_.num_workers
           : std::max(ThreadPool::DefaultThreadCount(), options_.max_inflight);
-  workers_ = std::make_unique<ThreadPool>(workers);
+  const size_t batch = options_.batch_workers > 0
+                           ? options_.batch_workers
+                           : std::max<size_t>(1, interactive / 8);
+  sched::PriorityScheduler::Options sched_options;
+  sched_options.interactive_workers = interactive;
+  sched_options.batch_workers = batch;
+  sched_options.max_queue_depth = options_.max_queue_depth;
+  scheduler_ = std::make_unique<sched::PriorityScheduler>(sched_options);
+  governor_ = std::make_unique<sched::TenantGovernor>(options_.qos);
+  wheel_ = std::make_unique<sched::TimerWheel>();
 
   draining_.store(false);
   running_.store(true, std::memory_order_release);
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  loop_ = std::thread([this] { RunLoop(); });
   return Status::OK();
 }
 
 void HttpServer::Shutdown() {
   if (!running_.load(std::memory_order_acquire)) return;
   draining_.store(true, std::memory_order_release);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  // The loop exits only once every dispatched request has completed, so
+  // the scheduler drains immediately.
+  if (scheduler_ != nullptr) scheduler_->Shutdown();
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
   }
-  {
-    // Every admitted connection either finishes its in-flight request or
-    // notices the drain flag at its next poll slice and closes.
-    std::unique_lock<std::mutex> lock(mu_);
-    drained_cv_.wait(lock, [this] { return stats_.inflight == 0; });
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
   }
-  workers_.reset();
   running_.store(false, std::memory_order_release);
 }
 
@@ -198,289 +353,336 @@ HttpServer::Stats HttpServer::stats() const {
   return stats_;
 }
 
-void HttpServer::AcceptLoop() {
-  while (!draining_.load(std::memory_order_acquire)) {
-    if (!PollSlice(listen_fd_, POLLIN, DeadlineAfter(1.0))) continue;
+sched::PriorityScheduler::Stats HttpServer::scheduler_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats()
+                               : sched::PriorityScheduler::Stats{};
+}
+
+void HttpServer::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void HttpServer::PushCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  WakeLoop();
+}
+
+void HttpServer::RunLoop() {
+  std::vector<epoll_event> events(128);
+  std::vector<uint64_t> fired;
+  std::vector<Completion> batch;
+  bool listener_closed = false;
+  while (true) {
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!listener_closed) {
+        // Drain begins: stop accepting and shed idle keep-alive
+        // connections. Mid-request and dispatched connections are
+        // served to completion (their deadlines bound the wait).
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        listener_closed = true;
+        std::vector<uint64_t> idle;
+        for (const auto& [id, conn] : conns_) {
+          if (conn->state == Connection::State::kReading &&
+              !conn->saw_request_byte && conn->in.empty()) {
+            idle.push_back(id);
+          }
+        }
+        for (const uint64_t id : idle) {
+          auto it = conns_.find(id);
+          if (it != conns_.end()) CloseConnection(it->second.get());
+        }
+      }
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        drained = stats_.inflight == 0;
+      }
+      if (drained && conns_.empty()) break;
+    }
+
+    const int timeout = wheel_->TimeoutMs(Clock::now(), kMaxEpollWaitMs);
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0 && errno != EINTR) {
+      SURF_LOG(kError) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        AcceptReady();
+      } else if (id == kWakeId) {
+        uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+      } else {
+        HandleConnectionEvent(id, events[i].events);
+      }
+    }
+
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& completion : batch) {
+      HandleCompletion(std::move(completion));
+    }
+
+    fired.clear();
+    wheel_->Advance(Clock::now(), &fired);
+    for (const uint64_t id : fired) OnTimer(id);
+  }
+}
+
+void HttpServer::AcceptReady() {
+  while (true) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                              SOCK_CLOEXEC | SOCK_NONBLOCK);
-    if (fd < 0) continue;
+    if (fd < 0) return;  // EAGAIN: accepted everything pending
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    bool admit = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.connections_accepted;
-      if (stats_.inflight < options_.max_inflight) {
-        ++stats_.inflight;
-        admit = true;
-      } else {
-        ++stats_.connections_rejected;
-      }
+      ++stats_.connections_open;
     }
-    if (!admit) {
-      // Backpressure: answer 429 inline on the acceptor thread (a fixed
-      // small write) rather than queueing unbounded work.
-      HttpResponse rejected = JsonErrorResponse(
-          429, "overloaded", "server at max in-flight connections");
-      rejected.headers.emplace_back("Retry-After", "1");
-      WriteResponse(fd, rejected, /*keep_alive=*/false);
-      // The client may have already sent its request; close() with
-      // unread bytes in the receive queue provokes an RST that can
-      // discard the 429 before the client reads it. Half-close our
-      // side and briefly drain theirs so the response survives.
-      ::shutdown(fd, SHUT_WR);
-      const auto drain_deadline = DeadlineAfter(0.05);
-      char sink[4096];
-      while (!Expired(drain_deadline)) {
-        const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
-        if (n == 0) break;  // client finished and closed
-        if (n < 0) {
-          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-            break;
-          }
-          PollSlice(fd, POLLIN, drain_deadline);
-        }
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = id;
+    Connection* raw = conn.get();
+    conns_.emplace(id, std::move(conn));
+    UpdateEpoll(raw, EPOLLIN);
+    wheel_->Arm(id, DeadlineAfter(options_.idle_timeout_seconds));
+  }
+}
+
+void HttpServer::HandleConnectionEvent(uint64_t id, uint32_t events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->state == Connection::State::kWriting) {
+    if (events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) ContinueWrite(conn);
+  } else if (events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+    ReadAvailable(conn);
+  }
+  it = conns_.find(id);
+  if (it != conns_.end() &&
+      it->second->state == Connection::State::kReading) {
+    ProcessInput(it->second.get());
+  }
+}
+
+void HttpServer::ReadAvailable(Connection* conn) {
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      // Lingering connections only drain; everything else accumulates.
+      if (conn->state != Connection::State::kLingering) {
+        conn->in.append(chunk, static_cast<size_t>(n));
       }
-      ::close(fd);
       continue;
     }
-    workers_->Submit([this, fd] {
-      ServeConnection(fd);
+    if (n == 0) {
+      conn->peer_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn->peer_eof = true;  // hard error: treat as gone
+    break;
+  }
+  if (conn->state == Connection::State::kLingering && conn->peer_eof) {
+    CloseConnection(conn);
+  }
+}
+
+void HttpServer::ProcessInput(Connection* conn) {
+  // Pump: parse and dispatch as many buffered requests as possible
+  // until the connection blocks (needs bytes, awaits a worker, hits
+  // write backpressure) or closes. Iterative on purpose — a buffer full
+  // of pipelined requests must not recurse once per request.
+  const uint64_t conn_id = conn->id;
+  while (true) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    Connection* c = it->second.get();
+    if (c->state != Connection::State::kReading) return;
+
+    if (!c->saw_request_byte) {
+      if (c->in.empty()) {
+        if (c->peer_eof) CloseConnection(c);
+        return;  // idle: keep-alive timer stays armed
+      }
+      // The per-request deadline starts at the request's first byte.
+      c->saw_request_byte = true;
+      c->request_deadline = DeadlineAfter(options_.request_deadline_seconds);
+      wheel_->Arm(c->id, c->request_deadline);
+    }
+
+    if (!c->head_parsed) {
+      c->head_end = c->in.find("\r\n\r\n");
+      if (c->head_end == std::string::npos) {
+        if (c->in.size() > options_.max_header_bytes) {
+          ErrorClose(c,
+                     JsonErrorResponse(431, "headers_too_large",
+                                       "header section exceeds limit"),
+                     &Stats::parse_errors);
+          return;
+        }
+        if (c->peer_eof) CloseConnection(c);  // EOF mid-head
+        return;                               // need more bytes
+      }
+      c->request = HttpRequest();
+      const int parse_code =
+          ParseRequestHead(c->in.substr(0, c->head_end), &c->request);
+      if (parse_code != 0) {
+        ErrorClose(c,
+                   JsonErrorResponse(parse_code, "bad_request",
+                                     "malformed HTTP request"),
+                   &Stats::parse_errors);
+        return;
+      }
+      if (c->request.FindHeader("transfer-encoding") != nullptr) {
+        ErrorClose(
+            c,
+            JsonErrorResponse(501, "unsupported",
+                              "chunked transfer encoding not supported"),
+            &Stats::parse_errors);
+        return;
+      }
+      c->content_length = 0;
+      if (const std::string* cl = c->request.FindHeader("content-length")) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+        if (end == cl->c_str() || *end != '\0') {
+          ErrorClose(c,
+                     JsonErrorResponse(400, "bad_request",
+                                       "invalid Content-Length"),
+                     &Stats::parse_errors);
+          return;
+        }
+        c->content_length = static_cast<size_t>(v);
+      }
+      if (c->content_length > options_.max_body_bytes) {
+        ErrorClose(c,
+                   JsonErrorResponse(413, "payload_too_large",
+                                     "request body exceeds limit"),
+                   &Stats::parse_errors);
+        return;
+      }
+      c->head_parsed = true;
+    }
+
+    const size_t total = c->head_end + 4 + c->content_length;
+    if (c->in.size() < total) {
+      if (c->peer_eof) CloseConnection(c);  // EOF mid-body
+      return;                               // need more bytes
+    }
+
+    // One complete request: consume exactly its bytes. Surplus bytes
+    // (HTTP pipelining) stay in the buffer and are parsed after this
+    // request's response flushes — their deadline starts then.
+    c->request.body = c->in.substr(c->head_end + 4, c->content_length);
+    c->in.erase(0, total);
+    c->request.deadline = c->request_deadline;
+    c->saw_request_byte = false;
+    c->head_parsed = false;
+    wheel_->Disarm(c->id);
+    DispatchRequest(c);
+    // If the dispatch answered synchronously (QoS rejection flushed in
+    // one send) the connection is back to kReading: keep pumping.
+  }
+}
+
+void HttpServer::DispatchRequest(Connection* conn) {
+  HttpRequest request = std::move(conn->request);
+  conn->request = HttpRequest();
+
+  bool client_close = false;
+  if (const std::string* h = request.FindHeader("connection")) {
+    if (LowerAscii(*h) == "close") client_close = true;
+  }
+
+  // Global admission control over concurrently dispatched *requests*.
+  // Idle keep-alive connections hold no slot, so a fleet of quiet
+  // clients cannot starve admission.
+  bool admit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.inflight < options_.max_inflight) {
+      ++stats_.inflight;
+      admit = true;
+    } else {
+      ++stats_.connections_rejected;
+    }
+  }
+  if (!admit) {
+    HttpResponse rejected = JsonErrorResponse(
+        429, "overloaded", "server at max in-flight requests");
+    rejected.headers.emplace_back("Retry-After", "1");
+    // Asynchronous write + lingering close: a flood of rejected clients
+    // costs the loop one buffered send each, never a blocking write.
+    ErrorClose(conn, rejected, nullptr);
+    return;
+  }
+
+  // Per-tenant QoS. Throttled/over-quota answers keep the connection
+  // alive: the client's next request may be within budget.
+  std::string tenant = "default";
+  if (const std::string* h = request.FindHeader(options_.tenant_header)) {
+    if (!h->empty()) tenant = *h;
+  }
+  const auto decision = governor_->Admit(tenant, Clock::now());
+  if (decision != sched::TenantGovernor::Decision::kAdmit) {
+    const bool throttled =
+        decision == sched::TenantGovernor::Decision::kThrottled;
+    {
       std::lock_guard<std::mutex> lock(mu_);
       --stats_.inflight;
-      if (stats_.inflight == 0) drained_cv_.notify_all();
-    });
-  }
-}
-
-namespace {
-
-/// Parses the header section (request line + fields, no trailing CRLF
-/// CRLF). Returns an HTTP status code: 0 on success, else the error code
-/// to answer with.
-int ParseRequestHead(const std::string& head, HttpRequest* request) {
-  size_t line_end = head.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? head : head.substr(0, line_end);
-  const std::vector<std::string> parts = SplitString(request_line, ' ');
-  if (parts.size() != 3) return 400;
-  request->method = parts[0];
-  request->target = parts[1];
-  if (!StartsWith(parts[2], "HTTP/1.")) return 400;
-
-  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
-  while (pos < head.size()) {
-    size_t next = head.find("\r\n", pos);
-    if (next == std::string::npos) next = head.size();
-    const std::string line = head.substr(pos, next - pos);
-    pos = next + 2;
-    if (line.empty()) continue;
-    const size_t colon = line.find(':');
-    if (colon == std::string::npos) return 400;
-    request->headers.emplace_back(LowerAscii(TrimString(line.substr(0, colon))),
-                                  TrimString(line.substr(colon + 1)));
-  }
-  return 0;
-}
-
-}  // namespace
-
-int HttpServer::ReadRequest(int fd, HttpRequest* request) {
-  // One request per read: surplus bytes beyond Content-Length (HTTP
-  // pipelining) are dropped — keep-alive clients that wait for each
-  // response before sending the next request (ours all do) never
-  // pipeline.
-  std::string buffer;
-  bool saw_byte = false;
-  auto deadline = DeadlineAfter(options_.idle_timeout_seconds);
-  size_t head_end = std::string::npos;
-
-  // Phase 1: header section.
-  while (true) {
-    head_end = buffer.find("\r\n\r\n");
-    if (head_end != std::string::npos) break;
-    if (buffer.size() > options_.max_header_bytes) {
-      WriteResponse(fd,
-                    JsonErrorResponse(431, "headers_too_large",
-                                      "header section exceeds limit"),
-                    false);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.parse_errors;
-      return -1;
-    }
-    if (!saw_byte && draining_.load(std::memory_order_acquire) &&
-        buffer.empty()) {
-      return 0;  // idle connection during drain: close cleanly
-    }
-    if (Expired(deadline)) {
-      if (!saw_byte) return 0;  // idle keep-alive timeout
-      WriteResponse(fd,
-                    JsonErrorResponse(408, "deadline_exceeded",
-                                      "request not received in time"),
-                    false);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.request_timeouts;
-      return -1;
-    }
-    PollSlice(fd, POLLIN, deadline);
-    char chunk[8192];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      if (!saw_byte) {
-        // The per-request deadline starts at the first byte.
-        saw_byte = true;
-        deadline = DeadlineAfter(options_.request_deadline_seconds);
+      if (throttled) {
+        ++stats_.tenant_throttled;
+      } else {
+        ++stats_.tenant_over_quota;
       }
-      buffer.append(chunk, static_cast<size_t>(n));
-    } else if (n == 0) {
-      return saw_byte ? -1 : 0;  // EOF
-    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-      return saw_byte ? -1 : 0;
     }
+    HttpResponse limited =
+        throttled ? JsonErrorResponse(429, "tenant_throttled",
+                                      "tenant rate limit exceeded")
+                  : JsonErrorResponse(429, "tenant_over_quota",
+                                      "tenant concurrency quota exhausted");
+    limited.headers.emplace_back("Retry-After", "1");
+    const bool keep_alive =
+        !client_close && !draining_.load(std::memory_order_acquire);
+    conn->count_served_on_flush = false;
+    StartWrite(conn, SerializeResponse(limited, keep_alive), keep_alive);
+    return;
   }
 
-  const int parse_code = ParseRequestHead(buffer.substr(0, head_end), request);
-  if (parse_code != 0) {
-    WriteResponse(fd,
-                  JsonErrorResponse(parse_code, "bad_request",
-                                    "malformed HTTP request"),
-                  false);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.parse_errors;
-    return -1;
-  }
-  if (request->FindHeader("transfer-encoding") != nullptr) {
-    WriteResponse(fd,
-                  JsonErrorResponse(501, "unsupported",
-                                    "chunked transfer encoding not supported"),
-                  false);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.parse_errors;
-    return -1;
+  bool is_batch = false;
+  if (const std::string* h = request.FindHeader(options_.priority_header)) {
+    if (LowerAscii(TrimString(*h)) == "batch") is_batch = true;
   }
 
-  // Phase 2: Content-Length body.
-  size_t content_length = 0;
-  if (const std::string* cl = request->FindHeader("content-length")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
-    if (end == cl->c_str() || *end != '\0') {
-      WriteResponse(fd,
-                    JsonErrorResponse(400, "bad_request",
-                                      "invalid Content-Length"),
-                    false);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.parse_errors;
-      return -1;
-    }
-    content_length = static_cast<size_t>(v);
-  }
-  if (content_length > options_.max_body_bytes) {
-    WriteResponse(fd,
-                  JsonErrorResponse(413, "payload_too_large",
-                                    "request body exceeds limit"),
-                  false);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.parse_errors;
-    return -1;
-  }
+  conn->state = Connection::State::kDispatched;
+  UpdateEpoll(conn, 0);  // park the socket until the response is ready
+  wheel_->Disarm(conn->id);
 
-  std::string body = buffer.substr(head_end + 4);
-  while (body.size() < content_length) {
-    if (Expired(deadline)) {
-      WriteResponse(fd,
-                    JsonErrorResponse(408, "deadline_exceeded",
-                                      "request body not received in time"),
-                    false);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.request_timeouts;
-      return -1;
-    }
-    PollSlice(fd, POLLIN, deadline);
-    char chunk[16384];
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      body.append(chunk, static_cast<size_t>(n));
-    } else if (n == 0) {
-      return -1;  // EOF mid-body
-    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-      return -1;
-    }
-  }
-  body.resize(content_length);
-  request->body = std::move(body);
-  // Hand the handler what is left of the request deadline, so
-  // long-running work can cancel itself instead of burning the worker
-  // past a budget the client has already given up on.
-  request->deadline = deadline;
-  return 1;
-}
-
-bool SendAll(int fd, const char* data, size_t size, double timeout_seconds) {
-  // A delay action here stalls the write (slow-client simulation); an
-  // error action drops the response as if the peer vanished mid-write.
-  if (!MaybeFailpoint("net.write").ok()) return false;
-  const auto deadline = DeadlineAfter(timeout_seconds);
-  size_t sent = 0;
-  while (sent < size) {
-    if (Expired(deadline)) return false;
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n > 0) {
-      sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n == 0) return false;  // should not happen; treat as a dead peer
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      // Kernel buffer full (tiny SO_SNDBUF, slow reader): wait for
-      // writability in bounded slices so the deadline stays live.
-      PollSlice(fd, POLLOUT, deadline);
-      continue;
-    }
-    return false;  // hard send error (ECONNRESET, EPIPE, ...)
-  }
-  return true;
-}
-
-bool HttpServer::WriteResponse(int fd, const HttpResponse& response,
-                               bool keep_alive) {
-  std::string out;
-  out.reserve(response.body.size() + 256);
-  out.append("HTTP/1.1 ");
-  out.append(std::to_string(response.status_code));
-  out.push_back(' ');
-  out.append(HttpReasonPhrase(response.status_code));
-  out.append("\r\nContent-Type: ");
-  out.append(response.content_type);
-  out.append("\r\nContent-Length: ");
-  out.append(std::to_string(response.body.size()));
-  out.append("\r\nConnection: ");
-  out.append(keep_alive ? "keep-alive" : "close");
-  for (const auto& [name, value] : response.headers) {
-    out.append("\r\n");
-    out.append(name);
-    out.append(": ");
-    out.append(value);
-  }
-  out.append("\r\n\r\n");
-  out.append(response.body);
-
-  const bool ok =
-      SendAll(fd, out.data(), out.size(), options_.request_deadline_seconds);
-  if (!ok) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.write_failures;
-  }
-  return ok;
-}
-
-void HttpServer::ServeConnection(int fd) {
-  while (true) {
-    HttpRequest request;
-    const int got = ReadRequest(fd, &request);
-    if (got <= 0) break;
-
+  sched::Job job;
+  job.cls = is_batch ? sched::JobClass::kBatch : sched::JobClass::kInteractive;
+  job.deadline = request.deadline;
+  const uint64_t id = conn->id;
+  job.run = [this, id, request = std::move(request), client_close, is_batch,
+             tenant]() {
     HttpResponse response;
     try {
       response = handler_(request);
@@ -499,21 +701,221 @@ void HttpServer::ServeConnection(int fd) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.worker_exceptions;
     }
-
+    Completion done;
+    done.conn_id = id;
+    done.count_served = true;
+    done.batch = is_batch;
+    done.tenant = tenant;
+    done.tenant_charged = true;
     // Close after this response when the client asked to, or when the
     // server is draining (so clients re-connect elsewhere).
-    bool keep_alive = !draining_.load(std::memory_order_acquire);
-    if (const std::string* conn = request.FindHeader("connection")) {
-      if (LowerAscii(*conn) == "close") keep_alive = false;
+    done.keep_alive =
+        !draining_.load(std::memory_order_acquire) && !client_close;
+    // The write failpoint is evaluated here on the worker: a delay
+    // action stalls this request without stalling the event loop, and
+    // an error action drops the response as if the peer vanished.
+    if (!MaybeFailpoint("net.write").ok()) {
+      done.drop = true;
+    } else {
+      done.bytes = SerializeResponse(response, done.keep_alive);
     }
-    const bool written = WriteResponse(fd, response, keep_alive);
-    if (written) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.requests_served;
-    }
-    if (!written || !keep_alive) break;
+    PushCompletion(std::move(done));
+  };
+  job.shed = [this, id, client_close, is_batch, tenant]() {
+    Completion done;
+    done.conn_id = id;
+    done.shed = true;
+    done.batch = is_batch;
+    done.tenant = tenant;
+    done.tenant_charged = true;
+    done.keep_alive =
+        !draining_.load(std::memory_order_acquire) && !client_close;
+    HttpResponse shed_response = JsonErrorResponse(
+        503, "overloaded_shed", "request shed under load; retry later");
+    shed_response.headers.emplace_back("Retry-After", "1");
+    done.bytes = SerializeResponse(shed_response, done.keep_alive);
+    PushCompletion(std::move(done));
+  };
+  scheduler_->Submit(std::move(job));
+}
+
+void HttpServer::HandleCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.inflight > 0) --stats_.inflight;
+    if (completion.shed) ++stats_.requests_shed;
   }
-  ::close(fd);
+  if (completion.tenant_charged) governor_->Release(completion.tenant);
+
+  auto it = conns_.find(completion.conn_id);
+  if (it == conns_.end()) return;  // connection died while the job ran
+  Connection* conn = it->second.get();
+  if (completion.drop) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.write_failures;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  conn->count_served_on_flush = completion.count_served;
+  conn->batch_on_flush = completion.batch;
+  StartWrite(conn, std::move(completion.bytes), completion.keep_alive);
+  // The write may have flushed synchronously; resume parsing any
+  // pipelined bytes already buffered.
+  it = conns_.find(completion.conn_id);
+  if (it != conns_.end() &&
+      it->second->state == Connection::State::kReading) {
+    ProcessInput(it->second.get());
+  }
+}
+
+void HttpServer::ErrorClose(Connection* conn, const HttpResponse& response,
+                            uint64_t Stats::*counter) {
+  if (counter != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++(stats_.*counter);
+  }
+  conn->linger_on_close = true;
+  conn->count_served_on_flush = false;
+  conn->batch_on_flush = false;
+  StartWrite(conn, SerializeResponse(response, false), /*keep_alive=*/false);
+}
+
+void HttpServer::StartWrite(Connection* conn, std::string bytes,
+                            bool keep_alive) {
+  conn->out = std::move(bytes);
+  conn->out_off = 0;
+  conn->close_after_write = !keep_alive;
+  conn->state = Connection::State::kWriting;
+  wheel_->Arm(conn->id, DeadlineAfter(options_.request_deadline_seconds));
+  ContinueWrite(conn);
+}
+
+void HttpServer::ContinueWrite(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                             conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateEpoll(conn, EPOLLOUT);  // flush resumes on writability
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.write_failures;
+    }
+    CloseConnection(conn);
+    return;
+  }
+  FinishWrite(conn);
+}
+
+void HttpServer::FinishWrite(Connection* conn) {
+  if (conn->count_served_on_flush) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests_served;
+    if (conn->batch_on_flush) ++stats_.batch_served;
+  }
+  conn->count_served_on_flush = false;
+  conn->batch_on_flush = false;
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->close_after_write || draining_.load(std::memory_order_acquire)) {
+    if (conn->linger_on_close && !conn->peer_eof) {
+      BeginLinger(conn);
+    } else {
+      CloseConnection(conn);
+    }
+    return;
+  }
+  conn->state = Connection::State::kReading;
+  UpdateEpoll(conn, EPOLLIN);
+  wheel_->Arm(conn->id, DeadlineAfter(options_.idle_timeout_seconds));
+  // Pipelined bytes already buffered are pumped by the caller.
+}
+
+void HttpServer::BeginLinger(Connection* conn) {
+  // The peer may still be sending (we rejected before reading it all).
+  // close() with unread bytes in the receive queue provokes an RST that
+  // can discard the just-written response before the client reads it,
+  // so half-close our side and drain theirs briefly instead.
+  ::shutdown(conn->fd, SHUT_WR);
+  conn->state = Connection::State::kLingering;
+  UpdateEpoll(conn, EPOLLIN);
+  wheel_->Arm(conn->id, DeadlineAfter(kLingerSeconds));
+}
+
+void HttpServer::OnTimer(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  switch (conn->state) {
+    case Connection::State::kReading:
+      if (!conn->saw_request_byte) {
+        CloseConnection(conn);  // idle keep-alive timeout
+        return;
+      }
+      ErrorClose(conn,
+                 JsonErrorResponse(408, "deadline_exceeded",
+                                   conn->head_parsed
+                                       ? "request body not received in time"
+                                       : "request not received in time"),
+                 &Stats::request_timeouts);
+      return;
+    case Connection::State::kWriting: {
+      // Write deadline: the peer is too slow to take the response.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.write_failures;
+      }
+      CloseConnection(conn);
+      return;
+    }
+    case Connection::State::kLingering:
+      CloseConnection(conn);
+      return;
+    case Connection::State::kDispatched:
+      return;  // no timer runs while a worker owns the request
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  wheel_->Disarm(conn->id);
+  if (conn->registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  }
+  ::close(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.connections_open > 0) --stats_.connections_open;
+  }
+  conns_.erase(conn->id);  // frees conn
+}
+
+void HttpServer::UpdateEpoll(Connection* conn, uint32_t events) {
+  if (events == 0) {
+    if (conn->registered) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+      conn->registered = false;
+    }
+    conn->events = 0;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = events;  // level-triggered
+  ev.data.u64 = conn->id;
+  if (!conn->registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev);
+    conn->registered = true;
+  } else if (conn->events != events) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+  conn->events = events;
 }
 
 }  // namespace surf

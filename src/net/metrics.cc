@@ -304,6 +304,41 @@ std::string ServerMetrics::RenderPrometheus(const CacheFigures& cache,
     AppendMetric(&out, "# TYPE surf_http_write_failures_total counter");
     AppendMetric(&out, "surf_http_write_failures_total " +
                            std::to_string(service.write_failures));
+
+    AppendMetric(&out,
+                 "# HELP surf_http_requests_shed_total Queued requests "
+                 "abandoned by load shedding (answered 503).");
+    AppendMetric(&out, "# TYPE surf_http_requests_shed_total counter");
+    AppendMetric(&out, "surf_http_requests_shed_total " +
+                           std::to_string(service.requests_shed));
+
+    AppendMetric(&out,
+                 "# HELP surf_http_tenant_throttled_total Requests "
+                 "answered 429 by a tenant rate limit.");
+    AppendMetric(&out, "# TYPE surf_http_tenant_throttled_total counter");
+    AppendMetric(&out, "surf_http_tenant_throttled_total " +
+                           std::to_string(service.tenant_throttled));
+
+    AppendMetric(&out,
+                 "# HELP surf_http_tenant_over_quota_total Requests "
+                 "answered 429 by a tenant concurrency quota.");
+    AppendMetric(&out, "# TYPE surf_http_tenant_over_quota_total counter");
+    AppendMetric(&out, "surf_http_tenant_over_quota_total " +
+                           std::to_string(service.tenant_over_quota));
+
+    AppendMetric(&out,
+                 "# HELP surf_http_batch_served_total Requests served on "
+                 "the batch-class workers.");
+    AppendMetric(&out, "# TYPE surf_http_batch_served_total counter");
+    AppendMetric(&out, "surf_http_batch_served_total " +
+                           std::to_string(service.batch_served));
+
+    AppendMetric(&out,
+                 "# HELP surf_mine_coalesced_total /v1/mine requests "
+                 "answered by sharing an identical in-flight computation.");
+    AppendMetric(&out, "# TYPE surf_mine_coalesced_total counter");
+    AppendMetric(&out, "surf_mine_coalesced_total " +
+                           std::to_string(service.mine_coalesced));
   }
   return out;
 }

@@ -84,6 +84,14 @@ class ServerMetrics {
     bool has_transport = false;
     uint64_t worker_exceptions = 0;
     uint64_t write_failures = 0;
+    /// QoS counters from the event loop's admission + scheduling layer.
+    uint64_t requests_shed = 0;
+    uint64_t tenant_throttled = 0;
+    uint64_t tenant_over_quota = 0;
+    uint64_t batch_served = 0;
+    /// /v1/mine requests answered by sharing an identical in-flight
+    /// computation (single-flight coalescing).
+    uint64_t mine_coalesced = 0;
     /// Sharded-evaluator shard classifications (process totals; see
     /// ShardedScanEvaluator::global_telemetry()).
     uint64_t shard_evals_pruned = 0;

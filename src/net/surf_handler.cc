@@ -204,6 +204,12 @@ HttpResponse SurfHandler::HandleMetrics(const HttpRequest&,
     service.has_transport = true;
     service.worker_exceptions = transport.worker_exceptions;
     service.write_failures = transport.write_failures;
+    service.requests_shed = transport.requests_shed;
+    service.tenant_throttled = transport.tenant_throttled;
+    service.tenant_over_quota = transport.tenant_over_quota;
+    service.batch_served = transport.batch_served;
+    service.mine_coalesced =
+        mine_coalesced_.load(std::memory_order_relaxed);
   }
 
   HttpResponse response;
@@ -356,6 +362,74 @@ HttpResponse SurfHandler::HandleMine(const HttpRequest& request,
   auto decoded = MineRequestV2FromJson(*json, &resolver);
   if (!decoded.ok()) return StatusResponse(decoded.status());
 
+  // Single-flight coalescing: concurrent requests with byte-identical
+  // bodies share one computation. The engine is deterministic, so the
+  // shared response is bit-identical to what each request would have
+  // computed alone; sequential identical requests are untouched (the
+  // flight is erased before its response is returned), so cache-stat
+  // expectations and warm/cold behavior stay exactly as before.
+  // Requests with per-request side effects (trace capture, evaluation
+  // recording) must each run for real and never join a flight.
+  const bool coalescable = options_.coalesce_identical_mines &&
+                           !decoded->execution.trace &&
+                           !decoded->execution.record_evaluations;
+  if (!coalescable) return ExecuteMine(request, std::move(decoded).value());
+
+  std::shared_ptr<MineFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mine_flights_mu_);
+    auto it = mine_flights_.find(request.body);
+    if (it == mine_flights_.end()) {
+      flight = std::make_shared<MineFlight>();
+      mine_flights_.emplace(request.body, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+  if (!leader) {
+    // Follower: block until the leader publishes, then share its answer.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    mine_coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return flight->response;
+  }
+
+  HttpResponse response;
+  try {
+    response = ExecuteMine(request, std::move(decoded).value());
+  } catch (...) {
+    // Publish *something* before rethrowing so followers never hang.
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->response =
+          JsonErrorResponse(500, "internal", "handler threw");
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mine_flights_mu_);
+      mine_flights_.erase(request.body);
+    }
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->response = response;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mine_flights_mu_);
+    mine_flights_.erase(request.body);
+  }
+  return response;
+}
+
+HttpResponse SurfHandler::ExecuteMine(const HttpRequest& request,
+                                      v2::MineRequest decoded_value) {
+  auto* decoded = &decoded_value;
   // Wire the transport's remaining per-request budget into the job's
   // cancel token (keeping a client-requested tighter deadline): when it
   // expires, the search stops within one iteration and the 408 below

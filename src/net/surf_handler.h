@@ -38,6 +38,8 @@
 /// 408 reclaims the worker's CPU within one GSO iteration and carries
 /// the partial results mined so far.
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -67,6 +69,12 @@ class SurfHandler {
     bool enable_failpoint_admin = false;
     /// Job-table retention (count cap + age cap for finished jobs).
     JobTable::Options job_retention;
+    /// Single-flight coalescing for /v1/mine: concurrent requests with
+    /// byte-identical bodies share one handler execution (the engine is
+    /// deterministic, so the shared response is the response each would
+    /// have computed). Requests asking for per-request side effects
+    /// (trace capture, evaluation recording) never coalesce.
+    bool coalesce_identical_mines = true;
   };
 
   /// Binds the handler to a service and a metrics registry (both
@@ -121,6 +129,9 @@ class SurfHandler {
                                      const std::string& param);
   HttpResponse HandleMine(const HttpRequest& request,
                           const std::string& param);
+  /// The /v1/mine computation itself (post-coalescing-decision).
+  HttpResponse ExecuteMine(const HttpRequest& request,
+                           v2::MineRequest decoded);
   HttpResponse HandleMineBatch(const HttpRequest& request,
                                const std::string& param);
   HttpResponse HandleEvaluations(const HttpRequest& request,
@@ -160,6 +171,20 @@ class SurfHandler {
   mutable std::mutex shard_evaluators_mu_;
   std::map<std::string, std::shared_ptr<const ShardedScanEvaluator>>
       shard_evaluators_;
+
+  /// \brief One in-flight /v1/mine computation shared by every request
+  /// carrying a byte-identical body (single-flight coalescing).
+  struct MineFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    HttpResponse response;
+  };
+  /// Request body bytes → the flight computing that body's answer.
+  std::mutex mine_flights_mu_;
+  std::map<std::string, std::shared_ptr<MineFlight>> mine_flights_;
+  /// Requests answered from a shared flight (served via /metrics).
+  std::atomic<uint64_t> mine_coalesced_{0};
 };
 
 }  // namespace surf

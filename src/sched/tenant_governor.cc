@@ -1,0 +1,117 @@
+#include "sched/tenant_governor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace surf::sched {
+
+const TenantLimits& TenantGovernor::LimitsFor(
+    const std::string& tenant) const {
+  auto it = options_.per_tenant.find(tenant);
+  return it != options_.per_tenant.end() ? it->second
+                                         : options_.default_limits;
+}
+
+TenantGovernor::Decision TenantGovernor::Admit(const std::string& tenant,
+                                               Clock::time_point now) {
+  const TenantLimits& limits = LimitsFor(tenant);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (limits.rate <= 0.0 && limits.max_inflight == 0) {
+    // Unlimited tenant: no bucket state at all, so an open fleet of
+    // anonymous clients cannot grow the tenant map without bound.
+    ++stats_.admitted;
+    return Decision::kAdmit;
+  }
+  Bucket& bucket = buckets_[tenant];
+  if (limits.max_inflight > 0 && bucket.inflight >= limits.max_inflight) {
+    ++stats_.over_quota;
+    return Decision::kOverQuota;
+  }
+  if (limits.rate > 0.0) {
+    const double burst =
+        limits.burst > 0.0 ? limits.burst : std::max(limits.rate, 1.0);
+    if (!bucket.primed) {
+      bucket.tokens = burst;  // first sight: full burst available
+      bucket.primed = true;
+    } else {
+      const double elapsed =
+          std::chrono::duration<double>(now - bucket.refilled_at).count();
+      bucket.tokens =
+          std::min(burst, bucket.tokens + elapsed * limits.rate);
+    }
+    bucket.refilled_at = now;
+    if (bucket.tokens < 1.0) {
+      ++stats_.throttled;
+      return Decision::kThrottled;
+    }
+    bucket.tokens -= 1.0;
+  }
+  ++bucket.inflight;
+  ++stats_.admitted;
+  return Decision::kAdmit;
+}
+
+void TenantGovernor::Release(const std::string& tenant) {
+  const TenantLimits& limits = LimitsFor(tenant);
+  if (limits.rate <= 0.0 && limits.max_inflight == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it != buckets_.end() && it->second.inflight > 0) {
+    --it->second.inflight;
+  }
+}
+
+TenantGovernor::Stats TenantGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status TenantGovernor::ParseLimits(const std::string& spec,
+                                   TenantLimits* out) {
+  const std::vector<std::string> parts = SplitString(spec, ':');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "tenant limits must be RATE:BURST:QUOTA, got '" + spec + "'");
+  }
+  double values[3];
+  for (int i = 0; i < 3; ++i) {
+    const std::string field = TrimString(parts[i]);
+    char* end = nullptr;
+    values[i] = std::strtod(field.c_str(), &end);
+    if (field.empty() || end != field.c_str() + field.size() ||
+        values[i] < 0.0) {
+      return Status::InvalidArgument(
+          "tenant limits field '" + field +
+          "' must be a non-negative number (in '" + spec + "')");
+    }
+  }
+  out->rate = values[0];
+  out->burst = values[1];
+  out->max_inflight = static_cast<size_t>(values[2]);
+  return Status::OK();
+}
+
+Status TenantGovernor::ParseTenantSpec(const std::string& spec,
+                                       Options* options) {
+  for (const std::string& entry : SplitString(spec, ',')) {
+    const std::string trimmed = TrimString(entry);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "tenant spec entry must be TENANT=RATE:BURST:QUOTA, got '" +
+          trimmed + "'");
+    }
+    TenantLimits limits;
+    if (Status parsed = ParseLimits(trimmed.substr(eq + 1), &limits);
+        !parsed.ok()) {
+      return parsed;
+    }
+    options->per_tenant[TrimString(trimmed.substr(0, eq))] = limits;
+  }
+  return Status::OK();
+}
+
+}  // namespace surf::sched

@@ -1,0 +1,99 @@
+#ifndef SURF_SCHED_TENANT_GOVERNOR_H_
+#define SURF_SCHED_TENANT_GOVERNOR_H_
+
+/// \file
+/// \brief Per-tenant QoS: token-bucket rate limiting plus concurrency
+/// quotas, keyed by the value of a tenant header.
+///
+/// The HTTP server asks the governor once per admitted request:
+/// `Admit(tenant, now)` charges one token from the tenant's bucket and
+/// takes one concurrency slot; `Release(tenant)` returns the slot when
+/// the response is written. Tenants with no configured limits (and the
+/// anonymous "default" tenant, unless limited explicitly) are
+/// unlimited, so single-tenant deployments pay one map lookup and
+/// nothing else.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace surf::sched {
+
+/// \brief Token-bucket + quota limits for one tenant (0 = unlimited).
+struct TenantLimits {
+  /// Sustained requests per second the bucket refills at.
+  double rate = 0.0;
+  /// Bucket capacity — the burst admitted after an idle period. When
+  /// `rate` is set but burst is 0, burst defaults to max(rate, 1).
+  double burst = 0.0;
+  /// Concurrently in-flight requests allowed.
+  size_t max_inflight = 0;
+};
+
+/// \brief Admission governor over all tenants.
+class TenantGovernor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Limits applied to tenants without an explicit entry.
+    TenantLimits default_limits;
+    /// Per-tenant overrides (tenant header value → limits).
+    std::map<std::string, TenantLimits> per_tenant;
+  };
+
+  enum class Decision {
+    kAdmit,      ///< Token charged, slot taken; caller must Release().
+    kThrottled,  ///< Rate limit: bucket empty (429, retryable soon).
+    kOverQuota,  ///< Concurrency quota exhausted (429 until a Release).
+  };
+
+  /// \brief Monotonic counters.
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t throttled = 0;
+    uint64_t over_quota = 0;
+  };
+
+  explicit TenantGovernor(Options options) : options_(std::move(options)) {}
+
+  /// Charges `tenant` for one request at time `now`. On kAdmit the
+  /// caller owes a Release() when the request finishes.
+  Decision Admit(const std::string& tenant, Clock::time_point now);
+
+  /// Returns `tenant`'s concurrency slot.
+  void Release(const std::string& tenant);
+
+  Stats stats() const;
+
+  /// Parses one limits spec "RATE:BURST:QUOTA" (each field a
+  /// non-negative number, 0 = unlimited), e.g. "5:10:2".
+  static Status ParseLimits(const std::string& spec, TenantLimits* out);
+
+  /// Parses a per-tenant spec list "TENANT=RATE:BURST:QUOTA[,...]" into
+  /// `options->per_tenant` (merging over what is there).
+  static Status ParseTenantSpec(const std::string& spec, Options* options);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    bool primed = false;  ///< Bucket starts full on first sight.
+    Clock::time_point refilled_at{};
+    size_t inflight = 0;
+  };
+
+  const TenantLimits& LimitsFor(const std::string& tenant) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  Stats stats_;
+};
+
+}  // namespace surf::sched
+
+#endif  // SURF_SCHED_TENANT_GOVERNOR_H_

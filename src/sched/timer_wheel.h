@@ -1,0 +1,139 @@
+#ifndef SURF_SCHED_TIMER_WHEEL_H_
+#define SURF_SCHED_TIMER_WHEEL_H_
+
+/// \file
+/// \brief A hashed timer wheel for connection deadlines.
+///
+/// The HTTP event loop arms one deadline per connection (idle timeout,
+/// request deadline, write deadline, or lingering-close budget —
+/// whichever the connection's state calls for) and needs two cheap
+/// operations on every loop iteration: "how long until the next timer"
+/// (the epoll_wait timeout) and "which timers fired" (after the wait).
+/// A hashed wheel gives O(1) arm/disarm and amortized O(1) expiry:
+/// timers hash into `num_slots` buckets of `tick` granularity and the
+/// wheel only inspects the buckets the clock hand actually crosses.
+///
+/// Single-threaded by design — the event loop owns it; there is no
+/// locking. Time is passed in explicitly so tests drive the hand
+/// without sleeping.
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace surf::sched {
+
+/// \brief Hashed timer wheel keyed by caller-chosen 64-bit ids.
+///
+/// Re-arming an id replaces its previous deadline; disarming forgets
+/// it. Stale bucket entries (from re-arms and disarms) are dropped
+/// lazily when the hand crosses their slot, so arm/disarm never scan.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A wheel of `num_slots` buckets, each `tick` wide. Deadlines
+  /// farther out than `num_slots * tick` simply go around again: they
+  /// are re-bucketed when the hand reaches their slot early.
+  explicit TimerWheel(Clock::duration tick = std::chrono::milliseconds(20),
+                      size_t num_slots = 256)
+      : tick_ns_(std::chrono::duration_cast<std::chrono::nanoseconds>(tick)
+                     .count()),
+        slots_(num_slots) {
+    if (tick_ns_ <= 0) tick_ns_ = 1;
+    if (slots_.empty()) slots_.resize(1);
+    hand_ = TickOf(Clock::now());
+  }
+
+  /// Arms (or re-arms) `id` to fire once `deadline` passes.
+  void Arm(uint64_t id, Clock::time_point deadline) {
+    // Generations are globally unique, never recycled: a bucket entry
+    // from any earlier registration of this id can never collide with
+    // the live one, no matter how arms/fires/disarms interleave.
+    const uint64_t generation = ++last_generation_;
+    generations_[id] = generation;
+    const int64_t tick = TickOf(deadline);
+    slots_[SlotOf(tick)].push_back(Entry{id, generation, tick});
+    ++armed_;
+  }
+
+  /// Forgets `id`; a pending Arm() for it will not fire. The bucket
+  /// entry is dropped lazily when the hand reaches it.
+  void Disarm(uint64_t id) { generations_.erase(id); }
+
+  /// Advances the hand to `now` and appends every fired id to `*fired`
+  /// (each id at most once; its registration is consumed).
+  void Advance(Clock::time_point now, std::vector<uint64_t>* fired) {
+    const int64_t now_tick = TickOf(now);
+    while (hand_ <= now_tick) {
+      std::vector<Entry>& bucket = slots_[SlotOf(hand_)];
+      size_t keep = 0;
+      for (Entry& entry : bucket) {
+        auto it = generations_.find(entry.id);
+        if (it == generations_.end() || it->second != entry.generation) {
+          --armed_;  // stale: re-armed or disarmed since
+          continue;
+        }
+        if (entry.tick <= now_tick) {
+          fired->push_back(entry.id);
+          generations_.erase(it);
+          --armed_;
+          continue;
+        }
+        // Armed for a later lap of the wheel: keep it in place.
+        bucket[keep++] = entry;
+      }
+      bucket.resize(keep);
+      ++hand_;
+    }
+  }
+
+  /// Milliseconds until the earliest armed deadline could fire, clamped
+  /// to [0, `max_ms`]; `max_ms` when nothing is armed. This is a bound,
+  /// not an exact next-deadline: the wheel answers in tick granularity,
+  /// which is exactly what an epoll_wait timeout needs.
+  int TimeoutMs(Clock::time_point now, int max_ms) const {
+    if (armed_ == 0) return max_ms;
+    // The earliest anything can fire is the hand's current bucket edge.
+    const int64_t edge_ns = hand_ * tick_ns_;
+    const int64_t now_ns = now.time_since_epoch().count();
+    if (now_ns >= edge_ns) return 0;
+    const int64_t ms = (edge_ns - now_ns) / 1000000 + 1;
+    return ms < max_ms ? static_cast<int>(ms) : max_ms;
+  }
+
+  /// Timers currently armed (stale bucket entries excluded).
+  size_t armed() const { return generations_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t id;
+    uint64_t generation;
+    int64_t tick;
+  };
+
+  int64_t TickOf(Clock::time_point t) const {
+    return t.time_since_epoch().count() / tick_ns_;
+  }
+  size_t SlotOf(int64_t tick) const {
+    return static_cast<size_t>(tick) % slots_.size();
+  }
+
+  int64_t tick_ns_;
+  std::vector<std::vector<Entry>> slots_;
+  /// Live registration generation per id; a bucket entry fires only if
+  /// its generation still matches.
+  std::unordered_map<uint64_t, uint64_t> generations_;
+  uint64_t last_generation_ = 0;
+  /// Next tick the hand will inspect (starts at construction time, so
+  /// Advance only ever sweeps forward across real elapsed ticks).
+  int64_t hand_ = 0;
+  /// Bucket entries alive (including stale ones), for the fast
+  /// nothing-armed timeout path.
+  size_t armed_ = 0;
+};
+
+}  // namespace surf::sched
+
+#endif  // SURF_SCHED_TIMER_WHEEL_H_

@@ -91,8 +91,18 @@ void PrintUsage() {
       "  serve:   --port N             listen port (default 8080)\n"
       "           --bind ADDR          bind address (default 127.0.0.1)\n"
       "           --threads N          service worker threads (0 = all)\n"
-      "           --http-workers N     HTTP handler threads (0 = all)\n"
-      "           --max-inflight N     concurrent connections before 429\n"
+      "           --http-workers N     interactive HTTP workers (0 = auto)\n"
+      "           --batch-workers N    batch-class workers / batch\n"
+      "                                concurrency cap (0 = workers/8)\n"
+      "           --max-inflight N     concurrent requests before 429\n"
+      "           --max-queue N        ready-queue depth before load\n"
+      "                                shedding (503; 0 = never shed)\n"
+      "           --tenant-default R:B:Q  default tenant limits as\n"
+      "                                RATE:BURST:QUOTA (0 = unlimited)\n"
+      "           --tenant-limit T=R:B:Q[,...]  per-tenant limits keyed\n"
+      "                                by the x-surf-tenant header\n"
+      "           --no-coalesce        disable single-flight coalescing\n"
+      "                                of identical /v1/mine requests\n"
       "           --deadline SECONDS   per-request deadline (default 30)\n"
       "           --data FILE.csv      optional dataset registered as\n"
       "                                'default' at startup\n"
@@ -571,6 +581,8 @@ int RunServe(const CliFlags& flags) {
   handler_options.job_retention.max_age_seconds =
       flags.GetDouble("job-max-age",
                       std::numeric_limits<double>::infinity());
+  handler_options.coalesce_identical_mines =
+      !flags.GetBool("no-coalesce", false);
   SurfHandler handler(&service, &metrics, handler_options);
 
   HttpServer::Options options;
@@ -578,9 +590,31 @@ int RunServe(const CliFlags& flags) {
   options.port = static_cast<uint16_t>(flags.GetInt("port", 8080));
   options.num_workers =
       static_cast<size_t>(flags.GetInt("http-workers", 0));
+  options.batch_workers =
+      static_cast<size_t>(flags.GetInt("batch-workers", 0));
   options.max_inflight =
       static_cast<size_t>(flags.GetInt("max-inflight", 64));
+  options.max_queue_depth =
+      static_cast<size_t>(flags.GetInt("max-queue", 0));
   options.request_deadline_seconds = flags.GetDouble("deadline", 30.0);
+  // Per-tenant QoS: --tenant-default caps tenants without an explicit
+  // entry; --tenant-limit names specific tenants.
+  const std::string tenant_default = flags.GetString("tenant-default", "");
+  if (!tenant_default.empty()) {
+    if (auto st = sched::TenantGovernor::ParseLimits(
+            tenant_default, &options.qos.default_limits);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
+  const std::string tenant_limits = flags.GetString("tenant-limit", "");
+  if (!tenant_limits.empty()) {
+    if (auto st =
+            sched::TenantGovernor::ParseTenantSpec(tenant_limits, &options.qos);
+        !st.ok()) {
+      return Fail(st.ToString());
+    }
+  }
   HttpServer server(options, handler.AsHttpHandler());
   handler.set_transport_stats_provider(
       [&server] { return server.stats(); });
@@ -588,10 +622,11 @@ int RunServe(const CliFlags& flags) {
 
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
-  std::printf("surfd listening on http://%s:%u (workers=%zu, "
+  std::printf("surfd listening on http://%s:%u (workers=%zu+%zu batch, "
               "max-inflight=%zu, deadline=%.1fs)\n",
               options.bind_address.c_str(), server.port(), server.workers(),
-              options.max_inflight, options.request_deadline_seconds);
+              server.batch_workers(), options.max_inflight,
+              options.request_deadline_seconds);
   std::fflush(stdout);
 
   while (g_shutdown_requested == 0) {
